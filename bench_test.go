@@ -1,0 +1,416 @@
+package smol
+
+// Benchmark harness: one benchmark per table and figure of the paper (see
+// DESIGN.md's experiment index), plus real-substrate microbenchmarks for
+// the codecs, preprocessing kernels, queue, and engine so the repo's own
+// performance claims are measurable with `go test -bench`.
+//
+// The experiment benchmarks report the key quantity of their table/figure
+// as a custom metric; full tables print via cmd/smol-bench.
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"smol/internal/audio"
+	"smol/internal/codec/jpeg"
+	"smol/internal/codec/spng"
+	"smol/internal/codec/vid"
+	"smol/internal/data"
+	"smol/internal/engine"
+	"smol/internal/experiments"
+	"smol/internal/img"
+	"smol/internal/nn"
+	"smol/internal/preproc"
+	"smol/internal/tensor"
+)
+
+// benchScale picks Full when the trained zoo exists (populated by
+// cmd/smol-train), Quick otherwise, so accuracy-bearing benchmarks never
+// silently train at full budgets.
+func benchScale() experiments.Scale {
+	if _, err := os.Stat(experiments.ZooDir()); err == nil {
+		return experiments.Full
+	}
+	return experiments.Quick
+}
+
+// runExperiment executes one experiment per iteration and reports a cell
+// value as a custom metric.
+func runExperiment(b *testing.B, id string, metric func(*experiments.Table) (float64, string)) {
+	b.Helper()
+	s := benchScale()
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = experiments.Run(id, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil {
+		v, name := metric(tbl)
+		b.ReportMetric(v, name)
+	}
+}
+
+func cellFloat(b *testing.B, tbl *experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q", row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func BenchmarkTable1_Frameworks(b *testing.B) {
+	runExperiment(b, "table1", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 2, 1), "tensorrt-im/s"
+	})
+}
+
+func BenchmarkFigure1_Breakdown(b *testing.B) {
+	runExperiment(b, "figure1", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 3, 2) / cellFloat(b, t, 4, 2), "preproc/exec-ratio"
+	})
+}
+
+func BenchmarkTable2_ResNetTradeoff(b *testing.B) {
+	runExperiment(b, "table2", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 2, 1), "rn50-im/s"
+	})
+}
+
+func BenchmarkTable3_CostModels(b *testing.B) {
+	runExperiment(b, "table3", func(t *experiments.Table) (float64, string) {
+		// Smol's error on the preprocessing-bound configuration.
+		return cellFloat(b, t, 1, 4), "smol-err-%"
+	})
+}
+
+func BenchmarkTable5_GPUGenerations(b *testing.B) {
+	runExperiment(b, "table5", nil)
+}
+
+func BenchmarkTable6_Datasets(b *testing.B) {
+	runExperiment(b, "table6", nil)
+}
+
+func BenchmarkTable7_Training(b *testing.B) {
+	runExperiment(b, "table7", func(t *experiments.Table) (float64, string) {
+		// Accuracy recovered by low-res training on PNG thumbnails (C).
+		return cellFloat(b, t, 1, 2), "lowres-thumb-acc"
+	})
+}
+
+func BenchmarkTable8_CostScaling(b *testing.B) {
+	runExperiment(b, "table8", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 1, 3) / cellFloat(b, t, 0, 3), "cost-savings-x"
+	})
+}
+
+func BenchmarkFigure4_Pareto(b *testing.B) {
+	runExperiment(b, "figure4", nil)
+}
+
+func BenchmarkFigure5_Lesion(b *testing.B) {
+	runExperiment(b, "figure5", nil)
+}
+
+func BenchmarkFigure6_Factor(b *testing.B) {
+	runExperiment(b, "figure6", nil)
+}
+
+func BenchmarkFigure7_SystemsLesion(b *testing.B) {
+	runExperiment(b, "figure7", nil)
+}
+
+func BenchmarkFigure8_SystemsFactor(b *testing.B) {
+	runExperiment(b, "figure8", nil)
+}
+
+func BenchmarkFigure9_VideoAgg(b *testing.B) {
+	runExperiment(b, "figure9", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 0, 4), "speedup-x"
+	})
+}
+
+func BenchmarkFigure10_EngineComparison(b *testing.B) {
+	runExperiment(b, "figure10", nil)
+}
+
+func BenchmarkPipelineOverhead(b *testing.B) {
+	runExperiment(b, "pipeline-overhead", nil)
+}
+
+func BenchmarkMobileNetSSD(b *testing.B) {
+	runExperiment(b, "mobilenet-ssd", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 0, 1) / cellFloat(b, t, 1, 1), "exec/preproc-x"
+	})
+}
+
+func BenchmarkLatencyTradeoff(b *testing.B) {
+	runExperiment(b, "latency", func(t *experiments.Table) (float64, string) {
+		// Estimator-vs-simulated-max ratio at batch 64.
+		return cellFloat(b, t, 3, 5), "est/sim-max-b64"
+	})
+}
+
+func BenchmarkTable_PowerCost(b *testing.B) {
+	runExperiment(b, "power-cost", nil)
+}
+
+// --- Real-substrate microbenchmarks ---
+
+func benchImage(res int) *img.Image {
+	return data.RenderImage(rand.New(rand.NewSource(1)), 3, 10, res)
+}
+
+func BenchmarkJPEGEncode(b *testing.B) {
+	m := benchImage(256)
+	b.SetBytes(int64(len(m.Pix)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jpeg.Encode(m, jpeg.EncodeOptions{Quality: 90})
+	}
+}
+
+func BenchmarkJPEGDecodeFull(b *testing.B) {
+	enc := jpeg.Encode(benchImage(256), jpeg.EncodeOptions{Quality: 90})
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jpeg.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJPEGDecodeROI(b *testing.B) {
+	enc := jpeg.Encode(benchImage(256), jpeg.EncodeOptions{Quality: 90})
+	roi := img.CenterCropRect(256, 256, 96, 96)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := jpeg.DecodeWithOptions(enc, jpeg.DecodeOptions{ROI: &roi}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJPEGDecodeEarlyStop(b *testing.B) {
+	enc := jpeg.Encode(benchImage(256), jpeg.EncodeOptions{Quality: 90})
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := jpeg.DecodeWithOptions(enc, jpeg.DecodeOptions{EarlyStopRow: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPNGDecode(b *testing.B) {
+	enc := spng.Encode(benchImage(256), 0)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spng.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchVideo(b *testing.B) []byte {
+	b.Helper()
+	spec, err := data.VideoDataset("taipei")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Frames = 60
+	v := data.GenerateVideo(spec)
+	enc, err := vid.Encode(v.Frames, vid.EncodeOptions{Quality: 70, GOP: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc
+}
+
+func BenchmarkVideoDecodeDeblock(b *testing.B) {
+	enc := benchVideo(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vid.DecodeAll(enc, vid.DecodeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVideoDecodeNoDeblock(b *testing.B) {
+	enc := benchVideo(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vid.DecodeAll(enc, vid.DecodeOptions{DisableDeblock: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPreprocSpec() preproc.Spec {
+	return preproc.Spec{
+		InW: 500, InH: 375, ResizeShort: 256, CropW: 224, CropH: 224,
+		Mean: [3]float32{0.485, 0.456, 0.406}, Std: [3]float32{0.229, 0.224, 0.225},
+	}
+}
+
+func BenchmarkPreprocNaivePlan(b *testing.B) {
+	s := benchPreprocSpec()
+	m := benchImage(500).ResizeBilinear(500, 375)
+	plan := preproc.NaivePlan(s)
+	ex := preproc.NewExecutor()
+	out := tensor.New(preproc.OutputShape(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Execute(plan, m, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreprocOptimizedPlan(b *testing.B) {
+	s := benchPreprocSpec()
+	m := benchImage(500).ResizeBilinear(500, 375)
+	plan, err := preproc.Optimize(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := preproc.NewExecutor()
+	out := tensor.New(preproc.OutputShape(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Execute(plan, m, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPMCQueue(b *testing.B) {
+	q := engine.NewMPMCQueue[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := q.Put(1); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := q.Take(); !ok {
+				b.Fatal("queue closed")
+			}
+		}
+	})
+}
+
+func BenchmarkEnginePipeline(b *testing.B) {
+	prep := func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
+		for i := range out.Data {
+			out.Data[i] = float32(job.Index)
+		}
+		return nil
+	}
+	exec := func(batch *tensor.Tensor, indices []int) error { return nil }
+	e, err := engine.New(engine.Config{Workers: 2, Streams: 2, BatchSize: 32,
+		SampleShape: [3]int{3, 32, 32}}, prep, exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]engine.Job, 512)
+	for i := range jobs {
+		jobs[i] = engine.Job{Index: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResNetForward(b *testing.B) {
+	for _, variant := range nn.Variants() {
+		b.Run(variant, func(b *testing.B) {
+			cfg, err := nn.VariantConfig(variant, 10, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := nn.NewResNet(rand.New(rand.NewSource(1)), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := tensor.New(8, 3, 32, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Forward(x, false)
+			}
+		})
+	}
+}
+
+func BenchmarkADPCMDecodeFull(b *testing.B) {
+	samples := make([]int16, 64000)
+	for i := range samples {
+		samples[i] = int16((i * 37) % 8192)
+	}
+	enc := audio.Encode(samples)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := audio.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkADPCMDecodeEarlyStop(b *testing.B) {
+	samples := make([]int16, 64000)
+	for i := range samples {
+		samples[i] = int16((i * 37) % 8192)
+	}
+	enc := audio.Encode(samples)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := audio.DecodeSamples(enc, 16000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpectrogram(b *testing.B) {
+	samples := make([]int16, 16000)
+	for i := range samples {
+		samples[i] = int16((i * 53) % 8192)
+	}
+	cfg := audio.SpectrogramConfig{SampleRate: 16000, FrameSize: 400, HopSize: 160, Bins: 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := audio.Spectrogram(samples, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPNGDecodeProgressive(b *testing.B) {
+	m := benchImage(256)
+	enc, err := spng.EncodeProgressive(m, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Decode only up to the 64x64 level — the multi-resolution decode
+		// of Table 4's JPEG2000-style feature.
+		if _, _, err := spng.DecodeProgressive(enc, 64, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command smol-datagen materializes the synthetic datasets to disk in the
+// form a serving system would hold them: full-resolution JPEGs with
+// natively present thumbnails and a labels.tsv manifest for image
+// datasets, and dual-resolution encoded video with a ground-truth counts
+// manifest for video datasets. The output feeds external tooling or
+// inspection; the experiments themselves render in memory.
+//
+// Usage:
+//
+//	smol-datagen -out dir [-datasets a,b] [-videos x,y] [-thumb png|jpeg95|jpeg75] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strings"
+
+	"smol/internal/data"
+)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "datagen-out", "output directory")
+	datasets := flag.String("datasets", "", "comma-separated image dataset names (default: all)")
+	videos := flag.String("videos", "", "comma-separated video names (default: none; \"all\" for all)")
+	thumb := flag.String("thumb", "png", "thumbnail encoding: png, jpeg95, or jpeg75")
+	quick := flag.Bool("quick", false, "export small splits (64 train / 32 test)")
+	flag.Parse()
+
+	var names []string
+	if *datasets == "" {
+		for _, d := range data.ImageDatasets() {
+			names = append(names, d.Name)
+		}
+	} else {
+		names = strings.Split(*datasets, ",")
+	}
+	for _, name := range names {
+		spec, err := data.ImageDataset(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *quick {
+			spec.TrainN, spec.TestN = 64, 32
+		}
+		ds := data.Generate(spec)
+		dir := filepath.Join(*out, name)
+		n, err := data.ExportImages(ds, dir, data.ExportOptions{ThumbFormat: *thumb})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-11s -> %s (%d files, %d train / %d test)\n",
+			name, dir, n, len(ds.Train), len(ds.Test))
+	}
+
+	if *videos != "" {
+		var vnames []string
+		if *videos == "all" {
+			for _, v := range data.VideoDatasets() {
+				vnames = append(vnames, v.Name)
+			}
+		} else {
+			vnames = strings.Split(*videos, ",")
+		}
+		for _, name := range vnames {
+			spec, err := data.VideoDataset(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *quick {
+				spec.Frames = 120
+			}
+			paths, err := data.ExportVideo(spec, filepath.Join(*out, "video"), 0)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Printf("%-11s -> %s (+%d more)\n", name, paths[0], len(paths)-1)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Command smol-measure reproduces the paper's §2 measurement study and §7
+// hardware economics: framework throughput (Table 1), the per-image
+// preprocessing/execution breakdown (Figure 1), accelerator generations
+// (Table 5), and the power/cost split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smol/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	for _, id := range []string{"table1", "figure1", "mobilenet-ssd", "table2", "table5", "power-cost"} {
+		tbl, err := experiments.Run(id, experiments.Quick)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(tbl)
+	}
+}

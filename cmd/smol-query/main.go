@@ -1,0 +1,116 @@
+// Command smol-query runs one visual analytics query end to end.
+//
+// Classification (trains a model, encodes the test set, classifies through
+// the pipelined engine):
+//
+//	smol-query -type classify -dataset bike-bird
+//
+// Aggregation (BlazeIt-style control-variate mean estimation over a
+// synthetic video with real encode/decode):
+//
+//	smol-query -type aggregate -dataset taipei -err 0.03
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"smol"
+	"smol/internal/blazeit"
+	"smol/internal/data"
+)
+
+func main() {
+	log.SetFlags(0)
+	qtype := flag.String("type", "classify", "query type: classify or aggregate")
+	dataset := flag.String("dataset", "bike-bird", "dataset name")
+	errTarget := flag.Float64("err", 0.03, "aggregation error target")
+	flag.Parse()
+
+	switch *qtype {
+	case "classify":
+		classify(*dataset)
+	case "aggregate":
+		aggregate(*dataset, *errTarget)
+	default:
+		log.Fatalf("unknown query type %q", *qtype)
+	}
+}
+
+func classify(name string) {
+	spec, err := data.ImageDataset(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := data.Generate(spec)
+	fmt.Printf("dataset %s: %d classes, %d train / %d test at %dpx\n",
+		spec.Name, spec.NumClasses, len(ds.Train), len(ds.Test), spec.FullRes)
+
+	train := make([]smol.LabeledImage, len(ds.Train))
+	for i, li := range ds.Train {
+		train[i] = smol.LabeledImage{Image: li.Image, Label: li.Label}
+	}
+	fmt.Println("training resnet-a...")
+	start := time.Now()
+	clf, err := smol.TrainClassifier(train, spec.NumClasses, smol.TrainOptions{Epochs: 3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s\n", time.Since(start).Round(time.Second))
+
+	inputs := make([]smol.EncodedImage, len(ds.Test))
+	for i, li := range ds.Test {
+		inputs[i] = smol.EncodedImage{Data: smol.EncodeJPEG(li.Image, 90)}
+	}
+	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{InputRes: spec.FullRes, BatchSize: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rt.Classify(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for i, p := range res.Predictions {
+		if p == ds.Test[i].Label {
+			correct++
+		}
+	}
+	fmt.Printf("accuracy %.1f%% over %d images, engine %.0f im/s (%d batches)\n",
+		100*float64(correct)/float64(len(inputs)), len(inputs),
+		res.Stats.Throughput, res.Stats.Batches)
+}
+
+func aggregate(name string, errTarget float64) {
+	spec, err := data.VideoDataset(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	video := data.GenerateVideo(spec)
+	fmt.Printf("video %s: %d frames, true mean %.3f objects/frame\n",
+		spec.Name, spec.Frames, video.MeanCount())
+
+	enc, err := smol.EncodeVideo(video.LowResFrames(), 70, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frames, err := smol.DecodeVideo(enc, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter := blazeit.DefaultCounter(spec.LowW)
+	preds := make([]float64, len(frames))
+	for i, f := range frames {
+		preds[i] = float64(counter.Count(f))
+	}
+	res, err := blazeit.EstimateMean(preds, func(f int) float64 { return float64(video.Counts[f]) },
+		blazeit.Config{ErrTarget: errTarget, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate %.3f +/- %.3f using %d target invocations (of %d frames)\n",
+		res.Estimate, res.HalfWidth, res.Samples, len(frames))
+	fmt.Printf("true mean %.3f, error %.3f\n", video.MeanCount(), res.Estimate-video.MeanCount())
+}

@@ -1,0 +1,72 @@
+// Command smol-train builds the trained-model zoo the experiments consume:
+// for every image dataset, the three micro-ResNet variants under both
+// regular and low-resolution-aware training (§5.3). Models are written to
+// the zoo directory (default ./zoo, override with SMOL_ZOO) as gob files
+// that cmd/smol-bench and the benchmarks load.
+//
+// Usage:
+//
+//	smol-train [-datasets name,name] [-variants a,b,c] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"smol/internal/data"
+	"smol/internal/experiments"
+	"smol/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+	datasets := flag.String("datasets", "", "comma-separated dataset names (default: all)")
+	variants := flag.String("variants", "", "comma-separated variants: resnet-a,resnet-b,resnet-c (default: all)")
+	quick := flag.Bool("quick", false, "use the quick training scale (smaller datasets, fewer epochs)")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	var dsNames []string
+	if *datasets == "" {
+		for _, d := range data.ImageDatasets() {
+			dsNames = append(dsNames, d.Name)
+		}
+	} else {
+		dsNames = strings.Split(*datasets, ",")
+	}
+	var vNames []string
+	if *variants == "" {
+		vNames = nn.Variants()
+	} else {
+		vNames = strings.Split(*variants, ",")
+	}
+
+	start := time.Now()
+	for _, ds := range dsNames {
+		for _, v := range vNames {
+			for _, mode := range []experiments.TrainMode{experiments.ModeRegular, experiments.ModeLowRes} {
+				t0 := time.Now()
+				if err := experiments.SaveZooModel(scale, ds, v, mode); err != nil {
+					log.Printf("FAIL %s/%s/%s: %v", ds, v, mode, err)
+					os.Exit(1)
+				}
+				acc, err := experiments.MeasuredAccuracy(scale, ds, v, mode, experiments.FmtFull)
+				if err != nil {
+					log.Printf("FAIL eval %s/%s/%s: %v", ds, v, mode, err)
+					os.Exit(1)
+				}
+				fmt.Printf("trained %-11s %-9s %-7s full-res acc %.3f (%s)\n",
+					ds, v, mode, acc, time.Since(t0).Round(time.Second))
+			}
+		}
+	}
+	fmt.Printf("zoo complete in %s -> %s\n", time.Since(start).Round(time.Second), experiments.ZooDir())
+}

@@ -1,0 +1,57 @@
+package smol
+
+import (
+	"smol/internal/codec/jpeg"
+	"smol/internal/codec/spng"
+	"smol/internal/codec/vid"
+	"smol/internal/img"
+)
+
+// Image re-exports the 8-bit interleaved RGB image type used throughout.
+type Image = img.Image
+
+// Rect re-exports the rectangle type used for ROI decoding.
+type Rect = img.Rect
+
+// NewImage allocates a zeroed image.
+func NewImage(w, h int) *Image { return img.New(w, h) }
+
+// EncodeJPEG compresses an image with the built-in baseline JPEG codec.
+// quality is the IJG quality in [1,100] (0 = 75).
+func EncodeJPEG(m *Image, quality int) []byte {
+	return jpeg.Encode(m, jpeg.EncodeOptions{Quality: quality})
+}
+
+// DecodeJPEG decompresses a baseline JPEG.
+func DecodeJPEG(data []byte) (*Image, error) { return jpeg.Decode(data) }
+
+// JPEGDecodeStats re-exports the partial-decoding work counters.
+type JPEGDecodeStats = jpeg.DecodeStats
+
+// DecodeJPEGROI partially decodes only the macroblock-aligned region
+// containing roi (the paper's Algorithm 1): entropy decoding stops after
+// the last needed macroblock row, and reconstruction (IDCT, upsampling,
+// color conversion) is skipped outside the region. The returned rectangle
+// locates the decoded image within the full frame.
+func DecodeJPEGROI(data []byte, roi Rect) (*Image, Rect, *JPEGDecodeStats, error) {
+	return jpeg.DecodeWithOptions(data, jpeg.DecodeOptions{ROI: &roi})
+}
+
+// EncodePNG compresses losslessly with the PNG-like codec.
+func EncodePNG(m *Image) []byte { return spng.Encode(m, 0) }
+
+// DecodePNG decompresses an spng image.
+func DecodePNG(data []byte) (*Image, error) { return spng.Decode(data) }
+
+// EncodeVideo compresses frames with the H.264-like codec (I/P frames,
+// motion compensation, in-loop deblocking). quality in [1,100], gop is the
+// I-frame interval.
+func EncodeVideo(frames []*Image, quality, gop int) ([]byte, error) {
+	return vid.Encode(frames, vid.EncodeOptions{Quality: quality, GOP: gop})
+}
+
+// DecodeVideo decompresses every frame. disableDeblock skips the in-loop
+// deblocking filter for faster, reduced-fidelity decoding (§6.4).
+func DecodeVideo(data []byte, disableDeblock bool) ([]*Image, error) {
+	return vid.DecodeAll(data, vid.DecodeOptions{DisableDeblock: disableDeblock})
+}

@@ -1,0 +1,71 @@
+package smol_test
+
+import (
+	"fmt"
+
+	"smol"
+)
+
+// ExampleOptimize searches the cross product of networks and natively
+// available input formats with the preprocessing-aware cost model and
+// prints the Pareto frontier — the paper's core planning loop.
+func ExampleOptimize() {
+	dnns := []smol.DNNChoice{
+		{Name: "resnet-18", InputRes: 224, Accuracy: 0.682},
+		{Name: "resnet-50", InputRes: 224, Accuracy: 0.7434},
+	}
+	formats := []smol.Format{
+		{Name: "full-jpeg", Kind: smol.FormatJPEG, W: 500, H: 375, Quality: 90},
+		{Name: "thumb-png", Kind: smol.FormatPNG, W: 215, H: 161, Lossless: true},
+	}
+	front, err := smol.Optimize(dnns, formats, smol.DefaultEnv())
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range front {
+		fmt.Printf("%s: %.0f im/s at %.1f%%\n", e.Plan, e.Throughput, 100*e.Accuracy)
+	}
+	// Output:
+	// resnet-50@224 on thumb-png (cpu+3-accel): 1992 im/s at 74.3%
+}
+
+// ExampleSelect picks the fastest plan that still meets an accuracy
+// floor — the accuracy-constrained throughput deployment of §4.
+func ExampleSelect() {
+	dnns := []smol.DNNChoice{
+		{Name: "resnet-18", InputRes: 224, Accuracy: 0.682},
+		{Name: "resnet-50", InputRes: 224, Accuracy: 0.7434},
+	}
+	formats := []smol.Format{
+		{Name: "full-jpeg", Kind: smol.FormatJPEG, W: 500, H: 375, Quality: 90},
+		{Name: "thumb-png", Kind: smol.FormatPNG, W: 215, H: 161, Lossless: true},
+	}
+	best, err := smol.Select(dnns, formats, smol.DefaultEnv(),
+		smol.Constraint{MinAccuracy: 0.74})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", best.Plan)
+	// Output:
+	// resnet-50@224 on thumb-png (cpu+3-accel)
+}
+
+// ExampleBatchForLatency tunes the accelerator batch size down until the
+// worst-case per-image latency fits a 30ms budget — the §3.1
+// latency-constrained extension.
+func ExampleBatchForLatency() {
+	dnns := []smol.DNNChoice{{Name: "resnet-50", InputRes: 224, Accuracy: 0.7434}}
+	formats := []smol.Format{{Name: "thumb-png", Kind: smol.FormatPNG, W: 215, H: 161, Lossless: true}}
+	front, err := smol.Optimize(dnns, formats, smol.DefaultEnv())
+	if err != nil {
+		panic(err)
+	}
+	plan := front[len(front)-1].Plan
+	batch, tput, err := smol.BatchForLatency(plan, smol.DefaultEnv(), 30_000 /* us */)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("batch %d at %.0f im/s\n", batch, tput)
+	// Output:
+	// batch 32 at 1992 im/s
+}

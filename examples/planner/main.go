@@ -1,0 +1,64 @@
+// Planner: walk through Smol's preprocessing-aware plan optimization (§4):
+// describe the available networks and natively present input formats, let
+// the cost model search D x F with operator placement, and compare the
+// selected plans with what preprocessing-blind selection would pick.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smol"
+)
+
+func main() {
+	env := smol.DefaultEnv()
+	fmt.Printf("environment: %s + %s, %d vCPUs\n\n",
+		env.Device.Name, env.Framework.Name, env.VCPUs)
+
+	// The networks (with ImageNet accuracies) and the formats the serving
+	// stack natively stores: full-resolution JPEGs plus 161-px thumbnails.
+	dnns := []smol.DNNChoice{
+		{Name: "resnet-18", InputRes: 224, Accuracy: 0.682},
+		{Name: "resnet-34", InputRes: 224, Accuracy: 0.725},
+		{Name: "resnet-50", InputRes: 224, Accuracy: 0.750},
+	}
+	formats := []smol.Format{
+		{Name: "full-jpeg", Kind: smol.FormatJPEG, W: 500, H: 375, Quality: 90},
+		{Name: "thumb-png", Kind: smol.FormatPNG, W: 215, H: 161, Lossless: true},
+		{Name: "thumb-jpeg-95", Kind: smol.FormatJPEG, W: 215, H: 161, Quality: 95},
+	}
+
+	front, err := smol.Optimize(dnns, formats, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Pareto-optimal plans (accuracy vs end-to-end throughput):")
+	for _, e := range front {
+		fmt.Printf("  %-42s acc %.3f  %7.0f im/s\n", e.Plan, e.Accuracy, e.Throughput)
+	}
+
+	// Accuracy-constrained selection: the fastest plan at >= 72% accuracy.
+	sel, err := smol.Select(dnns, formats, env, smol.Constraint{MinAccuracy: 0.72})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest plan at >=72%% accuracy: %s (%.0f im/s)\n", sel.Plan, sel.Throughput)
+
+	// The punchline: a bigger DNN on cheaper thumbnails can beat a smaller
+	// DNN on full-resolution data, because preprocessing is the bottleneck.
+	only50 := []smol.DNNChoice{dnns[2]}
+	onlyFull := []smol.Format{formats[0]}
+	onlyThumb := []smol.Format{formats[1]}
+	full, err := smol.Select(only50, onlyFull, env, smol.Constraint{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	thumb, err := smol.Select(only50, onlyThumb, env, smol.Constraint{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresnet-50 on full-res JPEG:   %7.0f im/s\n", full.Throughput)
+	fmt.Printf("resnet-50 on PNG thumbnails:  %7.0f im/s (%.1fx)\n",
+		thumb.Throughput, thumb.Throughput/full.Throughput)
+}

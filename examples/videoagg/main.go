@@ -1,0 +1,85 @@
+// Videoagg: a BlazeIt-style aggregation query ("mean objects per frame")
+// answered with a specialized model as a control variate, comparing the
+// full-resolution pipeline against Smol's natively-present low-resolution
+// one. Everything here is real: the video is encoded and decoded with the
+// H.264-like codec, and the specialized model is a connected-components
+// counter running on the decoded frames.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smol"
+	"smol/internal/blazeit"
+	"smol/internal/data"
+	"smol/internal/hw"
+)
+
+// roundTrip pushes frames through the video codec and back.
+func roundTrip(frames []*smol.Image) ([]*smol.Image, error) {
+	enc, err := smol.EncodeVideo(frames, 70, 30)
+	if err != nil {
+		return nil, err
+	}
+	return smol.DecodeVideo(enc, false)
+}
+
+// countFrames runs the specialized counter over every decoded frame.
+func countFrames(frames []*smol.Image, frameW int) []float64 {
+	counter := blazeit.DefaultCounter(frameW)
+	out := make([]float64, len(frames))
+	for i, f := range frames {
+		out[i] = float64(counter.Count(f))
+	}
+	return out
+}
+
+func main() {
+	spec, err := data.VideoDataset("taipei")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Frames = 400
+	video := data.GenerateVideo(spec)
+	fmt.Printf("dataset %s: %d frames, true mean %.3f objects/frame\n",
+		spec.Name, spec.Frames, video.MeanCount())
+
+	full, err := roundTrip(video.Frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	low, err := roundTrip(video.LowResFrames())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oracle := func(f int) float64 { return float64(video.Counts[f]) }
+	for _, cond := range []struct {
+		name    string
+		preds   []float64
+		decodeW int
+		decodeH int
+	}{
+		{"full-res decode", countFrames(full, spec.W), 1280, 720},
+		{"low-res decode", countFrames(low, spec.LowW), 854, 480},
+	} {
+		res, err := blazeit.EstimateMean(cond.preds, oracle,
+			blazeit.Config{ErrTarget: 0.03, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		decodeUS := hw.DecodeCostUS(hw.DecodeSpec{Format: hw.FormatVideoH264,
+			W: cond.decodeW, H: cond.decodeH})
+		cost := blazeit.QueryCost{
+			SpecPassUSPerFrame:    decodeUS / 4,
+			TargetUSPerInvocation: 250000,
+		}
+		fmt.Printf("%-16s estimate %.3f (+/-%.3f), %d target invocations, modeled query time %.1fs\n",
+			cond.name, res.Estimate, res.HalfWidth, res.Samples,
+			cost.TotalSeconds(spec.Frames, res.Samples))
+	}
+	fmt.Println("\nSmol's cost model picks whichever configuration minimizes total query time:")
+	fmt.Println("low-res decode cuts the per-frame preprocessing cost; a more accurate full-res")
+	fmt.Println("specialized model cuts the sample count (§8.4 — the winner is dataset-dependent)")
+}

@@ -1,0 +1,225 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sine generates a test tone.
+func sine(n int, freq, rate float64, amp int16) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(float64(amp) * math.Sin(2*math.Pi*freq*float64(i)/rate))
+	}
+	return out
+}
+
+// snr computes the signal-to-noise ratio (dB) of decoded vs original.
+func snr(orig, dec []int16) float64 {
+	var sig, noise float64
+	for i := range orig {
+		s := float64(orig[i])
+		d := s - float64(dec[i])
+		sig += s * s
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+func TestADPCMRoundTripTone(t *testing.T) {
+	orig := sine(8000, 440, 16000, 12000)
+	data := Encode(orig)
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(orig) {
+		t.Fatalf("decoded %d of %d samples", len(dec), len(orig))
+	}
+	if s := snr(orig, dec); s < 20 {
+		t.Fatalf("tone SNR %.1f dB, want >= 20 (4-bit ADPCM)", s)
+	}
+	// 4 bits/sample: stream must be about a quarter of the PCM size.
+	if len(data) > len(orig)+64 {
+		t.Fatalf("ADPCM stream %d bytes for %d samples", len(data), len(orig))
+	}
+}
+
+func TestADPCMRoundTripNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := make([]int16, 4000)
+	// Band-limited-ish noise: smoothed white noise tracks better.
+	prev := 0.0
+	for i := range orig {
+		prev = 0.9*prev + 0.1*rng.NormFloat64()*8000
+		orig[i] = int16(prev)
+	}
+	dec, err := Decode(Encode(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := snr(orig, dec); s < 12 {
+		t.Fatalf("noise SNR %.1f dB", s)
+	}
+}
+
+func TestADPCMEarlyStop(t *testing.T) {
+	orig := sine(10000, 220, 16000, 9000)
+	data := Encode(orig)
+	part, stats, err := DecodeSamples(data, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 2500 || stats.SamplesDecoded != 2500 || stats.SamplesTotal != 10000 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Early-stop prefix must match the full decode exactly.
+	full, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range part {
+		if part[i] != full[i] {
+			t.Fatalf("early-stop sample %d differs", i)
+		}
+	}
+	if stats.BytesRead >= len(data) {
+		t.Fatal("early stop should read fewer bytes")
+	}
+}
+
+func TestADPCMOddLengthAndEmpty(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 0} {
+		orig := sine(n, 300, 8000, 5000)
+		dec, err := Decode(Encode(orig))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(dec) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(dec))
+		}
+	}
+}
+
+func TestADPCMErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if _, err := Decode([]byte("XXXX12345678")); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	data := Encode(sine(1000, 440, 16000, 8000))
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated data should error")
+	}
+}
+
+// Property: encode/decode never panics and preserves length.
+func TestADPCMProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		dec, err := Decode(Encode(raw))
+		return err == nil && len(dec) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpectrogramPeaksAtToneFrequency(t *testing.T) {
+	cfg := SpectrogramConfig{SampleRate: 16000, FrameSize: 512, HopSize: 256, Bins: 32}
+	// Tone at 2kHz = 1/8 of the sample rate -> bin ~ (2000/8000)*32 = 8.
+	samples := sine(4096, 2000, 16000, 12000)
+	spec, err := Spectrogram(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := spec.Shape[1]
+	// Average magnitude per bin; the peak bin should be near bin 8.
+	best, bestMag := 0, float32(-1)
+	for b := 0; b < 32; b++ {
+		var s float32
+		for f := 0; f < frames; f++ {
+			s += spec.Data[b*frames+f]
+		}
+		if s > bestMag {
+			best, bestMag = b, s
+		}
+	}
+	if best < 6 || best > 10 {
+		t.Fatalf("tone peak at bin %d, want ~8", best)
+	}
+}
+
+func TestSpectrogramValidation(t *testing.T) {
+	bad := SpectrogramConfig{SampleRate: 16000, FrameSize: 128, HopSize: 256, Bins: 16}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("hop > frame should fail")
+	}
+	good := SpectrogramConfig{SampleRate: 16000, FrameSize: 256, HopSize: 128, Bins: 16}
+	if _, err := Spectrogram(sine(100, 440, 16000, 1000), good); err == nil {
+		t.Fatal("too-short input should error")
+	}
+}
+
+func TestPreprocCostScales(t *testing.T) {
+	cfg := SpectrogramConfig{SampleRate: 16000, FrameSize: 256, HopSize: 128, Bins: 16}
+	c1 := PreprocCostOps(16000, cfg)
+	c2 := PreprocCostOps(32000, cfg)
+	if c1 <= 0 || c2 <= c1 {
+		t.Fatalf("cost not scaling: %v %v", c1, c2)
+	}
+	wide := cfg
+	wide.Bins = 32
+	if PreprocCostOps(16000, wide) <= c1 {
+		t.Fatal("more bins must cost more")
+	}
+}
+
+// TestTruncationNeverPanics: decoding every prefix of a valid ADPCM stream
+// must return an error or a valid (possibly shorter) sample slice, never
+// panic.
+func TestTruncationNeverPanics(t *testing.T) {
+	samples := make([]int16, 4000)
+	for i := range samples {
+		samples[i] = int16((i * 37) % 4096)
+	}
+	enc := Encode(samples)
+	for n := 0; n < len(enc); n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix %d/%d: panic: %v", n, len(enc), r)
+				}
+			}()
+			Decode(enc[:n]) //nolint:errcheck
+		}()
+	}
+}
+
+// TestByteCorruptionNeverPanics: single-byte corruption must never panic
+// the sequential predictor.
+func TestByteCorruptionNeverPanics(t *testing.T) {
+	samples := make([]int16, 2000)
+	for i := range samples {
+		samples[i] = int16((i * 53) % 8192)
+	}
+	enc := Encode(samples)
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), enc...)
+		corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			Decode(corrupted) //nolint:errcheck
+		}()
+	}
+}

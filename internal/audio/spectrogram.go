@@ -1,0 +1,90 @@
+package audio
+
+import (
+	"fmt"
+	"math"
+
+	"smol/internal/tensor"
+)
+
+// SpectrogramConfig describes the audio preprocessing front end: framed
+// magnitude spectra over a bank of target frequencies — the audio
+// equivalent of the image pipeline's decode+resize+normalize.
+type SpectrogramConfig struct {
+	// SampleRate in Hz.
+	SampleRate int
+	// FrameSize is the analysis window length in samples.
+	FrameSize int
+	// HopSize is the stride between frames.
+	HopSize int
+	// Bins is the number of frequency bins, linearly spaced from 0 to
+	// Nyquist.
+	Bins int
+}
+
+// Validate checks the configuration.
+func (c SpectrogramConfig) Validate() error {
+	if c.SampleRate <= 0 || c.FrameSize <= 0 || c.HopSize <= 0 || c.Bins <= 0 {
+		return fmt.Errorf("audio: invalid spectrogram config %+v", c)
+	}
+	if c.HopSize > c.FrameSize {
+		return fmt.Errorf("audio: hop %d exceeds frame %d", c.HopSize, c.FrameSize)
+	}
+	return nil
+}
+
+// goertzelMagnitude computes the magnitude of one frequency component of a
+// frame using the Goertzel algorithm — O(N) per bin, branch-free, the
+// classical cheap alternative to a full FFT when only a filter bank is
+// needed.
+func goertzelMagnitude(frame []int16, k float64) float64 {
+	w := 2 * math.Pi * k
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range frame {
+		s0 = float64(x)/32768 + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power)
+}
+
+// Spectrogram computes the (Bins, Frames) magnitude spectrogram of the
+// samples as a tensor, log-compressed as audio DNN front ends do.
+func Spectrogram(samples []int16, cfg SpectrogramConfig) (*tensor.Tensor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(samples) < cfg.FrameSize {
+		return nil, fmt.Errorf("audio: %d samples shorter than one frame (%d)",
+			len(samples), cfg.FrameSize)
+	}
+	frames := 1 + (len(samples)-cfg.FrameSize)/cfg.HopSize
+	out := tensor.New(cfg.Bins, frames)
+	for f := 0; f < frames; f++ {
+		frame := samples[f*cfg.HopSize : f*cfg.HopSize+cfg.FrameSize]
+		for b := 0; b < cfg.Bins; b++ {
+			// Bin center as a fraction of the sample rate, up to Nyquist.
+			k := (float64(b) + 0.5) / float64(cfg.Bins) / 2
+			mag := goertzelMagnitude(frame, k)
+			out.Data[b*frames+f] = float32(math.Log1p(mag))
+		}
+	}
+	return out, nil
+}
+
+// PreprocCostOps estimates the arithmetic-operation count of computing the
+// spectrogram for n samples — the hook into the hardware cost model, so
+// audio pipelines can be placed and costed like image ones (§10).
+func PreprocCostOps(n int, cfg SpectrogramConfig) float64 {
+	if err := cfg.Validate(); err != nil || n < cfg.FrameSize {
+		return 0
+	}
+	frames := 1 + (n-cfg.FrameSize)/cfg.HopSize
+	// Goertzel: ~4 ops per sample per bin.
+	return float64(frames) * float64(cfg.FrameSize) * float64(cfg.Bins) * 4
+}

@@ -1,0 +1,226 @@
+package blazeit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smol/internal/data"
+	"smol/internal/img"
+)
+
+func TestBlobCounterOnSyntheticFrames(t *testing.T) {
+	spec, err := data.VideoDataset("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Frames = 120
+	v := data.GenerateVideo(spec)
+	counter := DefaultCounter(spec.W)
+	var absErr, n float64
+	for i, f := range v.Frames {
+		pred := counter.Count(f)
+		absErr += math.Abs(float64(pred - v.Counts[i]))
+		n++
+	}
+	mae := absErr / n
+	if mae > 1.5 {
+		t.Fatalf("blob counter MAE %v too high to serve as specialized model", mae)
+	}
+}
+
+func TestBlobCounterResolutionDegradation(t *testing.T) {
+	// The counter should be at least as accurate on full-resolution frames
+	// as on low-resolution ones (the accuracy/throughput trade-off).
+	spec, err := data.VideoDataset("rialto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Frames = 100
+	v := data.GenerateVideo(spec)
+	low := v.LowResFrames()
+	fullC := DefaultCounter(spec.W)
+	lowC := DefaultCounter(spec.LowW)
+	var fullErr, lowErr float64
+	for i := range v.Frames {
+		fullErr += math.Abs(float64(fullC.Count(v.Frames[i]) - v.Counts[i]))
+		lowErr += math.Abs(float64(lowC.Count(low[i]) - v.Counts[i]))
+	}
+	if lowErr < fullErr {
+		t.Logf("note: low-res counter outperformed full-res (%v < %v)", lowErr, fullErr)
+	}
+	// Both must remain usable.
+	if fullErr/float64(len(v.Frames)) > 1.5 {
+		t.Fatalf("full-res MAE %v too high", fullErr/float64(len(v.Frames)))
+	}
+}
+
+func TestBlobCounterSimpleScenes(t *testing.T) {
+	// Empty frame: zero blobs.
+	m := img.New(64, 64)
+	c := BlobCounter{Threshold: 128, MinArea: 4}
+	if got := c.Count(m); got != 0 {
+		t.Fatalf("empty frame counted %d", got)
+	}
+	// Two separated bright squares: two blobs.
+	for _, origin := range [][2]int{{8, 8}, {40, 40}} {
+		for y := origin[1]; y < origin[1]+6; y++ {
+			for x := origin[0]; x < origin[0]+6; x++ {
+				m.Set(x, y, 250, 250, 250)
+			}
+		}
+	}
+	if got := c.Count(m); got != 2 {
+		t.Fatalf("two squares counted %d", got)
+	}
+	// A dot below MinArea is ignored.
+	m.Set(0, 0, 255, 255, 255)
+	if got := c.Count(m); got != 2 {
+		t.Fatalf("noise dot changed count to %d", got)
+	}
+}
+
+// syntheticTruth builds per-frame truth and a spec predictor with
+// controllable residual noise.
+func syntheticTruth(rng *rand.Rand, n int, noise float64) (truth []int, spec []float64) {
+	truth = make([]int, n)
+	spec = make([]float64, n)
+	for i := range truth {
+		truth[i] = rng.Intn(5)
+		spec[i] = float64(truth[i]) + rng.NormFloat64()*noise
+	}
+	return truth, spec
+}
+
+func TestEstimateMeanConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth, spec := syntheticTruth(rng, 5000, 0.5)
+	var actual float64
+	for _, v := range truth {
+		actual += float64(v)
+	}
+	actual /= float64(len(truth))
+
+	res, err := EstimateMean(spec, func(f int) float64 { return float64(truth[f]) },
+		Config{ErrTarget: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-actual) > 0.1 {
+		t.Fatalf("estimate %v vs actual %v", res.Estimate, actual)
+	}
+	if res.Samples >= len(truth) {
+		t.Fatal("estimator sampled every frame; control variate gave no savings")
+	}
+}
+
+func TestBetterSpecNeedsFewerSamples(t *testing.T) {
+	// BlazeIt's core scaling: lower residual variance -> fewer samples.
+	rng := rand.New(rand.NewSource(3))
+	truth, goodSpec := syntheticTruth(rng, 8000, 0.3)
+	_, badSpec := syntheticTruth(rng, 8000, 1.5)
+	oracle := func(f int) float64 { return float64(truth[f]) }
+	cfg := Config{ErrTarget: 0.05, Seed: 4}
+	good, err := EstimateMean(goodSpec, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := EstimateMean(badSpec[:len(truth)], func(f int) float64 { return float64(truth[f]) }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Samples >= bad.Samples {
+		t.Fatalf("good spec used %d samples, bad used %d", good.Samples, bad.Samples)
+	}
+}
+
+func TestTighterErrorNeedsMoreSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truth, spec := syntheticTruth(rng, 8000, 0.8)
+	oracle := func(f int) float64 { return float64(truth[f]) }
+	loose, err := EstimateMean(spec, oracle, Config{ErrTarget: 0.1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := EstimateMean(spec, oracle, Config{ErrTarget: 0.02, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Samples <= loose.Samples {
+		t.Fatalf("tight target used %d samples, loose used %d", tight.Samples, loose.Samples)
+	}
+}
+
+func TestEstimateRespectsErrorBound(t *testing.T) {
+	// Across many seeds, the estimate should fall within the error target
+	// of the truth at roughly the configured confidence.
+	rng := rand.New(rand.NewSource(7))
+	truth, spec := syntheticTruth(rng, 6000, 0.7)
+	var actual float64
+	for _, v := range truth {
+		actual += float64(v)
+	}
+	actual /= float64(len(truth))
+	oracle := func(f int) float64 { return float64(truth[f]) }
+	const trials = 40
+	miss := 0
+	for s := int64(0); s < trials; s++ {
+		res, err := EstimateMean(spec, oracle, Config{ErrTarget: 0.05, Seed: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Estimate-actual) > 0.05 {
+			miss++
+		}
+	}
+	// 95% confidence: expect ~2 misses in 40; allow generous slack.
+	if miss > 8 {
+		t.Fatalf("%d of %d trials violated the error bound", miss, trials)
+	}
+}
+
+func TestEstimateMeanValidation(t *testing.T) {
+	if _, err := EstimateMean(nil, func(int) float64 { return 0 }, Config{ErrTarget: 0.1}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := EstimateMean([]float64{1}, func(int) float64 { return 0 }, Config{}); err == nil {
+		t.Fatal("zero error target should error")
+	}
+}
+
+func TestPerfectSpecZeroVariance(t *testing.T) {
+	// A perfect specialized model ends sampling at MinSamples.
+	spec := make([]float64, 1000)
+	for i := range spec {
+		spec[i] = float64(i % 3)
+	}
+	res, err := EstimateMean(spec, func(f int) float64 { return spec[f] },
+		Config{ErrTarget: 0.01, MinSamples: 25, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 25 {
+		t.Fatalf("perfect spec sampled %d frames, want MinSamples=25", res.Samples)
+	}
+}
+
+func TestSpecQuality(t *testing.T) {
+	truth := []int{1, 2, 3, 4}
+	spec := []float64{1.5, 2.5, 3.5, 4.5}
+	v, bias := SpecQuality(spec, truth)
+	if math.Abs(bias+0.5) > 1e-12 {
+		t.Fatalf("bias = %v, want -0.5", bias)
+	}
+	if v > 1e-12 {
+		t.Fatalf("variance = %v, want 0 (constant offset)", v)
+	}
+}
+
+func TestQueryCost(t *testing.T) {
+	q := QueryCost{SpecPassUSPerFrame: 100, TargetUSPerInvocation: 250000}
+	// 1000 frames + 10 samples: 0.1s + 2.5s.
+	got := q.TotalSeconds(1000, 10)
+	if math.Abs(got-2.6) > 1e-9 {
+		t.Fatalf("cost = %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package blockdct provides the 8x8 block DCT-II/DCT-III transforms shared
+// by the JPEG and video codecs, plus the JPEG zig-zag scan order.
+//
+// Two variants exist: the level-shifted forms used for intra-coded image
+// samples (subtract 128 before the forward transform, add 128 and clamp to
+// [0,255] after the inverse), and raw forms used for motion-compensation
+// residuals, which are already zero-centered.
+package blockdct
+
+import "math"
+
+// Size is the block edge length fixed by the JPEG/H.26x 8x8 transform.
+const Size = 8
+
+// N is the number of coefficients per block.
+const N = Size * Size
+
+// Block is a natural-order 8x8 block of samples or coefficients.
+type Block [N]int32
+
+// Zigzag maps zig-zag order index -> natural order index.
+var Zigzag = [N]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Unzigzag maps natural order index -> zig-zag order index.
+var Unzigzag [N]int
+
+// cosTable[u][x] = cos((2x+1) u pi / 16).
+var cosTable [Size][Size]float64
+
+func init() {
+	for i, z := range Zigzag {
+		Unzigzag[z] = i
+	}
+	for u := 0; u < Size; u++ {
+		for x := 0; x < Size; x++ {
+			cosTable[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// fdctShift computes the forward DCT of samples-offset.
+func fdctShift(samples, out *Block, offset int32) {
+	var tmp [Size][Size]float64
+	for y := 0; y < Size; y++ {
+		for u := 0; u < Size; u++ {
+			var s float64
+			for x := 0; x < Size; x++ {
+				s += float64(samples[y*Size+x]-offset) * cosTable[u][x]
+			}
+			tmp[y][u] = s
+		}
+	}
+	for u := 0; u < Size; u++ {
+		for v := 0; v < Size; v++ {
+			var s float64
+			for y := 0; y < Size; y++ {
+				s += tmp[y][u] * cosTable[v][y]
+			}
+			out[v*Size+u] = int32(math.RoundToEven(0.25 * alpha(u) * alpha(v) * s))
+		}
+	}
+}
+
+// idctShift computes the inverse DCT, adds offset, and clamps to [lo, hi].
+func idctShift(coeffs, out *Block, offset, lo, hi int32) {
+	var tmp [Size][Size]float64
+	for u := 0; u < Size; u++ {
+		for y := 0; y < Size; y++ {
+			var s float64
+			for v := 0; v < Size; v++ {
+				s += alpha(v) * float64(coeffs[v*Size+u]) * cosTable[v][y]
+			}
+			tmp[y][u] = s
+		}
+	}
+	for y := 0; y < Size; y++ {
+		for x := 0; x < Size; x++ {
+			var s float64
+			for u := 0; u < Size; u++ {
+				s += alpha(u) * tmp[y][u] * cosTable[u][x]
+			}
+			v := int32(math.RoundToEven(0.25*s)) + offset
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			out[y*Size+x] = v
+		}
+	}
+}
+
+// FDCT transforms level-shifted image samples (range [0,255]).
+func FDCT(samples, out *Block) { fdctShift(samples, out, 128) }
+
+// IDCT inverts FDCT, producing clamped samples in [0,255].
+func IDCT(coeffs, out *Block) { idctShift(coeffs, out, 128, 0, 255) }
+
+// FDCTRaw transforms zero-centered residual samples.
+func FDCTRaw(samples, out *Block) { fdctShift(samples, out, 0) }
+
+// IDCTRaw inverts FDCTRaw, clamping residuals to [-255, 255].
+func IDCTRaw(coeffs, out *Block) { idctShift(coeffs, out, 0, -255, 255) }

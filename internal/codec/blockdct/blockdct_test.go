@@ -1,0 +1,125 @@
+package blockdct
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFDCTIDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		var in, coeffs, out Block
+		for i := range in {
+			in[i] = int32(rng.Intn(256))
+		}
+		FDCT(&in, &coeffs)
+		IDCT(&coeffs, &out)
+		for i := range in {
+			if d := in[i] - out[i]; d < -2 || d > 2 {
+				t.Fatalf("trial %d idx %d: %d -> %d", trial, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		var in, coeffs, out Block
+		for i := range in {
+			in[i] = int32(rng.Intn(511) - 255) // residual range
+		}
+		FDCTRaw(&in, &coeffs)
+		IDCTRaw(&coeffs, &out)
+		for i := range in {
+			if d := in[i] - out[i]; d < -2 || d > 2 {
+				t.Fatalf("trial %d idx %d: %d -> %d", trial, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func TestIDCTClamps(t *testing.T) {
+	var coeffs, out Block
+	coeffs[0] = 1 << 14 // absurd DC
+	IDCT(&coeffs, &out)
+	for _, v := range out {
+		if v < 0 || v > 255 {
+			t.Fatalf("IDCT output %d out of range", v)
+		}
+	}
+	coeffs[0] = -(1 << 14)
+	IDCTRaw(&coeffs, &out)
+	for _, v := range out {
+		if v < -255 || v > 255 {
+			t.Fatalf("IDCTRaw output %d out of range", v)
+		}
+	}
+}
+
+func TestZigzagPermutation(t *testing.T) {
+	var seen [N]bool
+	for _, z := range Zigzag {
+		if seen[z] {
+			t.Fatal("duplicate in zigzag")
+		}
+		seen[z] = true
+	}
+	for i, z := range Zigzag {
+		if Unzigzag[z] != i {
+			t.Fatal("Unzigzag is not the inverse")
+		}
+	}
+	// First few entries follow the standard scan.
+	want := []int{0, 1, 8, 16, 9, 2}
+	for i, w := range want {
+		if Zigzag[i] != w {
+			t.Fatalf("Zigzag[%d] = %d, want %d", i, Zigzag[i], w)
+		}
+	}
+}
+
+// Property: DCT is linear — FDCT(a+b) == FDCT(a)+FDCT(b) within rounding.
+func TestFDCTLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, sum, fa, fb, fsum Block
+		for i := range a {
+			a[i] = int32(rng.Intn(100))
+			b[i] = int32(rng.Intn(100))
+			sum[i] = a[i] + b[i]
+		}
+		FDCTRaw(&a, &fa)
+		FDCTRaw(&b, &fb)
+		FDCTRaw(&sum, &fsum)
+		for i := range fa {
+			if d := fsum[i] - fa[i] - fb[i]; d < -2 || d > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval-ish energy preservation for the orthonormal transform.
+func TestEnergyPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var in, coeffs Block
+	for i := range in {
+		in[i] = int32(rng.Intn(256))
+	}
+	FDCTRaw(&in, &coeffs)
+	var eIn, eOut float64
+	for i := range in {
+		eIn += float64(in[i]) * float64(in[i])
+		eOut += float64(coeffs[i]) * float64(coeffs[i])
+	}
+	ratio := eOut / eIn
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("energy ratio = %v", ratio)
+	}
+}

@@ -1,0 +1,162 @@
+package jpeg
+
+import (
+	"fmt"
+	"io"
+)
+
+// bitWriter writes MSB-first bits with JPEG 0xFF byte stuffing.
+type bitWriter struct {
+	buf   []byte
+	acc   uint32
+	nbits uint
+}
+
+func (w *bitWriter) writeBits(bits uint16, n uint8) {
+	if n == 0 {
+		return
+	}
+	w.acc = w.acc<<n | uint32(bits)&((1<<n)-1)
+	w.nbits += uint(n)
+	for w.nbits >= 8 {
+		b := byte(w.acc >> (w.nbits - 8))
+		w.buf = append(w.buf, b)
+		if b == 0xff {
+			w.buf = append(w.buf, 0x00) // byte stuffing
+		}
+		w.nbits -= 8
+	}
+}
+
+// flush pads the final partial byte with 1-bits as the standard requires.
+func (w *bitWriter) flush() {
+	if w.nbits > 0 {
+		pad := 8 - w.nbits
+		w.writeBits((1<<pad)-1, uint8(pad))
+	}
+}
+
+// bitReader reads MSB-first bits from entropy-coded data, removing 0xFF00
+// stuffing and stopping at markers.
+type bitReader struct {
+	data []byte
+	pos  int
+	acc  uint32
+	n    uint
+	// bytesRead counts entropy bytes consumed, used by the partial-decoding
+	// statistics to quantify early-stop savings.
+	bytesRead int
+}
+
+var errMarker = fmt.Errorf("jpeg: marker in entropy stream")
+
+func (r *bitReader) fill() error {
+	for r.n <= 24 {
+		if r.pos >= len(r.data) {
+			if r.n == 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return nil
+		}
+		b := r.data[r.pos]
+		if b == 0xff {
+			if r.pos+1 >= len(r.data) {
+				return io.ErrUnexpectedEOF
+			}
+			next := r.data[r.pos+1]
+			if next == 0x00 {
+				r.pos += 2 // stuffed byte
+				r.bytesRead += 2
+			} else {
+				// A real marker terminates the entropy stream.
+				if r.n == 0 {
+					return errMarker
+				}
+				return nil
+			}
+		} else {
+			r.pos++
+			r.bytesRead++
+		}
+		r.acc = r.acc<<8 | uint32(b)
+		r.n += 8
+	}
+	return nil
+}
+
+func (r *bitReader) readBit() (uint8, error) {
+	if r.n == 0 {
+		if err := r.fill(); err != nil {
+			return 0, err
+		}
+		if r.n == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+	}
+	r.n--
+	return uint8(r.acc>>r.n) & 1, nil
+}
+
+func (r *bitReader) readBits(n uint8) (uint16, error) {
+	var v uint16
+	for i := uint8(0); i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint16(b)
+	}
+	return v, nil
+}
+
+// isRST reports whether b is a restart marker byte (0xD0..0xD7).
+func isRST(b byte) bool { return b >= 0xd0 && b <= 0xd7 }
+
+// syncToRestart discards any buffered partial byte, consumes the expected
+// restart marker, and leaves the reader positioned at the start of the next
+// restart segment.
+func (r *bitReader) syncToRestart() error {
+	// Drop buffered bits: the encoder byte-aligned before the marker, so
+	// anything buffered is padding.
+	r.acc, r.n = 0, 0
+	if r.pos+2 > len(r.data) {
+		return io.ErrUnexpectedEOF
+	}
+	if r.data[r.pos] != 0xff || !isRST(r.data[r.pos+1]) {
+		return fmt.Errorf("jpeg: expected restart marker at offset %d, found %02x%02x",
+			r.pos, r.data[r.pos], r.data[r.pos+1])
+	}
+	r.pos += 2
+	r.bytesRead += 2
+	return nil
+}
+
+// skipRestartSegments scans the raw entropy stream for the k-th restart
+// marker without entropy-decoding, positioning the reader just past it.
+// It returns the number of compressed bytes skipped. This is what makes
+// restart intervals valuable for ROI decoding: segments before the region
+// of interest cost only a byte scan, not Huffman decoding.
+func (r *bitReader) skipRestartSegments(k int) (int, error) {
+	start := r.pos
+	seen := 0
+	for i := r.pos; i+1 < len(r.data); i++ {
+		if r.data[i] != 0xff {
+			continue
+		}
+		next := r.data[i+1]
+		if isRST(next) {
+			seen++
+			if seen == k {
+				r.pos = i + 2
+				r.acc, r.n = 0, 0
+				return r.pos - start, nil
+			}
+			i++ // step past the marker byte
+		} else if next == 0x00 {
+			i++ // stuffed byte, not a marker
+		} else {
+			return 0, fmt.Errorf("jpeg: hit marker %02x while skipping restart segments", next)
+		}
+	}
+	return 0, io.ErrUnexpectedEOF
+}

@@ -1,0 +1,26 @@
+// Package jpeg implements a from-scratch baseline JPEG (JFIF) encoder and
+// decoder with the partial-decoding capabilities Smol exploits:
+//
+//   - ROI decoding: only macroblocks intersecting a caller-supplied region of
+//     interest go through dequantization, IDCT, upsampling and color
+//     conversion (the paper's Algorithm 1).
+//   - Early stopping: entropy decoding halts after the last macroblock row
+//     the ROI needs, skipping the rest of the scan entirely.
+//
+// The subset implemented is baseline sequential DCT, 8-bit, 3-component
+// YCbCr with 4:4:4 or 4:2:0 chroma subsampling and the standard (Annex K)
+// Huffman tables. This covers everything the preprocessing experiments need
+// while keeping the decoder's cost profile (entropy decode > IDCT > color
+// convert) faithful to real JPEG decoders.
+package jpeg
+
+import "smol/internal/codec/blockdct"
+
+// blockSize is the DCT block edge length fixed by the JPEG standard.
+const blockSize = blockdct.Size
+
+// block is a natural-order 8x8 coefficient or sample block.
+type block = blockdct.Block
+
+func fdct(samples, out *block) { blockdct.FDCT(samples, out) }
+func idct(coeffs, out *block)  { blockdct.IDCT(coeffs, out) }

@@ -1,0 +1,503 @@
+package jpeg
+
+import (
+	"errors"
+	"fmt"
+
+	"smol/internal/img"
+)
+
+// DecodeStats reports how much work a (possibly partial) decode performed.
+// The partial-decoding experiments use these counters to verify that ROI and
+// early-stop decoding genuinely skip work.
+type DecodeStats struct {
+	// MCUsEntropyDecoded counts MCUs whose entropy data was consumed.
+	MCUsEntropyDecoded int
+	// MCUsTotal is the number of MCUs in the image.
+	MCUsTotal int
+	// BlocksIDCT counts 8x8 blocks that went through dequantization + IDCT.
+	BlocksIDCT int
+	// BlocksTotal is the total number of 8x8 blocks in the image.
+	BlocksTotal int
+	// EntropyBytesRead counts compressed bytes consumed from the scan.
+	EntropyBytesRead int
+	// PixelsColorConverted counts output pixels that were color converted.
+	PixelsColorConverted int
+	// MCUsSkippedEntropy counts MCUs whose entropy decoding was skipped
+	// entirely by jumping over restart segments before the ROI.
+	MCUsSkippedEntropy int
+	// EntropyBytesSkipped counts compressed bytes passed over by the
+	// restart-segment scan (cheap byte scan, no Huffman decoding).
+	EntropyBytesSkipped int
+}
+
+// DecodeOptions configures partial decoding.
+type DecodeOptions struct {
+	// ROI, when non-nil, restricts reconstruction to the macroblock-aligned
+	// region containing the rectangle (pixel coordinates). Entropy decoding
+	// still proceeds sequentially (as in real JPEG), but dequantization,
+	// IDCT, upsampling, and color conversion are skipped outside the region,
+	// and the scan stops after the last MCU row the region needs.
+	ROI *img.Rect
+	// EarlyStopRow, when > 0, decodes only pixel rows [0, EarlyStopRow),
+	// stopping the scan at the first MCU row past it. Ignored when ROI is
+	// set (the ROI implies its own stopping row).
+	EarlyStopRow int
+}
+
+// Decode decompresses a baseline JPEG produced by Encode (or any conforming
+// baseline 3-component JFIF stream using 4:4:4 or 4:2:0 sampling).
+func Decode(data []byte) (*img.Image, error) {
+	m, _, _, err := DecodeWithOptions(data, DecodeOptions{})
+	return m, err
+}
+
+// DecodeHeader parses only far enough to return the image dimensions.
+func DecodeHeader(data []byte) (w, h int, err error) {
+	d := &decoder{data: data}
+	if err := d.parseSegments(true); err != nil {
+		return 0, 0, err
+	}
+	return d.width, d.height, nil
+}
+
+// DecodeWithOptions decodes with partial-decoding options. The returned
+// image covers only the reconstructed region, whose placement in the full
+// image is given by the returned rectangle. With no options the region is
+// the whole image.
+func DecodeWithOptions(data []byte, opts DecodeOptions) (*img.Image, img.Rect, *DecodeStats, error) {
+	d := &decoder{data: data}
+	if err := d.parseSegments(false); err != nil {
+		return nil, img.Rect{}, nil, err
+	}
+	m, region, err := d.decodeScan(opts)
+	if err != nil {
+		return nil, img.Rect{}, nil, err
+	}
+	return m, region, &d.stats, nil
+}
+
+type component struct {
+	id       byte
+	hSamp    int
+	vSamp    int
+	quantSel byte
+	dcSel    byte
+	acSel    byte
+}
+
+type decoder struct {
+	data   []byte
+	width  int
+	height int
+	comps  [3]component
+
+	quant [4][64]int32
+	dcTab [4]*decHuff
+	acTab [4]*decHuff
+
+	restartInterval int
+	scanStart       int
+	stats           DecodeStats
+}
+
+var errTruncated = errors.New("jpeg: truncated data")
+
+func (d *decoder) parseSegments(headerOnly bool) error {
+	p := 0
+	if len(d.data) < 2 || d.data[0] != 0xff || d.data[1] != 0xd8 {
+		return errors.New("jpeg: missing SOI")
+	}
+	p = 2
+	for {
+		if p+4 > len(d.data) {
+			return errTruncated
+		}
+		if d.data[p] != 0xff {
+			return fmt.Errorf("jpeg: expected marker at offset %d", p)
+		}
+		marker := d.data[p+1]
+		p += 2
+		if marker == 0xd9 { // EOI before SOS
+			return errors.New("jpeg: no scan data")
+		}
+		if p+2 > len(d.data) {
+			return errTruncated
+		}
+		n := int(d.data[p])<<8 | int(d.data[p+1])
+		if n < 2 || p+n > len(d.data) {
+			return errTruncated
+		}
+		payload := d.data[p+2 : p+n]
+		p += n
+		switch marker {
+		case 0xc0: // SOF0 baseline
+			if err := d.parseSOF(payload); err != nil {
+				return err
+			}
+			if headerOnly {
+				return nil
+			}
+		case 0xc1, 0xc2, 0xc3:
+			return fmt.Errorf("jpeg: unsupported SOF marker 0xff%02x (only baseline)", marker)
+		case 0xc4: // DHT
+			if err := d.parseDHT(payload); err != nil {
+				return err
+			}
+		case 0xdb: // DQT
+			if err := d.parseDQT(payload); err != nil {
+				return err
+			}
+		case 0xda: // SOS
+			if err := d.parseSOS(payload); err != nil {
+				return err
+			}
+			d.scanStart = p
+			return nil
+		case 0xdd: // DRI
+			if len(payload) < 2 {
+				return errTruncated
+			}
+			d.restartInterval = int(payload[0])<<8 | int(payload[1])
+		default:
+			// APPn, COM etc: skip.
+		}
+	}
+}
+
+func (d *decoder) parseSOF(p []byte) error {
+	if len(p) < 6 {
+		return errTruncated
+	}
+	if p[0] != 8 {
+		return fmt.Errorf("jpeg: unsupported precision %d", p[0])
+	}
+	d.height = int(p[1])<<8 | int(p[2])
+	d.width = int(p[3])<<8 | int(p[4])
+	if d.width == 0 || d.height == 0 {
+		return errors.New("jpeg: zero dimensions")
+	}
+	// Guard decode allocations against corrupted SOF dimensions: cap total
+	// pixels well above any realistic photo but far below an OOM.
+	if d.width*d.height > 1<<26 {
+		return fmt.Errorf("jpeg: implausible dimensions %dx%d", d.width, d.height)
+	}
+	if p[5] != 3 {
+		return fmt.Errorf("jpeg: unsupported component count %d", p[5])
+	}
+	if len(p) < 6+3*3 {
+		return errTruncated
+	}
+	for i := 0; i < 3; i++ {
+		c := p[6+i*3:]
+		d.comps[i] = component{
+			id:       c[0],
+			hSamp:    int(c[1] >> 4),
+			vSamp:    int(c[1] & 0xf),
+			quantSel: c[2],
+		}
+		if c[2] > 3 {
+			return errors.New("jpeg: bad quant table selector")
+		}
+	}
+	y, cb, cr := d.comps[0], d.comps[1], d.comps[2]
+	is444 := y.hSamp == 1 && y.vSamp == 1
+	is420 := y.hSamp == 2 && y.vSamp == 2
+	if !(is444 || is420) || cb.hSamp != 1 || cb.vSamp != 1 || cr.hSamp != 1 || cr.vSamp != 1 {
+		return fmt.Errorf("jpeg: unsupported sampling %dx%d/%dx%d/%dx%d",
+			y.hSamp, y.vSamp, cb.hSamp, cb.vSamp, cr.hSamp, cr.vSamp)
+	}
+	return nil
+}
+
+func (d *decoder) parseDQT(p []byte) error {
+	for len(p) > 0 {
+		prec := p[0] >> 4
+		id := p[0] & 0xf
+		if prec != 0 {
+			return errors.New("jpeg: 16-bit quant tables unsupported")
+		}
+		if id > 3 || len(p) < 65 {
+			return errTruncated
+		}
+		for i := 0; i < 64; i++ {
+			v := int32(p[1+i])
+			if v == 0 {
+				return errors.New("jpeg: zero quantizer")
+			}
+			d.quant[id][zigzag[i]] = v
+		}
+		p = p[65:]
+	}
+	return nil
+}
+
+func (d *decoder) parseDHT(p []byte) error {
+	for len(p) > 0 {
+		if len(p) < 17 {
+			return errTruncated
+		}
+		class := p[0] >> 4
+		id := p[0] & 0xf
+		if class > 1 || id > 3 {
+			return errors.New("jpeg: bad huffman table id")
+		}
+		var spec huffSpec
+		total := 0
+		for i := 0; i < 16; i++ {
+			spec.counts[i] = p[1+i]
+			total += int(p[1+i])
+		}
+		if len(p) < 17+total {
+			return errTruncated
+		}
+		spec.values = append([]byte(nil), p[17:17+total]...)
+		if class == 0 {
+			d.dcTab[id] = buildDecHuff(spec)
+		} else {
+			d.acTab[id] = buildDecHuff(spec)
+		}
+		p = p[17+total:]
+	}
+	return nil
+}
+
+func (d *decoder) parseSOS(p []byte) error {
+	if len(p) < 1 || int(p[0]) != 3 || len(p) < 1+3*2+3 {
+		return errors.New("jpeg: unsupported SOS")
+	}
+	for i := 0; i < 3; i++ {
+		id := p[1+i*2]
+		sel := p[2+i*2]
+		found := false
+		for j := range d.comps {
+			if d.comps[j].id == id {
+				d.comps[j].dcSel = sel >> 4
+				d.comps[j].acSel = sel & 0xf
+				found = true
+			}
+		}
+		if !found {
+			return errors.New("jpeg: SOS references unknown component")
+		}
+	}
+	return nil
+}
+
+// decodeScan entropy-decodes MCUs and reconstructs the requested region.
+func (d *decoder) decodeScan(opts DecodeOptions) (*img.Image, img.Rect, error) {
+	is420 := d.comps[0].hSamp == 2
+	mcuW, mcuH := blockSize, blockSize
+	if is420 {
+		mcuW, mcuH = 16, 16
+	}
+	mcusX := (d.width + mcuW - 1) / mcuW
+	mcusY := (d.height + mcuH - 1) / mcuH
+	blocksPerMCU := 3
+	if is420 {
+		blocksPerMCU = 6
+	}
+	d.stats.MCUsTotal = mcusX * mcusY
+	d.stats.BlocksTotal = d.stats.MCUsTotal * blocksPerMCU
+
+	// Determine the reconstruction region (MCU-aligned) and stop row.
+	region := img.Rect{X0: 0, Y0: 0, X1: d.width, Y1: d.height}
+	if opts.ROI != nil {
+		region = opts.ROI.Intersect(img.Rect{X1: d.width, Y1: d.height})
+		if region.Empty() {
+			return nil, img.Rect{}, errors.New("jpeg: ROI outside image")
+		}
+		region = region.AlignTo(mcuW, d.width, d.height)
+	} else if opts.EarlyStopRow > 0 && opts.EarlyStopRow < d.height {
+		region.Y1 = opts.EarlyStopRow
+		region = region.AlignTo(mcuH, d.width, d.height)
+	}
+	lastMCURow := (region.Y1 - 1) / mcuH
+	mcuX0 := region.X0 / mcuW
+	mcuX1 := (region.X1 - 1) / mcuW
+
+	// Planar buffers sized to the region.
+	rw, rh := region.W(), region.H()
+	// Luma plane padded to MCU multiple; chroma at subsampled size.
+	lumaW := ((rw + mcuW - 1) / mcuW) * mcuW
+	lumaH := ((rh + mcuH - 1) / mcuH) * mcuH
+	yPlane := &plane{w: lumaW, h: lumaH, pix: make([]uint8, lumaW*lumaH)}
+	cw, ch := lumaW, lumaH
+	if is420 {
+		cw, ch = lumaW/2, lumaH/2
+	}
+	cbPlane := &plane{w: cw, h: ch, pix: make([]uint8, cw*ch)}
+	crPlane := &plane{w: cw, h: ch, pix: make([]uint8, cw*ch)}
+
+	for i := range d.comps {
+		c := &d.comps[i]
+		if d.dcTab[c.dcSel] == nil || d.acTab[c.acSel] == nil {
+			return nil, img.Rect{}, errors.New("jpeg: scan references missing huffman table")
+		}
+	}
+
+	br := &bitReader{data: d.data[d.scanStart:]}
+	var dcPred [3]int32
+	var coeffs, samples block
+
+	decodeBlock := func(comp int, reconstruct bool, dst *plane, bx, by int) error {
+		c := &d.comps[comp]
+		dc := d.dcTab[c.dcSel]
+		ac := d.acTab[c.acSel]
+		// DC.
+		sym, err := dc.decode(br)
+		if err != nil {
+			return err
+		}
+		bits, err := br.readBits(sym)
+		if err != nil {
+			return err
+		}
+		for i := range coeffs {
+			coeffs[i] = 0
+		}
+		dcPred[comp] += extendMagnitude(bits, sym)
+		coeffs[0] = dcPred[comp]
+		// AC.
+		for k := 1; k < 64; {
+			sym, err := ac.decode(br)
+			if err != nil {
+				return err
+			}
+			run := int(sym >> 4)
+			size := sym & 0xf
+			if size == 0 {
+				if run == 15 { // ZRL
+					k += 16
+					continue
+				}
+				break // EOB
+			}
+			k += run
+			if k > 63 {
+				return errors.New("jpeg: AC coefficient index overflow")
+			}
+			bits, err := br.readBits(size)
+			if err != nil {
+				return err
+			}
+			coeffs[zigzag[k]] = extendMagnitude(bits, size)
+			k++
+		}
+		if !reconstruct {
+			return nil
+		}
+		q := &d.quant[c.quantSel]
+		for i := 0; i < 64; i++ {
+			coeffs[i] *= q[i]
+		}
+		idct(&coeffs, &samples)
+		d.stats.BlocksIDCT++
+		// Store into destination plane (clipped).
+		for yy := 0; yy < blockSize; yy++ {
+			py := by*blockSize + yy
+			if py < 0 || py >= dst.h {
+				continue
+			}
+			for xx := 0; xx < blockSize; xx++ {
+				px := bx*blockSize + xx
+				if px < 0 || px >= dst.w {
+					continue
+				}
+				dst.pix[py*dst.w+px] = uint8(samples[yy*blockSize+xx])
+			}
+		}
+		return nil
+	}
+
+	// Restart-segment fast path: when the stream has restart intervals and
+	// the ROI starts below the top, whole segments before the first needed
+	// MCU row are skipped with a byte scan instead of Huffman decoding.
+	startIdx := 0
+	endIdx := (lastMCURow + 1) * mcusX
+	if d.restartInterval > 0 && region.Y0 > 0 {
+		firstNeeded := (region.Y0 / mcuH) * mcusX
+		if segs := firstNeeded / d.restartInterval; segs > 0 {
+			skipped, err := br.skipRestartSegments(segs)
+			if err != nil {
+				return nil, img.Rect{}, err
+			}
+			startIdx = segs * d.restartInterval
+			d.stats.MCUsSkippedEntropy = startIdx
+			d.stats.EntropyBytesSkipped = skipped
+		}
+	}
+
+scan:
+	for idx := startIdx; idx < endIdx; idx++ {
+		if d.restartInterval > 0 && idx > startIdx && idx%d.restartInterval == 0 {
+			if err := br.syncToRestart(); err != nil {
+				return nil, img.Rect{}, err
+			}
+			dcPred = [3]int32{}
+		}
+		my := idx / mcusX
+		mx := idx % mcusX
+		reconstruct := my*mcuH >= region.Y0 && mx >= mcuX0 && mx <= mcuX1
+		// Block coordinates relative to the region's plane origin.
+		relMX := mx - mcuX0
+		relMY := my - region.Y0/mcuH
+		var err error
+		if is420 {
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					err = decodeBlock(0, reconstruct, yPlane, relMX*2+dx, relMY*2+dy)
+					if err != nil {
+						break scan
+					}
+				}
+			}
+			if err = decodeBlock(1, reconstruct, cbPlane, relMX, relMY); err != nil {
+				break scan
+			}
+			if err = decodeBlock(2, reconstruct, crPlane, relMX, relMY); err != nil {
+				break scan
+			}
+		} else {
+			if err = decodeBlock(0, reconstruct, yPlane, relMX, relMY); err != nil {
+				break scan
+			}
+			if err = decodeBlock(1, reconstruct, cbPlane, relMX, relMY); err != nil {
+				break scan
+			}
+			if err = decodeBlock(2, reconstruct, crPlane, relMX, relMY); err != nil {
+				break scan
+			}
+		}
+		d.stats.MCUsEntropyDecoded++
+	}
+	if d.stats.MCUsEntropyDecoded < endIdx-startIdx {
+		return nil, img.Rect{}, errTruncated
+	}
+	d.stats.EntropyBytesRead = br.bytesRead
+
+	// Color conversion for the region.
+	out := img.New(rw, rh)
+	d.stats.PixelsColorConverted = rw * rh
+	for y := 0; y < rh; y++ {
+		for x := 0; x < rw; x++ {
+			yy := int(yPlane.pix[y*yPlane.w+x])
+			var cbv, crv int
+			if is420 {
+				cbv = int(cbPlane.at(x/2, y/2))
+				crv = int(crPlane.at(x/2, y/2))
+			} else {
+				cbv = int(cbPlane.pix[y*cbPlane.w+x])
+				crv = int(crPlane.pix[y*crPlane.w+x])
+			}
+			r := float64(yy) + 1.402*float64(crv-128)
+			g := float64(yy) - 0.344136*float64(cbv-128) - 0.714136*float64(crv-128)
+			b := float64(yy) + 1.772*float64(cbv-128)
+			i := (y*rw + x) * 3
+			out.Pix[i] = img.ClampF(r)
+			out.Pix[i+1] = img.ClampF(g)
+			out.Pix[i+2] = img.ClampF(b)
+		}
+	}
+	return out, region, nil
+}

@@ -1,0 +1,318 @@
+package jpeg
+
+import (
+	"fmt"
+
+	"smol/internal/img"
+)
+
+// Subsampling selects the chroma subsampling mode of the encoded image.
+type Subsampling int
+
+const (
+	// Sub444 encodes chroma at full resolution (one 8x8 block per component
+	// per MCU).
+	Sub444 Subsampling = iota
+	// Sub420 encodes chroma at half resolution in both dimensions (16x16
+	// luma MCUs), the dominant mode in photographic JPEGs.
+	Sub420
+)
+
+func (s Subsampling) String() string {
+	switch s {
+	case Sub444:
+		return "4:4:4"
+	case Sub420:
+		return "4:2:0"
+	default:
+		return fmt.Sprintf("Subsampling(%d)", int(s))
+	}
+}
+
+// EncodeOptions configures Encode.
+type EncodeOptions struct {
+	// Quality is the IJG quality setting in [1, 100]. Zero means 75.
+	Quality int
+	// Subsampling selects 4:4:4 or 4:2:0 chroma subsampling.
+	Subsampling Subsampling
+	// RestartInterval, when > 0, emits a restart marker every this many
+	// MCUs (the DRI mechanism of T.81 §B.2.4.4). Restart segments are
+	// independently decodable, which lets ROI decoding skip the entropy
+	// decoding of whole segments before the region of interest — the
+	// "macroblock-based partial decoding" of the paper's Figure 3.
+	RestartInterval int
+}
+
+// DefaultQuality is used when EncodeOptions.Quality is zero.
+const DefaultQuality = 75
+
+// Encode compresses m as a baseline JFIF JPEG.
+func Encode(m *img.Image, opts EncodeOptions) []byte {
+	q := opts.Quality
+	if q == 0 {
+		q = DefaultQuality
+	}
+	lumaQ := scaleQuantTable(&stdLumaQuant, q)
+	chromaQ := scaleQuantTable(&stdChromaQuant, q)
+
+	e := &encoder{
+		lumaQ:    lumaQ,
+		chromaQ:  chromaQ,
+		dcLuma:   buildEncHuff(stdDCLuma),
+		acLuma:   buildEncHuff(stdACLuma),
+		dcChroma: buildEncHuff(stdDCChroma),
+		acChroma: buildEncHuff(stdACChroma),
+		restart:  opts.RestartInterval,
+	}
+
+	e.writeMarkers(m.W, m.H, opts.Subsampling)
+	y, cb, cr := rgbToPlanarYCbCr(m)
+	switch opts.Subsampling {
+	case Sub420:
+		e.encodeScan420(m.W, m.H, y, cb, cr)
+	default:
+		e.encodeScan444(m.W, m.H, y, cb, cr)
+	}
+	e.bw.flush()
+	e.out = append(e.out, e.bw.buf...)
+	e.out = append(e.out, 0xff, 0xd9) // EOI
+	return e.out
+}
+
+type encoder struct {
+	out     []byte
+	bw      bitWriter
+	lumaQ   [64]int32
+	chromaQ [64]int32
+
+	dcLuma, acLuma     *encHuff
+	dcChroma, acChroma *encHuff
+
+	dcPred [3]int32
+
+	// restart is the restart interval in MCUs (0 = disabled).
+	restart    int
+	mcuCount   int
+	restartIdx int
+}
+
+// maybeRestart emits a restart marker after every restart-interval MCUs,
+// flushing the bit stream to a byte boundary and resetting DC prediction.
+func (e *encoder) maybeRestart(remainingMCUs int) {
+	e.mcuCount++
+	if e.restart == 0 || e.mcuCount%e.restart != 0 || remainingMCUs == 0 {
+		return
+	}
+	e.bw.flush()
+	e.bw.buf = append(e.bw.buf, 0xff, 0xd0+byte(e.restartIdx&7))
+	e.restartIdx++
+	e.dcPred = [3]int32{}
+}
+
+func (e *encoder) writeMarkers(w, h int, sub Subsampling) {
+	// SOI.
+	e.out = append(e.out, 0xff, 0xd8)
+	// APP0 JFIF header.
+	e.segment(0xe0, []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0})
+	// DQT: table 0 (luma), table 1 (chroma), zig-zag order.
+	dqt := make([]byte, 0, 2*65)
+	dqt = append(dqt, 0x00)
+	for i := 0; i < 64; i++ {
+		dqt = append(dqt, byte(e.lumaQ[zigzag[i]]))
+	}
+	dqt = append(dqt, 0x01)
+	for i := 0; i < 64; i++ {
+		dqt = append(dqt, byte(e.chromaQ[zigzag[i]]))
+	}
+	e.segment(0xdb, dqt)
+	// SOF0: baseline, 8-bit, 3 components.
+	hs, vs := byte(1), byte(1)
+	if sub == Sub420 {
+		hs, vs = 2, 2
+	}
+	sof := []byte{
+		8, // precision
+		byte(h >> 8), byte(h), byte(w >> 8), byte(w),
+		3,
+		1, hs<<4 | vs, 0, // Y: sampling, quant table 0
+		2, 0x11, 1, // Cb
+		3, 0x11, 1, // Cr
+	}
+	e.segment(0xc0, sof)
+	// DHT: four standard tables.
+	e.segment(0xc4, dhtPayload(0x00, stdDCLuma))
+	e.segment(0xc4, dhtPayload(0x10, stdACLuma))
+	e.segment(0xc4, dhtPayload(0x01, stdDCChroma))
+	e.segment(0xc4, dhtPayload(0x11, stdACChroma))
+	// DRI: restart interval in MCUs.
+	if e.restart > 0 {
+		e.segment(0xdd, []byte{byte(e.restart >> 8), byte(e.restart)})
+	}
+	// SOS.
+	e.segment(0xda, []byte{
+		3,
+		1, 0x00, // Y uses DC 0 / AC 0
+		2, 0x11, // Cb uses DC 1 / AC 1
+		3, 0x11, // Cr
+		0, 63, 0, // spectral selection (baseline fixed)
+	})
+}
+
+func dhtPayload(class byte, spec huffSpec) []byte {
+	p := make([]byte, 0, 1+16+len(spec.values))
+	p = append(p, class)
+	p = append(p, spec.counts[:]...)
+	p = append(p, spec.values...)
+	return p
+}
+
+func (e *encoder) segment(marker byte, payload []byte) {
+	n := len(payload) + 2
+	e.out = append(e.out, 0xff, marker, byte(n>>8), byte(n))
+	e.out = append(e.out, payload...)
+}
+
+// plane is a padded planar channel.
+type plane struct {
+	w, h int
+	pix  []uint8
+}
+
+func (p *plane) at(x, y int) uint8 {
+	if x >= p.w {
+		x = p.w - 1
+	}
+	if y >= p.h {
+		y = p.h - 1
+	}
+	return p.pix[y*p.w+x]
+}
+
+// rgbToPlanarYCbCr converts to full-range JFIF YCbCr planes.
+func rgbToPlanarYCbCr(m *img.Image) (y, cb, cr *plane) {
+	n := m.W * m.H
+	y = &plane{w: m.W, h: m.H, pix: make([]uint8, n)}
+	cb = &plane{w: m.W, h: m.H, pix: make([]uint8, n)}
+	cr = &plane{w: m.W, h: m.H, pix: make([]uint8, n)}
+	for i := 0; i < n; i++ {
+		r := float64(m.Pix[i*3])
+		g := float64(m.Pix[i*3+1])
+		b := float64(m.Pix[i*3+2])
+		y.pix[i] = img.ClampF(0.299*r + 0.587*g + 0.114*b)
+		cb.pix[i] = img.ClampF(128 - 0.168736*r - 0.331264*g + 0.5*b)
+		cr.pix[i] = img.ClampF(128 + 0.5*r - 0.418688*g - 0.081312*b)
+	}
+	return y, cb, cr
+}
+
+// downsample2x2 box-averages a plane to half resolution (rounding up).
+func downsample2x2(p *plane) *plane {
+	w := (p.w + 1) / 2
+	h := (p.h + 1) / 2
+	out := &plane{w: w, h: h, pix: make([]uint8, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := int(p.at(2*x, 2*y)) + int(p.at(2*x+1, 2*y)) +
+				int(p.at(2*x, 2*y+1)) + int(p.at(2*x+1, 2*y+1))
+			out.pix[y*w+x] = uint8((s + 2) / 4)
+		}
+	}
+	return out
+}
+
+// loadBlock extracts an 8x8 block at (bx*8, by*8) with edge replication.
+func loadBlock(p *plane, bx, by int, b *block) {
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			b[y*blockSize+x] = int32(p.at(bx*blockSize+x, by*blockSize+y))
+		}
+	}
+}
+
+// encodeBlock runs DCT, quantization and entropy coding for one block.
+func (e *encoder) encodeBlock(samples *block, quant *[64]int32, comp int, dc, ac *encHuff) {
+	var coeffs block
+	fdct(samples, &coeffs)
+	var quantized block
+	for i := 0; i < 64; i++ {
+		c := coeffs[i]
+		q := quant[i]
+		// Round to nearest with proper sign handling.
+		if c >= 0 {
+			quantized[i] = (c + q/2) / q
+		} else {
+			quantized[i] = -((-c + q/2) / q)
+		}
+	}
+	// DC coefficient: difference coding.
+	diff := quantized[0] - e.dcPred[comp]
+	e.dcPred[comp] = quantized[0]
+	n := bitCount(diff)
+	e.bw.writeBits(uint16(dc.code[n]), dc.size[n])
+	e.bw.writeBits(encodeMagnitude(diff, n), n)
+	// AC coefficients: run-length of zeros in zig-zag order.
+	run := 0
+	for k := 1; k < 64; k++ {
+		v := quantized[zigzag[k]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run > 15 {
+			// ZRL: sixteen zeros.
+			e.bw.writeBits(uint16(ac.code[0xf0]), ac.size[0xf0])
+			run -= 16
+		}
+		nn := bitCount(v)
+		sym := byte(run<<4) | nn
+		e.bw.writeBits(uint16(ac.code[sym]), ac.size[sym])
+		e.bw.writeBits(encodeMagnitude(v, nn), nn)
+		run = 0
+	}
+	if run > 0 {
+		e.bw.writeBits(uint16(ac.code[0x00]), ac.size[0x00]) // EOB
+	}
+}
+
+func (e *encoder) encodeScan444(w, h int, y, cb, cr *plane) {
+	mcusX := (w + blockSize - 1) / blockSize
+	mcusY := (h + blockSize - 1) / blockSize
+	total := mcusX * mcusY
+	var b block
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			loadBlock(y, mx, my, &b)
+			e.encodeBlock(&b, &e.lumaQ, 0, e.dcLuma, e.acLuma)
+			loadBlock(cb, mx, my, &b)
+			e.encodeBlock(&b, &e.chromaQ, 1, e.dcChroma, e.acChroma)
+			loadBlock(cr, mx, my, &b)
+			e.encodeBlock(&b, &e.chromaQ, 2, e.dcChroma, e.acChroma)
+			e.maybeRestart(total - (my*mcusX + mx + 1))
+		}
+	}
+}
+
+func (e *encoder) encodeScan420(w, h int, y, cb, cr *plane) {
+	cbDown := downsample2x2(cb)
+	crDown := downsample2x2(cr)
+	mcusX := (w + 15) / 16
+	mcusY := (h + 15) / 16
+	total := mcusX * mcusY
+	var b block
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			// Four luma blocks in raster order within the MCU.
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					loadBlock(y, mx*2+dx, my*2+dy, &b)
+					e.encodeBlock(&b, &e.lumaQ, 0, e.dcLuma, e.acLuma)
+				}
+			}
+			loadBlock(cbDown, mx, my, &b)
+			e.encodeBlock(&b, &e.chromaQ, 1, e.dcChroma, e.acChroma)
+			loadBlock(crDown, mx, my, &b)
+			e.encodeBlock(&b, &e.chromaQ, 2, e.dcChroma, e.acChroma)
+			e.maybeRestart(total - (my*mcusX + mx + 1))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package jpeg
+
+import "fmt"
+
+// encHuff is an encoder-side Huffman table: code and size per symbol.
+type encHuff struct {
+	code [256]uint16
+	size [256]uint8
+}
+
+// buildEncHuff derives canonical codes from a huffSpec, exactly as JPEG's
+// Annex C specifies.
+func buildEncHuff(spec huffSpec) *encHuff {
+	var h encHuff
+	code := uint16(0)
+	k := 0
+	for length := 1; length <= 16; length++ {
+		for i := 0; i < int(spec.counts[length-1]); i++ {
+			sym := spec.values[k]
+			h.code[sym] = code
+			h.size[sym] = uint8(length)
+			code++
+			k++
+		}
+		code <<= 1
+	}
+	return &h
+}
+
+// decHuff is a decoder-side Huffman table using the standard JPEG
+// min-code/max-code/value-pointer decode procedure (T.81 Annex F.2.2.3).
+type decHuff struct {
+	minCode [17]int32
+	maxCode [17]int32 // -1 when no codes of this length
+	valPtr  [17]int32
+	values  []byte
+}
+
+// buildDecHuff derives the decode tables from a huffSpec.
+func buildDecHuff(spec huffSpec) *decHuff {
+	h := &decHuff{values: append([]byte(nil), spec.values...)}
+	code := int32(0)
+	k := int32(0)
+	for length := 1; length <= 16; length++ {
+		n := int32(spec.counts[length-1])
+		if n == 0 {
+			h.maxCode[length] = -1
+		} else {
+			h.valPtr[length] = k
+			h.minCode[length] = code
+			code += n
+			k += n
+			h.maxCode[length] = code - 1
+		}
+		code <<= 1
+	}
+	return h
+}
+
+// decode reads one Huffman-coded symbol from the bit reader.
+func (h *decHuff) decode(br *bitReader) (byte, error) {
+	code := int32(0)
+	for length := 1; length <= 16; length++ {
+		bit, err := br.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int32(bit)
+		if h.maxCode[length] >= 0 && code <= h.maxCode[length] {
+			idx := h.valPtr[length] + code - h.minCode[length]
+			if int(idx) >= len(h.values) {
+				return 0, fmt.Errorf("jpeg: corrupt huffman stream")
+			}
+			return h.values[idx], nil
+		}
+	}
+	return 0, fmt.Errorf("jpeg: invalid huffman code")
+}
+
+// bitCount returns the number of bits needed to represent |v| (the JPEG
+// "magnitude category").
+func bitCount(v int32) uint8 {
+	if v < 0 {
+		v = -v
+	}
+	var n uint8
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// encodeMagnitude maps a signed value to its JPEG magnitude bits.
+func encodeMagnitude(v int32, n uint8) uint16 {
+	if v >= 0 {
+		return uint16(v)
+	}
+	return uint16(v + (1 << n) - 1)
+}
+
+// extendMagnitude reconstructs a signed value from n magnitude bits (T.81
+// F.2.2.1 EXTEND).
+func extendMagnitude(bits uint16, n uint8) int32 {
+	if n == 0 {
+		return 0
+	}
+	v := int32(bits)
+	if v < 1<<(n-1) {
+		v += -(1 << n) + 1
+	}
+	return v
+}

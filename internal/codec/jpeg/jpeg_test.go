@@ -1,0 +1,382 @@
+package jpeg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smol/internal/img"
+)
+
+// testImage builds a structured image: smooth gradients plus blocks of
+// texture, so compression has both easy and hard regions.
+func testImage(w, h int, seed int64) *img.Image {
+	rng := rand.New(rand.NewSource(seed))
+	m := img.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := uint8((x * 255) / w)
+			g := uint8((y * 255) / h)
+			b := uint8((x + y) % 256)
+			if (x/16+y/16)%2 == 0 {
+				b = uint8(rng.Intn(256))
+			}
+			m.Set(x, y, r, g, b)
+		}
+	}
+	return m
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var in, coeffs, out block
+		for i := range in {
+			in[i] = int32(rng.Intn(256))
+		}
+		fdct(&in, &coeffs)
+		idct(&coeffs, &out)
+		for i := range in {
+			d := in[i] - out[i]
+			if d < -2 || d > 2 {
+				t.Fatalf("trial %d: sample %d: %d -> %d", trial, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func TestDCTDCOnly(t *testing.T) {
+	// A constant block must produce only a DC coefficient.
+	var in, coeffs block
+	for i := range in {
+		in[i] = 200
+	}
+	fdct(&in, &coeffs)
+	if coeffs[0] != (200-128)*8 {
+		t.Fatalf("DC = %d, want %d", coeffs[0], (200-128)*8)
+	}
+	for i := 1; i < 64; i++ {
+		if coeffs[i] != 0 {
+			t.Fatalf("AC[%d] = %d, want 0", i, coeffs[i])
+		}
+	}
+}
+
+func TestHuffmanTablesRoundTrip(t *testing.T) {
+	specs := []huffSpec{stdDCLuma, stdACLuma, stdDCChroma, stdACChroma}
+	for si, spec := range specs {
+		enc := buildEncHuff(spec)
+		dec := buildDecHuff(spec)
+		// Encode each symbol then decode it back.
+		for _, sym := range spec.values {
+			var bw bitWriter
+			bw.writeBits(enc.code[sym], enc.size[sym])
+			bw.flush()
+			br := &bitReader{data: bw.buf}
+			got, err := dec.decode(br)
+			if err != nil {
+				t.Fatalf("spec %d sym %#x: %v", si, sym, err)
+			}
+			if got != sym {
+				t.Fatalf("spec %d: encoded %#x decoded %#x", si, sym, got)
+			}
+		}
+	}
+}
+
+func TestMagnitudeRoundTrip(t *testing.T) {
+	for v := int32(-2047); v <= 2047; v++ {
+		n := bitCount(v)
+		got := extendMagnitude(encodeMagnitude(v, n), n)
+		if got != v {
+			t.Fatalf("magnitude round trip: %d -> %d (n=%d)", v, got, n)
+		}
+	}
+}
+
+func TestBitIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var bw bitWriter
+	type item struct {
+		bits uint16
+		n    uint8
+	}
+	var items []item
+	for i := 0; i < 1000; i++ {
+		n := uint8(1 + rng.Intn(12))
+		bits := uint16(rng.Intn(1 << n))
+		items = append(items, item{bits, n})
+		bw.writeBits(bits, n)
+	}
+	bw.flush()
+	br := &bitReader{data: bw.buf}
+	for i, it := range items {
+		got, err := br.readBits(it.n)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.bits {
+			t.Fatalf("item %d: wrote %d read %d (n=%d)", i, it.bits, got, it.n)
+		}
+	}
+}
+
+func TestByteStuffing(t *testing.T) {
+	var bw bitWriter
+	bw.writeBits(0xffff, 16)
+	bw.flush()
+	// Expect ff 00 ff 00.
+	want := []byte{0xff, 0x00, 0xff, 0x00}
+	if len(bw.buf) != len(want) {
+		t.Fatalf("buf = %x", bw.buf)
+	}
+	for i := range want {
+		if bw.buf[i] != want[i] {
+			t.Fatalf("buf = %x, want %x", bw.buf, want)
+		}
+	}
+	br := &bitReader{data: bw.buf}
+	got, err := br.readBits(16)
+	if err != nil || got != 0xffff {
+		t.Fatalf("read %x err %v", got, err)
+	}
+}
+
+func roundTripPSNR(t *testing.T, m *img.Image, opts EncodeOptions) float64 {
+	t.Helper()
+	data := Encode(m, opts)
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.W != m.W || dec.H != m.H {
+		t.Fatalf("dims %dx%d, want %dx%d", dec.W, dec.H, m.W, m.H)
+	}
+	return img.PSNR(m, dec)
+}
+
+func TestEncodeDecodeQuality(t *testing.T) {
+	m := testImage(96, 64, 3)
+	p95 := roundTripPSNR(t, m, EncodeOptions{Quality: 95})
+	p75 := roundTripPSNR(t, m, EncodeOptions{Quality: 75})
+	p30 := roundTripPSNR(t, m, EncodeOptions{Quality: 30})
+	if p95 < 30 {
+		t.Fatalf("q95 PSNR = %v, want >= 30 dB", p95)
+	}
+	if !(p95 > p75 && p75 > p30) {
+		t.Fatalf("PSNR ordering violated: q95=%v q75=%v q30=%v", p95, p75, p30)
+	}
+}
+
+func TestEncodeSizeDecreasesWithQuality(t *testing.T) {
+	m := testImage(128, 128, 4)
+	s95 := len(Encode(m, EncodeOptions{Quality: 95}))
+	s75 := len(Encode(m, EncodeOptions{Quality: 75}))
+	s30 := len(Encode(m, EncodeOptions{Quality: 30}))
+	if !(s95 > s75 && s75 > s30) {
+		t.Fatalf("size ordering violated: %d %d %d", s95, s75, s30)
+	}
+}
+
+func TestEncodeDecode420(t *testing.T) {
+	// The test image has per-pixel random chroma noise, which 4:2:0
+	// legitimately discards, so the threshold is low; smooth-content
+	// fidelity is covered by TestGrayImageChromaNeutral.
+	m := testImage(96, 64, 5)
+	p := roundTripPSNR(t, m, EncodeOptions{Quality: 90, Subsampling: Sub420})
+	if p < 18 {
+		t.Fatalf("4:2:0 PSNR = %v", p)
+	}
+	// 4:2:0 should compress smaller than 4:4:4 at equal quality.
+	s444 := len(Encode(m, EncodeOptions{Quality: 90, Subsampling: Sub444}))
+	s420 := len(Encode(m, EncodeOptions{Quality: 90, Subsampling: Sub420}))
+	if s420 >= s444 {
+		t.Fatalf("4:2:0 (%d bytes) not smaller than 4:4:4 (%d bytes)", s420, s444)
+	}
+}
+
+func TestOddDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {7, 5}, {9, 17}, {33, 31}, {17, 16}} {
+		m := testImage(dims[0], dims[1], 6)
+		for _, sub := range []Subsampling{Sub444, Sub420} {
+			data := Encode(m, EncodeOptions{Quality: 90, Subsampling: sub})
+			dec, err := Decode(data)
+			if err != nil {
+				t.Fatalf("%v %v: %v", dims, sub, err)
+			}
+			if dec.W != m.W || dec.H != m.H {
+				t.Fatalf("%v %v: got %dx%d", dims, sub, dec.W, dec.H)
+			}
+		}
+	}
+}
+
+func TestDecodeHeader(t *testing.T) {
+	m := testImage(123, 45, 7)
+	data := Encode(m, EncodeOptions{})
+	w, h, err := DecodeHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 123 || h != 45 {
+		t.Fatalf("header dims %dx%d", w, h)
+	}
+}
+
+func TestROIDecodeMatchesFullDecode(t *testing.T) {
+	m := testImage(128, 96, 8)
+	for _, sub := range []Subsampling{Sub444, Sub420} {
+		data := Encode(m, EncodeOptions{Quality: 92, Subsampling: sub})
+		full, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roi := img.Rect{X0: 30, Y0: 20, X1: 90, Y1: 70}
+		part, region, _, err := DecodeWithOptions(data, DecodeOptions{ROI: &roi})
+		if err != nil {
+			t.Fatalf("%v: %v", sub, err)
+		}
+		if region.X0 > roi.X0 || region.Y0 > roi.Y0 || region.X1 < roi.X1 || region.Y1 < roi.Y1 {
+			t.Fatalf("%v: region %+v does not contain ROI %+v", sub, region, roi)
+		}
+		want := full.Crop(region)
+		if part.W != want.W || part.H != want.H {
+			t.Fatalf("%v: dims %dx%d want %dx%d", sub, part.W, part.H, want.W, want.H)
+		}
+		if d := img.MeanAbsDiff(part, want); d != 0 {
+			t.Fatalf("%v: ROI decode differs from full decode crop (MAD=%v)", sub, d)
+		}
+	}
+}
+
+func TestROIDecodeSkipsWork(t *testing.T) {
+	m := testImage(256, 256, 9)
+	data := Encode(m, EncodeOptions{Quality: 85})
+	_, _, fullStats, err := DecodeWithOptions(data, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := img.CenterCropRect(256, 256, 64, 64)
+	_, _, roiStats, err := DecodeWithOptions(data, DecodeOptions{ROI: &roi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roiStats.BlocksIDCT >= fullStats.BlocksIDCT/4 {
+		t.Fatalf("ROI should IDCT far fewer blocks: %d vs %d", roiStats.BlocksIDCT, fullStats.BlocksIDCT)
+	}
+	if roiStats.MCUsEntropyDecoded >= fullStats.MCUsEntropyDecoded {
+		t.Fatalf("ROI should entropy-decode fewer MCUs (early stop): %d vs %d",
+			roiStats.MCUsEntropyDecoded, fullStats.MCUsEntropyDecoded)
+	}
+	if roiStats.EntropyBytesRead >= fullStats.EntropyBytesRead {
+		t.Fatalf("ROI should read fewer entropy bytes: %d vs %d",
+			roiStats.EntropyBytesRead, fullStats.EntropyBytesRead)
+	}
+}
+
+func TestEarlyStopDecode(t *testing.T) {
+	m := testImage(64, 128, 10)
+	data := Encode(m, EncodeOptions{Quality: 92})
+	full, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, region, stats, err := DecodeWithOptions(data, DecodeOptions{EarlyStopRow: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Y1 < 40 {
+		t.Fatalf("region %+v should cover requested rows", region)
+	}
+	want := full.Crop(region)
+	if d := img.MeanAbsDiff(part, want); d != 0 {
+		t.Fatalf("early-stop rows differ (MAD=%v)", d)
+	}
+	if stats.MCUsEntropyDecoded >= stats.MCUsTotal {
+		t.Fatal("early stop did not skip trailing MCUs")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := testImage(32, 32, 11)
+	data := Encode(m, EncodeOptions{})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no SOI", []byte{0x12, 0x34}},
+		{"truncated header", data[:8]},
+		{"truncated scan", data[:len(data)-len(data)/3]},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDecodeROIOutsideImage(t *testing.T) {
+	m := testImage(32, 32, 12)
+	data := Encode(m, EncodeOptions{})
+	roi := img.Rect{X0: 100, Y0: 100, X1: 120, Y1: 120}
+	if _, _, _, err := DecodeWithOptions(data, DecodeOptions{ROI: &roi}); err == nil {
+		t.Fatal("expected error for out-of-bounds ROI")
+	}
+}
+
+func TestQuantTableScaling(t *testing.T) {
+	q100 := scaleQuantTable(&stdLumaQuant, 100)
+	for i, v := range q100 {
+		if v != 1 {
+			t.Fatalf("q100[%d] = %d, want 1", i, v)
+		}
+	}
+	q50 := scaleQuantTable(&stdLumaQuant, 50)
+	for i := range q50 {
+		if q50[i] != stdLumaQuant[i] {
+			t.Fatalf("q50 should equal the base table at index %d", i)
+		}
+	}
+	q10 := scaleQuantTable(&stdLumaQuant, 10)
+	for i := range q10 {
+		if q10[i] < q50[i] {
+			t.Fatalf("q10 should be coarser than q50 at index %d", i)
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	var seen [64]bool
+	for _, z := range zigzag {
+		if z < 0 || z >= 64 || seen[z] {
+			t.Fatalf("zigzag is not a permutation")
+		}
+		seen[z] = true
+	}
+	for i, z := range zigzag {
+		if unzigzag[z] != i {
+			t.Fatal("unzigzag is not the inverse of zigzag")
+		}
+	}
+}
+
+func TestGrayImageChromaNeutral(t *testing.T) {
+	// A pure gray image should survive 4:2:0 with high fidelity since chroma
+	// is constant.
+	m := img.New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := uint8((x*4 + y) % 256)
+			m.Set(x, y, v, v, v)
+		}
+	}
+	data := Encode(m, EncodeOptions{Quality: 95, Subsampling: Sub420})
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := img.PSNR(m, dec); p < 35 && !math.IsInf(p, 1) {
+		t.Fatalf("gray PSNR = %v", p)
+	}
+}

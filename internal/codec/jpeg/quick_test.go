@@ -1,0 +1,158 @@
+package jpeg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smol/internal/img"
+)
+
+// quickCfg keeps the property tests fast while still exploring a wide
+// parameter space.
+func quickCfg(maxCount int) *quick.Config {
+	return &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(1))}
+}
+
+// randImage renders a deterministic pseudo-random image of the given size.
+func randImage(rng *rand.Rand, w, h int) *img.Image {
+	m := img.New(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = byte(rng.Intn(256))
+	}
+	return m
+}
+
+// TestQuickRoundTripDimensions: decode(encode(m)) preserves dimensions and
+// never errors for arbitrary sizes, qualities, and subsampling modes.
+func TestQuickRoundTripDimensions(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		w := 1 + rng.Intn(80)
+		h := 1 + rng.Intn(80)
+		q := 1 + rng.Intn(100)
+		m := randImage(rng, w, h)
+		enc := Encode(m, EncodeOptions{Quality: q, Subsampling: Subsampling(rng.Intn(2))})
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Logf("seed %d (%dx%d q%d): %v", seed, w, h, q, err)
+			return false
+		}
+		return dec.W == w && dec.H == h
+	}
+	if err := quick.Check(f, quickCfg(40)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickROIMatchesFullDecode: for arbitrary ROIs, the partially decoded
+// region is pixel-identical to the same region of a full decode — partial
+// decoding changes work, never values (Algorithm 1's correctness
+// requirement).
+func TestQuickROIMatchesFullDecode(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		w := 16 + rng.Intn(96)
+		h := 16 + rng.Intn(96)
+		m := randImage(rng, w, h)
+		enc := Encode(m, EncodeOptions{Quality: 50 + rng.Intn(50), Subsampling: Subsampling(rng.Intn(2))})
+		full, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		// An arbitrary rectangle inside the image.
+		x0 := rng.Intn(w)
+		y0 := rng.Intn(h)
+		roi := img.Rect{X0: x0, Y0: y0, X1: x0 + 1 + rng.Intn(w-x0), Y1: y0 + 1 + rng.Intn(h-y0)}
+		part, region, _, err := DecodeWithOptions(enc, DecodeOptions{ROI: &roi})
+		if err != nil {
+			t.Logf("seed %d roi %+v: %v", seed, roi, err)
+			return false
+		}
+		// The returned region must contain the requested ROI.
+		if region.X0 > roi.X0 || region.Y0 > roi.Y0 || region.X1 < roi.X1 || region.Y1 < roi.Y1 {
+			t.Logf("seed %d: region %+v does not cover roi %+v", seed, region, roi)
+			return false
+		}
+		for y := 0; y < part.H; y++ {
+			for x := 0; x < part.W; x++ {
+				for c := 0; c < 3; c++ {
+					if part.Pix[(y*part.W+x)*3+c] != full.Pix[((y+region.Y0)*w+x+region.X0)*3+c] {
+						t.Logf("seed %d: mismatch at (%d,%d) c%d", seed, x, y, c)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(30)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEarlyStopPrefixMatches: decoding with an arbitrary early-stop
+// row yields rows identical to the full decode's prefix.
+func TestQuickEarlyStopPrefixMatches(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		w := 8 + rng.Intn(64)
+		h := 16 + rng.Intn(64)
+		m := randImage(rng, w, h)
+		enc := Encode(m, EncodeOptions{Quality: 80})
+		full, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		stop := 1 + rng.Intn(h)
+		part, region, _, err := DecodeWithOptions(enc, DecodeOptions{EarlyStopRow: stop})
+		if err != nil {
+			t.Logf("seed %d stop %d: %v", seed, stop, err)
+			return false
+		}
+		if region.Y0 != 0 || region.Y1 < stop {
+			t.Logf("seed %d: early-stop region %+v misses row %d", seed, region, stop)
+			return false
+		}
+		for i := 0; i < part.W*part.H*3; i++ {
+			if part.Pix[i] != full.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(30)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRestartIntervalRoundTrip: restart markers at arbitrary
+// intervals never change decoded pixels.
+func TestQuickRestartIntervalRoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		w := 24 + rng.Intn(48)
+		h := 24 + rng.Intn(48)
+		m := randImage(rng, w, h)
+		plain := Encode(m, EncodeOptions{Quality: 75})
+		withRST := Encode(m, EncodeOptions{Quality: 75, RestartInterval: 1 + rng.Intn(8)})
+		a, err := Decode(plain)
+		if err != nil {
+			return false
+		}
+		b, err := Decode(withRST)
+		if err != nil {
+			t.Logf("seed %d: restart decode failed: %v", seed, err)
+			return false
+		}
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(25)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package jpeg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTruncationNeverPanics: decoding every prefix of a valid stream must
+// return an error or a valid image, never panic or loop — the robustness a
+// runtime engine needs when fed damaged inputs.
+func TestTruncationNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := randImage(rng, 40, 32)
+	enc := Encode(m, EncodeOptions{Quality: 80, RestartInterval: 4})
+	for n := 0; n < len(enc); n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix %d/%d bytes: panic: %v", n, len(enc), r)
+				}
+			}()
+			dec, err := Decode(enc[:n])
+			if err == nil && (dec == nil || dec.W != 40 || dec.H != 32) {
+				t.Fatalf("prefix %d: nil error with bad image", n)
+			}
+		}()
+	}
+}
+
+// TestBitFlipsNeverPanic: single-byte corruptions anywhere in the stream
+// must never panic the decoder.
+func TestBitFlipsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := randImage(rng, 32, 24)
+	enc := Encode(m, EncodeOptions{Quality: 70})
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), enc...)
+		corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			Decode(corrupted) //nolint:errcheck // any outcome but a panic is acceptable
+		}()
+	}
+}

@@ -1,0 +1,111 @@
+package spng
+
+import (
+	"testing"
+
+	"smol/internal/img"
+)
+
+func TestProgressiveFullReconstruction(t *testing.T) {
+	m := gradientImage(96, 64)
+	data, err := EncodeProgressive(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := DecodeProgressive(data, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 96 || got.H != 64 {
+		t.Fatalf("dims %dx%d", got.W, got.H)
+	}
+	if stats.LevelsDecoded != 3 {
+		t.Fatalf("decoded %d levels", stats.LevelsDecoded)
+	}
+	// Residual coding saturates only at extremes; smooth content should
+	// reconstruct near-perfectly.
+	if d := img.MeanAbsDiff(m, got); d > 0.5 {
+		t.Fatalf("full reconstruction MAD %v", d)
+	}
+}
+
+func TestProgressivePartialDecodeDoesLessWork(t *testing.T) {
+	m := gradientImage(128, 128)
+	data, err := EncodeProgressive(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, sStats, err := DecodeProgressive(data, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, fStats, err := DecodeProgressive(data, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.W >= full.W {
+		t.Fatalf("partial decode returned %dx%d", small.W, small.H)
+	}
+	if small.W < 20 || small.H < 20 {
+		t.Fatalf("partial decode below requested minimum: %dx%d", small.W, small.H)
+	}
+	if sStats.LevelsDecoded >= fStats.LevelsDecoded {
+		t.Fatalf("partial decoded %d levels, full %d", sStats.LevelsDecoded, fStats.LevelsDecoded)
+	}
+	if sStats.BytesRead >= fStats.BytesRead {
+		t.Fatalf("partial read %d bytes, full %d", sStats.BytesRead, fStats.BytesRead)
+	}
+}
+
+func TestProgressiveLevelClamping(t *testing.T) {
+	// Tiny images cannot host many levels; the encoder clamps.
+	m := gradientImage(16, 16)
+	data, err := EncodeProgressive(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := DecodeProgressive(data, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 16 || stats.LevelsTotal > 3 {
+		t.Fatalf("dims %d levels %d", got.W, stats.LevelsTotal)
+	}
+}
+
+func TestProgressiveSingleLevel(t *testing.T) {
+	m := gradientImage(32, 24)
+	data, err := EncodeProgressive(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeProgressive(data, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := img.MeanAbsDiff(m, got); d != 0 {
+		t.Fatalf("single level should be lossless (MAD %v)", d)
+	}
+}
+
+func TestProgressiveErrors(t *testing.T) {
+	if _, err := EncodeProgressive(gradientImage(8, 8), 0); err == nil {
+		t.Fatal("zero levels should error")
+	}
+	m := gradientImage(64, 64)
+	data, err := EncodeProgressive(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX0123456789"),
+		data[:10],
+		data[:len(data)/2],
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeProgressive(c, 0, 0); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

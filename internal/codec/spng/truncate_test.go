@@ -1,0 +1,66 @@
+package spng
+
+import (
+	"math/rand"
+	"testing"
+
+	"smol/internal/img"
+)
+
+func fuzzImage(rng *rand.Rand, w, h int) *img.Image {
+	m := img.New(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = byte(rng.Intn(256))
+	}
+	return m
+}
+
+// TestTruncationNeverPanics: every prefix of a valid stream must yield an
+// error or a valid image from the plain, row-streaming, and progressive
+// decoders — never a panic.
+func TestTruncationNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := fuzzImage(rng, 33, 27)
+	flat := Encode(m, 0)
+	prog, err := EncodeProgressive(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: panic: %v", name, r)
+			}
+		}()
+		f()
+	}
+	for n := 0; n < len(flat); n++ {
+		p := flat[:n]
+		check("decode", func() { Decode(p) })       //nolint:errcheck
+		check("rows", func() { DecodeRows(p, 10) }) //nolint:errcheck
+	}
+	for n := 0; n < len(prog); n++ {
+		p := prog[:n]
+		check("progressive", func() { DecodeProgressive(p, 8, 8) }) //nolint:errcheck
+	}
+}
+
+// TestByteCorruptionNeverPanics: arbitrary single-byte corruption must
+// never panic the DEFLATE-backed decoder.
+func TestByteCorruptionNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := fuzzImage(rng, 24, 24)
+	enc := Encode(m, 0)
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), enc...)
+		corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			Decode(corrupted) //nolint:errcheck
+		}()
+	}
+}

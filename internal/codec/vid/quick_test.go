@@ -1,0 +1,81 @@
+package vid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRoundTripShape: for arbitrary frame geometry, count, quality,
+// and GOP, decode(encode(v)) preserves frame count and dimensions and
+// reconstructs with reasonable fidelity.
+func TestQuickRoundTripShape(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		w := 16 + rng.Intn(64)
+		h := 16 + rng.Intn(64)
+		n := 1 + rng.Intn(12)
+		q := 40 + rng.Intn(60)
+		gop := 1 + rng.Intn(8)
+		frames := syntheticVideo(w, h, n)
+		data, err := Encode(frames, EncodeOptions{Quality: q, GOP: gop})
+		if err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		dec, err := DecodeAll(data, DecodeOptions{})
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		if len(dec) != n {
+			t.Logf("seed %d: %d frames, want %d", seed, len(dec), n)
+			return false
+		}
+		for _, fr := range dec {
+			if fr.W != w || fr.H != h {
+				t.Logf("seed %d: frame %dx%d, want %dx%d", seed, fr.W, fr.H, w, h)
+				return false
+			}
+		}
+		if p := avgPSNR(t, frames, dec); p < 20 {
+			t.Logf("seed %d: PSNR %.1f too low for q%d", seed, p, q)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeblockToggleAlwaysDecodes: disabling the deblocking filter must
+// never break decoding, for any geometry and GOP structure; it only trades
+// fidelity for work.
+func TestQuickDeblockToggleAlwaysDecodes(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		w := 16 + rng.Intn(48)
+		h := 16 + rng.Intn(48)
+		n := 2 + rng.Intn(10)
+		frames := syntheticVideo(w, h, n)
+		data, err := Encode(frames, EncodeOptions{Quality: 30 + rng.Intn(70), GOP: 1 + rng.Intn(6)})
+		if err != nil {
+			return false
+		}
+		withDB, err := DecodeAll(data, DecodeOptions{})
+		if err != nil {
+			t.Logf("seed %d: deblock decode: %v", seed, err)
+			return false
+		}
+		noDB, err := DecodeAll(data, DecodeOptions{DisableDeblock: true})
+		if err != nil {
+			t.Logf("seed %d: no-deblock decode: %v", seed, err)
+			return false
+		}
+		return len(withDB) == n && len(noDB) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

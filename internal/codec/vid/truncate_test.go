@@ -1,0 +1,59 @@
+package vid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTruncationNeverPanics: every prefix of a valid video stream must
+// yield an error or a (possibly shorter) valid frame sequence — never a
+// panic. Streaming analytics engines routinely see cut-off files.
+func TestTruncationNeverPanics(t *testing.T) {
+	frames := syntheticVideo(32, 24, 8)
+	enc, err := Encode(frames, EncodeOptions{Quality: 70, GOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 1
+	if len(enc) > 4096 {
+		stride = len(enc) / 4096
+	}
+	for n := 0; n < len(enc); n += stride {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix %d/%d: panic: %v", n, len(enc), r)
+				}
+			}()
+			dec, err := DecodeAll(enc[:n], DecodeOptions{})
+			if err == nil && len(dec) > len(frames) {
+				t.Fatalf("prefix %d: decoded %d frames from a %d-frame stream", n, len(dec), len(frames))
+			}
+		}()
+	}
+}
+
+// TestByteCorruptionNeverPanics: single-byte corruption anywhere in the
+// stream must never panic the decoder, with and without the deblocking
+// filter.
+func TestByteCorruptionNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	frames := syntheticVideo(24, 24, 6)
+	enc, err := Encode(frames, EncodeOptions{Quality: 60, GOP: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), enc...)
+		corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		opts := DecodeOptions{DisableDeblock: trial%2 == 0}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			DecodeAll(corrupted, opts) //nolint:errcheck
+		}()
+	}
+}

@@ -1,0 +1,290 @@
+// Package vid implements a simplified H.264-style video codec: intra-coded
+// I-frames and motion-compensated P-frames over 4:2:0 YCbCr planes, 8x8 DCT
+// residual coding, and an in-loop deblocking filter.
+//
+// The decoder exposes the two low-fidelity levers the paper uses for video:
+//
+//   - Reduced-fidelity decoding: the deblocking filter can be disabled
+//     (DecodeOptions.DisableDeblock), trading visual quality for decode
+//     speed, exactly as H.264/HEVC decoders permit.
+//   - Natively present low resolution: the encoder happily encodes the same
+//     content at multiple resolutions; the data generators store both.
+//
+// The bitstream is frame-sequential: a fixed header, then one record per
+// frame ([type][len][DEFLATE payload]). The codec is closed-loop: the
+// encoder reconstructs exactly what the decoder will, so P-frame references
+// never drift (unless the decoder intentionally skips deblocking).
+package vid
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"smol/internal/codec/blockdct"
+	"smol/internal/img"
+)
+
+const (
+	mbSize    = 16 // macroblock edge (luma)
+	blockSize = blockdct.Size
+	// searchRange is the full-pel motion search range.
+	searchRange = 8
+)
+
+var magic = [4]byte{'S', 'V', 'I', 'D'}
+
+// EncodeOptions configures Encode.
+type EncodeOptions struct {
+	// Quality in [1,100]; zero means 60. Higher is better fidelity.
+	Quality int
+	// GOP is the I-frame interval; zero means 30.
+	GOP int
+}
+
+// DecodeOptions configures decoding fidelity.
+type DecodeOptions struct {
+	// DisableDeblock skips the in-loop deblocking filter for faster,
+	// reduced-fidelity decoding (the paper's §6.4).
+	DisableDeblock bool
+}
+
+// DecodeStats reports the work performed by a decoder so far.
+type DecodeStats struct {
+	FramesDecoded   int
+	BlocksIDCT      int
+	DeblockedEdges  int
+	SkippedMBs      int
+	InterMBs        int
+	IntraMBs        int
+	CompressedBytes int
+}
+
+// quantFor maps quality to the flat quantizer step used for all
+// coefficients. Quality 100 -> 1 (near lossless), 1 -> 100 (very coarse).
+func quantFor(quality int) int32 {
+	if quality <= 0 {
+		quality = 60
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	q := int32((100-quality)+1) * 2
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+func padTo(v, m int) int { return ((v + m - 1) / m) * m }
+
+// Encode compresses frames. All frames must share dimensions.
+func Encode(frames []*img.Image, opts EncodeOptions) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("vid: no frames")
+	}
+	w, h := frames[0].W, frames[0].H
+	for i, f := range frames {
+		if f.W != w || f.H != h {
+			return nil, fmt.Errorf("vid: frame %d dimensions %dx%d != %dx%d", i, f.W, f.H, w, h)
+		}
+	}
+	gop := opts.GOP
+	if gop <= 0 {
+		gop = 30
+	}
+	quality := opts.Quality
+	if quality <= 0 {
+		quality = 60
+	}
+
+	var out bytes.Buffer
+	out.Write(magic[:])
+	var hdr [18]byte
+	binary.BigEndian.PutUint16(hdr[0:], 1) // version
+	binary.BigEndian.PutUint32(hdr[2:], uint32(w))
+	binary.BigEndian.PutUint32(hdr[6:], uint32(h))
+	binary.BigEndian.PutUint32(hdr[10:], uint32(len(frames)))
+	binary.BigEndian.PutUint16(hdr[14:], uint16(gop))
+	hdr[16] = byte(quality)
+	out.Write(hdr[:])
+
+	padW, padH := padTo(w, mbSize), padTo(h, mbSize)
+	quant := quantFor(quality)
+	var ref *frame
+	for i, fimg := range frames {
+		cur := rgbToFrame(fimg, padW, padH)
+		var payload []byte
+		var ftype byte
+		if i%gop == 0 || ref == nil {
+			ftype = 'I'
+			recon := newFrame(padW, padH)
+			payload = encodeIntra(cur, recon, quant)
+			deblockFrame(recon, nil)
+			ref = recon
+		} else {
+			ftype = 'P'
+			recon := newFrame(padW, padH)
+			payload = encodeInter(cur, ref, recon, quant)
+			deblockFrame(recon, nil)
+			ref = recon
+		}
+		compressed := deflateBytes(payload)
+		out.WriteByte(ftype)
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(compressed)))
+		out.Write(lenBuf[:])
+		out.Write(compressed)
+	}
+	return out.Bytes(), nil
+}
+
+func deflateBytes(p []byte) []byte {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := fw.Write(p); err != nil {
+		panic(err)
+	}
+	if err := fw.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func inflateBytes(p []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(p))
+	defer fr.Close()
+	return io.ReadAll(fr)
+}
+
+// coefWriter serializes quantized blocks as (DC svarint, AC run-length
+// pairs) with a 0xFF end-of-block run sentinel.
+type coefWriter struct {
+	buf    []byte
+	tmp    [binary.MaxVarintLen64]byte
+	dcPred [3]int32
+}
+
+func (w *coefWriter) putVarint(v int32) {
+	n := binary.PutVarint(w.tmp[:], int64(v))
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+// writeBlock quantizes coeffs in place and serializes them. comp selects the
+// DC predictor (0=Y, 1=Cb, 2=Cr). Returns true if all coefficients
+// quantized to zero (useful for skip decisions).
+func (w *coefWriter) writeBlock(coeffs *blockdct.Block, quant int32, comp int, differential bool) bool {
+	allZero := true
+	for i := range coeffs {
+		c := coeffs[i]
+		if c >= 0 {
+			coeffs[i] = (c + quant/2) / quant
+		} else {
+			coeffs[i] = -((-c + quant/2) / quant)
+		}
+		if coeffs[i] != 0 {
+			allZero = false
+		}
+	}
+	dc := coeffs[0]
+	if differential {
+		diff := dc - w.dcPred[comp]
+		w.dcPred[comp] = dc
+		w.putVarint(diff)
+	} else {
+		w.putVarint(dc)
+	}
+	run := 0
+	for k := 1; k < blockdct.N; k++ {
+		v := coeffs[blockdct.Zigzag[k]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run > 254 {
+			w.buf = append(w.buf, 254)
+			w.putVarint(0) // long zero run continuation
+			run -= 255
+		}
+		w.buf = append(w.buf, byte(run))
+		w.putVarint(v)
+		run = 0
+	}
+	w.buf = append(w.buf, 0xff) // EOB
+	return allZero
+}
+
+// coefReader mirrors coefWriter.
+type coefReader struct {
+	buf    []byte
+	pos    int
+	dcPred [3]int32
+}
+
+var errCorrupt = errors.New("vid: corrupt payload")
+
+func (r *coefReader) readVarint() (int32, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	r.pos += n
+	return int32(v), nil
+}
+
+func (r *coefReader) readByte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, errCorrupt
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// readBlock reads and dequantizes one block into coeffs (natural order).
+func (r *coefReader) readBlock(coeffs *blockdct.Block, quant int32, comp int, differential bool) error {
+	for i := range coeffs {
+		coeffs[i] = 0
+	}
+	dc, err := r.readVarint()
+	if err != nil {
+		return err
+	}
+	if differential {
+		r.dcPred[comp] += dc
+		coeffs[0] = r.dcPred[comp] * quant
+	} else {
+		coeffs[0] = dc * quant
+	}
+	k := 1
+	for {
+		run, err := r.readByte()
+		if err != nil {
+			return err
+		}
+		if run == 0xff {
+			break
+		}
+		v, err := r.readVarint()
+		if err != nil {
+			return err
+		}
+		k += int(run)
+		if v == 0 { // long-run continuation token
+			k++
+			continue
+		}
+		if k >= blockdct.N {
+			return errCorrupt
+		}
+		coeffs[blockdct.Zigzag[k]] = v * quant
+		k++
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package vid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"smol/internal/img"
+)
+
+// syntheticVideo renders n frames of a bright square moving across a smooth
+// gradient background — easy motion for the codec to chase.
+func syntheticVideo(w, h, n int) []*img.Image {
+	frames := make([]*img.Image, n)
+	for t := 0; t < n; t++ {
+		m := img.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				m.Set(x, y, uint8(x*255/w), uint8(y*255/h), 60)
+			}
+		}
+		// Moving square, sized to fit small frames.
+		side := 12
+		if side > w/2 {
+			side = w / 2
+		}
+		if side > h/2 {
+			side = h / 2
+		}
+		sx := (t * 3) % (w - side)
+		sy := (t * 2) % (h - side)
+		for y := sy; y < sy+side; y++ {
+			for x := sx; x < sx+side; x++ {
+				m.Set(x, y, 250, 240, 20)
+			}
+		}
+		frames[t] = m
+	}
+	return frames
+}
+
+func avgPSNR(t *testing.T, orig, dec []*img.Image) float64 {
+	t.Helper()
+	if len(orig) != len(dec) {
+		t.Fatalf("frame count %d != %d", len(dec), len(orig))
+	}
+	var s float64
+	for i := range orig {
+		p := img.PSNR(orig[i], dec[i])
+		if p > 99 {
+			p = 99 // cap infinities
+		}
+		s += p
+	}
+	return s / float64(len(orig))
+}
+
+func TestRoundTripQuality(t *testing.T) {
+	frames := syntheticVideo(64, 48, 20)
+	data, err := Encode(frames, EncodeOptions{Quality: 90, GOP: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAll(data, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := avgPSNR(t, frames, dec); p < 30 {
+		t.Fatalf("q90 avg PSNR = %v", p)
+	}
+}
+
+func TestQualityOrdering(t *testing.T) {
+	frames := syntheticVideo(48, 48, 10)
+	enc := func(q int) ([]byte, float64) {
+		data, err := Encode(frames, EncodeOptions{Quality: q, GOP: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeAll(data, DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, avgPSNR(t, frames, dec)
+	}
+	d90, p90 := enc(90)
+	d40, p40 := enc(40)
+	if p90 <= p40 {
+		t.Fatalf("PSNR ordering: q90=%v q40=%v", p90, p40)
+	}
+	if len(d90) <= len(d40) {
+		t.Fatalf("size ordering: q90=%d q40=%d", len(d90), len(d40))
+	}
+}
+
+func TestPFramesCompressBetterThanAllIntra(t *testing.T) {
+	frames := syntheticVideo(64, 64, 30)
+	withP, err := Encode(frames, EncodeOptions{Quality: 70, GOP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allI, err := Encode(frames, EncodeOptions{Quality: 70, GOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withP) >= len(allI) {
+		t.Fatalf("P-frames (%d bytes) should beat all-intra (%d bytes)", len(withP), len(allI))
+	}
+}
+
+func TestDecoderMetadata(t *testing.T) {
+	frames := syntheticVideo(50, 34, 7)
+	data, err := Encode(frames, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(data, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 50 || d.Height() != 34 || d.NumFrames() != 7 {
+		t.Fatalf("metadata %dx%d n=%d", d.Width(), d.Height(), d.NumFrames())
+	}
+}
+
+func TestStreamingDecode(t *testing.T) {
+	frames := syntheticVideo(32, 32, 5)
+	data, err := Encode(frames, EncodeOptions{Quality: 80, GOP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(data, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		f, err := d.Next()
+		if errors.Is(err, ErrEndOfStream) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.W != 32 || f.H != 32 {
+			t.Fatalf("frame dims %dx%d", f.W, f.H)
+		}
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("decoded %d frames", count)
+	}
+	if d.Stats().FramesDecoded != 5 {
+		t.Fatalf("stats %+v", d.Stats())
+	}
+}
+
+func TestDisableDeblockReducesFidelityAndWork(t *testing.T) {
+	frames := syntheticVideo(64, 64, 24)
+	data, err := Encode(frames, EncodeOptions{Quality: 55, GOP: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dWith, err := NewDecoder(data, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decWith []*img.Image
+	for {
+		f, err := dWith.Next()
+		if errors.Is(err, ErrEndOfStream) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		decWith = append(decWith, f)
+	}
+	dWithout, err := NewDecoder(data, DecodeOptions{DisableDeblock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decWithout []*img.Image
+	for {
+		f, err := dWithout.Next()
+		if errors.Is(err, ErrEndOfStream) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		decWithout = append(decWithout, f)
+	}
+	if dWith.Stats().DeblockedEdges == 0 {
+		t.Fatal("deblocking filter never fired")
+	}
+	if dWithout.Stats().DeblockedEdges != 0 {
+		t.Fatal("disabled deblock still filtered edges")
+	}
+	pWith := avgPSNR(t, frames, decWith)
+	pWithout := avgPSNR(t, frames, decWithout)
+	// Skipping the in-loop filter must not improve fidelity (it drifts from
+	// the encoder's reference).
+	if pWithout > pWith+0.01 {
+		t.Fatalf("no-deblock PSNR %v unexpectedly above deblocked %v", pWithout, pWith)
+	}
+}
+
+func TestSkipModeFires(t *testing.T) {
+	// A completely static video should be nearly all skip macroblocks after
+	// the first frame.
+	static := make([]*img.Image, 10)
+	base := img.New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			base.Set(x, y, 100, 150, uint8(x*2))
+		}
+	}
+	for i := range static {
+		static[i] = base.Clone()
+	}
+	data, err := Encode(static, EncodeOptions{Quality: 70, GOP: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(data, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := d.Next(); errors.Is(err, ErrEndOfStream) {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	// In-loop deblocking perturbs the reference near block edges, so interior
+	// macroblocks skip but edge-adjacent ones may carry small residuals; a
+	// majority of skips is the meaningful assertion.
+	totalPMBs := 9 * (64 / 16) * (64 / 16)
+	if st.SkippedMBs < totalPMBs/2 {
+		t.Fatalf("skip MBs = %d of %d P-frame MBs", st.SkippedMBs, totalPMBs)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(nil, EncodeOptions{}); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	a := img.New(10, 10)
+	b := img.New(11, 10)
+	if _, err := Encode([]*img.Image{a, b}, EncodeOptions{}); err == nil {
+		t.Fatal("expected error for mismatched dims")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	frames := syntheticVideo(32, 32, 3)
+	data, err := Encode(frames, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDecoder(nil, DecodeOptions{}); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := NewDecoder([]byte("XXXX0123456789012345678"), DecodeOptions{}); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	// Truncate mid-stream: decoding should fail, not hang or panic.
+	d, err := NewDecoder(data[:len(data)-10], DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := d.Next()
+		if err != nil {
+			if errors.Is(err, ErrEndOfStream) {
+				t.Fatal("truncated stream decoded to completion")
+			}
+			break
+		}
+	}
+}
+
+func TestOddDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{17, 9}, {16, 16}, {33, 31}} {
+		frames := syntheticVideo(dims[0], dims[1], 4)
+		data, err := Encode(frames, EncodeOptions{Quality: 85, GOP: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		dec, err := DecodeAll(data, DecodeOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if len(dec) != 4 || dec[0].W != dims[0] || dec[0].H != dims[1] {
+			t.Fatalf("%v: got %d frames of %dx%d", dims, len(dec), dec[0].W, dec[0].H)
+		}
+	}
+}
+
+func TestMotionSearchFindsShift(t *testing.T) {
+	// ref shifted right by 3 pixels: the search should find mv=(3,0) and a
+	// zero SAD. Three-step search is a local method, so the test content is
+	// smooth (as in natural video); on white noise TSS legitimately stalls
+	// in local minima, just like production encoders.
+	ref := newPlane(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			ref.pix[y*64+x] = uint8(128 + 100*math.Sin(float64(x)/5)*math.Cos(float64(y)/7))
+		}
+	}
+	cur := newPlane(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			cur.pix[y*64+x] = ref.at(x+3, y)
+		}
+	}
+	mvx, mvy, sad := motionSearch(cur, ref, 16, 16)
+	if mvx != 3 || mvy != 0 {
+		t.Fatalf("mv = (%d,%d), want (3,0)", mvx, mvy)
+	}
+	if sad != 0 {
+		t.Fatalf("sad = %d, want 0", sad)
+	}
+}
+
+func TestQuantFor(t *testing.T) {
+	if quantFor(100) != 2 {
+		t.Fatalf("quantFor(100) = %d", quantFor(100))
+	}
+	if quantFor(1) <= quantFor(50) {
+		t.Fatal("lower quality must quantize more coarsely")
+	}
+	if quantFor(0) != quantFor(60) {
+		t.Fatal("zero quality should default to 60")
+	}
+}

@@ -1,0 +1,304 @@
+// Package costmodel implements the paper's §4: throughput estimation for
+// end-to-end DNN inference plans. It provides the three estimators the
+// paper compares —
+//
+//   - BlazeIt/NoScope style (Eq. 2): DNN execution only, ignoring
+//     preprocessing entirely;
+//   - Tahoma style (Eq. 3): sequential (harmonic) composition of
+//     preprocessing and execution, ignoring pipelining;
+//   - Smol (Eq. 4): min(preprocessing, execution), correct for pipelined
+//     engines;
+//
+// — plus plan generation over the cross product of DNNs and input formats
+// (D x F), CPU/accelerator operator placement (§6.3), and Pareto-optimal
+// plan selection.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"smol/internal/hw"
+	"smol/internal/preproc"
+	"smol/internal/stats"
+)
+
+// Format describes one natively available visual data format (§5.2).
+type Format struct {
+	Name string
+	Kind hw.ImageFormat
+	// W, H are the encoded dimensions.
+	W, H int
+	// Quality is the JPEG quality (0 = default, ignored for PNG).
+	Quality int
+	// Lossless records whether the encoding is lossless (PNG) — this
+	// affects accuracy, not speed.
+	Lossless bool
+	// ROIFraction < 1 enables partial decoding of this fraction of the
+	// image (Algorithm 1); 1 or 0 means full decode.
+	ROIFraction float64
+	// NoDeblock disables the deblocking filter for video formats.
+	NoDeblock bool
+}
+
+// DNNChoice pairs a network with the input resolution it will run at and
+// its estimated accuracy for the dataset/format under consideration.
+type DNNChoice struct {
+	Name string
+	// InputRes is the square DNN input resolution (224 standard).
+	InputRes int
+	// Accuracy is estimated on a validation set.
+	Accuracy float64
+}
+
+// Plan is one executable configuration: a DNN, an input format, a
+// preprocessing pipeline, and an operator placement split.
+type Plan struct {
+	DNN    DNNChoice
+	Format Format
+	// Preproc is the optimized post-decode operator pipeline.
+	Preproc preproc.Plan
+	// PreprocSpec records the geometry the pipeline was built for.
+	PreprocSpec preproc.Spec
+	// AccelOps is the number of trailing pipeline ops placed on the
+	// accelerator (0 = all preprocessing on CPU).
+	AccelOps int
+}
+
+// Env is the hardware/software environment plans execute in.
+type Env struct {
+	Device    hw.DeviceProfile
+	Framework hw.FrameworkProfile
+	VCPUs     int
+	BatchSize int
+}
+
+// DefaultEnv returns the paper's g4dn.xlarge environment: one T4,
+// TensorRT, 4 vCPUs, batch 64.
+func DefaultEnv() Env {
+	dev, err := hw.Device("T4")
+	if err != nil {
+		panic(err)
+	}
+	fw, err := hw.Framework("TensorRT")
+	if err != nil {
+		panic(err)
+	}
+	return Env{Device: dev, Framework: fw, VCPUs: 4, BatchSize: 64}
+}
+
+// StandardRes is the canonical DNN input resolution the paper's
+// throughput anchors are measured at.
+const StandardRes = 224
+
+// StageCosts decomposes a plan into per-image stage costs.
+type StageCosts struct {
+	// DecodeUS is decode time per image (vCPU-microseconds).
+	DecodeUS float64
+	// CPUPostUS is the CPU share of post-decode preprocessing.
+	CPUPostUS float64
+	// AccelPostUS is the accelerator share of post-decode preprocessing.
+	AccelPostUS float64
+	// ExecUS is DNN execution time per image on the accelerator.
+	ExecUS float64
+}
+
+// Costs computes the per-image stage costs of a plan in env.
+func Costs(p Plan, env Env) (StageCosts, error) {
+	dnn, err := hw.DNN(p.DNN.Name)
+	if err != nil {
+		return StageCosts{}, err
+	}
+	var c StageCosts
+	c.DecodeUS = hw.DecodeCostUS(hw.DecodeSpec{
+		Format:      p.Format.Kind,
+		W:           p.Format.W,
+		H:           p.Format.H,
+		Quality:     p.Format.Quality,
+		ROIFraction: p.Format.ROIFraction,
+		NoDeblock:   p.Format.NoDeblock,
+	})
+	opCosts := preproc.OpCosts(p.Preproc, p.PreprocSpec)
+	split := len(opCosts) - p.AccelOps
+	if split < 0 {
+		split = 0
+	}
+	for i, oc := range opCosts {
+		if i < split {
+			c.CPUPostUS += hw.PostprocCostUS(oc)
+		} else {
+			c.AccelPostUS += hw.AccelPostprocCostUS(oc)
+		}
+	}
+	execTPut := hw.ExecThroughput(dnn, env.Device, env.Framework)
+	execTPut = hw.InputScaledThroughput(execTPut, p.DNN.InputRes, StandardRes)
+	c.ExecUS = 1e6 / execTPut
+	return c, nil
+}
+
+// StageThroughputs returns the isolated preprocessing and accelerator
+// throughputs of a plan (im/s): preprocessing across env.VCPUs, and the
+// accelerator shared between DNN execution and any accelerator-placed
+// preprocessing ops.
+func StageThroughputs(p Plan, env Env) (preprocTPut, execTPut float64, err error) {
+	c, err := Costs(p, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	cpuUS := c.DecodeUS + c.CPUPostUS
+	preprocTPut = float64(env.VCPUs) / (cpuUS / 1e6)
+	accelUS := c.ExecUS + c.AccelPostUS
+	execTPut = 1e6 / accelUS
+	return preprocTPut, execTPut, nil
+}
+
+// EstimateSmol is the paper's Eq. 4: pipelined throughput is the minimum of
+// the stage throughputs.
+func EstimateSmol(p Plan, env Env) (float64, error) {
+	pre, exec, err := StageThroughputs(p, env)
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(pre, exec), nil
+}
+
+// EstimateBlazeIt is Eq. 2: DNN execution throughput only, ignoring
+// preprocessing.
+func EstimateBlazeIt(p Plan, env Env) (float64, error) {
+	_, exec, err := StageThroughputs(p, env)
+	if err != nil {
+		return 0, err
+	}
+	return exec, nil
+}
+
+// EstimateTahoma is Eq. 3: unpipelined sequential composition.
+func EstimateTahoma(p Plan, env Env) (float64, error) {
+	pre, exec, err := StageThroughputs(p, env)
+	if err != nil {
+		return 0, err
+	}
+	return stats.HarmonicMeanThroughput(pre, exec), nil
+}
+
+// EstimateLatencyUS predicts the worst-case per-image latency of a plan in
+// env's pipelined batch engine, from the start of an image's preprocessing
+// to the completion of its batch. The paper's §3.1 notes the joint
+// preprocessing/inference techniques also apply to latency-constrained
+// deployments; this estimator makes the trade-off explicit — larger batches
+// raise throughput (amortized transfer overhead) but every image waits for
+// its whole batch:
+//
+//	latency ≈ fill + transfer + backlog + batch-compute
+//
+// where fill is the time to preprocess a full batch across the vCPUs,
+// backlog is the device wait when execution is the bottleneck (bounded by
+// the engine's queue capacity), and batch-compute is BatchSize images of
+// accelerator time.
+func EstimateLatencyUS(p Plan, env Env) (float64, error) {
+	c, err := Costs(p, env)
+	if err != nil {
+		return 0, err
+	}
+	b := float64(env.BatchSize)
+	cpuUS := c.DecodeUS + c.CPUPostUS
+	accelUS := c.ExecUS + c.AccelPostUS
+	// First image of a batch waits for the remaining B-1 to preprocess.
+	fill := cpuUS + (b-1)*cpuUS/float64(env.VCPUs)
+	// When execution is the bottleneck the bounded queue (4 batches in
+	// Measure and the real engine) backs up; a worst-case image enters with
+	// the queue full and waits behind all QueueCap items ahead of it.
+	var backlog float64
+	perImagePre := cpuUS / float64(env.VCPUs)
+	if accelUS > perImagePre {
+		backlog = 4 * b * accelUS
+	}
+	return fill + simBatchOverheadUS + backlog + b*accelUS, nil
+}
+
+// simBatchOverheadUS is the per-batch transfer/launch overhead both Measure
+// and EstimateLatencyUS assume (pinned-memory transfer of a batch of
+// 224x224 float tensors).
+const simBatchOverheadUS = 120
+
+// BatchForLatency returns the largest batch size (a power of two up to
+// env.BatchSize) whose estimated worst-case latency stays under
+// maxLatencyUS, jointly with the throughput that batch achieves. Larger
+// batches amortize transfer overhead but delay every image in them, so the
+// latency-constrained setting tunes the batch alongside the plan. It
+// returns an error when even batch 1 misses the target.
+func BatchForLatency(p Plan, env Env, maxLatencyUS float64) (batch int, throughput float64, err error) {
+	if maxLatencyUS <= 0 {
+		return 0, 0, fmt.Errorf("costmodel: latency target must be positive, got %v", maxLatencyUS)
+	}
+	for b := env.BatchSize; b >= 1; b /= 2 {
+		cand := env
+		cand.BatchSize = b
+		lat, err := EstimateLatencyUS(p, cand)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lat <= maxLatencyUS {
+			tput, err := EstimateSmol(p, cand)
+			if err != nil {
+				return 0, 0, err
+			}
+			return b, tput, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("costmodel: no batch size meets latency target %.0fus for plan %s",
+		maxLatencyUS, p)
+}
+
+// Measure runs the plan through the discrete-event pipeline simulator and
+// returns the observed end-to-end throughput — the "ground truth" the
+// estimators are judged against (Table 3).
+func Measure(p Plan, env Env, numImages int) (hw.PipelineResult, error) {
+	c, err := Costs(p, env)
+	if err != nil {
+		return hw.PipelineResult{}, err
+	}
+	cpuUS := c.DecodeUS + c.CPUPostUS
+	accelUS := c.ExecUS + c.AccelPostUS
+	cfg := hw.PipelineConfig{
+		NumImages:      numImages,
+		Producers:      env.VCPUs,
+		Consumers:      2,
+		BatchSize:      env.BatchSize,
+		QueueCap:       4 * env.BatchSize,
+		PreprocUS:       func(i int) float64 { return cpuUS },
+		ExecUSPerImage:  accelUS,
+		BatchOverheadUS: simBatchOverheadUS,
+	}
+	return hw.SimulatePipeline(cfg)
+}
+
+// PlacePreprocOps chooses the accelerator/CPU split (§6.3): it tries every
+// split point (preprocessing ops are sequential, so there are only a
+// handful) and keeps the one maximizing estimated pipelined throughput.
+func PlacePreprocOps(p Plan, env Env) (Plan, error) {
+	best := p
+	best.AccelOps = 0
+	bestTPut := -1.0
+	for k := 0; k <= len(p.Preproc.Ops); k++ {
+		cand := p
+		cand.AccelOps = k
+		tput, err := EstimateSmol(cand, env)
+		if err != nil {
+			return Plan{}, err
+		}
+		if tput > bestTPut {
+			best, bestTPut = cand, tput
+		}
+	}
+	return best, nil
+}
+
+// String renders a short human-readable description of the plan.
+func (p Plan) String() string {
+	placement := "cpu"
+	if p.AccelOps > 0 {
+		placement = fmt.Sprintf("cpu+%d-accel", p.AccelOps)
+	}
+	return fmt.Sprintf("%s@%d on %s (%s)", p.DNN.Name, p.DNN.InputRes, p.Format.Name, placement)
+}

@@ -1,0 +1,194 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smol/internal/hw"
+)
+
+// randPlanSpace draws a random but valid D x F plan space.
+func randPlanSpace(rng *rand.Rand) ([]DNNChoice, []Format) {
+	names := []string{"tiny-specialized", "resnet-18", "resnet-34", "resnet-50"}
+	nd := 1 + rng.Intn(3)
+	dnns := make([]DNNChoice, nd)
+	for i := range dnns {
+		dnns[i] = DNNChoice{
+			Name:     names[rng.Intn(len(names))],
+			InputRes: 96 + 32*rng.Intn(6), // 96..256
+			Accuracy: 0.5 + 0.5*rng.Float64(),
+		}
+	}
+	nf := 1 + rng.Intn(3)
+	formats := make([]Format, nf)
+	for i := range formats {
+		if rng.Intn(2) == 0 {
+			formats[i] = Format{Name: "jpeg", Kind: hw.FormatJPEG,
+				W: 200 + rng.Intn(400), H: 150 + rng.Intn(300), Quality: 50 + rng.Intn(50)}
+		} else {
+			formats[i] = Format{Name: "png", Kind: hw.FormatPNG,
+				W: 100 + rng.Intn(200), H: 80 + rng.Intn(160), Lossless: true}
+		}
+	}
+	return dnns, formats
+}
+
+// TestQuickMinEstimatorBounds: for any plan, Smol's estimate (Eq. 4) never
+// exceeds either stage's isolated throughput, equals their minimum, and is
+// never more optimistic than Tahoma's sequential estimate is pessimistic —
+// min >= harmonic sum always.
+func TestQuickMinEstimatorBounds(t *testing.T) {
+	env := DefaultEnv()
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		dnns, formats := randPlanSpace(rng)
+		plans, err := Generate(dnns, formats, env,
+			GenerateOptions{OptimizePreproc: true, PlaceOps: rng.Intn(2) == 0})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, p := range plans {
+			pre, exec, err := StageThroughputs(p, env)
+			if err != nil || pre <= 0 || exec <= 0 {
+				t.Logf("seed %d: stages %v/%v err %v", seed, pre, exec, err)
+				return false
+			}
+			smol, _ := EstimateSmol(p, env)
+			tahoma, _ := EstimateTahoma(p, env)
+			blazeit, _ := EstimateBlazeIt(p, env)
+			if smol > pre+1e-9 || smol > exec+1e-9 {
+				t.Logf("seed %d: min estimate %v exceeds a stage (%v, %v)", seed, smol, pre, exec)
+				return false
+			}
+			if smol < tahoma-1e-9 {
+				t.Logf("seed %d: pipelined estimate %v below sequential %v", seed, smol, tahoma)
+				return false
+			}
+			if blazeit != exec {
+				t.Logf("seed %d: exec-only estimate %v != exec %v", seed, blazeit, exec)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParetoFrontierSound: no frontier member is dominated by any
+// evaluated plan, and every non-frontier plan is dominated by some
+// frontier member.
+func TestQuickParetoFrontierSound(t *testing.T) {
+	env := DefaultEnv()
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		dnns, formats := randPlanSpace(rng)
+		plans, err := Generate(dnns, formats, env, GenerateOptions{OptimizePreproc: true})
+		if err != nil {
+			return false
+		}
+		evals, err := Evaluate(plans, env)
+		if err != nil {
+			return false
+		}
+		front := ParetoFrontier(evals)
+		if len(front) == 0 {
+			t.Logf("seed %d: empty frontier from %d plans", seed, len(evals))
+			return false
+		}
+		dominates := func(a, b Evaluated) bool {
+			return a.Throughput >= b.Throughput && a.Accuracy >= b.Accuracy &&
+				(a.Throughput > b.Throughput || a.Accuracy > b.Accuracy)
+		}
+		for _, fm := range front {
+			for _, e := range evals {
+				if dominates(e, fm) {
+					t.Logf("seed %d: frontier member %s dominated by %s", seed, fm.Plan, e.Plan)
+					return false
+				}
+			}
+		}
+		inFront := func(e Evaluated) bool {
+			for _, fm := range front {
+				if fm.Plan.String() == e.Plan.String() &&
+					fm.Throughput == e.Throughput && fm.Accuracy == e.Accuracy {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range evals {
+			if inFront(e) {
+				continue
+			}
+			dominated := false
+			for _, fm := range front {
+				if dominates(fm, e) || (fm.Throughput == e.Throughput && fm.Accuracy == e.Accuracy) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Logf("seed %d: plan %s neither on frontier nor dominated", seed, e.Plan)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSelectRespectsConstraints: whenever Select succeeds the plan
+// satisfies every bound, and when it fails no evaluated plan satisfies
+// them all.
+func TestQuickSelectRespectsConstraints(t *testing.T) {
+	env := DefaultEnv()
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		dnns, formats := randPlanSpace(rng)
+		plans, err := Generate(dnns, formats, env, GenerateOptions{OptimizePreproc: true})
+		if err != nil {
+			return false
+		}
+		evals, err := Evaluate(plans, env)
+		if err != nil {
+			return false
+		}
+		c := Constraint{
+			MinAccuracy:   rng.Float64(),
+			MinThroughput: rng.Float64() * 6000,
+		}
+		if rng.Intn(2) == 0 {
+			c.MaxLatencyUS = rng.Float64() * 1e6
+		}
+		feasible := func(e Evaluated) bool {
+			if e.Accuracy < c.MinAccuracy || e.Throughput < c.MinThroughput {
+				return false
+			}
+			return c.MaxLatencyUS == 0 || e.LatencyUS <= c.MaxLatencyUS
+		}
+		got, err := Select(evals, c)
+		if err != nil {
+			for _, e := range evals {
+				if feasible(e) {
+					t.Logf("seed %d: Select failed but %s is feasible", seed, e.Plan)
+					return false
+				}
+			}
+			return true
+		}
+		if !feasible(got) {
+			t.Logf("seed %d: selected %s violates %+v", seed, got.Plan, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smol/internal/codec/jpeg"
+	"smol/internal/codec/vid"
+	"smol/internal/img"
+	"smol/internal/tensor"
+)
+
+func TestImageDatasetsOrdering(t *testing.T) {
+	ds := ImageDatasets()
+	if len(ds) != 4 {
+		t.Fatalf("got %d datasets", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].NumClasses <= ds[i-1].NumClasses {
+			t.Fatal("datasets should be ordered easy to hard")
+		}
+	}
+	if _, err := ImageDataset("bike-bird"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImageDataset("cifar"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a := RenderImage(rand.New(rand.NewSource(1)), 3, 10, 64)
+	b := RenderImage(rand.New(rand.NewSource(1)), 3, 10, 64)
+	if img.MeanAbsDiff(a, b) != 0 {
+		t.Fatal("same seed must render identical images")
+	}
+	c := RenderImage(rand.New(rand.NewSource(2)), 3, 10, 64)
+	if img.MeanAbsDiff(a, c) == 0 {
+		t.Fatal("different seeds should vary")
+	}
+}
+
+func TestGenerateShapeAndBalance(t *testing.T) {
+	spec := DatasetSpec{Name: "test", NumClasses: 5, TrainN: 50, TestN: 25, FullRes: 32, ThumbRes: 16}
+	d := Generate(spec)
+	if len(d.Train) != 50 || len(d.Test) != 25 {
+		t.Fatalf("sizes %d/%d", len(d.Train), len(d.Test))
+	}
+	counts := make([]int, 5)
+	for _, li := range d.Train {
+		counts[li.Label]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+	if d.Train[0].Image.W != 32 {
+		t.Fatalf("res %d", d.Train[0].Image.W)
+	}
+}
+
+// classMean averages n renders of class c, suppressing placement jitter.
+func classMean(rng *rand.Rand, c, k, res, n int) []float64 {
+	acc := make([]float64, res*res*3)
+	for i := 0; i < n; i++ {
+		m := RenderImage(rng, c, k, res)
+		for j, p := range m.Pix {
+			acc[j] += float64(p)
+		}
+	}
+	for j := range acc {
+		acc[j] /= float64(n)
+	}
+	return acc
+}
+
+func meanDiff(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+func TestClassesAreVisuallyDistinct(t *testing.T) {
+	// Class-mean images of different classes must differ more than two
+	// independent class-means of the same class (per-render jitter averages
+	// out over 20 renders).
+	rng := rand.New(rand.NewSource(3))
+	k := 10
+	const n = 20
+	intra := meanDiff(classMean(rng, 0, k, 64, n), classMean(rng, 0, k, 64, n))
+	inter := meanDiff(classMean(rng, 0, k, 64, n), classMean(rng, 5, k, 64, n))
+	if inter < intra*1.5 {
+		t.Fatalf("inter-class diff %v should clearly exceed intra-class %v", inter, intra)
+	}
+}
+
+func TestFineTextureDestroyedByDownsampling(t *testing.T) {
+	// Classes 0 and 1 share a coarse group when k > 4 (same color/shape,
+	// different texture). At full resolution they are distinguishable; after
+	// a down-up round trip they should become much closer.
+	rng := rand.New(rand.NewSource(4))
+	k := 20
+	mkPair := func() (*img.Image, *img.Image) {
+		r1 := rand.New(rand.NewSource(rng.Int63()))
+		r2 := rand.New(rand.NewSource(rng.Int63()))
+		return RenderImage(r1, 0, k, 64), RenderImage(r2, 1, k, 64)
+	}
+	var fullDiff, lowDiff float64
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		a, b := mkPair()
+		fullDiff += img.MeanAbsDiff(a, b)
+		al := a.ResizeBilinear(16, 16).ResizeBilinear(64, 64)
+		bl := b.ResizeBilinear(16, 16).ResizeBilinear(64, 64)
+		lowDiff += img.MeanAbsDiff(al, bl)
+	}
+	if lowDiff >= fullDiff {
+		t.Fatalf("downsampling should shrink texture-only class differences: full %v low %v",
+			fullDiff/trials, lowDiff/trials)
+	}
+}
+
+func TestToSampleRange(t *testing.T) {
+	m := RenderImage(rand.New(rand.NewSource(5)), 0, 2, 32)
+	s := ToSample(m, 1)
+	if s.Label != 1 || s.X.Shape[0] != 3 || s.X.Shape[1] != 32 {
+		t.Fatalf("sample %v label %d", s.X.Shape, s.Label)
+	}
+	for _, v := range s.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("value %v out of [0,1]", v)
+		}
+	}
+	// Channel layout: sample pixel (0,0) red channel.
+	r, _, _ := m.At(0, 0)
+	if math.Abs(float64(s.X.Data[0])-float64(r)/255) > 1e-6 {
+		t.Fatal("channel layout mismatch")
+	}
+}
+
+func TestToSamplesTransform(t *testing.T) {
+	set := []LabeledImage{
+		{Image: RenderImage(rand.New(rand.NewSource(6)), 0, 2, 32), Label: 0},
+	}
+	samples := ToSamples(set, func(m *img.Image) *img.Image {
+		return m.ResizeBilinear(16, 16)
+	})
+	if samples[0].X.Shape[1] != 16 {
+		t.Fatalf("transform not applied: %v", samples[0].X.Shape)
+	}
+}
+
+func TestDownUpTensor(t *testing.T) {
+	x := tensor.New(3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) / 7
+	}
+	y := DownUpTensor(x, 8)
+	if !tensor.SameShape(x, y) {
+		t.Fatalf("shape changed: %v", y.Shape)
+	}
+	// Smoothing must change values but keep them in range.
+	same := true
+	for i := range y.Data {
+		if y.Data[i] != x.Data[i] {
+			same = false
+		}
+		if y.Data[i] < -0.01 || y.Data[i] > 1.01 {
+			t.Fatalf("value %v out of range", y.Data[i])
+		}
+	}
+	if same {
+		t.Fatal("down-up round trip should alter high-frequency content")
+	}
+}
+
+func TestDownUpAugmenterProbability(t *testing.T) {
+	aug := DownUpAugmenter(8, 0.5)
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(i % 5)
+	}
+	changed := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		y := aug(rng, x)
+		if y != x {
+			changed++
+		}
+	}
+	if changed < n/4 || changed > 3*n/4 {
+		t.Fatalf("augmenter fired %d of %d times at p=0.5", changed, n)
+	}
+}
+
+func TestVideoDatasets(t *testing.T) {
+	vs := VideoDatasets()
+	if len(vs) != 4 {
+		t.Fatalf("got %d videos", len(vs))
+	}
+	if _, err := VideoDataset("taipei"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VideoDataset("tokyo"); err == nil {
+		t.Fatal("unknown video should error")
+	}
+}
+
+func TestGenerateVideoGroundTruth(t *testing.T) {
+	spec := VideoSpec{Name: "test-vid", W: 80, H: 48, LowW: 40, LowH: 24,
+		Frames: 200, MeanObjects: 2.0}
+	v := GenerateVideo(spec)
+	if len(v.Frames) != 200 || len(v.Counts) != 200 {
+		t.Fatalf("frames %d counts %d", len(v.Frames), len(v.Counts))
+	}
+	mean := v.MeanCount()
+	if mean < 0.5 || mean > 4.5 {
+		t.Fatalf("mean count %v far from target 2.0", mean)
+	}
+	// Counts vary over time (needed for the control-variate experiment).
+	varies := false
+	for i := 1; i < len(v.Counts); i++ {
+		if v.Counts[i] != v.Counts[0] {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("constant counts make aggregation trivial")
+	}
+}
+
+func TestGenerateVideoDeterministic(t *testing.T) {
+	spec, _ := VideoDataset("amsterdam")
+	spec.Frames = 30
+	a := GenerateVideo(spec)
+	b := GenerateVideo(spec)
+	for i := range a.Frames {
+		if img.MeanAbsDiff(a.Frames[i], b.Frames[i]) != 0 {
+			t.Fatal("video generation must be deterministic")
+		}
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatal("counts must be deterministic")
+		}
+	}
+}
+
+func TestLowResFrames(t *testing.T) {
+	spec, _ := VideoDataset("taipei")
+	spec.Frames = 10
+	v := GenerateVideo(spec)
+	low := v.LowResFrames()
+	if len(low) != 10 || low[0].W != spec.LowW || low[0].H != spec.LowH {
+		t.Fatalf("low res %dx%d", low[0].W, low[0].H)
+	}
+}
+
+func TestDarknessDimsScene(t *testing.T) {
+	bright, _ := VideoDataset("taipei")
+	dark, _ := VideoDataset("night-street")
+	bright.Frames, dark.Frames = 5, 5
+	vb := GenerateVideo(bright)
+	vd := GenerateVideo(dark)
+	mb := meanLuma(vb.Frames[0])
+	md := meanLuma(vd.Frames[0])
+	if md >= mb {
+		t.Fatalf("night-street (%v) should be darker than taipei (%v)", md, mb)
+	}
+}
+
+func meanLuma(m *img.Image) float64 {
+	var s float64
+	for i := 0; i < len(m.Pix); i += 3 {
+		s += 0.299*float64(m.Pix[i]) + 0.587*float64(m.Pix[i+1]) + 0.114*float64(m.Pix[i+2])
+	}
+	return s / float64(len(m.Pix)/3)
+}
+
+func TestExportImages(t *testing.T) {
+	spec, err := ImageDataset("bike-bird")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TrainN, spec.TestN = 6, 4
+	ds := Generate(spec)
+	dir := t.TempDir()
+	n, err := ExportImages(ds, dir, ExportOptions{ThumbFormat: "jpeg75"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2*(6+4) {
+		t.Fatalf("wrote %d files, want %d", n, 2*(6+4))
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "labels.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(manifest)), "\n")
+	if len(lines) != 1+6+4 {
+		t.Fatalf("manifest has %d lines", len(lines))
+	}
+	// Every referenced file exists and decodes.
+	for _, line := range lines[1:] {
+		f := strings.Split(line, "\t")
+		if len(f) != 5 {
+			t.Fatalf("bad manifest line %q", line)
+		}
+		enc, err := os.ReadFile(filepath.Join(dir, f[3]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := jpeg.Decode(enc); err != nil {
+			t.Fatalf("%s: %v", f[3], err)
+		}
+		tb, err := os.ReadFile(filepath.Join(dir, f[4]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := jpeg.Decode(tb); err != nil {
+			t.Fatalf("%s: %v", f[4], err)
+		}
+	}
+	if _, err := ExportImages(ds, dir, ExportOptions{ThumbFormat: "bogus"}); err == nil {
+		t.Fatal("bogus thumb format should error")
+	}
+}
+
+func TestExportVideo(t *testing.T) {
+	spec, err := VideoDataset("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Frames = 20
+	dir := t.TempDir()
+	paths, err := ExportVideo(spec, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	fullEnc, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := vid.DecodeAll(fullEnc, vid.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 20 {
+		t.Fatalf("decoded %d frames", len(frames))
+	}
+	lowEnc, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := vid.DecodeAll(lowEnc, vid.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low[0].W != frames[0].W/2 {
+		t.Fatalf("low res width %d, want half of %d", low[0].W, frames[0].W)
+	}
+}
+
+func TestRenderSample(t *testing.T) {
+	spec, _ := ImageDataset("animals-10")
+	s := RenderSample(spec, 12, 3)
+	if len(s) != 12 {
+		t.Fatalf("got %d samples", len(s))
+	}
+	for i, li := range s {
+		if li.Label != i%spec.NumClasses {
+			t.Fatalf("sample %d label %d", i, li.Label)
+		}
+		if li.Image.W != spec.FullRes {
+			t.Fatalf("sample %d res %d", i, li.Image.W)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"smol/internal/codec/jpeg"
+	"smol/internal/codec/spng"
+	"smol/internal/codec/vid"
+	"smol/internal/img"
+)
+
+// ExportOptions controls dataset materialization.
+type ExportOptions struct {
+	// JPEGQuality for full-resolution images; zero means 90.
+	JPEGQuality int
+	// ThumbFormat is "png", "jpeg95", or "jpeg75" (default "png").
+	ThumbFormat string
+}
+
+// ExportImages writes a rendered image dataset to dir as encoded files —
+// the on-disk form a serving system would hold: full-resolution JPEGs
+// under full/, natively present thumbnails under thumb/, and a labels.tsv
+// manifest. It returns the number of files written.
+func ExportImages(ds *Dataset, dir string, opts ExportOptions) (int, error) {
+	q := opts.JPEGQuality
+	if q == 0 {
+		q = 90
+	}
+	thumbFmt := opts.ThumbFormat
+	if thumbFmt == "" {
+		thumbFmt = "png"
+	}
+	encodeThumb := func(m *img.Image) ([]byte, string, error) {
+		t := m.ResizeBilinear(ds.Spec.ThumbRes, ds.Spec.ThumbRes)
+		switch thumbFmt {
+		case "png":
+			return spng.Encode(t, 0), "spng", nil
+		case "jpeg95":
+			return jpeg.Encode(t, jpeg.EncodeOptions{Quality: 95}), "jpg", nil
+		case "jpeg75":
+			return jpeg.Encode(t, jpeg.EncodeOptions{Quality: 75}), "jpg", nil
+		default:
+			return nil, "", fmt.Errorf("data: unknown thumb format %q", thumbFmt)
+		}
+	}
+	for _, sub := range []string{"full", "thumb"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return 0, err
+		}
+	}
+	manifest, err := os.Create(filepath.Join(dir, "labels.tsv"))
+	if err != nil {
+		return 0, err
+	}
+	defer manifest.Close()
+	fmt.Fprintln(manifest, "split\tid\tlabel\tfull\tthumb")
+
+	written := 0
+	write := func(split string, items []LabeledImage) error {
+		for i, li := range items {
+			id := fmt.Sprintf("%s-%05d", split, i)
+			fullPath := filepath.Join("full", id+".jpg")
+			if err := os.WriteFile(filepath.Join(dir, fullPath),
+				jpeg.Encode(li.Image, jpeg.EncodeOptions{Quality: q}), 0o644); err != nil {
+				return err
+			}
+			enc, ext, err := encodeThumb(li.Image)
+			if err != nil {
+				return err
+			}
+			thumbPath := filepath.Join("thumb", id+"."+ext)
+			if err := os.WriteFile(filepath.Join(dir, thumbPath), enc, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(manifest, "%s\t%s\t%d\t%s\t%s\n", split, id, li.Label, fullPath, thumbPath)
+			written += 2
+		}
+		return nil
+	}
+	if err := write("train", ds.Train); err != nil {
+		return written, err
+	}
+	if err := write("test", ds.Test); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ExportVideo encodes a synthetic video at full and low resolution into
+// dir, plus a counts.tsv ground-truth manifest — the layout the BlazeIt
+// experiments consume. Returns the paths written.
+func ExportVideo(spec VideoSpec, dir string, quality int) ([]string, error) {
+	if quality == 0 {
+		quality = 70
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	v := GenerateVideo(spec)
+	var paths []string
+
+	fullEnc, err := vid.Encode(v.Frames, vid.EncodeOptions{Quality: quality, GOP: 30})
+	if err != nil {
+		return nil, err
+	}
+	fullPath := filepath.Join(dir, spec.Name+"-full.vid")
+	if err := os.WriteFile(fullPath, fullEnc, 0o644); err != nil {
+		return nil, err
+	}
+	paths = append(paths, fullPath)
+
+	low := make([]*img.Image, len(v.Frames))
+	for i, f := range v.Frames {
+		low[i] = f.ResizeBilinear(f.W/2, f.H/2)
+	}
+	lowEnc, err := vid.Encode(low, vid.EncodeOptions{Quality: quality, GOP: 30})
+	if err != nil {
+		return nil, err
+	}
+	lowPath := filepath.Join(dir, spec.Name+"-low.vid")
+	if err := os.WriteFile(lowPath, lowEnc, 0o644); err != nil {
+		return nil, err
+	}
+	paths = append(paths, lowPath)
+
+	counts, err := os.Create(filepath.Join(dir, spec.Name+"-counts.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer counts.Close()
+	fmt.Fprintln(counts, "frame\tcount")
+	for i, c := range v.Counts {
+		fmt.Fprintf(counts, "%d\t%d\n", i, c)
+	}
+	paths = append(paths, counts.Name())
+	return paths, nil
+}
+
+// RenderSample renders n preview images of distinct classes for a spec,
+// deterministic in seed — used by smol-datagen's -preview mode.
+func RenderSample(spec DatasetSpec, n int, seed int64) []LabeledImage {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]LabeledImage, 0, n)
+	for i := 0; i < n; i++ {
+		c := i % spec.NumClasses
+		out = append(out, LabeledImage{Image: RenderImage(rng, c, spec.NumClasses, spec.FullRes), Label: c})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smol/internal/img"
+)
+
+// VideoSpec describes one synthetic fixed-camera video dataset for
+// BlazeIt-style aggregation queries ("how many cars per frame").
+type VideoSpec struct {
+	Name string
+	// W, H are the full-resolution frame dimensions; LowW, LowH are the
+	// natively present low-resolution (480p-equivalent) dimensions.
+	W, H       int
+	LowW, LowH int
+	Frames     int
+	// MeanObjects is the mean number of target objects visible per frame.
+	MeanObjects float64
+	// Darkness in [0,1] dims the scene (night-street is hard to see).
+	Darkness  float64
+	PaperNote string
+}
+
+// Video datasets at laptop scale (paper: hours of 720p+ video each).
+var videoDatasets = []VideoSpec{
+	{Name: "night-street", W: 160, H: 96, LowW: 80, LowH: 48, Frames: 600,
+		MeanObjects: 1.2, Darkness: 0.6, PaperNote: "paper: 1080p night traffic cam"},
+	{Name: "taipei", W: 160, H: 96, LowW: 80, LowH: 48, Frames: 600,
+		MeanObjects: 2.5, Darkness: 0.1, PaperNote: "paper: busy intersection"},
+	{Name: "amsterdam", W: 160, H: 96, LowW: 80, LowH: 48, Frames: 600,
+		MeanObjects: 1.0, Darkness: 0.2, PaperNote: "paper: canal scene"},
+	{Name: "rialto", W: 160, H: 96, LowW: 80, LowH: 48, Frames: 600,
+		MeanObjects: 3.0, Darkness: 0.15, PaperNote: "paper: Rialto bridge boats"},
+}
+
+// VideoDatasets returns the video specs.
+func VideoDatasets() []VideoSpec {
+	out := make([]VideoSpec, len(videoDatasets))
+	copy(out, videoDatasets)
+	return out
+}
+
+// VideoDataset returns the named video spec.
+func VideoDataset(name string) (VideoSpec, error) {
+	for _, v := range videoDatasets {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return VideoSpec{}, fmt.Errorf("data: unknown video %q", name)
+}
+
+// mover is one object crossing the scene.
+type mover struct {
+	enter     int // frame at which it appears
+	speed     float64
+	lane      float64 // vertical position fraction
+	size      float64
+	r, g, b   uint8
+	fromRight bool
+}
+
+// Video is a realized synthetic video: frames plus ground-truth counts.
+type Video struct {
+	Spec   VideoSpec
+	Frames []*img.Image
+	// Counts is the ground-truth number of visible objects per frame.
+	Counts []int
+}
+
+// GenerateVideo renders the video deterministically from its name.
+func GenerateVideo(spec VideoSpec) *Video {
+	rng := rand.New(rand.NewSource(seedFor(spec.Name)))
+	// Spawn movers as a Poisson-ish process tuned to hit MeanObjects.
+	crossingFrames := float64(spec.W) / 2.0 // at speed ~2 px/frame
+	spawnRate := spec.MeanObjects / crossingFrames
+	var movers []mover
+	for f := 0; f < spec.Frames; f++ {
+		if rng.Float64() < spawnRate*1.0 {
+			movers = append(movers, mover{
+				enter:     f,
+				speed:     1.5 + rng.Float64()*1.5,
+				lane:      0.25 + rng.Float64()*0.6,
+				size:      0.08 + rng.Float64()*0.06,
+				r:         uint8(120 + rng.Intn(135)),
+				g:         uint8(120 + rng.Intn(135)),
+				b:         uint8(40 + rng.Intn(100)),
+				fromRight: rng.Intn(2) == 0,
+			})
+		}
+	}
+	v := &Video{Spec: spec}
+	dim := 1 - spec.Darkness
+	for f := 0; f < spec.Frames; f++ {
+		m := img.New(spec.W, spec.H)
+		// Static background: road + sky gradient with mild noise.
+		for y := 0; y < spec.H; y++ {
+			for x := 0; x < spec.W; x++ {
+				base := 90 + 60*y/spec.H
+				n := int(3 * math.Sin(float64(x)*0.7+float64(y)*1.3))
+				val := img.Clamp8(int(float64(base+n) * dim))
+				m.Set(x, y, val, val, img.Clamp8(int(float64(base+n+15)*dim)))
+			}
+		}
+		count := 0
+		for _, mv := range movers {
+			if f < mv.enter {
+				continue
+			}
+			progress := float64(f-mv.enter) * mv.speed
+			var cx float64
+			if mv.fromRight {
+				cx = float64(spec.W) - progress
+			} else {
+				cx = progress
+			}
+			halfW := mv.size * float64(spec.W)
+			if cx+halfW < 0 || cx-halfW > float64(spec.W) {
+				continue
+			}
+			count++
+			cy := mv.lane * float64(spec.H)
+			halfH := halfW * 0.55
+			for y := int(cy - halfH); y <= int(cy+halfH); y++ {
+				if y < 0 || y >= spec.H {
+					continue
+				}
+				for x := int(cx - halfW); x <= int(cx+halfW); x++ {
+					if x < 0 || x >= spec.W {
+						continue
+					}
+					m.Set(x, y,
+						img.Clamp8(int(float64(mv.r)*dim)),
+						img.Clamp8(int(float64(mv.g)*dim)),
+						img.Clamp8(int(float64(mv.b)*dim)))
+				}
+			}
+		}
+		v.Frames = append(v.Frames, m)
+		v.Counts = append(v.Counts, count)
+	}
+	return v
+}
+
+// LowResFrames returns the natively-present low-resolution rendition of the
+// video (as a serving stack would store for reduced bandwidth).
+func (v *Video) LowResFrames() []*img.Image {
+	out := make([]*img.Image, len(v.Frames))
+	for i, f := range v.Frames {
+		out[i] = f.ResizeBilinear(v.Spec.LowW, v.Spec.LowH)
+	}
+	return out
+}
+
+// MeanCount returns the average ground-truth object count.
+func (v *Video) MeanCount() float64 {
+	var s float64
+	for _, c := range v.Counts {
+		s += float64(c)
+	}
+	return s / float64(len(v.Counts))
+}

@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smol/internal/tensor"
+)
+
+// Options toggles the engine's systems optimizations individually, for the
+// lesion and factor analyses of Figures 7 and 8.
+type Options struct {
+	// DisableThreading runs a single preprocessing worker.
+	DisableThreading bool
+	// DisableMemReuse allocates a fresh tensor per image instead of pooling.
+	DisableMemReuse bool
+	// DisablePinned allocates a fresh staging buffer per batch and performs
+	// the extra copy a non-pinned transfer path implies.
+	DisablePinned bool
+}
+
+// Config describes the pipeline topology.
+type Config struct {
+	// Workers is the number of preprocessing goroutines; zero means
+	// GOMAXPROCS (the paper's producers == vCPUs heuristic).
+	Workers int
+	// Streams is the number of batch-assembly consumers (CUDA streams).
+	Streams int
+	// QueueCap is the bounded queue capacity; zero means 4x batch size.
+	QueueCap int
+	// BatchSize is the execution batch size; zero means 32.
+	BatchSize int
+	// SampleShape is the (C, H, W) shape every preprocessed sample has.
+	SampleShape [3]int
+	Opts        Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Opts.DisableThreading {
+		c.Workers = 1
+	}
+	if c.Streams <= 0 {
+		c.Streams = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.QueueCap < c.BatchSize {
+		c.QueueCap = 4 * c.BatchSize
+	}
+	return c
+}
+
+// Job is one unit of input: an encoded image plus its position in the
+// input order.
+type Job struct {
+	Index int
+	Data  []byte
+}
+
+// PrepFunc decodes and preprocesses one job into out, which has
+// SampleShape. It runs concurrently on many workers; implementations must
+// confine mutable state to the worker (the engine passes a distinct
+// workerState to each).
+type PrepFunc func(ws *WorkerState, job Job, out *tensor.Tensor) error
+
+// ExecFunc consumes an assembled batch: batch is (n, C, H, W) and indices
+// lists the job indices in batch order. It is called from multiple stream
+// goroutines.
+type ExecFunc func(batch *tensor.Tensor, indices []int) error
+
+// WorkerState carries per-worker scratch so PrepFuncs can reuse memory
+// without synchronization.
+type WorkerState struct {
+	// ID is the worker index.
+	ID int
+	// Scratch is an arbitrary per-worker value, set up by the caller via
+	// Engine.InitWorker.
+	Scratch any
+}
+
+// Stats summarizes one engine run.
+type Stats struct {
+	Images          int
+	Elapsed         time.Duration
+	Throughput      float64 // images/sec
+	Batches         int
+	QueueFullStalls int
+	PoolAllocs      int
+	PoolReuses      int
+	// MeanLatency and MaxLatency measure per-image latency from the start
+	// of an image's preprocessing to the completion of the batch that
+	// carried it — the real-engine counterpart of the simulator's latency
+	// tracking and the quantity Constraint.MaxLatencyUS caps.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+}
+
+// Engine executes jobs through the preprocessing/execution pipeline.
+type Engine struct {
+	cfg  Config
+	prep PrepFunc
+	exec ExecFunc
+	// InitWorker, when non-nil, initializes each worker's scratch state.
+	InitWorker func(ws *WorkerState)
+}
+
+// New constructs an engine.
+func New(cfg Config, prep PrepFunc, exec ExecFunc) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if prep == nil || exec == nil {
+		return nil, fmt.Errorf("engine: prep and exec functions are required")
+	}
+	if cfg.SampleShape[0] <= 0 || cfg.SampleShape[1] <= 0 || cfg.SampleShape[2] <= 0 {
+		return nil, fmt.Errorf("engine: invalid sample shape %v", cfg.SampleShape)
+	}
+	return &Engine{cfg: cfg, prep: prep, exec: exec}, nil
+}
+
+// item is a preprocessed sample flowing through the queue. Only the pointer
+// crosses goroutines, avoiding copies (§6.1: "Smol only passes pointers
+// between workers").
+type item struct {
+	index int
+	buf   *tensor.Tensor
+	// start is when the item's preprocessing began, for latency tracking.
+	start time.Time
+}
+
+// Run pushes all jobs through the pipeline and blocks until every batch has
+// been executed. The first error from any stage aborts the run.
+func (e *Engine) Run(jobs []Job) (Stats, error) {
+	cfg := e.cfg
+	shape := []int{cfg.SampleShape[0], cfg.SampleShape[1], cfg.SampleShape[2]}
+	sampleLen := shape[0] * shape[1] * shape[2]
+
+	pool := NewTensorPool(shape, cfg.QueueCap+cfg.Workers+cfg.Streams*cfg.BatchSize)
+	arena := NewPinnedArena(cfg.Streams+1, cfg.BatchSize*sampleLen)
+	queue := NewMPMCQueue[item](cfg.QueueCap)
+
+	var (
+		next     atomic.Int64
+		firstErr atomic.Value
+		wgProd   sync.WaitGroup
+		wgCons   sync.WaitGroup
+		batches  atomic.Int64
+	)
+	setErr := func(err error) {
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+		}
+	}
+
+	start := time.Now()
+	// Producers.
+	for w := 0; w < cfg.Workers; w++ {
+		wgProd.Add(1)
+		go func(id int) {
+			defer wgProd.Done()
+			ws := &WorkerState{ID: id}
+			if e.InitWorker != nil {
+				e.InitWorker(ws)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || firstErr.Load() != nil {
+					return
+				}
+				prepStart := time.Now()
+				var buf *tensor.Tensor
+				if cfg.Opts.DisableMemReuse {
+					buf = tensor.New(shape...)
+				} else {
+					buf = pool.Get()
+				}
+				if err := e.prep(ws, jobs[i], buf); err != nil {
+					setErr(fmt.Errorf("engine: job %d: %w", jobs[i].Index, err))
+					queue.Close()
+					return
+				}
+				if err := queue.Put(item{index: jobs[i].Index, buf: buf, start: prepStart}); err != nil {
+					return // queue closed by an erroring stage
+				}
+			}
+		}(w)
+	}
+
+	// Consumers (streams). Each stream accumulates latency locally and
+	// merges under latMu when it drains.
+	var (
+		latMu  sync.Mutex
+		latSum time.Duration
+		latMax time.Duration
+	)
+	scratch := make([][]item, cfg.Streams)
+	for s := 0; s < cfg.Streams; s++ {
+		scratch[s] = make([]item, cfg.BatchSize)
+		wgCons.Add(1)
+		go func(id int) {
+			defer wgCons.Done()
+			var localSum, localMax time.Duration
+			defer func() {
+				latMu.Lock()
+				latSum += localSum
+				if localMax > latMax {
+					latMax = localMax
+				}
+				latMu.Unlock()
+			}()
+			items := scratch[id]
+			indices := make([]int, cfg.BatchSize)
+			for {
+				n := queue.TakeUpTo(items, cfg.BatchSize)
+				if n == 0 {
+					return
+				}
+				var staging []float32
+				if cfg.Opts.DisablePinned {
+					// Unpinned path: fresh allocation plus an extra staging
+					// copy, as DALI-to-TensorRT style integrations require.
+					staging = make([]float32, cfg.BatchSize*sampleLen)
+					tmp := make([]float32, n*sampleLen)
+					for i := 0; i < n; i++ {
+						copy(tmp[i*sampleLen:], items[i].buf.Data)
+					}
+					copy(staging, tmp)
+				} else {
+					staging = arena.Acquire()
+					for i := 0; i < n; i++ {
+						copy(staging[i*sampleLen:], items[i].buf.Data)
+					}
+				}
+				for i := 0; i < n; i++ {
+					indices[i] = items[i].index
+					if !cfg.Opts.DisableMemReuse {
+						pool.Put(items[i].buf)
+					}
+					items[i].buf = nil
+				}
+				batch := tensor.FromData(staging[:n*sampleLen], n, shape[0], shape[1], shape[2])
+				err := e.exec(batch, indices[:n])
+				if !cfg.Opts.DisablePinned {
+					arena.Release(staging)
+				}
+				done := time.Now()
+				for i := 0; i < n; i++ {
+					lat := done.Sub(items[i].start)
+					localSum += lat
+					if lat > localMax {
+						localMax = lat
+					}
+				}
+				batches.Add(1)
+				if err != nil {
+					setErr(fmt.Errorf("engine: exec: %w", err))
+					queue.Close()
+					return
+				}
+			}
+		}(s)
+	}
+
+	wgProd.Wait()
+	queue.Close()
+	wgCons.Wait()
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return Stats{}, err
+	}
+	elapsed := time.Since(start)
+	allocs, reuses := pool.Stats()
+	st := Stats{
+		Images:          len(jobs),
+		Elapsed:         elapsed,
+		Batches:         int(batches.Load()),
+		QueueFullStalls: queue.PutStalls(),
+		PoolAllocs:      allocs,
+		PoolReuses:      reuses,
+		MaxLatency:      latMax,
+	}
+	if len(jobs) > 0 {
+		st.MeanLatency = latSum / time.Duration(len(jobs))
+	}
+	if elapsed > 0 {
+		st.Throughput = float64(len(jobs)) / elapsed.Seconds()
+	}
+	return st, nil
+}

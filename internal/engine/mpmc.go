@@ -1,0 +1,142 @@
+// Package engine is Smol's runtime engine (§6.1): a real multi-producer
+// multi-consumer pipeline in which preprocessing workers decode and
+// transform images into reusable buffers, and consumer streams assemble
+// batches for DNN execution. Every systems optimization the paper ablates
+// in Figures 7 and 8 — threading, memory reuse, pinned staging buffers,
+// and the preprocessing DAG — is individually toggleable.
+package engine
+
+import (
+	"errors"
+	"sync"
+)
+
+// MPMCQueue is a bounded multi-producer multi-consumer FIFO queue, the Go
+// analogue of folly::MPMCQueue used by the paper's implementation. It
+// blocks on Put when full and on Take when empty, and supports draining
+// close semantics.
+type MPMCQueue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int
+	tail     int
+	count    int
+	closed   bool
+
+	// PutStalls counts Put calls that had to wait for space — the engine's
+	// backpressure signal.
+	putStalls int
+}
+
+// NewMPMCQueue creates a queue with the given capacity.
+func NewMPMCQueue[T any](capacity int) *MPMCQueue[T] {
+	if capacity <= 0 {
+		panic("engine: queue capacity must be positive")
+	}
+	q := &MPMCQueue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// ErrClosed is returned by Put after Close.
+var ErrClosed = errors.New("engine: queue closed")
+
+// Put enqueues v, blocking while the queue is full. It returns ErrClosed if
+// the queue was closed.
+func (q *MPMCQueue[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	stalled := false
+	for q.count == len(q.buf) && !q.closed {
+		if !stalled {
+			q.putStalls++
+			stalled = true
+		}
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf[q.tail] = v
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.count++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Take dequeues one element, blocking while the queue is empty. ok is false
+// when the queue is closed and drained.
+func (q *MPMCQueue[T]) Take() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.count == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.notFull.Signal()
+	return v, true
+}
+
+// TakeUpTo dequeues up to max elements into dst, blocking until at least
+// one element is available or the queue is drained. It returns the number
+// dequeued (0 means closed and drained). Batch consumers use this to
+// assemble accelerator batches in one critical section.
+func (q *MPMCQueue[T]) TakeUpTo(dst []T, max int) int {
+	if max > len(dst) {
+		max = len(dst)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	n := q.count
+	if n > max {
+		n = max
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		dst[i] = q.buf[q.head]
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.count -= n
+	if n > 0 {
+		q.notFull.Broadcast()
+	}
+	return n
+}
+
+// Close marks the queue closed: pending and future Puts fail, Takes drain
+// the remaining elements then report ok=false.
+func (q *MPMCQueue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// Len returns the current element count.
+func (q *MPMCQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// PutStalls returns how many Put calls blocked on a full queue.
+func (q *MPMCQueue[T]) PutStalls() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.putStalls
+}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"sync"
+
+	"smol/internal/tensor"
+)
+
+// TensorPool is a free list of identically-shaped tensors, implementing the
+// buffer-reuse optimization of §6.1: the caller of the engine only needs
+// inference results, never the intermediate preprocessed buffers, so those
+// buffers cycle through the pool instead of the allocator.
+type TensorPool struct {
+	mu    sync.Mutex
+	shape []int
+	free  []*tensor.Tensor
+
+	// Stats.
+	allocs int
+	reuses int
+}
+
+// NewTensorPool creates a pool of tensors with the given shape, pre-warming
+// it with warm buffers. Over-allocating (warm > workers) keeps producers
+// from contending with consumers, per the paper.
+func NewTensorPool(shape []int, warm int) *TensorPool {
+	p := &TensorPool{shape: append([]int(nil), shape...)}
+	for i := 0; i < warm; i++ {
+		p.free = append(p.free, tensor.New(p.shape...))
+		p.allocs++
+	}
+	return p
+}
+
+// Get returns a tensor from the pool, allocating if empty.
+func (p *TensorPool) Get() *tensor.Tensor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.reuses++
+		return t
+	}
+	p.allocs++
+	return tensor.New(p.shape...)
+}
+
+// Put returns a tensor to the pool. Tensors of the wrong shape are dropped.
+func (p *TensorPool) Put(t *tensor.Tensor) {
+	if t == nil {
+		return
+	}
+	if len(t.Shape) != len(p.shape) {
+		return
+	}
+	for i := range p.shape {
+		if t.Shape[i] != p.shape[i] {
+			return
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, t)
+}
+
+// Stats returns (allocations, reuses).
+func (p *TensorPool) Stats() (allocs, reuses int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs, p.reuses
+}
+
+// PinnedArena models the pinned staging memory of §6.1: a fixed set of
+// preallocated batch-sized buffers. Real CUDA pinned memory makes
+// host-to-device copies ~2-3x faster; in this engine the benefit realized
+// is allocation-free, reusable batch staging, and the simulator separately
+// charges unpinned transfers a higher per-batch overhead.
+type PinnedArena struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free [][]float32
+	size int
+}
+
+// NewPinnedArena preallocates n buffers of size floats each.
+func NewPinnedArena(n, size int) *PinnedArena {
+	a := &PinnedArena{size: size}
+	a.cond = sync.NewCond(&a.mu)
+	for i := 0; i < n; i++ {
+		a.free = append(a.free, make([]float32, size))
+	}
+	return a
+}
+
+// Acquire blocks until a staging buffer is available.
+func (a *PinnedArena) Acquire() []float32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for len(a.free) == 0 {
+		a.cond.Wait()
+	}
+	b := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	return b
+}
+
+// Release returns a staging buffer to the arena.
+func (a *PinnedArena) Release(b []float32) {
+	if len(b) != a.size {
+		panic("engine: releasing foreign buffer to arena")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free = append(a.free, b)
+	a.cond.Signal()
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"smol/internal/costmodel"
+)
+
+// cheapIDs are the experiments that need no NN training.
+var cheapIDs = []string{
+	"table1", "figure1", "mobilenet-ssd", "table2", "table3", "table4", "table5",
+	"table6", "pipeline-overhead", "power-cost", "figure7", "figure8", "table8",
+	"figure10", "latency",
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	for _, id := range cheapIDs {
+		tbl, err := Run(id, Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		for _, r := range tbl.Rows {
+			if len(r) != len(tbl.Columns) {
+				t.Fatalf("%s: row width %d vs %d columns", id, len(r), len(tbl.Columns))
+			}
+		}
+		if s := tbl.String(); !strings.Contains(s, tbl.ID) {
+			t.Fatalf("%s: String() missing ID", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("table99", Quick); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestIDsRegistered(t *testing.T) {
+	ids := IDs()
+	want := map[string]bool{}
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"table7", "table8", "figure1", "figure4", "figure5", "figure6", "figure7",
+		"figure8", "figure9", "figure10", "pipeline-overhead", "power-cost"} {
+		want[id] = true
+	}
+	got := map[string]bool{}
+	for _, id := range ids {
+		got[id] = true
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func TestMobileNetSSDImbalance(t *testing.T) {
+	tbl, err := MobileNetSSD(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, pre := cell(t, tbl, 0, 1), cell(t, tbl, 1, 1)
+	if exec != 7431 {
+		t.Fatalf("exec throughput %v, want the paper anchor 7431", exec)
+	}
+	// §2: the detection pipeline is even more preprocessing-bound than
+	// ResNet-50's 7.1x.
+	if imbalance := exec / pre; imbalance < 7.1 {
+		t.Fatalf("exec/preproc imbalance %.1fx, want > 7.1x", imbalance)
+	}
+	if pre < 150 || pre > 800 {
+		t.Fatalf("MS-COCO preprocessing %v im/s implausible (paper: 397)", pre)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tbl, err := Table1Frameworks(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keras < PyTorch < TensorRT throughput ordering.
+	if !(cell(t, tbl, 0, 1) < cell(t, tbl, 1, 1) && cell(t, tbl, 1, 1) < cell(t, tbl, 2, 1)) {
+		t.Fatalf("framework ordering broken: %+v", tbl.Rows)
+	}
+}
+
+func TestFigure1PreprocDominates(t *testing.T) {
+	tbl, err := Figure1Breakdown(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row layout: decode, resize, normalize, total, exec rn50, exec rn18.
+	totalPre4 := cell(t, tbl, 3, 2)
+	execRN50 := cell(t, tbl, 4, 2)
+	ratio := totalPre4 / execRN50
+	if ratio < 4 || ratio > 12 {
+		t.Fatalf("preproc/exec ratio %.1f, paper reports 7.1x", ratio)
+	}
+}
+
+func TestTable3SmolErrorsSmall(t *testing.T) {
+	tbl, err := Table3CostModels(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		smolErr := cell(t, tbl, i, 4)
+		blazeitErr := cell(t, tbl, i, 5)
+		tahomaErr := cell(t, tbl, i, 6)
+		if smolErr > blazeitErr+0.01 && smolErr > tahomaErr+0.01 {
+			t.Fatalf("row %d: smol err %.1f%% worse than both baselines", i, smolErr)
+		}
+	}
+	// The preproc-bound row must show the dramatic BlazeIt failure.
+	if e := cell(t, tbl, 1, 5); e < 200 {
+		t.Fatalf("preproc-bound blazeit error = %.0f%%, expected hundreds", e)
+	}
+}
+
+func TestTable8OptimizationsWinOnCost(t *testing.T) {
+	tbl, err := Table8CostScaling(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate opt / no-opt per vCPU count; opt must always be
+	// cheaper per image and faster.
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		optTput, noTput := cell(t, tbl, i, 2), cell(t, tbl, i+1, 2)
+		optCost, noCost := cell(t, tbl, i, 3), cell(t, tbl, i+1, 3)
+		if optTput <= noTput {
+			t.Fatalf("vCPU row %d: opt %.0f not faster than no-opt %.0f", i, optTput, noTput)
+		}
+		if optCost >= noCost {
+			t.Fatalf("vCPU row %d: opt %.2f c/1M not cheaper than %.2f", i, optCost, noCost)
+		}
+	}
+}
+
+func TestFigure10SmolWinsEndToEnd(t *testing.T) {
+	tbl, err := Figure10EngineComparison(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by engine name; smol must beat dali and pytorch
+	// end-to-end at every vCPU count.
+	type key struct {
+		engine string
+		vcpus  string
+	}
+	e2e := map[key]float64{}
+	for i, r := range tbl.Rows {
+		e2e[key{r[0], r[1]}] = cell(t, tbl, i, 4)
+	}
+	for k, v := range e2e {
+		if k.engine != "smol" {
+			continue
+		}
+		for _, other := range []string{"dali", "pytorch"} {
+			if ov, ok := e2e[key{other, k.vcpus}]; ok && v <= ov {
+				t.Fatalf("smol (%f) not ahead of %s (%f) at %s vCPUs", v, other, ov, k.vcpus)
+			}
+		}
+	}
+}
+
+func TestFigure9SmolBeatsBlazeIt(t *testing.T) {
+	tbl, err := Run("figure9", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tbl.Rows {
+		speedup := cell(t, tbl, i, 4)
+		if speedup < 1 {
+			t.Fatalf("row %v: smol slower than blazeit (speedup %.2f)", r, speedup)
+		}
+	}
+}
+
+// TestImageExperimentsSmoke trains the tiniest dataset at Quick scale and
+// exercises the training-dependent plumbing end to end. The full
+// experiments run via cmd/smol-bench against the zoo.
+func TestImageExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short mode")
+	}
+	env := costmodel.DefaultEnv()
+	naive, err := naivePoints(Quick, "bike-bird", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) != 3 {
+		t.Fatalf("naive points: %d", len(naive))
+	}
+	smol, err := smolPoints(Quick, "bike-bird", smolConfig{LowRes: true, PreprocOpt: true}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smol) != 3*4 {
+		t.Fatalf("smol points: %d", len(smol))
+	}
+	// bike-bird is nearly trivially separable; even tiny training should
+	// end well above chance.
+	for _, p := range naive {
+		if p.Accuracy < 0.6 {
+			t.Fatalf("naive %s accuracy %.2f barely above chance", p.Config, p.Accuracy)
+		}
+	}
+	// Thumbnail plans must beat full-resolution plans on throughput.
+	var fullBest, thumbBest float64
+	for _, p := range smol {
+		if strings.HasSuffix(p.Config, "/full") {
+			if p.Throughput > fullBest {
+				fullBest = p.Throughput
+			}
+		} else if p.Throughput > thumbBest {
+			thumbBest = p.Throughput
+		}
+	}
+	if thumbBest <= fullBest {
+		t.Fatalf("thumbnails (%.0f) should out-throughput full res (%.0f)", thumbBest, fullBest)
+	}
+	front := frontier(smol)
+	if len(front) == 0 || len(front) > len(smol) {
+		t.Fatalf("frontier size %d", len(front))
+	}
+}
+
+func TestLatencyTradeoffShape(t *testing.T) {
+	tbl, err := LatencyTradeoff(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	for i, r := range tbl.Rows {
+		est, mean, max := cell(t, tbl, i, 1), cell(t, tbl, i, 2), cell(t, tbl, i, 3)
+		if est < mean {
+			t.Fatalf("row %s: estimate %v below simulated mean %v", r[0], est, mean)
+		}
+		if est < max {
+			t.Fatalf("row %s: worst-case estimate %v below simulated max %v", r[0], est, max)
+		}
+		if est > 2*max {
+			t.Fatalf("row %s: estimate %v more than 2x simulated max %v", r[0], est, max)
+		}
+	}
+	// Latency grows with batch; throughput does not degrade much.
+	if !(cell(t, tbl, 0, 1) < cell(t, tbl, 4, 1)) {
+		t.Fatal("latency should grow with batch size")
+	}
+}

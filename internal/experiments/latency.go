@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smol/internal/costmodel"
+	"smol/internal/hw"
+)
+
+func init() {
+	register("latency", LatencyTradeoff)
+}
+
+// LatencyTradeoff exercises the §3.1 extension: the latency/throughput
+// trade-off of batch size under the preprocessing-aware cost model. For a
+// representative preprocessing-bound plan it sweeps the batch size,
+// comparing the analytic worst-case latency estimate against the
+// discrete-event simulator's measured mean and max, alongside the
+// throughput each batch achieves — the numbers a latency-constrained
+// deployment trades between.
+func LatencyTradeoff(s Scale) (*Table, error) {
+	t := &Table{ID: "latency", Title: "Batch size vs latency and throughput (ResNet-50, thumbnails)",
+		Columns: []string{"batch", "est worst-case (ms)", "sim mean (ms)", "sim max (ms)",
+			"throughput (im/s)", "est/sim-max"}}
+	env := costmodel.DefaultEnv()
+	plans, err := costmodel.Generate(
+		[]costmodel.DNNChoice{{Name: "resnet-50", InputRes: 224, Accuracy: 0.75}},
+		[]costmodel.Format{{Name: "thumb-png", Kind: hw.FormatPNG, W: 215, H: 161, Lossless: true}},
+		env, costmodel.GenerateOptions{OptimizePreproc: true})
+	if err != nil {
+		return nil, err
+	}
+	p := plans[0]
+	images := 20000
+	if s == Quick {
+		images = 6000
+	}
+	for _, b := range []int{8, 16, 32, 64, 128} {
+		e := env
+		e.BatchSize = b
+		est, err := costmodel.EstimateLatencyUS(p, e)
+		if err != nil {
+			return nil, err
+		}
+		res, err := costmodel.Measure(p, e, images)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b, est/1e3, res.MeanLatencyUS/1e3, res.MaxLatencyUS/1e3,
+			res.Throughput, est/res.MaxLatencyUS)
+	}
+	batch, tput, err := costmodel.BatchForLatency(p, env, 30e3)
+	if err != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf("no batch meets a 30ms worst-case target: %v", err))
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"BatchForLatency(30ms) -> batch %d at %.0f im/s", batch, tput))
+	}
+	t.Notes = append(t.Notes,
+		"extension of §3.1 (latency-constrained deployments); not a paper table")
+	return t, nil
+}

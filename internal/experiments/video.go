@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"smol/internal/blazeit"
+	"smol/internal/codec/vid"
+	"smol/internal/data"
+	"smol/internal/hw"
+	"smol/internal/img"
+)
+
+func init() {
+	register("figure9", Figure9VideoAgg)
+}
+
+// videoMaterial holds a realized video with real encode/decode round trips
+// at both resolutions plus specialized-model predictions.
+type videoMaterial struct {
+	spec      data.VideoSpec
+	counts    []int
+	fullPreds []float64 // blob counter on decoded full-res frames
+	lowPreds  []float64 // blob counter on decoded low-res frames
+	tinyPreds []float64 // BlazeIt's "tiny ResNet" stand-in: heavily downsampled counting
+}
+
+var (
+	vmMu    sync.Mutex
+	vmCache = map[string]*videoMaterial{}
+)
+
+// prepareVideo renders, encodes (H.264-like codec), decodes, and runs the
+// specialized counters over one dataset — the real-substrate part of the
+// experiment.
+func prepareVideo(name string, s Scale) (*videoMaterial, error) {
+	key := fmt.Sprintf("%s/%v", name, s)
+	vmMu.Lock()
+	defer vmMu.Unlock()
+	if vm, ok := vmCache[key]; ok {
+		return vm, nil
+	}
+	spec, err := data.VideoDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	if s == Quick {
+		spec.Frames = 240
+	}
+	v := data.GenerateVideo(spec)
+
+	// Encode and decode both resolutions through the real codec so the
+	// specialized models see codec artifacts, not pristine frames.
+	decode := func(frames []*img.Image) ([]*img.Image, error) {
+		encoded, err := vid.Encode(frames, vid.EncodeOptions{Quality: 70, GOP: 30})
+		if err != nil {
+			return nil, err
+		}
+		return vid.DecodeAll(encoded, vid.DecodeOptions{})
+	}
+	fullDec, err := decode(v.Frames)
+	if err != nil {
+		return nil, err
+	}
+	lowDec, err := decode(v.LowResFrames())
+	if err != nil {
+		return nil, err
+	}
+
+	fullCounter := blazeit.DefaultCounter(spec.W)
+	lowCounter := blazeit.DefaultCounter(spec.LowW)
+	tinyCounter := blazeit.DefaultCounter(spec.LowW / 2)
+	vm := &videoMaterial{spec: spec, counts: v.Counts}
+	for i := range fullDec {
+		vm.fullPreds = append(vm.fullPreds, float64(fullCounter.Count(fullDec[i])))
+		vm.lowPreds = append(vm.lowPreds, float64(lowCounter.Count(lowDec[i])))
+		tiny := lowDec[i].ResizeBilinear(spec.LowW/2, spec.LowH/2)
+		vm.tinyPreds = append(vm.tinyPreds, float64(tinyCounter.Count(tiny)))
+	}
+	vmCache[key] = vm
+	return vm, nil
+}
+
+// aggConfig is one (system, spec predictor, decode cost) combination.
+type aggConfig struct {
+	name  string
+	preds []float64
+	cost  blazeit.QueryCost
+}
+
+// videoCosts derives paper-scale per-frame costs: decoding 720p-class full
+// resolution vs 480p, on 4 vCPUs, plus a Mask R-CNN-class target model at
+// ~4 fps (250 ms) per sampled frame. engineFactor scales the specialized
+// pass for the engine's efficiency (BlazeIt's runtime is substantially
+// less efficient than Smol's, §8.4).
+func videoCosts(lowRes bool, engineFactor float64) blazeit.QueryCost {
+	w, h := 1280, 720
+	if lowRes {
+		w, h = 854, 480
+	}
+	decodeUS := hw.DecodeCostUS(hw.DecodeSpec{Format: hw.FormatVideoH264, W: w, H: h})
+	perFrame := decodeUS / 4 * engineFactor // 4 vCPUs
+	targetUS := 250000 + decodeUS/4         // target invocation decodes its frame too
+	return blazeit.QueryCost{SpecPassUSPerFrame: perFrame, TargetUSPerInvocation: targetUS}
+}
+
+// Figure9VideoAgg reproduces Figure 9: aggregation query runtime vs
+// requested error for BlazeIt and Smol on the four video datasets.
+func Figure9VideoAgg(s Scale) (*Table, error) {
+	t := &Table{ID: "figure9", Title: "Aggregation query time vs error target (BlazeIt vs Smol)",
+		Columns: []string{"dataset", "error", "blazeit (s)", "smol (s)", "speedup", "smol plan"}}
+	errorTargets := []float64{0.01, 0.02, 0.03, 0.04, 0.05}
+	if s == Quick {
+		errorTargets = []float64{0.02, 0.05}
+	}
+	for _, name := range []string{"night-street", "taipei", "amsterdam", "rialto"} {
+		vm, err := prepareVideo(name, s)
+		if err != nil {
+			return nil, err
+		}
+		oracle := func(f int) float64 { return float64(vm.counts[f]) }
+		// BlazeIt baseline: tiny specialized NN, full-resolution decode,
+		// less efficient runtime engine.
+		baseline := aggConfig{name: "blazeit", preds: vm.tinyPreds, cost: videoCosts(false, 2.5)}
+		// Smol candidates: accurate spec on full-res decode, cheaper
+		// low-res decode with the low-res counter, or BlazeIt's own tiny
+		// spec (Smol's search space is a superset of the baseline's, and
+		// its runtime engine is more efficient either way).
+		candidates := []aggConfig{
+			{name: "full-res spec", preds: vm.fullPreds, cost: videoCosts(false, 1.0)},
+			{name: "low-res decode", preds: vm.lowPreds, cost: videoCosts(true, 1.0)},
+			{name: "tiny spec", preds: vm.tinyPreds, cost: videoCosts(false, 1.0)},
+		}
+		for _, errTarget := range errorTargets {
+			bRes, err := blazeit.EstimateMean(baseline.preds, oracle,
+				blazeit.Config{ErrTarget: errTarget, Seed: 11})
+			if err != nil {
+				return nil, err
+			}
+			bTime := baseline.cost.TotalSeconds(len(vm.counts), bRes.Samples)
+			// Smol picks the candidate with the lowest modeled total time
+			// (its cost model covers both preprocessing and sampling).
+			bestTime := -1.0
+			bestName := ""
+			for _, c := range candidates {
+				r, err := blazeit.EstimateMean(c.preds, oracle,
+					blazeit.Config{ErrTarget: errTarget, Seed: 11})
+				if err != nil {
+					return nil, err
+				}
+				tt := c.cost.TotalSeconds(len(vm.counts), r.Samples)
+				if bestTime < 0 || tt < bestTime {
+					bestTime, bestName = tt, c.name
+				}
+			}
+			t.Add(name, errTarget, bTime, bestTime, bTime/bestTime, bestName)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: Smol outperforms BlazeIt in all settings, up to 2.5x at fixed error",
+		"paper: night-street/rialto gain from more accurate specialized NNs; taipei/amsterdam from low-res decode")
+	return t, nil
+}

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"smol/internal/codec/jpeg"
+	"smol/internal/codec/spng"
+	"smol/internal/data"
+	"smol/internal/img"
+	"smol/internal/nn"
+)
+
+// TrainMode selects the training procedure of §5.3.
+type TrainMode string
+
+// Training modes.
+const (
+	// ModeRegular is standard training on full-resolution inputs.
+	ModeRegular TrainMode = "reg"
+	// ModeLowRes adds the down-up augmentation so the model tolerates
+	// upscaled thumbnails (low-resolution-aware training).
+	ModeLowRes TrainMode = "lowres"
+)
+
+// ZooDir is where trained models are cached on disk; cmd/smol-train fills
+// it, experiments load from it. Override with the SMOL_ZOO environment
+// variable.
+func ZooDir() string {
+	if d := os.Getenv("SMOL_ZOO"); d != "" {
+		return d
+	}
+	return "zoo"
+}
+
+type zooKey struct {
+	dataset string
+	variant string
+	mode    TrainMode
+}
+
+var (
+	zooMu    sync.Mutex
+	zooCache = map[zooKey]*nn.Model{}
+	dsMu     sync.Mutex
+	dsCache  = map[string]*data.Dataset{}
+)
+
+// dataset returns the (possibly scaled) realized dataset, cached.
+func dataset(name string, s Scale) (*data.Dataset, error) {
+	spec, err := data.ImageDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	if s == Quick {
+		spec.TrainN = spec.NumClasses * 24
+		if spec.TrainN < 160 {
+			spec.TrainN = 160
+		}
+		if spec.TrainN > 320 {
+			spec.TrainN = 320
+		}
+		spec.TestN = spec.NumClasses * 6
+		if spec.TestN < 80 {
+			spec.TestN = 80
+		}
+		if spec.TestN > 160 {
+			spec.TestN = 160
+		}
+	}
+	key := fmt.Sprintf("%s/%d", name, spec.TrainN)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[key]; ok {
+		return d, nil
+	}
+	d := data.Generate(spec)
+	dsCache[key] = d
+	return d, nil
+}
+
+// trainBudget returns (epochs, lr) per scale.
+func trainBudget(s Scale) (int, float32) {
+	if s == Quick {
+		return 4, 0.08
+	}
+	return 3, 0.06
+}
+
+// zooPath is the on-disk cache location for a trained model.
+func zooPath(k zooKey) string {
+	return filepath.Join(ZooDir(), fmt.Sprintf("%s-%s-%s.gob", k.dataset, k.variant, k.mode))
+}
+
+// TrainedModel returns the classifier for (dataset, variant, mode),
+// training it if it is neither in memory nor on disk. Disk entries are
+// only reused at Full scale (Quick-scale models would pollute them).
+func TrainedModel(s Scale, datasetName, variant string, mode TrainMode) (*nn.Model, error) {
+	zooMu.Lock()
+	defer zooMu.Unlock()
+	return trainedModelLocked(s, datasetName, variant, mode)
+}
+
+// trainedModelLocked implements TrainedModel with zooMu held, so the
+// low-resolution fine-tuning path can fetch its base model re-entrantly.
+func trainedModelLocked(s Scale, datasetName, variant string, mode TrainMode) (*nn.Model, error) {
+	k := zooKey{dataset: datasetName, variant: variant, mode: mode}
+	if m, ok := zooCache[k]; ok {
+		return m, nil
+	}
+	if s == Full {
+		if f, err := os.Open(zooPath(k)); err == nil {
+			_, m, err := nn.LoadModel(f)
+			f.Close()
+			if err == nil {
+				zooCache[k] = m
+				return m, nil
+			}
+		}
+	}
+	m, err := trainClassifier(s, datasetName, variant, mode)
+	if err != nil {
+		return nil, err
+	}
+	zooCache[k] = m
+	return m, nil
+}
+
+// SaveZooModel trains (if needed) and persists a model to the zoo
+// directory. Used by cmd/smol-train.
+func SaveZooModel(s Scale, datasetName, variant string, mode TrainMode) error {
+	m, err := TrainedModel(s, datasetName, variant, mode)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset(datasetName, s)
+	if err != nil {
+		return err
+	}
+	cfg, err := nn.VariantConfig(variant, ds.Spec.NumClasses, ds.Spec.FullRes)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(ZooDir(), 0o755); err != nil {
+		return err
+	}
+	k := zooKey{dataset: datasetName, variant: variant, mode: mode}
+	f, err := os.Create(zooPath(k))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nn.SaveModel(f, cfg, m)
+}
+
+func trainClassifier(s Scale, datasetName, variant string, mode TrainMode) (*nn.Model, error) {
+	ds, err := dataset(datasetName, s)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := nn.VariantConfig(variant, ds.Spec.NumClasses, ds.Spec.FullRes)
+	if err != nil {
+		return nil, err
+	}
+	epochs, lr := trainBudget(s)
+	var m *nn.Model
+	tc := nn.TrainConfig{
+		Epochs: epochs, BatchSize: 32, LR: lr, Momentum: 0.9, WeightDecay: 1e-4,
+		Seed: seed(datasetName, variant, string(mode)) + 1,
+	}
+	if mode == ModeLowRes {
+		// §3.1/§5.3: low-resolution-aware models are *fine-tuned* from the
+		// full-resolution model with the down-up augmentation ("Smol will
+		// fine-tune the networks on the cross product of D and
+		// resolutions... this process adds at most a 30% overhead").
+		base, err := trainedModelLocked(s, datasetName, variant, ModeRegular)
+		if err != nil {
+			return nil, err
+		}
+		m, err = cloneModel(base, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Fine-tuning converges quickly from the trained base; a gentle
+		// learning rate keeps the full-resolution features intact while the
+		// network adapts to downsampling artifacts.
+		tc.Epochs = 2
+		if s == Quick {
+			tc.Epochs = epochs
+		}
+		tc.LR = lr / 6
+		tc.Momentum = 0.8
+		tc.Augment = data.DownUpAugmenter(ds.Spec.ThumbRes, 0.5)
+	} else {
+		m, err = nn.NewResNet(rand.New(rand.NewSource(seed(datasetName, variant, string(mode)))), cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	train := data.ToSamples(ds.Train, nil)
+	nn.Fit(m, train, tc)
+	// SGD at these micro budgets occasionally diverges on a bad shuffle
+	// seed. Detect a collapsed run (train accuracy near chance) and retry
+	// with a reseeded initialization rather than polluting the zoo.
+	threshold := 3.0 / float64(ds.Spec.NumClasses)
+	if threshold > 0.6 {
+		threshold = 0.6
+	}
+	for retry := 1; retry <= 2 && mode == ModeRegular; retry++ {
+		if nn.Evaluate(m, train, 64) >= threshold {
+			break
+		}
+		m, err = nn.NewResNet(rand.New(rand.NewSource(tc.Seed+int64(retry)*7717)), cfg)
+		if err != nil {
+			return nil, err
+		}
+		tc.Seed += int64(retry) * 7717
+		tc.LR = tc.LR * 0.7
+		nn.Fit(m, train, tc)
+	}
+	return m, nil
+}
+
+// cloneModel deep-copies a model via its serialized form.
+func cloneModel(m *nn.Model, cfg nn.ResNetConfig) (*nn.Model, error) {
+	var buf bytes.Buffer
+	if err := nn.SaveModel(&buf, cfg, m); err != nil {
+		return nil, err
+	}
+	_, out, err := nn.LoadModel(&buf)
+	return out, err
+}
+
+func seed(parts ...string) int64 {
+	var h int64 = 99991
+	for _, p := range parts {
+		for _, b := range []byte(p) {
+			h = h*31 + int64(b)
+		}
+	}
+	return h
+}
+
+// FormatName identifies an evaluation input format for Table 7 / Figure 4.
+type FormatName string
+
+// Evaluation input formats, mirroring Table 7's rows.
+const (
+	FmtFull     FormatName = "full"
+	FmtPNGThumb FormatName = "thumb-png"
+	FmtJPEG95   FormatName = "thumb-jpeg-95"
+	FmtJPEG75   FormatName = "thumb-jpeg-75"
+)
+
+// EvalFormats lists the evaluation formats in Table 7 order.
+func EvalFormats() []FormatName {
+	return []FormatName{FmtFull, FmtPNGThumb, FmtJPEG95, FmtJPEG75}
+}
+
+// applyFormat transforms a full-resolution test image into what the model
+// sees when the input arrives in the given format: thumbnails are really
+// resized, encoded and decoded with this repo's codecs, then upscaled back
+// to the model's input resolution.
+func applyFormat(m *img.Image, f FormatName, thumbRes int) (*img.Image, error) {
+	switch f {
+	case FmtFull:
+		return m, nil
+	case FmtPNGThumb:
+		thumb := m.ResizeBilinear(thumbRes, thumbRes)
+		dec, err := spng.Decode(spng.Encode(thumb, 0))
+		if err != nil {
+			return nil, err
+		}
+		return dec.ResizeBilinear(m.W, m.H), nil
+	case FmtJPEG95, FmtJPEG75:
+		q := 95
+		if f == FmtJPEG75 {
+			q = 75
+		}
+		thumb := m.ResizeBilinear(thumbRes, thumbRes)
+		dec, err := jpeg.Decode(jpeg.Encode(thumb, jpeg.EncodeOptions{Quality: q}))
+		if err != nil {
+			return nil, err
+		}
+		return dec.ResizeBilinear(m.W, m.H), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown format %q", f)
+	}
+}
+
+// accuracyCache memoizes per-(dataset,variant,mode,format) accuracies.
+var (
+	accMu    sync.Mutex
+	accCache = map[string]float64{}
+)
+
+// MeasuredAccuracy evaluates a trained model on the test set rendered in
+// the given input format (real encode/decode round trips).
+func MeasuredAccuracy(s Scale, datasetName, variant string, mode TrainMode, f FormatName) (float64, error) {
+	key := fmt.Sprintf("%v|%s|%s|%s|%s", s, datasetName, variant, mode, f)
+	accMu.Lock()
+	if a, ok := accCache[key]; ok {
+		accMu.Unlock()
+		return a, nil
+	}
+	accMu.Unlock()
+
+	m, err := TrainedModel(s, datasetName, variant, mode)
+	if err != nil {
+		return 0, err
+	}
+	ds, err := dataset(datasetName, s)
+	if err != nil {
+		return 0, err
+	}
+	var convErr error
+	samples := data.ToSamples(ds.Test, func(im *img.Image) *img.Image {
+		out, err := applyFormat(im, f, ds.Spec.ThumbRes)
+		if err != nil {
+			convErr = err
+			return im
+		}
+		return out
+	})
+	if convErr != nil {
+		return 0, convErr
+	}
+	acc := nn.Evaluate(m, samples, 64)
+	accMu.Lock()
+	accCache[key] = acc
+	accMu.Unlock()
+	return acc, nil
+}

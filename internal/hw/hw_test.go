@@ -1,0 +1,386 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeviceLookup(t *testing.T) {
+	d, err := Device("T4")
+	if err != nil || d.ResNet50TPut != 4513 {
+		t.Fatalf("T4 = %+v, err %v", d, err)
+	}
+	if _, err := Device("H100"); err == nil {
+		t.Fatal("unknown device should error")
+	}
+}
+
+func TestDeviceNamesOrderedByYear(t *testing.T) {
+	names := DeviceNames()
+	if len(names) != 5 || names[0] != "K80" {
+		t.Fatalf("names = %v", names)
+	}
+	var lastYear int
+	for _, n := range names {
+		d, _ := Device(n)
+		if d.ReleaseYear < lastYear {
+			t.Fatalf("not ordered by year: %v", names)
+		}
+		lastYear = d.ReleaseYear
+	}
+}
+
+func TestFrameworkEfficiencyOrdering(t *testing.T) {
+	// Table 1: Keras < PyTorch < TensorRT.
+	var last float64
+	for _, n := range FrameworkNames() {
+		f, err := Framework(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Efficiency <= last {
+			t.Fatalf("%s efficiency %v not increasing", n, f.Efficiency)
+		}
+		last = f.Efficiency
+	}
+}
+
+func TestExecThroughputAnchors(t *testing.T) {
+	t4, _ := Device("T4")
+	trt, _ := Framework("TensorRT")
+	for name, want := range map[string]float64{
+		"resnet-18": 12592, "resnet-34": 6860, "resnet-50": 4513,
+	} {
+		d, err := DNN(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ExecThroughput(d, t4, trt); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s on T4/TensorRT = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestExecThroughputTable1(t *testing.T) {
+	// Keras and PyTorch throughputs of ResNet-50 on T4 must reproduce
+	// Table 1 within rounding.
+	t4, _ := Device("T4")
+	rn50, _ := DNN("resnet-50")
+	for fw, want := range map[string]float64{"Keras": 243, "PyTorch": 424, "TensorRT": 4513} {
+		f, _ := Framework(fw)
+		got := ExecThroughput(rn50, t4, f)
+		if math.Abs(got-want) > 1 {
+			t.Fatalf("%s: %v, want %v", fw, got, want)
+		}
+	}
+}
+
+func TestExecThroughputScalesWithDevice(t *testing.T) {
+	rn50, _ := DNN("resnet-50")
+	trt, _ := Framework("TensorRT")
+	var last float64
+	for _, dev := range []string{"K80", "P100", "T4", "V100", "RTX"} {
+		d, _ := Device(dev)
+		tput := ExecThroughput(rn50, d, trt)
+		if tput <= last {
+			t.Fatalf("%s throughput %v not increasing", dev, tput)
+		}
+		last = tput
+	}
+}
+
+func TestInputScaledThroughput(t *testing.T) {
+	// 161x161 input should run (224/161)^2 ~ 1.94x faster.
+	got := InputScaledThroughput(4513, 161, 224)
+	want := 4513 * (224.0 / 161.0) * (224.0 / 161.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestDecodeCostCalibration(t *testing.T) {
+	// Full-resolution ImageNet JPEG (500x375): ~527 im/s across 4 vCPUs.
+	us := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 500, H: 375, Quality: 90})
+	tput4 := 4 / (us / 1e6)
+	if tput4 < 400 || tput4 > 700 {
+		t.Fatalf("full-res JPEG decode = %.0f im/s on 4 vCPUs, want ~527", tput4)
+	}
+	// 161-short thumbnails in PNG: ~1995 im/s across 4 vCPUs.
+	us = DecodeCostUS(DecodeSpec{Format: FormatPNG, W: 215, H: 161})
+	tput4 = 4 / (us / 1e6)
+	if tput4 < 1500 || tput4 > 2500 {
+		t.Fatalf("thumbnail PNG decode = %.0f im/s on 4 vCPUs, want ~1995", tput4)
+	}
+}
+
+func TestDecodeCostMonotonicity(t *testing.T) {
+	full := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 500, H: 375})
+	small := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 215, H: 161})
+	if small >= full {
+		t.Fatal("smaller images must decode faster")
+	}
+	q95 := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 500, H: 375, Quality: 95})
+	q50 := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 500, H: 375, Quality: 50})
+	if q50 >= q95 {
+		t.Fatal("lower quality must decode faster")
+	}
+	roi := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 500, H: 375, ROIFraction: 0.3})
+	if roi >= full {
+		t.Fatal("ROI decode must be cheaper")
+	}
+	noDeblock := DecodeCostUS(DecodeSpec{Format: FormatVideoH264, W: 640, H: 360, NoDeblock: true})
+	deblock := DecodeCostUS(DecodeSpec{Format: FormatVideoH264, W: 640, H: 360})
+	if noDeblock >= deblock {
+		t.Fatal("disabling deblock must be cheaper")
+	}
+}
+
+func TestPricingFitMatchesPaper(t *testing.T) {
+	// §7: ~3.4 vCPUs cost the same as one T4.
+	if v := VCPUsPerT4Price(); v < 3.3 || v > 3.5 {
+		t.Fatalf("vCPUs per T4 price = %v", v)
+	}
+	// Linear fit should track the published instance prices closely.
+	for _, v := range G4dnVCPUCounts() {
+		fit := T4HourlyUSD + VCPUHourlyUSD*float64(v)
+		actual := InstancePrice(v)
+		if math.Abs(fit-actual)/actual > 0.12 {
+			t.Fatalf("vCPUs=%d: fit %.3f vs actual %.3f", v, fit, actual)
+		}
+	}
+	// Unknown size falls back to the fit.
+	if p := InstancePrice(12); math.Abs(p-(T4HourlyUSD+12*VCPUHourlyUSD)) > 1e-9 {
+		t.Fatalf("fallback price = %v", p)
+	}
+}
+
+func TestPowerSplitMatchesPaperClaim(t *testing.T) {
+	// §2: for ResNet-50, preprocessing needs ~2.2x the power of execution
+	// (158 W vs 70 W). Exec at 4513 im/s, preprocessing ~132 im/s per vCPU
+	// (527/4).
+	pre, exec, _ := PowerSplit(4513, 527.0/4)
+	ratio := pre / exec
+	if ratio < 1.8 || ratio > 2.8 {
+		t.Fatalf("power ratio = %v, want ~2.2", ratio)
+	}
+	// Cost: $2.37 vs $0.218 per hour → ~11x.
+	preUSD, execUSD := HourlyCostSplit(4513, 527.0/4)
+	if r := preUSD / execUSD; r < 8 || r > 13 {
+		t.Fatalf("cost ratio = %v, want ~11", r)
+	}
+}
+
+func TestCostPerMillionImages(t *testing.T) {
+	// 1927 im/s on 4 vCPUs is Table 8's optimized row: 7.58 cents/1M.
+	c := CostPerMillionImages(1927, 4)
+	if math.Abs(c-7.58) > 0.1 {
+		t.Fatalf("cost = %v cents, want ~7.58", c)
+	}
+}
+
+func simCfg(preUS, execUS float64, n int) PipelineConfig {
+	return PipelineConfig{
+		NumImages: n, Producers: 4, Consumers: 2,
+		QueueCap: 256, BatchSize: 64,
+		PreprocUS:      func(int) float64 { return preUS },
+		ExecUSPerImage: execUS,
+	}
+}
+
+func TestSimulatePreprocBound(t *testing.T) {
+	// Preprocessing 10x slower than execution: pipelined throughput should
+	// approach the preprocessing rate.
+	cfg := simCfg(1000, 25, 4000) // 4 producers at 1000us -> 4000 im/s; exec 40k im/s
+	res, err := SimulatePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, _ := StageThroughputs(cfg)
+	if math.Abs(res.Throughput-pre)/pre > 0.1 {
+		t.Fatalf("throughput %v, want ~%v (preproc-bound)", res.Throughput, pre)
+	}
+	if res.ProducerBusyFrac < 0.9 {
+		t.Fatalf("producers should be saturated: %v", res.ProducerBusyFrac)
+	}
+}
+
+func TestSimulateExecBound(t *testing.T) {
+	cfg := simCfg(50, 500, 2000) // producers 80k im/s; exec 2k im/s
+	res, err := SimulatePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exec := StageThroughputs(cfg)
+	if math.Abs(res.Throughput-exec)/exec > 0.1 {
+		t.Fatalf("throughput %v, want ~%v (exec-bound)", res.Throughput, exec)
+	}
+	if res.ConsumerBusyFrac < 0.45 {
+		t.Fatalf("device should be busy: %v", res.ConsumerBusyFrac)
+	}
+}
+
+func TestSimulateBalancedApproxMin(t *testing.T) {
+	// Balanced stages: pipelined throughput approaches min(pre, exec) with
+	// a modest overhead — the paper's §8.2 observation (16% at full load).
+	cfg := simCfg(250, 250, 8000) // both stages at 4000 im/s
+	res, err := SimulatePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, exec := StageThroughputs(cfg)
+	minStage := math.Min(pre, exec)
+	if res.Throughput > minStage*1.001 {
+		t.Fatalf("throughput %v exceeds min stage %v", res.Throughput, minStage)
+	}
+	if res.Throughput < minStage*0.75 {
+		t.Fatalf("pipelining overhead too large: %v vs min %v", res.Throughput, minStage)
+	}
+}
+
+func TestSimulateBatchOverheadHidesWithStreams(t *testing.T) {
+	base := simCfg(100, 100, 8000)
+	base.BatchOverheadUS = 3000
+	single := base
+	single.Consumers = 1
+	dual := base
+	dual.Consumers = 2
+	r1, err := SimulatePipeline(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SimulatePipeline(dual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Throughput <= r1.Throughput*1.05 {
+		t.Fatalf("second stream should hide transfer overhead: %v vs %v",
+			r2.Throughput, r1.Throughput)
+	}
+}
+
+func TestSimulatePerImageOverheadHurts(t *testing.T) {
+	fast := simCfg(200, 50, 4000)
+	slow := fast
+	slow.PerImageOverheadUS = 100
+	rFast, err := SimulatePipeline(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := SimulatePipeline(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Throughput >= rFast.Throughput {
+		t.Fatal("per-image overhead must reduce throughput")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := simCfg(100, 100, 100)
+	cfg.QueueCap = 8 // below batch size
+	if _, err := SimulatePipeline(cfg); err == nil {
+		t.Fatal("queue smaller than batch should be rejected")
+	}
+	cfg = simCfg(100, 100, 0)
+	if _, err := SimulatePipeline(cfg); err == nil {
+		t.Fatal("zero images should be rejected")
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	// All images exactly consumed; batches sum to image count.
+	cfg := simCfg(120, 80, 999) // non-multiple of batch size
+	res, err := SimulatePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches < 999/64 {
+		t.Fatalf("too few batches: %d", res.Batches)
+	}
+	if res.MakespanUS <= 0 || res.Throughput <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestSimulateVariablePreprocTimes(t *testing.T) {
+	// Deterministic per-image variation (e.g. mixed image sizes) must still
+	// complete and respect the mean-rate bound.
+	cfg := PipelineConfig{
+		NumImages: 2000, Producers: 4, Consumers: 2,
+		QueueCap: 128, BatchSize: 32,
+		PreprocUS: func(i int) float64 {
+			if i%10 == 0 {
+				return 2000 // occasional big image
+			}
+			return 300
+		},
+		ExecUSPerImage: 100,
+	}
+	res, err := SimulatePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, exec := StageThroughputs(cfg)
+	bound := math.Min(pre, exec)
+	if res.Throughput > bound*1.001 {
+		t.Fatalf("throughput %v exceeds bound %v", res.Throughput, bound)
+	}
+}
+
+func TestSimulateLatencyTracked(t *testing.T) {
+	cfg := simCfg(250, 25, 2000)
+	res, err := SimulatePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatencyUS <= 0 || res.MaxLatencyUS <= 0 {
+		t.Fatalf("latency not tracked: mean=%v max=%v", res.MeanLatencyUS, res.MaxLatencyUS)
+	}
+	if res.MeanLatencyUS > res.MaxLatencyUS {
+		t.Fatalf("mean latency %v exceeds max %v", res.MeanLatencyUS, res.MaxLatencyUS)
+	}
+	// An image's latency at least covers its own preprocessing plus one
+	// image of execution, and the max cannot exceed the whole makespan.
+	if res.MeanLatencyUS < 250+25 {
+		t.Fatalf("mean latency %v below single-image floor", res.MeanLatencyUS)
+	}
+	if res.MaxLatencyUS > res.MakespanUS {
+		t.Fatalf("max latency %v exceeds makespan %v", res.MaxLatencyUS, res.MakespanUS)
+	}
+}
+
+func TestSimulateLatencyGrowsWithBatch(t *testing.T) {
+	// Larger batches make every image wait longer: latency should grow
+	// monotonically with batch size in the preproc-bound regime.
+	var prev float64
+	for _, b := range []int{8, 32, 128} {
+		cfg := simCfg(500, 25, 2048)
+		cfg.BatchSize = b
+		cfg.QueueCap = 4 * b
+		res, err := SimulatePipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanLatencyUS <= prev {
+			t.Fatalf("batch %d: mean latency %v not above previous %v", b, res.MeanLatencyUS, prev)
+		}
+		prev = res.MeanLatencyUS
+	}
+}
+
+func TestSimulateLatencyExecBoundBacklog(t *testing.T) {
+	// When execution is the bottleneck the bounded queue backs up and
+	// latency includes the backlog wait.
+	fast, err := SimulatePipeline(simCfg(250, 25, 2000)) // preproc-bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SimulatePipeline(simCfg(25, 500, 2000)) // exec-bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MeanLatencyUS <= fast.MeanLatencyUS {
+		t.Fatalf("exec-bound latency %v should exceed preproc-bound %v",
+			slow.MeanLatencyUS, fast.MeanLatencyUS)
+	}
+}

@@ -1,0 +1,128 @@
+package hw
+
+import "fmt"
+
+// CPU preprocessing cost model, calibrated to the paper's §2 and §5.2
+// measurements on the g4dn.xlarge (4 vCPUs = 2 physical cores):
+//
+//   - full-resolution ImageNet JPEG decode: 527 im/s across 4 vCPUs,
+//   - 161-short-side PNG thumbnails: 1995 im/s,
+//   - total preprocessing ~7.1x slower than ResNet-50 execution.
+//
+// Costs are expressed in CPU-microseconds on a single vCPU; dividing by the
+// worker count is the simulator's job.
+
+// ImageFormat identifies an on-disk visual encoding.
+type ImageFormat int
+
+// Image formats, with the decode characteristics of Table 4.
+const (
+	FormatJPEG ImageFormat = iota
+	FormatPNG
+	FormatVideoH264 // H.264-like video (per-frame amortized)
+)
+
+func (f ImageFormat) String() string {
+	switch f {
+	case FormatJPEG:
+		return "jpeg"
+	case FormatPNG:
+		return "png"
+	case FormatVideoH264:
+		return "h264"
+	default:
+		return fmt.Sprintf("ImageFormat(%d)", int(f))
+	}
+}
+
+// Decode cost calibration constants, in nanoseconds per pixel per vCPU.
+//
+// JPEG: 500x375 (187.5k px) at 527 im/s over 4 vCPUs → 7590 us·vCPU/image
+// → ~40.5 ns/px. PNG (DEFLATE-dominated): 215x161 (34.6k px) at 1995 im/s
+// over 4 vCPUs → 2005 us·vCPU/image → ~58 ns/px.
+const (
+	jpegNsPerPixel = 40.5
+	pngNsPerPixel  = 58.0
+	// h264NsPerPixel reflects motion compensation + residual decode, cheaper
+	// per pixel than JPEG's full entropy decode for P-frames.
+	h264NsPerPixel = 22.0
+	// jpegQualityRef scales entropy-decode cost with quality: higher quality
+	// keeps more coefficients. Cost multiplier = 0.6 + 0.4*q/75.
+	jpegQualityRef = 75.0
+)
+
+// DecodeSpec describes a decode task for costing.
+type DecodeSpec struct {
+	Format ImageFormat
+	W, H   int
+	// Quality is the JPEG quality (ignored for PNG); zero means 75.
+	Quality int
+	// ROIFraction, in (0,1], is the fraction of macroblock rows/areas that
+	// partial (ROI or early-stop) decoding actually reconstructs; 1 means a
+	// full decode. Entropy decoding of rows above the ROI still costs, which
+	// the model reflects by discounting only ~70% of the skipped work for
+	// JPEG (IDCT+color) and ~95% for row-streaming PNG.
+	ROIFraction float64
+	// NoDeblock skips the in-loop deblocking filter (video only), saving
+	// roughly 15% of decode cost (§6.4).
+	NoDeblock bool
+}
+
+// DecodeCostUS returns the modeled decode cost in CPU-microseconds on one
+// vCPU.
+func DecodeCostUS(s DecodeSpec) float64 {
+	if s.W <= 0 || s.H <= 0 {
+		panic(fmt.Sprintf("hw: invalid decode dims %dx%d", s.W, s.H))
+	}
+	px := float64(s.W * s.H)
+	frac := s.ROIFraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	var nsPerPx, partialDiscount float64
+	switch s.Format {
+	case FormatJPEG:
+		q := float64(s.Quality)
+		if q == 0 {
+			q = jpegQualityRef
+		}
+		nsPerPx = jpegNsPerPixel * (0.6 + 0.4*q/jpegQualityRef)
+		partialDiscount = 0.7
+	case FormatPNG:
+		nsPerPx = pngNsPerPixel
+		partialDiscount = 0.95
+	case FormatVideoH264:
+		nsPerPx = h264NsPerPixel
+		if s.NoDeblock {
+			nsPerPx *= 0.85
+		}
+		partialDiscount = 0 // no partial decoding for our video streams
+	default:
+		panic("hw: unknown format")
+	}
+	full := px * nsPerPx / 1000 // us
+	if frac >= 1 {
+		return full
+	}
+	saved := full * (1 - frac) * partialDiscount
+	return full - saved
+}
+
+// cpuOpsPerUS converts the preproc package's arithmetic-op counts into
+// vCPU-microseconds. Calibration anchor: Figure 1 reports resize+normalize
+// at ~330 us/image for the standard 500x375 -> 256-short -> 224 pipeline,
+// whose optimized plan counts ~2.5M ops, giving ~7.5k ops/us per
+// hyperthread (SIMD-optimized OpenCV kernels).
+const cpuOpsPerUS = 7500.0
+
+// PostprocCostUS converts an arithmetic-op count (from preproc.PlanCost)
+// into vCPU-microseconds.
+func PostprocCostUS(arithOps float64) float64 { return arithOps / cpuOpsPerUS }
+
+// AccelOpsPerUS is the accelerator-side equivalent: data-parallel
+// preprocessing ops run ~40x faster on the accelerator (the paper's §6.3
+// observation that resize/normalize map well onto GPU hardware).
+const AccelOpsPerUS = 40000.0
+
+// AccelPostprocCostUS converts arithmetic ops into accelerator-microseconds.
+func AccelPostprocCostUS(arithOps float64) float64 { return arithOps / AccelOpsPerUS }

@@ -1,0 +1,87 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AWS g4dn instance economics (§7). All prices are on-demand hourly USD at
+// the paper's time of writing.
+const (
+	// VCPUHourlyUSD is the per-vCPU price from the paper's linear fit.
+	VCPUHourlyUSD = 0.0639
+	// T4HourlyUSD is the T4's intercept price from the same fit.
+	T4HourlyUSD = 0.218
+	// VCPUWatts is the per-vCPU power draw (210 W / 48 vCPUs on the 8259CL).
+	VCPUWatts = 4.375
+	// T4Watts is the T4 board power.
+	T4Watts = 70
+)
+
+// G4dnPrices maps vCPU count to the instance's hourly price, each instance
+// carrying one T4 (g4dn.xlarge through g4dn.16xlarge).
+var G4dnPrices = map[int]float64{
+	4:  0.526,
+	8:  0.752,
+	16: 1.204,
+	32: 2.176,
+	64: 4.352,
+}
+
+// G4dnVCPUCounts returns the instance sizes in ascending order.
+func G4dnVCPUCounts() []int {
+	out := make([]int, 0, len(G4dnPrices))
+	for v := range G4dnPrices {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InstancePrice returns the hourly price of the g4dn instance with the
+// given vCPU count, falling back to the linear fit for unknown sizes.
+func InstancePrice(vcpus int) float64 {
+	if p, ok := G4dnPrices[vcpus]; ok {
+		return p
+	}
+	return T4HourlyUSD + VCPUHourlyUSD*float64(vcpus)
+}
+
+// CostPerMillionImages returns the processing cost in US cents per million
+// images at the given end-to-end throughput on the given instance size.
+func CostPerMillionImages(throughputImS float64, vcpus int) float64 {
+	if throughputImS <= 0 {
+		panic("hw: non-positive throughput")
+	}
+	hours := 1e6 / throughputImS / 3600
+	return hours * InstancePrice(vcpus) * 100
+}
+
+// PowerSplit estimates the power draw of preprocessing versus DNN execution
+// for a configuration where execution runs at execTPut (im/s) on the
+// accelerator and preprocessing sustains preprocPerVCPU (im/s) on each
+// vCPU: to keep the accelerator fed, ceil(execTPut/preprocPerVCPU) vCPUs
+// must preprocess.
+func PowerSplit(execTPut, preprocPerVCPU float64) (preprocWatts, execWatts float64, vcpusNeeded float64) {
+	if preprocPerVCPU <= 0 {
+		panic("hw: non-positive preprocessing throughput")
+	}
+	vcpusNeeded = execTPut / preprocPerVCPU
+	return vcpusNeeded * VCPUWatts, T4Watts, vcpusNeeded
+}
+
+// HourlyCostSplit estimates the hourly dollar cost of the vCPUs needed to
+// feed the accelerator versus the accelerator itself.
+func HourlyCostSplit(execTPut, preprocPerVCPU float64) (preprocUSD, execUSD float64) {
+	_, _, vcpus := PowerSplit(execTPut, preprocPerVCPU)
+	return vcpus * VCPUHourlyUSD, T4HourlyUSD
+}
+
+// VCPUsPerT4Price returns how many vCPUs cost the same as one T4 — the
+// paper's "approximately 3.4 vCPU cores is the same price as the T4".
+func VCPUsPerT4Price() float64 { return T4HourlyUSD / VCPUHourlyUSD }
+
+// String pretty-prints a device profile row as in Table 5.
+func (d DeviceProfile) String() string {
+	return fmt.Sprintf("%-5s %d  %8.0f im/s", d.Name, d.ReleaseYear, d.ResNet50TPut)
+}

@@ -1,0 +1,251 @@
+package hw
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// PipelineConfig describes one end-to-end inference pipeline run for the
+// discrete-event simulator: P preprocessing workers feed a bounded MPMC
+// queue consumed in batches by C accelerator streams — the same topology as
+// the real engine in internal/engine.
+type PipelineConfig struct {
+	// NumImages is the total number of images to push through.
+	NumImages int
+	// Producers is the number of preprocessing workers (vCPUs).
+	Producers int
+	// Consumers is the number of accelerator streams.
+	Consumers int
+	// QueueCap is the bounded queue capacity (must be >= BatchSize).
+	QueueCap int
+	// BatchSize is the accelerator batch size.
+	BatchSize int
+	// PreprocUS returns the preprocessing time (microseconds of one vCPU)
+	// of image i.
+	PreprocUS func(i int) float64
+	// ExecUSPerImage is the accelerator execution time per image within a
+	// batch.
+	ExecUSPerImage float64
+	// BatchOverheadUS is the fixed per-batch cost (kernel launch + host to
+	// device transfer). Without pinned memory this roughly triples.
+	BatchOverheadUS float64
+	// PerImageOverheadUS models per-image allocation/copy overhead on the
+	// producer side when buffer reuse is disabled.
+	PerImageOverheadUS float64
+}
+
+// Validate checks the configuration.
+func (c PipelineConfig) Validate() error {
+	if c.NumImages <= 0 || c.Producers <= 0 || c.Consumers <= 0 {
+		return fmt.Errorf("hw: invalid pipeline counts %+v", c)
+	}
+	if c.BatchSize <= 0 || c.QueueCap < c.BatchSize {
+		return fmt.Errorf("hw: queue capacity %d must be >= batch size %d", c.QueueCap, c.BatchSize)
+	}
+	if c.PreprocUS == nil || c.ExecUSPerImage < 0 {
+		return fmt.Errorf("hw: missing stage costs")
+	}
+	return nil
+}
+
+// PipelineResult summarizes one simulated run.
+type PipelineResult struct {
+	// MakespanUS is the total virtual time from start to last batch done.
+	MakespanUS float64
+	// Throughput is images per second.
+	Throughput float64
+	// ProducerBusyFrac and ConsumerBusyFrac are stage utilizations in
+	// [0, 1] (averaged over workers).
+	ProducerBusyFrac float64
+	ConsumerBusyFrac float64
+	// Batches is the number of accelerator batches executed.
+	Batches int
+	// MeanLatencyUS and MaxLatencyUS measure per-image latency from the
+	// start of an image's preprocessing to the completion of the batch
+	// that carried it (the latency a caller of the engine observes in the
+	// latency-constrained setting of §3.1).
+	MeanLatencyUS float64
+	MaxLatencyUS  float64
+}
+
+type simEvent struct {
+	t     float64
+	kind  int // 0 = producer finished an image, 1 = consumer finished a batch
+	who   int
+	n     int     // batch size for consumer events
+	start float64 // preprocessing start time of the image (producer events)
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// SimulatePipeline runs the discrete-event simulation and returns aggregate
+// statistics. The simulation is deterministic for a deterministic PreprocUS.
+func SimulatePipeline(cfg PipelineConfig) (PipelineResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return PipelineResult{}, err
+	}
+	type stalled struct {
+		who   int
+		start float64
+	}
+	var (
+		events       eventHeap
+		queue        []float64 // preprocessing start times of items waiting for the accelerator
+		blocked      []stalled // producers stalled on a full queue, with their item's start time
+		nextImage    int
+		produced     int
+		consumed     int
+		now          float64
+		prodBusyUS   float64
+		consBusyUS   float64
+		batches      int
+		idleCons     []int
+		deviceFreeAt float64 // the accelerator is a single serialized resource
+		latSumUS     float64
+		latMaxUS     float64
+	)
+
+	preprocTime := func(i int) float64 {
+		return cfg.PreprocUS(i) + cfg.PerImageOverheadUS
+	}
+
+	// Start every producer on its first image.
+	for p := 0; p < cfg.Producers && nextImage < cfg.NumImages; p++ {
+		d := preprocTime(nextImage)
+		nextImage++
+		prodBusyUS += d
+		heap.Push(&events, simEvent{t: d, kind: 0, who: p, start: 0})
+	}
+	for c := 0; c < cfg.Consumers; c++ {
+		idleCons = append(idleCons, c)
+	}
+
+	allProduced := func() bool {
+		return produced == cfg.NumImages && len(blocked) == 0
+	}
+
+	// tryDispatch starts idle consumer streams when a full batch is ready,
+	// or a partial batch when no more input will arrive. A stream first
+	// pays the transfer/launch overhead, then waits for the accelerator
+	// (a single serialized compute resource); with two or more streams the
+	// overhead of one batch hides behind the compute of another, which is
+	// exactly why the engine uses multiple CUDA streams (§6.1).
+	tryDispatch := func() {
+		for len(idleCons) > 0 && len(queue) > 0 {
+			if len(queue) < cfg.BatchSize && !allProduced() {
+				return // wait for a fuller batch
+			}
+			n := len(queue)
+			if n > cfg.BatchSize {
+				n = cfg.BatchSize
+			}
+			c := idleCons[len(idleCons)-1]
+			idleCons = idleCons[:len(idleCons)-1]
+			transferDone := now + cfg.BatchOverheadUS
+			start := transferDone
+			if deviceFreeAt > start {
+				start = deviceFreeAt
+			}
+			compute := float64(n) * cfg.ExecUSPerImage
+			deviceFreeAt = start + compute
+			consBusyUS += compute
+			batches++
+			for _, s := range queue[:n] {
+				lat := deviceFreeAt - s
+				latSumUS += lat
+				if lat > latMaxUS {
+					latMaxUS = lat
+				}
+			}
+			queue = queue[n:]
+			heap.Push(&events, simEvent{t: deviceFreeAt, kind: 1, who: c, n: n})
+			// Dequeue freed space: unblock stalled producers.
+			for len(blocked) > 0 && len(queue) < cfg.QueueCap {
+				p := blocked[0]
+				blocked = blocked[1:]
+				queue = append(queue, p.start)
+				produced++
+				if nextImage < cfg.NumImages {
+					d := preprocTime(nextImage)
+					nextImage++
+					prodBusyUS += d
+					heap.Push(&events, simEvent{t: now + d, kind: 0, who: p.who, start: now})
+				}
+			}
+		}
+	}
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(simEvent)
+		now = e.t
+		switch e.kind {
+		case 0: // producer finished an image
+			if len(queue) < cfg.QueueCap {
+				queue = append(queue, e.start)
+				produced++
+				if nextImage < cfg.NumImages {
+					d := preprocTime(nextImage)
+					nextImage++
+					prodBusyUS += d
+					heap.Push(&events, simEvent{t: now + d, kind: 0, who: e.who, start: now})
+				}
+			} else {
+				blocked = append(blocked, stalled{who: e.who, start: e.start})
+			}
+			tryDispatch()
+		case 1: // consumer finished a batch
+			consumed += e.n
+			idleCons = append(idleCons, e.who)
+			tryDispatch()
+		}
+	}
+
+	if consumed != cfg.NumImages {
+		return PipelineResult{}, fmt.Errorf("hw: simulation stalled: %d of %d images consumed",
+			consumed, cfg.NumImages)
+	}
+	res := PipelineResult{
+		MakespanUS:    now,
+		Batches:       batches,
+		MeanLatencyUS: latSumUS / float64(cfg.NumImages),
+		MaxLatencyUS:  latMaxUS,
+	}
+	if now > 0 {
+		res.Throughput = float64(cfg.NumImages) / (now / 1e6)
+		res.ProducerBusyFrac = prodBusyUS / (now * float64(cfg.Producers))
+		res.ConsumerBusyFrac = consBusyUS / (now * float64(cfg.Consumers))
+	}
+	return res, nil
+}
+
+// StageThroughputs returns the isolated stage rates implied by a config:
+// preprocessing-only (all producers, no downstream) and execution-only
+// (one accelerator; with two or more streams the per-batch transfer
+// overhead hides behind compute), both in images/second. These are what a
+// cost model measures when benchmarking stages separately.
+func StageThroughputs(cfg PipelineConfig) (preproc, exec float64) {
+	var totalUS float64
+	for i := 0; i < cfg.NumImages; i++ {
+		totalUS += cfg.PreprocUS(i) + cfg.PerImageOverheadUS
+	}
+	meanUS := totalUS / float64(cfg.NumImages)
+	preproc = float64(cfg.Producers) / (meanUS / 1e6)
+	perImage := cfg.ExecUSPerImage
+	if cfg.Consumers <= 1 {
+		perImage += cfg.BatchOverheadUS / float64(cfg.BatchSize)
+	}
+	exec = 1 / (perImage / 1e6)
+	return preproc, exec
+}

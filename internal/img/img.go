@@ -1,0 +1,256 @@
+// Package img provides the 8-bit RGB image type shared by the codecs and the
+// preprocessing pipeline, together with the geometric primitives (resize,
+// crop) that visual DNN preprocessing is built from.
+//
+// Pixels are stored interleaved (R, G, B, R, G, B, ...) in row-major order,
+// the layout produced by decoders and consumed by the preprocessing DAG.
+package img
+
+import "fmt"
+
+// Image is an 8-bit interleaved RGB image.
+type Image struct {
+	W, H int
+	// Pix holds W*H*3 bytes in RGBRGB... row-major order.
+	Pix []uint8
+}
+
+// New allocates a zeroed (black) image of the given dimensions.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h*3)}
+}
+
+// At returns the RGB triple at (x, y). Out-of-bounds access panics via the
+// underlying slice.
+func (m *Image) At(x, y int) (r, g, b uint8) {
+	i := (y*m.W + x) * 3
+	return m.Pix[i], m.Pix[i+1], m.Pix[i+2]
+}
+
+// Set writes the RGB triple at (x, y).
+func (m *Image) Set(x, y int, r, g, b uint8) {
+	i := (y*m.W + x) * 3
+	m.Pix[i], m.Pix[i+1], m.Pix[i+2] = r, g, b
+}
+
+// Clone returns a deep copy of the image.
+func (m *Image) Clone() *Image {
+	out := &Image{W: m.W, H: m.H, Pix: make([]uint8, len(m.Pix))}
+	copy(out.Pix, m.Pix)
+	return out
+}
+
+// Rect is an axis-aligned rectangle [X0,X1) x [Y0,Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// W returns the rectangle's width.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the rectangle's height.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Empty reports whether the rectangle has no area.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Intersect returns the intersection of r and o.
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{
+		X0: maxInt(r.X0, o.X0), Y0: maxInt(r.Y0, o.Y0),
+		X1: minInt(r.X1, o.X1), Y1: minInt(r.Y1, o.Y1),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// AlignTo expands the rectangle outward so that all edges are multiples of
+// block (used to align an ROI to the 8x8 JPEG macroblock grid, per the
+// paper's Algorithm 1), then clips to [0,w) x [0,h).
+func (r Rect) AlignTo(block, w, h int) Rect {
+	out := Rect{
+		X0: (r.X0 / block) * block,
+		Y0: (r.Y0 / block) * block,
+		X1: ((r.X1 + block - 1) / block) * block,
+		Y1: ((r.Y1 + block - 1) / block) * block,
+	}
+	if out.X0 < 0 {
+		out.X0 = 0
+	}
+	if out.Y0 < 0 {
+		out.Y0 = 0
+	}
+	if out.X1 > w {
+		out.X1 = w
+	}
+	if out.Y1 > h {
+		out.Y1 = h
+	}
+	return out
+}
+
+// CenterCropRect returns the centered cw x ch rectangle within an image of
+// dimensions w x h. If the crop is larger than the image it is clipped.
+func CenterCropRect(w, h, cw, ch int) Rect {
+	if cw > w {
+		cw = w
+	}
+	if ch > h {
+		ch = h
+	}
+	x0 := (w - cw) / 2
+	y0 := (h - ch) / 2
+	return Rect{X0: x0, Y0: y0, X1: x0 + cw, Y1: y0 + ch}
+}
+
+// Shift translates the rectangle by (dx, dy).
+func (r Rect) Shift(dx, dy int) Rect {
+	return Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+}
+
+// Crop returns a copy of the subimage described by r, clipped to the image
+// bounds. It panics if the clipped rectangle is empty.
+func (m *Image) Crop(r Rect) *Image {
+	r = r.Intersect(Rect{X1: m.W, Y1: m.H})
+	if r.Empty() {
+		panic("img: empty crop")
+	}
+	out := New(r.W(), r.H())
+	for y := r.Y0; y < r.Y1; y++ {
+		src := m.Pix[(y*m.W+r.X0)*3 : (y*m.W+r.X1)*3]
+		dst := out.Pix[(y-r.Y0)*out.W*3:]
+		copy(dst, src)
+	}
+	return out
+}
+
+// ResizeBilinear resizes the image to w x h using bilinear interpolation.
+func (m *Image) ResizeBilinear(w, h int) *Image {
+	out := New(w, h)
+	ResizeBilinearInto(m, out)
+	return out
+}
+
+// ResizeBilinearInto resizes src into dst (whose dimensions define the target
+// size), reusing dst's pixel buffer. This is the allocation-free path used by
+// the runtime engine's buffer-reuse optimization.
+func ResizeBilinearInto(src, dst *Image) {
+	if src.W == dst.W && src.H == dst.H {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	xRatio := float64(src.W) / float64(dst.W)
+	yRatio := float64(src.H) / float64(dst.H)
+	for y := 0; y < dst.H; y++ {
+		sy := (float64(y)+0.5)*yRatio - 0.5
+		if sy < 0 {
+			sy = 0
+		}
+		y0 := int(sy)
+		y1 := y0 + 1
+		if y1 >= src.H {
+			y1 = src.H - 1
+		}
+		fy := sy - float64(y0)
+		row0 := src.Pix[y0*src.W*3:]
+		row1 := src.Pix[y1*src.W*3:]
+		drow := dst.Pix[y*dst.W*3:]
+		for x := 0; x < dst.W; x++ {
+			sx := (float64(x)+0.5)*xRatio - 0.5
+			if sx < 0 {
+				sx = 0
+			}
+			x0 := int(sx)
+			x1 := x0 + 1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			fx := sx - float64(x0)
+			for c := 0; c < 3; c++ {
+				p00 := float64(row0[x0*3+c])
+				p01 := float64(row0[x1*3+c])
+				p10 := float64(row1[x0*3+c])
+				p11 := float64(row1[x1*3+c])
+				top := p00 + (p01-p00)*fx
+				bot := p10 + (p11-p10)*fx
+				v := top + (bot-top)*fy
+				drow[x*3+c] = uint8(v + 0.5)
+			}
+		}
+	}
+}
+
+// AspectPreservingSize returns the dimensions of an aspect-preserving resize
+// such that the short edge equals shortEdge (the standard ImageNet-style
+// "resize short side to 256" step).
+func AspectPreservingSize(w, h, shortEdge int) (int, int) {
+	if w <= 0 || h <= 0 {
+		panic("img: invalid dimensions")
+	}
+	if w < h {
+		return shortEdge, (h*shortEdge + w/2) / w
+	}
+	return (w*shortEdge + h/2) / h, shortEdge
+}
+
+// ResizeShortEdge performs an aspect-preserving bilinear resize so the short
+// edge equals shortEdge.
+func (m *Image) ResizeShortEdge(shortEdge int) *Image {
+	w, h := AspectPreservingSize(m.W, m.H, shortEdge)
+	return m.ResizeBilinear(w, h)
+}
+
+// MeanAbsDiff returns the mean absolute per-channel difference between two
+// images of identical dimensions, a cheap fidelity metric used in codec
+// tests. It panics on dimension mismatch.
+func MeanAbsDiff(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("img: MeanAbsDiff dimension mismatch")
+	}
+	var s float64
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		s += float64(d)
+	}
+	return s / float64(len(a.Pix))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two images of
+// identical dimensions. Identical images return +Inf.
+func PSNR(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("img: PSNR dimension mismatch")
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(int(a.Pix[i]) - int(b.Pix[i]))
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return inf()
+	}
+	return 10 * log10(255*255/mse)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+package img
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomImage(rng *rand.Rand, w, h int) *Image {
+	m := New(w, h)
+	rng.Read(m.Pix)
+	return m
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(4, 3)
+	m.Set(2, 1, 10, 20, 30)
+	r, g, b := m.At(2, 1)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatalf("got %d,%d,%d", r, g, b)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1, 2, 3)
+	c := m.Clone()
+	c.Set(0, 0, 9, 9, 9)
+	r, _, _ := m.At(0, 0)
+	if r != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got := a.Intersect(b)
+	if got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("got %+v", got)
+	}
+	if !a.Intersect(Rect{20, 20, 30, 30}).Empty() {
+		t.Fatal("disjoint rects should intersect empty")
+	}
+}
+
+func TestRectAlignTo(t *testing.T) {
+	r := Rect{X0: 3, Y0: 9, X1: 18, Y1: 21}
+	got := r.AlignTo(8, 100, 100)
+	want := Rect{X0: 0, Y0: 8, X1: 24, Y1: 24}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	// Clipping to image bounds.
+	got = Rect{X0: 60, Y0: 60, X1: 70, Y1: 70}.AlignTo(8, 64, 64)
+	want = Rect{X0: 56, Y0: 56, X1: 64, Y1: 64}
+	if got != want {
+		t.Fatalf("clipped: got %+v, want %+v", got, want)
+	}
+}
+
+func TestCenterCropRect(t *testing.T) {
+	r := CenterCropRect(256, 341, 224, 224)
+	if r.W() != 224 || r.H() != 224 {
+		t.Fatalf("dims %dx%d", r.W(), r.H())
+	}
+	if r.X0 != 16 || r.Y0 != 58 {
+		t.Fatalf("origin %d,%d", r.X0, r.Y0)
+	}
+	// Oversized crop clips to the image.
+	r = CenterCropRect(100, 100, 300, 50)
+	if r.W() != 100 || r.H() != 50 {
+		t.Fatalf("clipped dims %dx%d", r.W(), r.H())
+	}
+}
+
+func TestCrop(t *testing.T) {
+	m := New(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			m.Set(x, y, uint8(x), uint8(y), 0)
+		}
+	}
+	c := m.Crop(Rect{2, 3, 6, 7})
+	if c.W != 4 || c.H != 4 {
+		t.Fatalf("dims %dx%d", c.W, c.H)
+	}
+	r, g, _ := c.At(0, 0)
+	if r != 2 || g != 3 {
+		t.Fatalf("origin pixel %d,%d", r, g)
+	}
+	r, g, _ = c.At(3, 3)
+	if r != 5 || g != 6 {
+		t.Fatalf("far pixel %d,%d", r, g)
+	}
+}
+
+func TestResizeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomImage(rng, 13, 7)
+	out := m.ResizeBilinear(13, 7)
+	if !bytes.Equal(out.Pix, m.Pix) {
+		t.Fatal("identity resize should copy exactly")
+	}
+}
+
+func TestResizeConstantImage(t *testing.T) {
+	m := New(16, 16)
+	for i := range m.Pix {
+		m.Pix[i] = 77
+	}
+	out := m.ResizeBilinear(5, 9)
+	for i, p := range out.Pix {
+		if p != 77 {
+			t.Fatalf("pixel %d = %d, want 77", i, p)
+		}
+	}
+}
+
+func TestResizeDownUpRoundTrip(t *testing.T) {
+	// A smooth gradient should round-trip a 2x down/up cycle with small error.
+	m := New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			m.Set(x, y, uint8(2*x), uint8(2*y), uint8(x+y))
+		}
+	}
+	down := m.ResizeBilinear(32, 32)
+	up := down.ResizeBilinear(64, 64)
+	if d := MeanAbsDiff(m, up); d > 3 {
+		t.Fatalf("round-trip MAD = %v", d)
+	}
+}
+
+func TestAspectPreservingSize(t *testing.T) {
+	cases := []struct{ w, h, s, ww, wh int }{
+		{500, 375, 256, 341, 256},
+		{375, 500, 256, 256, 341},
+		{100, 100, 50, 50, 50},
+	}
+	for _, c := range cases {
+		w, h := AspectPreservingSize(c.w, c.h, c.s)
+		if w != c.ww || h != c.wh {
+			t.Errorf("AspectPreservingSize(%d,%d,%d) = %d,%d want %d,%d",
+				c.w, c.h, c.s, w, h, c.ww, c.wh)
+		}
+	}
+}
+
+func TestResizeShortEdge(t *testing.T) {
+	m := New(100, 50)
+	out := m.ResizeShortEdge(25)
+	if out.H != 25 || out.W != 50 {
+		t.Fatalf("dims %dx%d", out.W, out.H)
+	}
+}
+
+func TestMeanAbsDiffAndPSNR(t *testing.T) {
+	a := New(4, 4)
+	b := a.Clone()
+	if MeanAbsDiff(a, b) != 0 {
+		t.Fatal("identical images should have MAD 0")
+	}
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Fatal("identical images should have infinite PSNR")
+	}
+	b.Pix[0] = 255
+	if MeanAbsDiff(a, b) == 0 {
+		t.Fatal("differing images should have MAD > 0")
+	}
+	if p := PSNR(a, b); p <= 0 || math.IsInf(p, 1) {
+		t.Fatalf("PSNR = %v", p)
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomImage(rng, 31, 17)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != m.W || got.H != m.H || !bytes.Equal(got.Pix, m.Pix) {
+		t.Fatal("PPM round trip mismatch")
+	}
+}
+
+func TestReadPPMRejectsGarbage(t *testing.T) {
+	if _, err := ReadPPM(bytes.NewBufferString("P5\n1 1\n255\nx")); err == nil {
+		t.Fatal("expected error for P5")
+	}
+	if _, err := ReadPPM(bytes.NewBufferString("P6\n-3 1\n255\n")); err == nil {
+		t.Fatal("expected error for negative width")
+	}
+	if _, err := ReadPPM(bytes.NewBufferString("P6\n2 2\n255\nxy")); err == nil {
+		t.Fatal("expected error for truncated pixels")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp8(-5) != 0 || Clamp8(300) != 255 || Clamp8(42) != 42 {
+		t.Fatal("Clamp8 broken")
+	}
+	if ClampF(-0.4) != 0 || ClampF(254.6) != 255 || ClampF(41.5) != 42 {
+		t.Fatal("ClampF broken")
+	}
+}
+
+// Property: cropping to an aligned ROI then reading a pixel equals reading
+// the same pixel from the original.
+func TestCropPreservesPixels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomImage(r, 16+r.Intn(32), 16+r.Intn(32))
+		x0, y0 := r.Intn(m.W-8), r.Intn(m.H-8)
+		rect := Rect{x0, y0, x0 + 8, y0 + 8}
+		c := m.Crop(rect)
+		for i := 0; i < 10; i++ {
+			x, y := r.Intn(8), r.Intn(8)
+			cr, cg, cb := c.At(x, y)
+			or, og, ob := m.At(x0+x, y0+y)
+			if cr != or || cg != og || cb != ob {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectShift(t *testing.T) {
+	r := Rect{X0: 1, Y0: 2, X1: 5, Y1: 7}
+	got := r.Shift(10, -2)
+	want := Rect{X0: 11, Y0: 0, X1: 15, Y1: 5}
+	if got != want {
+		t.Fatalf("Shift = %+v, want %+v", got, want)
+	}
+	if got.W() != r.W() || got.H() != r.H() {
+		t.Fatal("Shift must preserve size")
+	}
+}

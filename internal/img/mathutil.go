@@ -1,0 +1,28 @@
+package img
+
+import "math"
+
+func inf() float64            { return math.Inf(1) }
+func log10(x float64) float64 { return math.Log10(x) }
+
+// Clamp8 clamps an integer to the uint8 range.
+func Clamp8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// ClampF clamps a float to the uint8 range with rounding.
+func ClampF(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

@@ -1,0 +1,51 @@
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePPM writes the image in binary PPM (P6) format, a trivially portable
+// container used by the example programs for visual inspection.
+func WritePPM(w io.Writer, m *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(m.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPPM reads a binary PPM (P6) image.
+func ReadPPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("img: reading PPM magic: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("img: unsupported PPM magic %q", magic)
+	}
+	var w, h, maxval int
+	if _, err := fmt.Fscan(br, &w, &h, &maxval); err != nil {
+		return nil, fmt.Errorf("img: reading PPM header: %w", err)
+	}
+	if maxval != 255 {
+		return nil, fmt.Errorf("img: unsupported PPM maxval %d", maxval)
+	}
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("img: invalid PPM dimensions %dx%d", w, h)
+	}
+	// Exactly one whitespace byte separates the header from pixel data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	m := New(w, h)
+	if _, err := io.ReadFull(br, m.Pix); err != nil {
+		return nil, fmt.Errorf("img: reading PPM pixels: %w", err)
+	}
+	return m, nil
+}

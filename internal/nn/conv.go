@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"smol/internal/tensor"
+)
+
+// randSource is the subset of *rand.Rand the layer constructors need,
+// kept as an interface so deterministic test doubles can be injected.
+type randSource interface {
+	NormFloat64() float64
+}
+
+// Conv2D is a 2-D convolution over NCHW batches, implemented as
+// im2col + matrix multiply (the standard CPU formulation).
+type Conv2D struct {
+	InC, OutC      int
+	K, Stride, Pad int
+
+	W *tensor.Tensor // (OutC, InC, K, K)
+	B *tensor.Tensor // (OutC)
+
+	gradW *tensor.Tensor
+	gradB *tensor.Tensor
+
+	// caches
+	input *tensor.Tensor
+	cols  []*tensor.Tensor // per-sample im2col
+	outH  int
+	outW  int
+}
+
+// NewConv2D constructs a conv layer with He-initialized weights.
+func NewConv2D(rng randSource, inC, outC, k, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W:     tensor.New(outC, inC, k, k),
+		B:     tensor.New(outC),
+		gradW: tensor.New(outC, inC, k, k),
+		gradB: tensor.New(outC),
+	}
+	std := float32(math.Sqrt(2.0 / float64(inC*k*k)))
+	for i := range c.W.Data {
+		c.W.Data[i] = float32(rng.NormFloat64()) * std
+	}
+	return c
+}
+
+// Forward computes the convolution for x of shape (N, InC, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input shape %v, want (N,%d,H,W)", x.Shape, c.InC))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	outH := (h+2*c.Pad-c.K)/c.Stride + 1
+	outW := (w+2*c.Pad-c.K)/c.Stride + 1
+	c.outH, c.outW = outH, outW
+	c.input = x
+	if cap(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	c.cols = c.cols[:n]
+
+	out := tensor.New(n, c.OutC, outH, outW)
+	wmat := c.W.Reshape(c.OutC, c.InC*c.K*c.K)
+	for i := 0; i < n; i++ {
+		sample := tensor.FromData(x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
+		if c.cols[i] == nil || c.cols[i].Shape[1] != outH*outW {
+			c.cols[i] = tensor.New(c.InC*c.K*c.K, outH*outW)
+		}
+		tensor.Im2Col(sample, c.K, c.K, c.Stride, c.Pad, c.cols[i])
+		dst := tensor.FromData(out.Data[i*c.OutC*outH*outW:(i+1)*c.OutC*outH*outW], c.OutC, outH*outW)
+		tensor.MatMulInto(wmat, c.cols[i], dst)
+		// Bias.
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.B.Data[oc]
+			row := dst.Data[oc*outH*outW : (oc+1)*outH*outW]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+// Backward computes input gradients and accumulates weight/bias gradients.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.input
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	outH, outW := c.outH, c.outW
+	gradIn := tensor.New(n, c.InC, h, w)
+	wmat := c.W.Reshape(c.OutC, c.InC*c.K*c.K)
+	gwmat := c.gradW.Reshape(c.OutC, c.InC*c.K*c.K)
+
+	gradColBuf := tensor.New(c.InC*c.K*c.K, outH*outW)
+	sampleGrad := tensor.New(c.InC, h, w)
+	gwAccum := tensor.New(c.OutC, c.InC*c.K*c.K)
+	for i := 0; i < n; i++ {
+		g := tensor.FromData(grad.Data[i*c.OutC*outH*outW:(i+1)*c.OutC*outH*outW], c.OutC, outH*outW)
+		// dW += g @ col^T  (col is (ckk, ohow); we need g (oc, ohow) @ col^T (ohow, ckk)).
+		tensor.MatMulTransB(g, c.cols[i], gwAccum)
+		tensor.AXPY(1, gwAccum, gwmat)
+		// dB += sum over spatial.
+		for oc := 0; oc < c.OutC; oc++ {
+			var s float32
+			row := g.Data[oc*outH*outW : (oc+1)*outH*outW]
+			for _, v := range row {
+				s += v
+			}
+			c.gradB.Data[oc] += s
+		}
+		// dCol = W^T @ g ; dIn = col2im(dCol).
+		tensor.MatMulTransA(wmat, g, gradColBuf)
+		tensor.Col2Im(gradColBuf, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, sampleGrad)
+		copy(gradIn.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], sampleGrad.Data)
+	}
+	return gradIn
+}
+
+// Params returns the weight and bias tensors.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads returns the gradients aligned with Params.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gradW, c.gradB} }

@@ -1,0 +1,37 @@
+// Package nn is a small but real convolutional neural network library:
+// forward and backward passes for conv / batch-norm / ReLU / pooling /
+// linear layers, SGD with momentum, micro-ResNet builders, and gob model
+// serialization.
+//
+// It exists so the paper's learning-dependent results are reproduced by
+// actual learning: accuracy versus network depth (Table 2), accuracy versus
+// input resolution, and the low-resolution-aware augmented training
+// procedure of §5.3 are all measured on models trained by this package, not
+// looked up from tables.
+package nn
+
+import "smol/internal/tensor"
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward in each step; layers cache what they need in between.
+type Layer interface {
+	// Forward computes the layer output for a batch. train selects
+	// training-mode behaviour (e.g. batch statistics in BatchNorm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward receives dL/d(output) and returns dL/d(input), accumulating
+	// parameter gradients internally.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameter tensors, if any.
+	Params() []*tensor.Tensor
+	// Grads returns the gradient tensors, aligned with Params.
+	Grads() []*tensor.Tensor
+}
+
+// zeroGrads zeroes every gradient of a layer set.
+func zeroGrads(layers []Layer) {
+	for _, l := range layers {
+		for _, g := range l.Grads() {
+			g.Zero()
+		}
+	}
+}

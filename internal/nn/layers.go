@@ -1,0 +1,373 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"smol/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v < 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates gradients by the forward activation mask.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil: ReLU has no parameters.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// BatchNorm2D normalizes each channel over the batch and spatial dims.
+type BatchNorm2D struct {
+	C       int
+	Gamma   *tensor.Tensor
+	Beta    *tensor.Tensor
+	RunMean *tensor.Tensor
+	RunVar  *tensor.Tensor
+
+	Momentum float32
+	Eps      float32
+
+	gradGamma *tensor.Tensor
+	gradBeta  *tensor.Tensor
+
+	// caches for backward
+	input   *tensor.Tensor
+	normed  *tensor.Tensor
+	mean    []float32
+	invStd  []float32
+	inTrain bool
+}
+
+// NewBatchNorm2D creates a batch-norm layer for c channels.
+func NewBatchNorm2D(c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C:         c,
+		Gamma:     tensor.New(c),
+		Beta:      tensor.New(c),
+		RunMean:   tensor.New(c),
+		RunVar:    tensor.New(c),
+		Momentum:  0.1,
+		Eps:       1e-5,
+		gradGamma: tensor.New(c),
+		gradBeta:  tensor.New(c),
+		mean:      make([]float32, c),
+		invStd:    make([]float32, c),
+	}
+	for i := 0; i < c; i++ {
+		bn.Gamma.Data[i] = 1
+		bn.RunVar.Data[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes x (N,C,H,W) per channel.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D input shape %v, want (N,%d,H,W)", x.Shape, bn.C))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	spatial := h * w
+	count := float32(n * spatial)
+	out := tensor.New(x.Shape...)
+	bn.input = x
+	bn.inTrain = train
+	if train {
+		bn.normed = tensor.New(x.Shape...)
+	}
+	for c := 0; c < bn.C; c++ {
+		var mean, variance float32
+		if train {
+			var s float64
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * spatial
+				for j := 0; j < spatial; j++ {
+					s += float64(x.Data[base+j])
+				}
+			}
+			mean = float32(s / float64(count))
+			var sv float64
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * spatial
+				for j := 0; j < spatial; j++ {
+					d := x.Data[base+j] - mean
+					sv += float64(d) * float64(d)
+				}
+			}
+			variance = float32(sv / float64(count))
+			bn.RunMean.Data[c] = (1-bn.Momentum)*bn.RunMean.Data[c] + bn.Momentum*mean
+			bn.RunVar.Data[c] = (1-bn.Momentum)*bn.RunVar.Data[c] + bn.Momentum*variance
+		} else {
+			mean = bn.RunMean.Data[c]
+			variance = bn.RunVar.Data[c]
+		}
+		invStd := float32(1 / math.Sqrt(float64(variance)+float64(bn.Eps)))
+		bn.mean[c] = mean
+		bn.invStd[c] = invStd
+		g, b := bn.Gamma.Data[c], bn.Beta.Data[c]
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * spatial
+			for j := 0; j < spatial; j++ {
+				xn := (x.Data[base+j] - mean) * invStd
+				if train {
+					bn.normed.Data[base+j] = xn
+				}
+				out.Data[base+j] = g*xn + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the full batch-norm gradient (training mode).
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := bn.input
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	spatial := h * w
+	count := float32(n * spatial)
+	out := tensor.New(x.Shape...)
+	for c := 0; c < bn.C; c++ {
+		g := bn.Gamma.Data[c]
+		invStd := bn.invStd[c]
+		var sumDy, sumDyXn float64
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * spatial
+			for j := 0; j < spatial; j++ {
+				dy := grad.Data[base+j]
+				sumDy += float64(dy)
+				if bn.inTrain {
+					sumDyXn += float64(dy) * float64(bn.normed.Data[base+j])
+				}
+			}
+		}
+		bn.gradBeta.Data[c] += float32(sumDy)
+		bn.gradGamma.Data[c] += float32(sumDyXn)
+		if !bn.inTrain {
+			// Inference-mode backward (rarely used): simple affine gradient.
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * spatial
+				for j := 0; j < spatial; j++ {
+					out.Data[base+j] = grad.Data[base+j] * g * invStd
+				}
+			}
+			continue
+		}
+		mDy := float32(sumDy) / count
+		mDyXn := float32(sumDyXn) / count
+		for i := 0; i < n; i++ {
+			base := (i*bn.C + c) * spatial
+			for j := 0; j < spatial; j++ {
+				xn := bn.normed.Data[base+j]
+				out.Data[base+j] = g * invStd * (grad.Data[base+j] - mDy - xn*mDyXn)
+			}
+		}
+	}
+	return out
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm2D) Params() []*tensor.Tensor { return []*tensor.Tensor{bn.Gamma, bn.Beta} }
+
+// Grads returns the gradients aligned with Params.
+func (bn *BatchNorm2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{bn.gradGamma, bn.gradBeta} }
+
+// MaxPool2 is 2x2 max pooling with stride 2.
+type MaxPool2 struct {
+	argmax  []int
+	inShape []int
+}
+
+// Forward pools x (N,C,H,W) down by 2x.
+func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := h/2, w/2
+	out := tensor.New(n, c, outH, outW)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	p.inShape = x.Shape
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			base := (i*c + ci) * h * w
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					bestIdx := base + (2*oy)*w + 2*ox
+					best := x.Data[bestIdx]
+					for _, d := range [3][2]int{{0, 1}, {1, 0}, {1, 1}} {
+						idx := base + (2*oy+d[0])*w + 2*ox + d[1]
+						if x.Data[idx] > best {
+							best = x.Data[idx]
+							bestIdx = idx
+						}
+					}
+					out.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(p.inShape...)
+	for i, v := range grad.Data {
+		out.Data[p.argmax[i]] += v
+	}
+	return out
+}
+
+// Params returns nil: pooling has no parameters.
+func (p *MaxPool2) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil: pooling has no parameters.
+func (p *MaxPool2) Grads() []*tensor.Tensor { return nil }
+
+// GlobalAvgPool averages each channel's spatial map to a single value,
+// producing (N, C).
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// Forward averages over H and W.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	p.inShape = x.Shape
+	out := tensor.New(n, c)
+	spatial := h * w
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			base := (i*c + ci) * spatial
+			var s float32
+			for j := 0; j < spatial; j++ {
+				s += x.Data[base+j]
+			}
+			out.Data[i*c+ci] = s / float32(spatial)
+		}
+	}
+	return out
+}
+
+// Backward spreads gradients uniformly over the pooled region.
+func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	out := tensor.New(p.inShape...)
+	spatial := h * w
+	inv := 1 / float32(spatial)
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			g := grad.Data[i*c+ci] * inv
+			base := (i*c + ci) * spatial
+			for j := 0; j < spatial; j++ {
+				out.Data[base+j] = g
+			}
+		}
+	}
+	return out
+}
+
+// Params returns nil: pooling has no parameters.
+func (p *GlobalAvgPool) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil: pooling has no parameters.
+func (p *GlobalAvgPool) Grads() []*tensor.Tensor { return nil }
+
+// Linear is a fully connected layer for (N, In) inputs.
+type Linear struct {
+	In, Out int
+	W       *tensor.Tensor // (Out, In)
+	B       *tensor.Tensor // (Out)
+
+	gradW *tensor.Tensor
+	gradB *tensor.Tensor
+	input *tensor.Tensor
+}
+
+// NewLinear constructs a linear layer with He-initialized weights.
+func NewLinear(rng randSource, in, out int) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W:     tensor.New(out, in),
+		B:     tensor.New(out),
+		gradW: tensor.New(out, in),
+		gradB: tensor.New(out),
+	}
+	std := float32(math.Sqrt(2.0 / float64(in)))
+	for i := range l.W.Data {
+		l.W.Data[i] = float32(rng.NormFloat64()) * std
+	}
+	return l
+}
+
+// Forward computes x @ W^T + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: Linear input shape %v, want (N,%d)", x.Shape, l.In))
+	}
+	l.input = x
+	n := x.Shape[0]
+	out := tensor.New(n, l.Out)
+	tensor.MatMulTransB(x, l.W, out)
+	for i := 0; i < n; i++ {
+		for j := 0; j < l.Out; j++ {
+			out.Data[i*l.Out+j] += l.B.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = g^T @ x, dB = sum(g), returns g @ W.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	gw := tensor.New(l.Out, l.In)
+	tensor.MatMulTransA(grad, l.input, gw)
+	tensor.AXPY(1, gw, l.gradW)
+	for i := 0; i < n; i++ {
+		for j := 0; j < l.Out; j++ {
+			l.gradB.Data[j] += grad.Data[i*l.Out+j]
+		}
+	}
+	out := tensor.New(n, l.In)
+	tensor.MatMulInto(grad, l.W, out)
+	return out
+}
+
+// Params returns the weight and bias tensors.
+func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// Grads returns the gradients aligned with Params.
+func (l *Linear) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.gradW, l.gradB} }

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"smol/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (N, K) against integer labels, and the gradient with respect to the
+// logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: loss shape %v vs %d labels", logits.Shape, len(labels)))
+	}
+	n, k := logits.Shape[0], logits.Shape[1]
+	grad := tensor.New(n, k)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		label := labels[i]
+		if label < 0 || label >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
+		}
+		// Stable softmax.
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		loss += logSum - float64(row[label]-maxv)
+		invN := 1 / float32(n)
+		for j := 0; j < k; j++ {
+			p := float32(math.Exp(float64(row[j]-maxv)) / sum)
+			if j == label {
+				p -= 1
+			}
+			grad.Data[i*k+j] = p * invN
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Accuracy returns the fraction of predictions matching labels.
+func Accuracy(preds, labels []int) float64 {
+	if len(preds) != len(labels) {
+		panic("nn: Accuracy length mismatch")
+	}
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}

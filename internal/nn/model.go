@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"smol/internal/tensor"
+)
+
+// Model is a sequential stack of layers.
+type Model struct {
+	Layers []Layer
+}
+
+// Forward runs the whole stack.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates gradients through the whole stack.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all learnable parameters.
+func (m *Model) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradients, aligned with Params.
+func (m *Model) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads zeroes all gradients.
+func (m *Model) ZeroGrads() { zeroGrads(m.Layers) }
+
+// NumParams returns the total learnable parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Len()
+	}
+	return n
+}
+
+// Predict returns the argmax class per sample for a batch of inputs.
+func (m *Model) Predict(x *tensor.Tensor) []int {
+	logits := m.Forward(x, false)
+	n, k := logits.Shape[0], logits.Shape[1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		best := 0
+		row := logits.Data[i*k : (i+1)*k]
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Residual is a two-conv residual block (conv-bn-relu-conv-bn + skip,
+// followed by ReLU), with an optional 1x1 projection shortcut when the
+// shape changes.
+type Residual struct {
+	conv1 *Conv2D
+	bn1   *BatchNorm2D
+	relu1 *ReLU
+	conv2 *Conv2D
+	bn2   *BatchNorm2D
+	relu2 *ReLU
+
+	proj   *Conv2D      // nil for identity shortcut
+	projBN *BatchNorm2D // nil when proj is nil
+
+	shortcutIn *tensor.Tensor
+}
+
+// NewResidual builds a residual block mapping inC channels to outC with the
+// given stride on the first conv.
+func NewResidual(rng randSource, inC, outC, stride int) *Residual {
+	r := &Residual{
+		conv1: NewConv2D(rng, inC, outC, 3, stride, 1),
+		bn1:   NewBatchNorm2D(outC),
+		relu1: &ReLU{},
+		conv2: NewConv2D(rng, outC, outC, 3, 1, 1),
+		bn2:   NewBatchNorm2D(outC),
+		relu2: &ReLU{},
+	}
+	if inC != outC || stride != 1 {
+		r.proj = NewConv2D(rng, inC, outC, 1, stride, 0)
+		r.projBN = NewBatchNorm2D(outC)
+	}
+	return r
+}
+
+// Forward computes the block output.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.shortcutIn = x
+	y := r.conv1.Forward(x, train)
+	y = r.bn1.Forward(y, train)
+	y = r.relu1.Forward(y, train)
+	y = r.conv2.Forward(y, train)
+	y = r.bn2.Forward(y, train)
+	var sc *tensor.Tensor
+	if r.proj != nil {
+		sc = r.proj.Forward(x, train)
+		sc = r.projBN.Forward(sc, train)
+	} else {
+		sc = x
+	}
+	sum := y.Clone()
+	tensor.AXPY(1, sc, sum)
+	return r.relu2.Forward(sum, train)
+}
+
+// Backward propagates through both the residual and shortcut paths.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := r.relu2.Backward(grad)
+	// Residual path.
+	gy := r.bn2.Backward(g)
+	gy = r.conv2.Backward(gy)
+	gy = r.relu1.Backward(gy)
+	gy = r.bn1.Backward(gy)
+	gy = r.conv1.Backward(gy)
+	// Shortcut path.
+	var gs *tensor.Tensor
+	if r.proj != nil {
+		gs = r.projBN.Backward(g)
+		gs = r.proj.Backward(gs)
+	} else {
+		gs = g
+	}
+	out := gy.Clone()
+	tensor.AXPY(1, gs, out)
+	return out
+}
+
+func (r *Residual) inner() []Layer {
+	ls := []Layer{r.conv1, r.bn1, r.conv2, r.bn2}
+	if r.proj != nil {
+		ls = append(ls, r.proj, r.projBN)
+	}
+	return ls
+}
+
+// Params returns the parameters of all inner layers.
+func (r *Residual) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range r.inner() {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns the gradients of all inner layers.
+func (r *Residual) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range r.inner() {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}

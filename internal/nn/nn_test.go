@@ -1,0 +1,411 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smol/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dParam[i] by central differences.
+func numericalGrad(f func() float64, p *tensor.Tensor, i int) float64 {
+	const eps = 1e-3
+	orig := p.Data[i]
+	p.Data[i] = orig + eps
+	up := f()
+	p.Data[i] = orig - eps
+	down := f()
+	p.Data[i] = orig
+	return (up - down) / (2 * eps)
+}
+
+// checkLayerGradients validates analytic vs numerical gradients for a layer
+// wrapped in a scalar loss (sum of squares / 2 so dL/dy = y).
+func checkLayerGradients(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		y := l.Forward(x, true)
+		var s float64
+		for _, v := range y.Data {
+			s += float64(v) * float64(v) / 2
+		}
+		return s
+	}
+	// Analytic gradients.
+	y := l.Forward(x, true)
+	zeroGrads([]Layer{l})
+	gradIn := l.Backward(y.Clone())
+
+	// Check input gradient on a sample of indices.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		i := rng.Intn(len(x.Data))
+		num := numericalGrad(loss, x, i)
+		got := float64(gradIn.Data[i])
+		if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input grad[%d]: analytic %v vs numerical %v", i, got, num)
+		}
+	}
+	// Check parameter gradients.
+	params := l.Params()
+	grads := l.Grads()
+	for pi, p := range params {
+		for trial := 0; trial < 6; trial++ {
+			i := rng.Intn(len(p.Data))
+			num := numericalGrad(loss, p, i)
+			got := float64(grads[pi].Data[i])
+			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %d grad[%d]: analytic %v vs numerical %v", pi, i, got, num)
+			}
+		}
+	}
+}
+
+func randInput(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	return x
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D(rng, 2, 3, 3, 1, 1)
+	x := randInput(rng, 2, 2, 5, 5)
+	checkLayerGradients(t, conv, x, 2e-2)
+}
+
+func TestConvStridedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := NewConv2D(rng, 2, 2, 3, 2, 1)
+	x := randInput(rng, 1, 2, 6, 6)
+	checkLayerGradients(t, conv, x, 2e-2)
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lin := NewLinear(rng, 6, 4)
+	x := randInput(rng, 3, 6)
+	checkLayerGradients(t, lin, x, 2e-2)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randInput(rng, 2, 3, 4, 4)
+	// Shift away from zero to avoid kinks in the numerical gradient.
+	for i := range x.Data {
+		if math.Abs(float64(x.Data[i])) < 0.05 {
+			x.Data[i] = 0.1
+		}
+	}
+	checkLayerGradients(t, &ReLU{}, x, 2e-2)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randInput(rng, 2, 2, 6, 6)
+	checkLayerGradients(t, &MaxPool2{}, x, 2e-2)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randInput(rng, 2, 3, 4, 4)
+	checkLayerGradients(t, &GlobalAvgPool{}, x, 2e-2)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bn := NewBatchNorm2D(3)
+	x := randInput(rng, 4, 3, 3, 3)
+	checkLayerGradients(t, bn, x, 5e-2)
+}
+
+func TestResidualGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := NewResidual(rng, 2, 4, 2) // projection path
+	x := randInput(rng, 2, 2, 6, 6)
+	checkLayerGradients(t, r, x, 5e-2)
+}
+
+func TestResidualIdentityGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := NewResidual(rng, 3, 3, 1) // identity shortcut
+	x := randInput(rng, 2, 3, 4, 4)
+	checkLayerGradients(t, r, x, 5e-2)
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	// Uniform logits: loss = log(K), gradient pushes towards the label.
+	logits := tensor.New(1, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want log 4", loss)
+	}
+	for j := 0; j < 4; j++ {
+		want := 0.25
+		if j == 2 {
+			want = -0.75
+		}
+		if math.Abs(float64(grad.Data[j])-want) > 1e-6 {
+			t.Fatalf("grad = %v", grad.Data)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	logits := randInput(rng, 3, 5)
+	labels := []int{0, 3, 2}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	for trial := 0; trial < 10; trial++ {
+		i := rng.Intn(len(logits.Data))
+		num := numericalGrad(func() float64 {
+			l, _ := SoftmaxCrossEntropy(logits, labels)
+			return l
+		}, logits, i)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("grad[%d]: analytic %v vs numerical %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(a-2.0/3.0) > 1e-12 {
+		t.Fatalf("accuracy = %v", a)
+	}
+}
+
+func TestBatchNormNormalizesAndTracks(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	bn := NewBatchNorm2D(2)
+	x := tensor.New(8, 2, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*10 + 5
+	}
+	y := bn.Forward(x, true)
+	// Each channel of the output should be ~zero-mean unit-variance.
+	n, spatial := 8, 16
+	for c := 0; c < 2; c++ {
+		var s, s2 float64
+		for i := 0; i < n; i++ {
+			base := (i*2 + c) * spatial
+			for j := 0; j < spatial; j++ {
+				v := float64(y.Data[base+j])
+				s += v
+				s2 += v * v
+			}
+		}
+		count := float64(n * spatial)
+		mean := s / count
+		variance := s2/count - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d: mean %v var %v", c, mean, variance)
+		}
+	}
+	// Running stats should have moved from their init values.
+	if bn.RunMean.Data[0] == 0 || bn.RunVar.Data[0] == 1 {
+		t.Fatal("running statistics not updated")
+	}
+}
+
+func TestResNetBuilderShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, v := range Variants() {
+		cfg, err := VariantConfig(v, 7, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewResNet(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randInput(rng, 2, 3, 32, 32)
+		y := m.Forward(x, false)
+		if y.Shape[0] != 2 || y.Shape[1] != 7 {
+			t.Fatalf("%s: output shape %v", v, y.Shape)
+		}
+	}
+}
+
+func TestVariantOrdering(t *testing.T) {
+	// Deeper variants must have more parameters and FLOPs.
+	rng := rand.New(rand.NewSource(14))
+	var lastParams int
+	var lastFLOPs float64
+	for _, v := range Variants() {
+		cfg, _ := VariantConfig(v, 10, 32)
+		m, err := NewResNet(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.NumParams()
+		f := cfg.FLOPsPerImage()
+		if p <= lastParams || f <= lastFLOPs {
+			t.Fatalf("%s: params %d flops %.0f not increasing", v, p, f)
+		}
+		lastParams, lastFLOPs = p, f
+	}
+}
+
+func TestVariantConfigUnknown(t *testing.T) {
+	if _, err := VariantConfig("resnet-z", 2, 32); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestResNetConfigValidation(t *testing.T) {
+	bad := []ResNetConfig{
+		{},
+		{StageWidths: []int{8}, BlocksPerStage: 0, NumClasses: 2, InputRes: 32},
+		{StageWidths: []int{8, 16}, BlocksPerStage: 1, NumClasses: 0, InputRes: 32},
+		{StageWidths: []int{8, 16, 32}, BlocksPerStage: 1, NumClasses: 2, InputRes: 30},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+// xorSamples builds a tiny dataset where class depends on the XOR of two
+// spatial quadrant intensities — learnable only with a nonlinear model.
+func xorSamples(rng *rand.Rand, n int) []Sample {
+	samples := make([]Sample, n)
+	for i := range samples {
+		a := rng.Intn(2)
+		b := rng.Intn(2)
+		x := tensor.New(3, 8, 8)
+		for c := 0; c < 3; c++ {
+			for y := 0; y < 8; y++ {
+				for xx := 0; xx < 8; xx++ {
+					v := float32(0.1)
+					if (y < 4 && a == 1) || (y >= 4 && b == 1) {
+						v = 0.9
+					}
+					x.Data[c*64+y*8+xx] = v + rng.Float32()*0.05
+				}
+			}
+		}
+		samples[i] = Sample{X: x, Label: a ^ b}
+	}
+	return samples
+}
+
+func TestTrainingLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	train := xorSamples(rng, 256)
+	test := xorSamples(rng, 128)
+	cfg := ResNetConfig{StageWidths: []int{8, 16}, BlocksPerStage: 1, NumClasses: 2, InputRes: 8}
+	m, err := NewResNet(rand.New(rand.NewSource(16)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Evaluate(m, test, 64)
+	Fit(m, train, TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.05, Momentum: 0.9, Seed: 17})
+	after := Evaluate(m, test, 64)
+	if after < 0.95 {
+		t.Fatalf("accuracy after training = %v (before %v)", after, before)
+	}
+}
+
+func TestFitAugmenterIsCalled(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	train := xorSamples(rng, 32)
+	cfg := ResNetConfig{StageWidths: []int{4}, BlocksPerStage: 1, NumClasses: 2, InputRes: 8}
+	m, err := NewResNet(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	Fit(m, train, TrainConfig{
+		Epochs: 1, BatchSize: 8,
+		Augment: func(r *rand.Rand, x *tensor.Tensor) *tensor.Tensor {
+			calls++
+			return x
+		},
+	})
+	if calls != 32 {
+		t.Fatalf("augmenter called %d times, want 32", calls)
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	cfg := ResNetConfig{StageWidths: []int{4, 8}, BlocksPerStage: 1, NumClasses: 3, InputRes: 16}
+	m, err := NewResNet(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push some data through in train mode so running stats are nontrivial.
+	x := randInput(rng, 4, 3, 16, 16)
+	m.Forward(x, true)
+
+	var buf testBuffer
+	if err := SaveModel(&buf, cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	gotCfg, loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg.NumClasses != 3 || len(gotCfg.StageWidths) != 2 {
+		t.Fatalf("config %+v", gotCfg)
+	}
+	// Outputs must match exactly in eval mode.
+	y1 := m.Forward(x, false)
+	y2 := loaded.Forward(x, false)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatalf("output mismatch at %d: %v vs %v", i, y1.Data[i], y2.Data[i])
+		}
+	}
+}
+
+// testBuffer is a minimal io.ReadWriter.
+type testBuffer struct {
+	data []byte
+	pos  int
+}
+
+func (b *testBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *testBuffer) Read(p []byte) (int, error) {
+	if b.pos >= len(b.data) {
+		return 0, errEOF{}
+	}
+	n := copy(p, b.data[b.pos:])
+	b.pos += n
+	return n, nil
+}
+
+type errEOF struct{}
+
+func (errEOF) Error() string { return "EOF" }
+
+func TestSGDMomentumConverges(t *testing.T) {
+	// Minimize (w-3)^2 via the optimizer plumbing using a fake 1-parameter
+	// "model".
+	w := tensor.New(1)
+	g := tensor.New(1)
+	m := &Model{Layers: []Layer{&fakeParamLayer{p: w, g: g}}}
+	opt := NewSGD(0.1, 0.9, 0)
+	for i := 0; i < 400; i++ {
+		g.Data[0] = 2 * (w.Data[0] - 3)
+		opt.Step(m)
+	}
+	if math.Abs(float64(w.Data[0])-3) > 1e-3 {
+		t.Fatalf("w = %v, want 3", w.Data[0])
+	}
+}
+
+type fakeParamLayer struct{ p, g *tensor.Tensor }
+
+func (f *fakeParamLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+func (f *fakeParamLayer) Backward(grad *tensor.Tensor) *tensor.Tensor         { return grad }
+func (f *fakeParamLayer) Params() []*tensor.Tensor                            { return []*tensor.Tensor{f.p} }
+func (f *fakeParamLayer) Grads() []*tensor.Tensor                             { return []*tensor.Tensor{f.g} }

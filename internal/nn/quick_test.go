@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smol/internal/tensor"
+)
+
+// randConfig draws a small but structurally varied ResNet configuration.
+func randConfig(rng *rand.Rand) ResNetConfig {
+	stages := 1 + rng.Intn(3)
+	widths := make([]int, stages)
+	for i := range widths {
+		widths[i] = 4 << rng.Intn(2) // 4 or 8 channels
+	}
+	return ResNetConfig{
+		StageWidths:    widths,
+		BlocksPerStage: 1 + rng.Intn(2),
+		NumClasses:     2 + rng.Intn(6),
+		InputRes:       8 << rng.Intn(2), // 8 or 16
+	}
+}
+
+// TestQuickSaveLoadPreservesForward: serialization round-trips every
+// parameter and batch-norm statistic — the reloaded model computes
+// bit-identical logits for any architecture and input.
+func TestQuickSaveLoadPreservesForward(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		cfg := randConfig(rng)
+		m, err := NewResNet(rng, cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		x := tensor.New(2, 3, cfg.InputRes, cfg.InputRes)
+		for i := range x.Data {
+			x.Data[i] = rng.Float32()
+		}
+		want := m.Forward(x, false)
+
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, cfg, m); err != nil {
+			t.Logf("seed %d: save: %v", seed, err)
+			return false
+		}
+		cfg2, m2, err := LoadModel(&buf)
+		if err != nil {
+			t.Logf("seed %d: load: %v", seed, err)
+			return false
+		}
+		if cfg2.NumClasses != cfg.NumClasses || len(cfg2.StageWidths) != len(cfg.StageWidths) {
+			t.Logf("seed %d: config mangled: %+v vs %+v", seed, cfg2, cfg)
+			return false
+		}
+		got := m2.Forward(x, false)
+		if len(got.Data) != len(want.Data) {
+			return false
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Logf("seed %d: logit %d differs: %v vs %v", seed, i, want.Data[i], got.Data[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickForwardDeterministicAndFinite: inference is deterministic and
+// never produces NaN or Inf for random weights and inputs.
+func TestQuickForwardDeterministicAndFinite(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		cfg := randConfig(rng)
+		m, err := NewResNet(rng, cfg)
+		if err != nil {
+			return false
+		}
+		x := tensor.New(1, 3, cfg.InputRes, cfg.InputRes)
+		for i := range x.Data {
+			x.Data[i] = rng.Float32()*2 - 1
+		}
+		a := m.Forward(x, false)
+		b := m.Forward(x, false)
+		for i := range a.Data {
+			v := float64(a.Data[i])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Logf("seed %d: non-finite logit %v", seed, v)
+				return false
+			}
+			if a.Data[i] != b.Data[i] {
+				t.Logf("seed %d: non-deterministic forward", seed)
+				return false
+			}
+		}
+		return len(a.Data) == cfg.NumClasses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}

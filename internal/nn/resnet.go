@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ResNetConfig describes a micro-ResNet. The three standard depths used
+// throughout the repo (stand-ins for ResNet-18/34/50) are produced by
+// MicroResNetA/B/C.
+type ResNetConfig struct {
+	// StageWidths is the channel count of each stage; stage i>0 starts with
+	// a stride-2 block, halving the spatial resolution.
+	StageWidths []int
+	// BlocksPerStage is the number of residual blocks in each stage.
+	BlocksPerStage int
+	// NumClasses is the classifier output width.
+	NumClasses int
+	// InputRes is the expected square input resolution (for bookkeeping and
+	// FLOPs estimation; the network itself is fully convolutional).
+	InputRes int
+}
+
+// Validate checks the configuration.
+func (c ResNetConfig) Validate() error {
+	if len(c.StageWidths) == 0 {
+		return fmt.Errorf("nn: no stages")
+	}
+	for _, w := range c.StageWidths {
+		if w <= 0 {
+			return fmt.Errorf("nn: invalid stage width %d", w)
+		}
+	}
+	if c.BlocksPerStage <= 0 {
+		return fmt.Errorf("nn: invalid blocks per stage %d", c.BlocksPerStage)
+	}
+	if c.NumClasses <= 0 {
+		return fmt.Errorf("nn: invalid class count %d", c.NumClasses)
+	}
+	if c.InputRes <= 0 || c.InputRes%(1<<uint(len(c.StageWidths)-1)) != 0 {
+		return fmt.Errorf("nn: input resolution %d not divisible by stage downsampling", c.InputRes)
+	}
+	return nil
+}
+
+// NewResNet builds the model described by cfg with weights drawn from rng.
+func NewResNet(rng *rand.Rand, cfg ResNetConfig) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var layers []Layer
+	// Stem.
+	layers = append(layers,
+		NewConv2D(rng, 3, cfg.StageWidths[0], 3, 1, 1),
+		NewBatchNorm2D(cfg.StageWidths[0]),
+		&ReLU{},
+	)
+	inC := cfg.StageWidths[0]
+	for si, width := range cfg.StageWidths {
+		for b := 0; b < cfg.BlocksPerStage; b++ {
+			stride := 1
+			if si > 0 && b == 0 {
+				stride = 2
+			}
+			layers = append(layers, NewResidual(rng, inC, width, stride))
+			inC = width
+		}
+	}
+	layers = append(layers,
+		&GlobalAvgPool{},
+		NewLinear(rng, inC, cfg.NumClasses),
+	)
+	return &Model{Layers: layers}, nil
+}
+
+// Named micro-ResNet variants. Depth and width scale together, mirroring
+// the accuracy/computation ordering of ResNet-18/34/50 in Table 2.
+const (
+	// VariantA is the shallowest variant (stand-in for ResNet-18).
+	VariantA = "resnet-a"
+	// VariantB is the middle variant (stand-in for ResNet-34).
+	VariantB = "resnet-b"
+	// VariantC is the deepest variant (stand-in for ResNet-50).
+	VariantC = "resnet-c"
+)
+
+// VariantConfig returns the configuration of a named variant for the given
+// class count and input resolution.
+func VariantConfig(variant string, numClasses, inputRes int) (ResNetConfig, error) {
+	cfg := ResNetConfig{NumClasses: numClasses, InputRes: inputRes}
+	switch variant {
+	case VariantA:
+		cfg.StageWidths = []int{8, 16, 32}
+		cfg.BlocksPerStage = 1
+	case VariantB:
+		cfg.StageWidths = []int{12, 24, 48}
+		cfg.BlocksPerStage = 2
+	case VariantC:
+		cfg.StageWidths = []int{16, 32, 64}
+		cfg.BlocksPerStage = 3
+	default:
+		return ResNetConfig{}, fmt.Errorf("nn: unknown variant %q", variant)
+	}
+	return cfg, nil
+}
+
+// Variants lists the standard variant names, cheapest first.
+func Variants() []string { return []string{VariantA, VariantB, VariantC} }
+
+// FLOPsPerImage estimates the multiply-accumulate count of one forward pass
+// for a square input of cfg.InputRes, used by the hardware cost model to
+// derive relative DNN execution throughput.
+func (c ResNetConfig) FLOPsPerImage() float64 {
+	res := float64(c.InputRes)
+	flops := 0.0
+	// Stem: 3 -> w0 at full res, 3x3 kernel.
+	flops += 2 * 9 * 3 * float64(c.StageWidths[0]) * res * res
+	inC := float64(c.StageWidths[0])
+	for si, width := range c.StageWidths {
+		w := float64(width)
+		stageRes := res / float64(int(1)<<uint(si))
+		for b := 0; b < c.BlocksPerStage; b++ {
+			outRes := stageRes
+			if si > 0 && b == 0 {
+				outRes = stageRes // stageRes already accounts for the stride
+			}
+			// Two 3x3 convs.
+			flops += 2 * 9 * inC * w * outRes * outRes
+			flops += 2 * 9 * w * w * outRes * outRes
+			if inC != w || (si > 0 && b == 0) {
+				flops += 2 * inC * w * outRes * outRes // 1x1 projection
+			}
+			inC = w
+		}
+	}
+	flops += 2 * inC * float64(c.NumClasses)
+	return flops
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"smol/internal/tensor"
+)
+
+// Stateful is implemented by layers carrying non-parameter state that must
+// survive serialization (e.g. batch-norm running statistics).
+type Stateful interface {
+	State() []*tensor.Tensor
+}
+
+// State returns batch-norm running statistics.
+func (bn *BatchNorm2D) State() []*tensor.Tensor {
+	return []*tensor.Tensor{bn.RunMean, bn.RunVar}
+}
+
+// State collects state from the block's inner layers.
+func (r *Residual) State() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range r.inner() {
+		if s, ok := l.(Stateful); ok {
+			out = append(out, s.State()...)
+		}
+	}
+	return out
+}
+
+// stateTensors returns all tensors that define the trained model: learnable
+// parameters plus auxiliary state, in deterministic layer order.
+func (m *Model) stateTensors() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+		if s, ok := l.(Stateful); ok {
+			out = append(out, s.State()...)
+		}
+	}
+	return out
+}
+
+// savedModel is the gob wire format.
+type savedModel struct {
+	Config  ResNetConfig
+	Tensors [][]float32
+}
+
+// SaveModel serializes a ResNet built from cfg.
+func SaveModel(w io.Writer, cfg ResNetConfig, m *Model) error {
+	sm := savedModel{Config: cfg}
+	for _, t := range m.stateTensors() {
+		sm.Tensors = append(sm.Tensors, t.Data)
+	}
+	return gob.NewEncoder(w).Encode(&sm)
+}
+
+// LoadModel reconstructs a model saved by SaveModel.
+func LoadModel(r io.Reader) (ResNetConfig, *Model, error) {
+	var sm savedModel
+	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+		return ResNetConfig{}, nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	// Weight values are overwritten below; the seed only shapes the graph.
+	m, err := NewResNet(rand.New(rand.NewSource(0)), sm.Config)
+	if err != nil {
+		return ResNetConfig{}, nil, err
+	}
+	tensors := m.stateTensors()
+	if len(tensors) != len(sm.Tensors) {
+		return ResNetConfig{}, nil, fmt.Errorf("nn: model has %d tensors, file has %d",
+			len(tensors), len(sm.Tensors))
+	}
+	for i, t := range tensors {
+		if len(t.Data) != len(sm.Tensors[i]) {
+			return ResNetConfig{}, nil, fmt.Errorf("nn: tensor %d size %d, file has %d",
+				i, len(t.Data), len(sm.Tensors[i]))
+		}
+		copy(t.Data, sm.Tensors[i])
+	}
+	return sm.Config, m, nil
+}

@@ -1,0 +1,41 @@
+package nn
+
+import "smol/internal/tensor"
+
+// SGD is stochastic gradient descent with momentum and weight decay.
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+
+	velocity map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{
+		LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*tensor.Tensor]*tensor.Tensor),
+	}
+}
+
+// Step applies one update to every parameter of the model using the
+// accumulated gradients, then leaves the gradients untouched (call
+// Model.ZeroGrads before the next accumulation).
+func (s *SGD) Step(m *Model) {
+	params := m.Params()
+	grads := m.Grads()
+	for i, p := range params {
+		g := grads[i]
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Shape...)
+			s.velocity[p] = v
+		}
+		for j := range p.Data {
+			dj := g.Data[j] + s.WeightDecay*p.Data[j]
+			v.Data[j] = s.Momentum*v.Data[j] - s.LR*dj
+			p.Data[j] += v.Data[j]
+		}
+	}
+}

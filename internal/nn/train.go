@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math/rand"
+
+	"smol/internal/tensor"
+)
+
+// Sample is one labelled training example in NCHW (C=3) layout.
+type Sample struct {
+	X     *tensor.Tensor // (3, H, W)
+	Label int
+}
+
+// Augmenter transforms a sample at training time. Smol's low-resolution-
+// aware training (§5.3) is implemented as an Augmenter that downsamples and
+// re-upsamples inputs to inject the artifacts the model will see at
+// inference time.
+type Augmenter func(rng *rand.Rand, x *tensor.Tensor) *tensor.Tensor
+
+// TrainConfig bundles the knobs of Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float32
+	Momentum  float32
+	// WeightDecay is the L2 penalty coefficient.
+	WeightDecay float32
+	// LRDecayEvery halves the learning rate every this many epochs when > 0.
+	LRDecayEvery int
+	// Augment, when non-nil, is applied to every training input.
+	Augment Augmenter
+	// Seed makes shuffling and augmentation deterministic.
+	Seed int64
+	// Progress, when non-nil, receives (epoch, meanLoss) after each epoch.
+	Progress func(epoch int, loss float64)
+}
+
+// Fit trains the model on samples with SGD.
+func Fit(m *Model, samples []Sample, cfg TrainConfig) {
+	if len(samples) == 0 {
+		panic("nn: Fit with no samples")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	h := samples[0].X.Shape[1]
+	w := samples[0].X.Shape[2]
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDecayEvery > 0 && epoch > 0 && epoch%cfg.LRDecayEvery == 0 {
+			opt.LR /= 2
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var lossSum float64
+		batches := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			n := end - start
+			batch := tensor.New(n, 3, h, w)
+			labels := make([]int, n)
+			for bi, si := range idx[start:end] {
+				x := samples[si].X
+				if cfg.Augment != nil {
+					x = cfg.Augment(rng, x)
+				}
+				copy(batch.Data[bi*3*h*w:(bi+1)*3*h*w], x.Data)
+				labels[bi] = samples[si].Label
+			}
+			m.ZeroGrads()
+			logits := m.Forward(batch, true)
+			loss, grad := SoftmaxCrossEntropy(logits, labels)
+			m.Backward(grad)
+			opt.Step(m)
+			lossSum += loss
+			batches++
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, lossSum/float64(batches))
+		}
+	}
+}
+
+// Evaluate returns the model's accuracy over samples, running inference in
+// batches.
+func Evaluate(m *Model, samples []Sample, batchSize int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	h := samples[0].X.Shape[1]
+	w := samples[0].X.Shape[2]
+	correct := 0
+	for start := 0; start < len(samples); start += batchSize {
+		end := start + batchSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		n := end - start
+		batch := tensor.New(n, 3, h, w)
+		for bi := 0; bi < n; bi++ {
+			copy(batch.Data[bi*3*h*w:(bi+1)*3*h*w], samples[start+bi].X.Data)
+		}
+		preds := m.Predict(batch)
+		for bi, p := range preds {
+			if p == samples[start+bi].Label {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

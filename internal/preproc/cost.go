@@ -1,0 +1,95 @@
+package preproc
+
+// Cost model: each operator's cost is an estimated arithmetic-operation
+// count for the given data geometry, with a dtype multiplier (float32
+// arithmetic costs more than uint8 on typical CPUs, chiefly through memory
+// bandwidth). The absolute numbers are unitless; only relative comparisons
+// matter for plan selection.
+
+const (
+	// dtypeF32Factor scales op cost when operating on float32 data.
+	dtypeF32Factor = 2.5
+	// bilinearOpsPerPixel is the per-output-pixel-channel cost of bilinear
+	// interpolation (4 taps, 3 lerps, index math).
+	bilinearOpsPerPixel = 8.0
+)
+
+// geometry tracks the image dims and dtype as ops are applied.
+type geometry struct {
+	w, h    int
+	isFloat bool
+}
+
+// OpCost returns the cost of applying op to a given geometry and the
+// resulting geometry.
+func OpCost(op Op, g geometry) (float64, geometry) {
+	dtype := 1.0
+	if g.isFloat {
+		dtype = dtypeF32Factor
+	}
+	switch op.Kind {
+	case OpResizeShort:
+		ow, oh := shortEdgeDims(g.w, g.h, op.Short)
+		cost := float64(ow*oh*3) * bilinearOpsPerPixel * dtype
+		return cost, geometry{w: ow, h: oh, isFloat: g.isFloat}
+	case OpResizeExact:
+		cost := float64(op.W*op.H*3) * bilinearOpsPerPixel * dtype
+		return cost, geometry{w: op.W, h: op.H, isFloat: g.isFloat}
+	case OpCenterCrop:
+		w, h := op.W, op.H
+		if w > g.w {
+			w = g.w
+		}
+		if h > g.h {
+			h = g.h
+		}
+		// A crop is a strided copy.
+		cost := float64(w*h*3) * dtype
+		return cost, geometry{w: w, h: h, isFloat: g.isFloat}
+	case OpConvert:
+		return float64(g.w*g.h*3) * 1.5, geometry{w: g.w, h: g.h, isFloat: true}
+	case OpNormalize:
+		// subtract + multiply per element.
+		return float64(g.w*g.h*3) * 2 * dtypeF32Factor, g
+	case OpReorder:
+		return float64(g.w*g.h*3) * dtypeF32Factor, g
+	case OpFusedPost:
+		// One pass doing convert+normalize+reorder: ~3 ops per element on
+		// u8 input, writing float out.
+		return float64(g.w*g.h*3) * 3, geometry{w: g.w, h: g.h, isFloat: true}
+	default:
+		panic("preproc: unknown op kind")
+	}
+}
+
+func shortEdgeDims(w, h, short int) (int, int) {
+	if w < h {
+		return short, (h*short + w/2) / w
+	}
+	return (w*short + h/2) / h, short
+}
+
+// PlanCost sums operator costs over the plan for the spec's input geometry.
+func PlanCost(p Plan, s Spec) float64 {
+	g := geometry{w: s.InW, h: s.InH}
+	total := 0.0
+	for _, op := range p.Ops {
+		c, ng := OpCost(op, g)
+		total += c
+		g = ng
+	}
+	return total
+}
+
+// OpCosts returns the per-op costs of a plan, used by operator placement to
+// split the pipeline between CPU and accelerator.
+func OpCosts(p Plan, s Spec) []float64 {
+	g := geometry{w: s.InW, h: s.InH}
+	out := make([]float64, len(p.Ops))
+	for i, op := range p.Ops {
+		c, ng := OpCost(op, g)
+		out[i] = c
+		g = ng
+	}
+	return out
+}

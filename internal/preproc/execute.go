@@ -1,0 +1,222 @@
+package preproc
+
+import (
+	"fmt"
+
+	"smol/internal/img"
+	"smol/internal/tensor"
+)
+
+// Executor runs plans with reusable scratch buffers, so steady-state
+// execution performs no allocations (the memory-reuse optimization of §6.1).
+// An Executor is not safe for concurrent use; the engine gives each worker
+// its own.
+type Executor struct {
+	scratchU8  [2]*img.Image
+	scratchF32 [2][]float32
+}
+
+// NewExecutor returns an empty executor; buffers grow on first use.
+func NewExecutor() *Executor { return &Executor{} }
+
+// value is the in-flight representation between ops: either a uint8 HWC
+// image or a float32 buffer (HWC, or CHW after reordering).
+type value struct {
+	u8   *img.Image
+	f32  []float32
+	chw  bool
+	w, h int
+}
+
+func (e *Executor) u8Buf(slot, w, h int) *img.Image {
+	b := e.scratchU8[slot]
+	if b == nil || b.W != w || b.H != h {
+		b = img.New(w, h)
+		e.scratchU8[slot] = b
+	}
+	return b
+}
+
+func (e *Executor) f32Buf(slot, n int) []float32 {
+	if cap(e.scratchF32[slot]) < n {
+		e.scratchF32[slot] = make([]float32, n)
+	}
+	return e.scratchF32[slot][:n]
+}
+
+// Execute runs plan p on m, writing the float32 CHW result into out, which
+// must have shape (3, H, W) matching the plan's final geometry.
+func (e *Executor) Execute(p Plan, m *img.Image, out *tensor.Tensor) error {
+	v := value{u8: m, w: m.W, h: m.H}
+	for i, op := range p.Ops {
+		var err error
+		v, err = e.apply(op, v, i, out)
+		if err != nil {
+			return fmt.Errorf("preproc: op %d (%s): %w", i, op.Kind, err)
+		}
+	}
+	if !v.chw {
+		return fmt.Errorf("preproc: plan did not produce CHW output (missing reorder or fused-post)")
+	}
+	want := 3 * v.w * v.h
+	if out.Len() != want {
+		return fmt.Errorf("preproc: output tensor has %d elements, plan produces %d", out.Len(), want)
+	}
+	return nil
+}
+
+// apply runs one op. The final CHW-producing op writes directly into out.
+func (e *Executor) apply(op Op, v value, opIdx int, out *tensor.Tensor) (value, error) {
+	switch op.Kind {
+	case OpResizeShort:
+		w, h := shortEdgeDims(v.w, v.h, op.Short)
+		return e.resize(v, w, h)
+	case OpResizeExact:
+		return e.resize(v, op.W, op.H)
+	case OpCenterCrop:
+		return e.crop(v, op.W, op.H)
+	case OpConvert:
+		if v.u8 == nil {
+			return v, fmt.Errorf("input already float")
+		}
+		buf := e.f32Buf(0, v.w*v.h*3)
+		for i, p := range v.u8.Pix[:v.w*v.h*3] {
+			buf[i] = float32(p) / 255
+		}
+		return value{f32: buf, w: v.w, h: v.h}, nil
+	case OpNormalize:
+		if v.f32 == nil || v.chw {
+			return v, fmt.Errorf("normalize expects float HWC input")
+		}
+		for i := 0; i < v.w*v.h; i++ {
+			for c := 0; c < 3; c++ {
+				v.f32[i*3+c] = (v.f32[i*3+c] - op.Mean[c]) / op.Std[c]
+			}
+		}
+		return v, nil
+	case OpReorder:
+		if v.f32 == nil || v.chw {
+			return v, fmt.Errorf("reorder expects float HWC input")
+		}
+		n := v.w * v.h
+		if out.Len() != 3*n {
+			return v, fmt.Errorf("output tensor size %d, want %d", out.Len(), 3*n)
+		}
+		for i := 0; i < n; i++ {
+			out.Data[i] = v.f32[i*3]
+			out.Data[n+i] = v.f32[i*3+1]
+			out.Data[2*n+i] = v.f32[i*3+2]
+		}
+		return value{f32: out.Data, chw: true, w: v.w, h: v.h}, nil
+	case OpFusedPost:
+		if v.u8 == nil {
+			return v, fmt.Errorf("fused-post expects uint8 input")
+		}
+		n := v.w * v.h
+		if out.Len() != 3*n {
+			return v, fmt.Errorf("output tensor size %d, want %d", out.Len(), 3*n)
+		}
+		// Single pass: convert, normalize, and transpose to CHW.
+		inv := [3]float32{1 / (255 * op.Std[0]), 1 / (255 * op.Std[1]), 1 / (255 * op.Std[2])}
+		off := [3]float32{op.Mean[0] / op.Std[0], op.Mean[1] / op.Std[1], op.Mean[2] / op.Std[2]}
+		pix := v.u8.Pix
+		for i := 0; i < n; i++ {
+			out.Data[i] = float32(pix[i*3])*inv[0] - off[0]
+			out.Data[n+i] = float32(pix[i*3+1])*inv[1] - off[1]
+			out.Data[2*n+i] = float32(pix[i*3+2])*inv[2] - off[2]
+		}
+		return value{f32: out.Data, chw: true, w: v.w, h: v.h}, nil
+	default:
+		return v, fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+}
+
+func (e *Executor) resize(v value, w, h int) (value, error) {
+	if v.chw {
+		return v, fmt.Errorf("cannot resize CHW data")
+	}
+	if v.u8 != nil {
+		dst := e.u8Buf(0, w, h)
+		if v.u8 == dst {
+			dst = e.u8Buf(1, w, h)
+		}
+		img.ResizeBilinearInto(v.u8, dst)
+		return value{u8: dst, w: w, h: h}, nil
+	}
+	dst := e.f32Buf(1, w*h*3)
+	resizeBilinearF32(v.f32, v.w, v.h, dst, w, h)
+	return value{f32: dst, w: w, h: h}, nil
+}
+
+func (e *Executor) crop(v value, cw, ch int) (value, error) {
+	if v.chw {
+		return v, fmt.Errorf("cannot crop CHW data")
+	}
+	r := img.CenterCropRect(v.w, v.h, cw, ch)
+	if v.u8 != nil {
+		dst := e.u8Buf(1, r.W(), r.H())
+		if v.u8 == dst {
+			dst = e.u8Buf(0, r.W(), r.H())
+		}
+		for y := r.Y0; y < r.Y1; y++ {
+			src := v.u8.Pix[(y*v.w+r.X0)*3 : (y*v.w+r.X1)*3]
+			copy(dst.Pix[(y-r.Y0)*dst.W*3:], src)
+		}
+		return value{u8: dst, w: r.W(), h: r.H()}, nil
+	}
+	dst := e.f32Buf(0, r.W()*r.H()*3)
+	if sameSlice(dst, v.f32) {
+		dst = e.f32Buf(1, r.W()*r.H()*3)
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		src := v.f32[(y*v.w+r.X0)*3 : (y*v.w+r.X1)*3]
+		copy(dst[(y-r.Y0)*r.W()*3:], src)
+	}
+	return value{f32: dst, w: r.W(), h: r.H()}, nil
+}
+
+func sameSlice(a, b []float32) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// resizeBilinearF32 resizes an HWC float32 buffer.
+func resizeBilinearF32(src []float32, sw, sh int, dst []float32, dw, dh int) {
+	xRatio := float64(sw) / float64(dw)
+	yRatio := float64(sh) / float64(dh)
+	for y := 0; y < dh; y++ {
+		sy := (float64(y)+0.5)*yRatio - 0.5
+		if sy < 0 {
+			sy = 0
+		}
+		y0 := int(sy)
+		y1 := y0 + 1
+		if y1 >= sh {
+			y1 = sh - 1
+		}
+		fy := float32(sy - float64(y0))
+		for x := 0; x < dw; x++ {
+			sx := (float64(x)+0.5)*xRatio - 0.5
+			if sx < 0 {
+				sx = 0
+			}
+			x0 := int(sx)
+			x1 := x0 + 1
+			if x1 >= sw {
+				x1 = sw - 1
+			}
+			fx := float32(sx - float64(x0))
+			for c := 0; c < 3; c++ {
+				p00 := src[(y0*sw+x0)*3+c]
+				p01 := src[(y0*sw+x1)*3+c]
+				p10 := src[(y1*sw+x0)*3+c]
+				p11 := src[(y1*sw+x1)*3+c]
+				top := p00 + (p01-p00)*fx
+				bot := p10 + (p11-p10)*fx
+				dst[(y*dw+x)*3+c] = top + (bot-top)*fy
+			}
+		}
+	}
+}
+
+// OutputShape returns the (C,H,W) shape a plan produces for spec s.
+func OutputShape(s Spec) (c, h, w int) { return 3, s.CropH, s.CropW }

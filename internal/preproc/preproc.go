@@ -1,0 +1,286 @@
+// Package preproc implements the preprocessing stage of visual DNN
+// inference as an optimizable operator pipeline (the paper's §6.2): resize,
+// crop, dtype conversion, normalization and channel reordering, with
+// rule-based reordering/fusion and cost-based plan selection.
+//
+// The executable kernels are real: Execute runs the chosen plan on an
+// actual image and produces the float32 CHW tensor a DNN consumes. The
+// plan optimizer enumerates the legal orderings (resize/crop swap, late vs
+// early float conversion, fused vs separate post-ops), prunes dominated
+// plans by rule, and picks the cheapest by counting arithmetic operations.
+package preproc
+
+import (
+	"fmt"
+)
+
+// OpKind identifies a preprocessing operator.
+type OpKind int
+
+// Operator kinds. ResizeShort performs an aspect-preserving resize of the
+// short edge; ResizeExact resizes to explicit dimensions; FusedPost is the
+// fused convert+normalize+reorder kernel.
+const (
+	OpResizeShort OpKind = iota
+	OpResizeExact
+	OpCenterCrop
+	OpConvert
+	OpNormalize
+	OpReorder
+	OpFusedPost
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpResizeShort:
+		return "resize-short"
+	case OpResizeExact:
+		return "resize-exact"
+	case OpCenterCrop:
+		return "center-crop"
+	case OpConvert:
+		return "convert-f32"
+	case OpNormalize:
+		return "normalize"
+	case OpReorder:
+		return "reorder-chw"
+	case OpFusedPost:
+		return "fused-post"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one operator instance in a plan.
+type Op struct {
+	Kind OpKind
+	// Short is the target short edge for OpResizeShort.
+	Short int
+	// W, H are the target dims for OpResizeExact / OpCenterCrop.
+	W, H int
+	// Mean, Std are per-channel normalization constants (OpNormalize,
+	// OpFusedPost).
+	Mean, Std [3]float32
+}
+
+// Plan is an ordered operator pipeline.
+type Plan struct {
+	Ops []Op
+	// Name describes how the plan was constructed (for reports).
+	Name string
+}
+
+// Spec describes a preprocessing problem: input dimensions and the target
+// DNN input contract.
+type Spec struct {
+	InW, InH     int
+	ResizeShort  int
+	CropW, CropH int
+	Mean, Std    [3]float32
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.InW <= 0 || s.InH <= 0 {
+		return fmt.Errorf("preproc: invalid input dims %dx%d", s.InW, s.InH)
+	}
+	if s.ResizeShort <= 0 || s.CropW <= 0 || s.CropH <= 0 {
+		return fmt.Errorf("preproc: invalid targets short=%d crop=%dx%d", s.ResizeShort, s.CropW, s.CropH)
+	}
+	if s.CropW > s.ResizeShort || s.CropH > s.ResizeShort {
+		return fmt.Errorf("preproc: crop %dx%d exceeds resized short edge %d", s.CropW, s.CropH, s.ResizeShort)
+	}
+	for c := 0; c < 3; c++ {
+		if s.Std[c] == 0 {
+			return fmt.Errorf("preproc: zero std for channel %d", c)
+		}
+	}
+	return nil
+}
+
+// NaivePlan is the framework-default ordering many training-oriented
+// loaders use: convert to float first, then resize and crop in float32,
+// then separate normalize and reorder passes. Correct but expensive.
+func NaivePlan(s Spec) Plan {
+	return Plan{
+		Name: "naive",
+		Ops: []Op{
+			{Kind: OpConvert},
+			{Kind: OpResizeShort, Short: s.ResizeShort},
+			{Kind: OpCenterCrop, W: s.CropW, H: s.CropH},
+			{Kind: OpNormalize, Mean: s.Mean, Std: s.Std},
+			{Kind: OpReorder},
+		},
+	}
+}
+
+// EnumeratePlans generates the legal plan space for s using the reordering
+// rules of §6.2:
+//
+//  1. normalization / conversion may move anywhere (they are linear and
+//     pointwise, and bilinear resize is linear),
+//  2. conversion+normalization+reordering may fuse,
+//  3. resize and crop may swap (with adjusted crop geometry).
+func EnumeratePlans(s Spec) []Plan {
+	var plans []Plan
+	for _, cropFirst := range []bool{false, true} {
+		for _, convertEarly := range []bool{false, true} {
+			for _, fuse := range []bool{false, true} {
+				if convertEarly && fuse {
+					// Fusion requires conversion to happen in the fused
+					// kernel at the end.
+					continue
+				}
+				var ops []Op
+				name := ""
+				if convertEarly {
+					ops = append(ops, Op{Kind: OpConvert})
+					name += "convert-early/"
+				}
+				if cropFirst {
+					// Crop the region of the original that maps onto the
+					// final crop, then resize exactly.
+					cw, ch := preResizeCrop(s)
+					ops = append(ops,
+						Op{Kind: OpCenterCrop, W: cw, H: ch},
+						Op{Kind: OpResizeExact, W: s.CropW, H: s.CropH},
+					)
+					name += "crop-first/"
+				} else {
+					ops = append(ops,
+						Op{Kind: OpResizeShort, Short: s.ResizeShort},
+						Op{Kind: OpCenterCrop, W: s.CropW, H: s.CropH},
+					)
+					name += "resize-first/"
+				}
+				if fuse {
+					ops = append(ops, Op{Kind: OpFusedPost, Mean: s.Mean, Std: s.Std})
+					name += "fused"
+				} else {
+					if !convertEarly {
+						ops = append(ops, Op{Kind: OpConvert})
+					}
+					ops = append(ops,
+						Op{Kind: OpNormalize, Mean: s.Mean, Std: s.Std},
+						Op{Kind: OpReorder},
+					)
+					name += "unfused"
+				}
+				plans = append(plans, Plan{Ops: ops, Name: name})
+			}
+		}
+	}
+	return plans
+}
+
+// preResizeCrop computes the centered crop of the original image that maps
+// onto the final CropW x CropH after an exact resize, for the crop-first
+// ordering.
+func preResizeCrop(s Spec) (w, h int) {
+	short := s.InW
+	if s.InH < short {
+		short = s.InH
+	}
+	scale := float64(short) / float64(s.ResizeShort)
+	w = int(float64(s.CropW)*scale + 0.5)
+	h = int(float64(s.CropH)*scale + 0.5)
+	if w > s.InW {
+		w = s.InW
+	}
+	if h > s.InH {
+		h = s.InH
+	}
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return w, h
+}
+
+// PruneRules removes plans dominated under the paper's pruning rules:
+// resizing on float data is never cheaper than on uint8, and unfused
+// post-processing is never cheaper than fused. Returns the surviving plans.
+func PruneRules(plans []Plan) []Plan {
+	var out []Plan
+	for _, p := range plans {
+		if convertsBeforeResize(p) {
+			continue // rule: resizing is cheaper with smaller dtypes
+		}
+		if !isFused(p) && existsFusedTwin(plans, p) {
+			continue // rule: fusion always improves performance
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return plans
+	}
+	return out
+}
+
+func convertsBeforeResize(p Plan) bool {
+	seenConvert := false
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpConvert:
+			seenConvert = true
+		case OpResizeShort, OpResizeExact:
+			if seenConvert {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isFused(p Plan) bool {
+	for _, op := range p.Ops {
+		if op.Kind == OpFusedPost {
+			return true
+		}
+	}
+	return false
+}
+
+// existsFusedTwin reports whether plans contains a fused plan with the same
+// geometric prefix (same resize/crop ordering).
+func existsFusedTwin(plans []Plan, p Plan) bool {
+	for _, q := range plans {
+		if !isFused(q) {
+			continue
+		}
+		if geometricPrefix(q) == geometricPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func geometricPrefix(p Plan) string {
+	s := ""
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpResizeShort, OpResizeExact, OpCenterCrop:
+			s += fmt.Sprintf("%d:%d:%d:%d;", op.Kind, op.Short, op.W, op.H)
+		}
+	}
+	return s
+}
+
+// Optimize enumerates, prunes, and returns the cheapest plan by the
+// arithmetic-operation cost model.
+func Optimize(s Spec) (Plan, error) {
+	if err := s.Validate(); err != nil {
+		return Plan{}, err
+	}
+	plans := PruneRules(EnumeratePlans(s))
+	best := plans[0]
+	bestCost := PlanCost(best, s)
+	for _, p := range plans[1:] {
+		if c := PlanCost(p, s); c < bestCost {
+			best, bestCost = p, c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,268 @@
+package preproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smol/internal/img"
+	"smol/internal/tensor"
+)
+
+func testSpec() Spec {
+	return Spec{
+		InW: 100, InH: 80,
+		ResizeShort: 64,
+		CropW:       56, CropH: 56,
+		Mean: [3]float32{0.485, 0.456, 0.406},
+		Std:  [3]float32{0.229, 0.224, 0.225},
+	}
+}
+
+func smoothImage(w, h int) *img.Image {
+	m := img.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m.Set(x, y, uint8(x*255/w), uint8(y*255/h), uint8((x+y)*128/(w+h)))
+		}
+	}
+	return m
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := testSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.Std[1] = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero std should fail")
+	}
+	bad = s
+	bad.CropW = 200
+	if err := bad.Validate(); err == nil {
+		t.Fatal("crop > short edge should fail")
+	}
+}
+
+func TestEnumeratePlansShape(t *testing.T) {
+	plans := EnumeratePlans(testSpec())
+	// 2 geom orders x {convert-early unfused, late unfused, late fused} = 6.
+	if len(plans) != 6 {
+		t.Fatalf("got %d plans", len(plans))
+	}
+	for _, p := range plans {
+		if len(p.Ops) == 0 {
+			t.Fatalf("empty plan %q", p.Name)
+		}
+	}
+}
+
+func TestPruneRules(t *testing.T) {
+	s := testSpec()
+	pruned := PruneRules(EnumeratePlans(s))
+	for _, p := range pruned {
+		if convertsBeforeResize(p) {
+			t.Fatalf("pruned set contains float-resize plan %q", p.Name)
+		}
+		if !isFused(p) {
+			t.Fatalf("pruned set contains unfused plan %q with a fused twin", p.Name)
+		}
+	}
+	if len(pruned) != 2 {
+		t.Fatalf("expected 2 surviving plans (fused, both geometric orders), got %d", len(pruned))
+	}
+}
+
+func TestOptimizePicksCheapest(t *testing.T) {
+	s := testSpec()
+	best, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCost := PlanCost(best, s)
+	for _, p := range EnumeratePlans(s) {
+		if c := PlanCost(p, s); c < bestCost-1e-9 {
+			t.Fatalf("optimize returned %q (%.0f) but %q costs %.0f", best.Name, bestCost, p.Name, c)
+		}
+	}
+	// The optimized plan must beat the naive plan decisively.
+	if naive := PlanCost(NaivePlan(s), s); naive <= bestCost {
+		t.Fatalf("naive %.0f should cost more than optimized %.0f", naive, bestCost)
+	}
+}
+
+func TestCostModelRules(t *testing.T) {
+	s := testSpec()
+	// Rule check: resize on float costs more than on u8.
+	g8 := geometry{w: s.InW, h: s.InH}
+	gF := geometry{w: s.InW, h: s.InH, isFloat: true}
+	c8, _ := OpCost(Op{Kind: OpResizeShort, Short: 64}, g8)
+	cF, _ := OpCost(Op{Kind: OpResizeShort, Short: 64}, gF)
+	if cF <= c8 {
+		t.Fatalf("float resize %.0f should cost more than u8 resize %.0f", cF, c8)
+	}
+	// Fused post must beat convert+normalize+reorder.
+	fused, _ := OpCost(Op{Kind: OpFusedPost}, g8)
+	cc, g2 := OpCost(Op{Kind: OpConvert}, g8)
+	cn, g3 := OpCost(Op{Kind: OpNormalize}, g2)
+	cr, _ := OpCost(Op{Kind: OpReorder}, g3)
+	if fused >= cc+cn+cr {
+		t.Fatalf("fused %.0f should beat unfused %.0f", fused, cc+cn+cr)
+	}
+}
+
+func TestOpCostsAlignWithPlanCost(t *testing.T) {
+	s := testSpec()
+	p := NaivePlan(s)
+	costs := OpCosts(p, s)
+	var sum float64
+	for _, c := range costs {
+		sum += c
+	}
+	if math.Abs(sum-PlanCost(p, s)) > 1e-9 {
+		t.Fatal("OpCosts must sum to PlanCost")
+	}
+	if len(costs) != len(p.Ops) {
+		t.Fatal("one cost per op")
+	}
+}
+
+func executePlan(t *testing.T, p Plan, m *img.Image, s Spec) *tensor.Tensor {
+	t.Helper()
+	out := tensor.New(OutputShape(s))
+	if err := NewExecutor().Execute(p, m, out); err != nil {
+		t.Fatalf("%q: %v", p.Name, err)
+	}
+	return out
+}
+
+func TestAllPlansProduceEquivalentOutput(t *testing.T) {
+	s := testSpec()
+	m := smoothImage(s.InW, s.InH)
+	ref := executePlan(t, NaivePlan(s), m, s)
+	for _, p := range EnumeratePlans(s) {
+		got := executePlan(t, p, m, s)
+		if !tensor.SameShape(ref, got) {
+			t.Fatalf("%q: shape %v vs %v", p.Name, got.Shape, ref.Shape)
+		}
+		var maxDiff float64
+		for i := range ref.Data {
+			d := math.Abs(float64(ref.Data[i] - got.Data[i]))
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		// Plans differ in interpolation order (crop-first resamples at a
+		// slightly different grid), so equivalence is approximate — the
+		// same approximation the paper's rule 3 makes.
+		if maxDiff > 0.35 {
+			t.Fatalf("%q: max deviation %v from reference", p.Name, maxDiff)
+		}
+	}
+}
+
+func TestExecuteNormalizationValues(t *testing.T) {
+	// A constant mid-gray image must normalize to (0.5-mean)/std exactly.
+	s := Spec{
+		InW: 64, InH: 64, ResizeShort: 32, CropW: 32, CropH: 32,
+		Mean: [3]float32{0.5, 0.25, 0.75},
+		Std:  [3]float32{0.5, 0.5, 0.5},
+	}
+	m := img.New(64, 64)
+	for i := range m.Pix {
+		m.Pix[i] = 128 // ~0.502 after /255
+	}
+	for _, p := range []Plan{NaivePlan(s), mustOptimize(t, s)} {
+		out := executePlan(t, p, m, s)
+		n := 32 * 32
+		for c := 0; c < 3; c++ {
+			want := (float32(128)/255 - s.Mean[c]) / s.Std[c]
+			for i := 0; i < n; i++ {
+				got := out.Data[c*n+i]
+				if math.Abs(float64(got-want)) > 1e-3 {
+					t.Fatalf("%q: channel %d value %v, want %v", p.Name, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+func mustOptimize(t *testing.T, s Spec) Plan {
+	t.Helper()
+	p, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExecutorReusesBuffers(t *testing.T) {
+	s := testSpec()
+	m := smoothImage(s.InW, s.InH)
+	e := NewExecutor()
+	p := mustOptimize(t, s)
+	out := tensor.New(OutputShape(s))
+	if err := e.Execute(p, m, out); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]float32(nil), out.Data...)
+	// Second run with the same executor must produce identical output
+	// (buffer reuse must not leak state).
+	if err := e.Execute(p, m, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if out.Data[i] != first[i] {
+			t.Fatal("executor state leaked between runs")
+		}
+	}
+}
+
+func TestExecuteRejectsWrongOutputSize(t *testing.T) {
+	s := testSpec()
+	m := smoothImage(s.InW, s.InH)
+	out := tensor.New(3, 10, 10)
+	if err := NewExecutor().Execute(mustOptimize(t, s), m, out); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestExecuteRejectsIncompletePlan(t *testing.T) {
+	s := testSpec()
+	m := smoothImage(s.InW, s.InH)
+	p := Plan{Ops: []Op{{Kind: OpResizeShort, Short: 64}}}
+	out := tensor.New(3, 56, 56)
+	if err := NewExecutor().Execute(p, m, out); err == nil {
+		t.Fatal("plan without CHW output should error")
+	}
+}
+
+func TestPreResizeCropGeometry(t *testing.T) {
+	s := testSpec() // in 100x80, short 64, crop 56
+	w, h := preResizeCrop(s)
+	// scale = 80/64 = 1.25; 56*1.25 = 70.
+	if w != 70 || h != 70 {
+		t.Fatalf("preResizeCrop = %dx%d, want 70x70", w, h)
+	}
+}
+
+func TestF32ResizeMatchesU8Resize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := img.New(40, 30)
+	rng.Read(m.Pix)
+	u8out := m.ResizeBilinear(20, 15)
+
+	f := make([]float32, 40*30*3)
+	for i, p := range m.Pix {
+		f[i] = float32(p)
+	}
+	fout := make([]float32, 20*15*3)
+	resizeBilinearF32(f, 40, 30, fout, 20, 15)
+	for i := range fout {
+		if d := math.Abs(float64(fout[i]) - float64(u8out.Pix[i])); d > 1 {
+			t.Fatalf("resize paths diverge at %d: %v vs %d", i, fout[i], u8out.Pix[i])
+		}
+	}
+}

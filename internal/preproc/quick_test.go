@@ -1,0 +1,110 @@
+package preproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smol/internal/img"
+	"smol/internal/tensor"
+)
+
+// randSpec draws a valid preprocessing geometry: input at least as big as
+// the crop after resizing, targets in realistic DNN ranges.
+func randSpec(rng *rand.Rand) Spec {
+	short := 16 + 8*rng.Intn(8) // 16..72
+	crop := short - rng.Intn(short/2)
+	if crop < 8 {
+		crop = 8
+	}
+	return Spec{
+		InW: short + rng.Intn(128), InH: short + rng.Intn(128),
+		ResizeShort: short, CropW: crop, CropH: crop,
+		Mean: [3]float32{rng.Float32(), rng.Float32(), rng.Float32()},
+		Std:  [3]float32{0.2 + rng.Float32(), 0.2 + rng.Float32(), 0.2 + rng.Float32()},
+	}
+}
+
+// smoothRandImage renders a low-frequency image so resampling-order
+// differences between plans stay small, mirroring the fixed-case test.
+func smoothRandImage(rng *rand.Rand, w, h int) *img.Image {
+	m := img.New(w, h)
+	fx := 1 + rng.Intn(3)
+	fy := 1 + rng.Intn(3)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := 127 + 120*math.Sin(float64(fx*x)/float64(w)*math.Pi)
+			g := 127 + 120*math.Cos(float64(fy*y)/float64(h)*math.Pi)
+			b := 127 + 120*math.Sin(float64(x+y)/float64(w+h)*2*math.Pi)
+			m.Set(x, y, uint8(r), uint8(g), uint8(b))
+		}
+	}
+	return m
+}
+
+// TestQuickAllPlansEquivalent: for arbitrary geometry, every enumerated
+// plan (all legal reorderings and fusions of §6.2) produces the same
+// output as the naive framework-default plan, up to the interpolation
+// tolerance the paper's swap rule accepts. Optimization must change cost,
+// never semantics.
+func TestQuickAllPlansEquivalent(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		s := randSpec(rng)
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: generated invalid spec %+v: %v", seed, s, err)
+			return false
+		}
+		m := smoothRandImage(rng, s.InW, s.InH)
+		ex := NewExecutor()
+		ref := tensor.New(OutputShape(s))
+		if err := ex.Execute(NaivePlan(s), m, ref); err != nil {
+			t.Logf("seed %d: naive: %v", seed, err)
+			return false
+		}
+		plane := s.CropW * s.CropH
+		for _, p := range EnumeratePlans(s) {
+			got := tensor.New(OutputShape(s))
+			if err := ex.Execute(p, m, got); err != nil {
+				t.Logf("seed %d: %q: %v", seed, p.Name, err)
+				return false
+			}
+			for i := range ref.Data {
+				// Compare in raw pixel space: normalized deviations scale
+				// with 1/std, which the random spec makes arbitrary.
+				std := float64(s.Std[i/plane])
+				if d := math.Abs(float64(ref.Data[i]-got.Data[i])) * std; d > 0.12 {
+					t.Logf("seed %d: %q deviates %v (raw) at %d (spec %+v)", seed, p.Name, d, i, s)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOptimizeNeverCostlier: the optimizer's chosen plan never counts
+// more arithmetic than the naive plan, for any geometry.
+func TestQuickOptimizeNeverCostlier(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		s := randSpec(rng)
+		opt, err := Optimize(s)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if PlanCost(opt, s) > PlanCost(NaivePlan(s), s) {
+			t.Logf("seed %d: optimized plan costlier than naive (spec %+v)", seed, s)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}

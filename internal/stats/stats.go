@@ -1,0 +1,312 @@
+// Package stats provides the small statistical toolkit used across the
+// repository: summary statistics, confidence intervals, Pareto frontiers,
+// linear regression, and streaming accumulators. Everything operates on
+// float64 and is deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs. It returns 0 when
+// fewer than two samples are supplied.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// zScore95 is the two-sided 95% normal quantile.
+const zScore95 = 1.959963984540054
+
+// ConfidenceInterval95 returns the half-width of the two-sided 95% normal
+// confidence interval for the mean of xs.
+func ConfidenceInterval95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.Inf(1)
+	}
+	return zScore95 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// CIHalfWidth returns the half-width of the normal confidence interval for a
+// mean estimated from n samples with the given sample variance, at z standard
+// scores (for example 1.96 for 95%).
+func CIHalfWidth(variance float64, n int, z float64) float64 {
+	if n < 1 {
+		return math.Inf(1)
+	}
+	return z * math.Sqrt(variance/float64(n))
+}
+
+// Accumulator is a streaming mean/variance accumulator (Welford's online
+// algorithm). The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples seen.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the running unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// LinearFit holds the result of a simple least-squares linear regression
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinReg fits y = a*x + b by least squares and reports the coefficient of
+// determination. It panics if the slices differ in length or have fewer than
+// two points.
+func LinReg(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: LinReg length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: LinReg needs at least two points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinReg with zero x variance")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			r := ys[i] - (slope*xs[i] + intercept)
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Point2 is a 2-D point used for Pareto frontier computations. Both
+// dimensions are maximized.
+type Point2 struct {
+	X, Y float64
+	// Tag carries caller-defined identity through frontier computation.
+	Tag int
+}
+
+// ParetoFrontier returns the subset of pts not dominated by any other point,
+// where point a dominates b when a.X >= b.X && a.Y >= b.Y with at least one
+// strict inequality. The result is sorted by ascending X.
+func ParetoFrontier(pts []Point2) []Point2 {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point2(nil), pts...)
+	// Sort by X descending; ties broken by Y descending so the best Y at
+	// each X is seen first.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X > sorted[j].X
+		}
+		return sorted[i].Y > sorted[j].Y
+	})
+	var out []Point2
+	bestY := math.Inf(-1)
+	prevX := math.Inf(1)
+	for _, p := range sorted {
+		if p.Y > bestY {
+			// A point with equal X but lower Y is dominated; equal X equal Y
+			// duplicates are also dropped (p.Y > bestY is strict).
+			if p.X == prevX && len(out) > 0 {
+				// Same X as an already-kept point with higher Y: dominated.
+				continue
+			}
+			out = append(out, p)
+			bestY = p.Y
+			prevX = p.X
+		}
+	}
+	// Reverse to ascending X.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Dominates reports whether a dominates b under maximize-both semantics.
+func Dominates(a, b Point2) bool {
+	return a.X >= b.X && a.Y >= b.Y && (a.X > b.X || a.Y > b.Y)
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records x, tracking out-of-range values separately.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard float rounding at the upper edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of in-range samples recorded.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// OutOfRange returns the counts of samples below Lo and at/above Hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// HarmonicMeanThroughput composes sequential stage throughputs: the
+// throughput of running stages back-to-back (unpipelined) is the harmonic
+// composition 1 / sum(1/t_i). Zero or negative throughputs yield 0.
+func HarmonicMeanThroughput(ts ...float64) float64 {
+	var inv float64
+	for _, t := range ts {
+		if t <= 0 {
+			return 0
+		}
+		inv += 1 / t
+	}
+	if inv == 0 {
+		return 0
+	}
+	return 1 / inv
+}
+
+// RelErr returns |est-actual|/actual. It panics if actual is zero.
+func RelErr(est, actual float64) float64 {
+	if actual == 0 {
+		panic("stats: RelErr with zero actual")
+	}
+	return math.Abs(est-actual) / math.Abs(actual)
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		acc.Add(xs[i])
+	}
+	if !almostEq(acc.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("acc mean %v vs %v", acc.Mean(), Mean(xs))
+	}
+	if !almostEq(acc.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("acc var %v vs %v", acc.Variance(), Variance(xs))
+	}
+	if acc.N() != len(xs) {
+		t.Fatalf("N = %d", acc.N())
+	}
+}
+
+func TestLinReg(t *testing.T) {
+	// Exact line: y = 2x + 1.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	fit := LinReg(xs, ys)
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinRegNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 0.5*x-3+rng.NormFloat64()*0.01)
+	}
+	fit := LinReg(xs, ys)
+	if !almostEq(fit.Slope, 0.5, 1e-3) || !almostEq(fit.Intercept, -3, 1e-2) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.9999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestParetoFrontierBasic(t *testing.T) {
+	pts := []Point2{
+		{X: 1, Y: 10, Tag: 0},
+		{X: 2, Y: 9, Tag: 1},
+		{X: 3, Y: 11, Tag: 2}, // dominates 0 and 1
+		{X: 4, Y: 5, Tag: 3},
+		{X: 0.5, Y: 12, Tag: 4},
+	}
+	front := ParetoFrontier(pts)
+	// Expected frontier (ascending X): (0.5,12), (3,11), (4,5).
+	want := []int{4, 2, 3}
+	if len(front) != len(want) {
+		t.Fatalf("frontier = %+v", front)
+	}
+	for i, tag := range want {
+		if front[i].Tag != tag {
+			t.Fatalf("frontier[%d] = %+v, want tag %d", i, front[i], tag)
+		}
+	}
+}
+
+func TestParetoFrontierDuplicates(t *testing.T) {
+	pts := []Point2{{X: 1, Y: 1, Tag: 0}, {X: 1, Y: 1, Tag: 1}, {X: 1, Y: 2, Tag: 2}}
+	front := ParetoFrontier(pts)
+	if len(front) != 1 || front[0].Tag != 2 {
+		t.Fatalf("frontier = %+v", front)
+	}
+}
+
+// Property: no point on the frontier is dominated by any input point, and
+// every input point is dominated-or-equal by some frontier point.
+func TestParetoFrontierProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var pts []Point2
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point2{X: float64(raw[i] % 100), Y: float64(raw[i+1] % 100), Tag: i})
+		}
+		front := ParetoFrontier(pts)
+		for _, fp := range front {
+			for _, p := range pts {
+				if Dominates(p, fp) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			covered := false
+			for _, fp := range front {
+				if Dominates(fp, p) || (fp.X == p.X && fp.Y == p.Y) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range = %d,%d", under, over)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", h.Counts, wantCounts)
+		}
+	}
+}
+
+func TestHarmonicMeanThroughput(t *testing.T) {
+	// Two stages at 100 im/s each compose to 50 im/s sequentially.
+	if got := HarmonicMeanThroughput(100, 100); !almostEq(got, 50, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	if got := HarmonicMeanThroughput(100, 0); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+	// Single stage passes through.
+	if got := HarmonicMeanThroughput(123); !almostEq(got, 123, 1e-9) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	xs := make([]float64, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	hw := ConfidenceInterval95(xs)
+	// Should be about 1.96/sqrt(10000) ~= 0.0196.
+	if hw < 0.015 || hw > 0.025 {
+		t.Fatalf("hw = %v", hw)
+	}
+	if !math.IsInf(ConfidenceInterval95([]float64{1}), 1) {
+		t.Fatal("single sample should give infinite CI")
+	}
+}
+
+func TestCIHalfWidth(t *testing.T) {
+	got := CIHalfWidth(4, 100, 1.96)
+	if !almostEq(got, 1.96*0.2, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); !almostEq(got, 0.1, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	if got := RelErr(90, 100); !almostEq(got, 0.1, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package tahoma implements the Tahoma baseline (Anderson et al., ICDE
+// 2019): classification query processing with cascades of specialized NNs
+// in front of an accurate target DNN. Images whose specialized-model
+// confidence clears a threshold take the cheap exit; the rest pass through
+// to the target. Tahoma's cost model (the paper's Eq. 3) ignores
+// pipelining, which Table 3 and §8.3 quantify.
+package tahoma
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smol/internal/nn"
+	"smol/internal/tensor"
+)
+
+// TinyCNNConfig describes one specialized model: a small conv net at a
+// (possibly reduced) input resolution. The paper's Tahoma trains 24 such
+// models; its evaluation uses a representative 8.
+type TinyCNNConfig struct {
+	Name string
+	// Widths are the channel counts of successive conv-pool stages.
+	Widths []int
+	// InputRes is the square input resolution the model runs at.
+	InputRes int
+}
+
+// SpecConfigs returns the 8 representative specialized-model
+// configurations used as the Tahoma baseline (width x depth x resolution
+// grid).
+func SpecConfigs(fullRes int) []TinyCNNConfig {
+	half := fullRes / 2
+	return []TinyCNNConfig{
+		{Name: "tiny-4", Widths: []int{4}, InputRes: half},
+		{Name: "tiny-8", Widths: []int{8}, InputRes: half},
+		{Name: "tiny-4x8", Widths: []int{4, 8}, InputRes: half},
+		{Name: "tiny-8x16", Widths: []int{8, 16}, InputRes: half},
+		{Name: "small-8", Widths: []int{8}, InputRes: fullRes},
+		{Name: "small-16", Widths: []int{16}, InputRes: fullRes},
+		{Name: "small-8x16", Widths: []int{8, 16}, InputRes: fullRes},
+		{Name: "small-16x32", Widths: []int{16, 32}, InputRes: fullRes},
+	}
+}
+
+// NewTinyCNN builds a specialized model: conv-bn-relu-maxpool stages, then
+// global average pooling and a linear classifier.
+func NewTinyCNN(rng *rand.Rand, cfg TinyCNNConfig, numClasses int) (*nn.Model, error) {
+	if len(cfg.Widths) == 0 || numClasses <= 0 {
+		return nil, fmt.Errorf("tahoma: invalid config %+v", cfg)
+	}
+	res := cfg.InputRes
+	var layers []nn.Layer
+	inC := 3
+	for _, w := range cfg.Widths {
+		if res < 2 {
+			return nil, fmt.Errorf("tahoma: input resolution %d too small for %d stages",
+				cfg.InputRes, len(cfg.Widths))
+		}
+		layers = append(layers,
+			nn.NewConv2D(rng, inC, w, 3, 1, 1),
+			nn.NewBatchNorm2D(w),
+			&nn.ReLU{},
+			&nn.MaxPool2{},
+		)
+		inC = w
+		res /= 2
+	}
+	layers = append(layers, &nn.GlobalAvgPool{}, nn.NewLinear(rng, inC, numClasses))
+	return &nn.Model{Layers: layers}, nil
+}
+
+// Cascade pairs a trained specialized model with a target model and a
+// confidence threshold.
+type Cascade struct {
+	Name string
+	Spec *nn.Model
+	// SpecRes is the input resolution the specialized model expects.
+	SpecRes int
+	Target  *nn.Model
+	// TargetRes is the input resolution the target model expects.
+	TargetRes int
+	// Threshold is the minimum specialized-model confidence (max softmax
+	// probability) for taking the cheap exit.
+	Threshold float64
+}
+
+// EvalResult reports cascade behaviour on a labelled set.
+type EvalResult struct {
+	// Accuracy is the end-to-end cascade accuracy.
+	Accuracy float64
+	// PassRate is the fraction of inputs forwarded to the target model
+	// (the alpha of Eq. 2/3).
+	PassRate float64
+	// SpecOnlyAccuracy is the specialized model's standalone accuracy.
+	SpecOnlyAccuracy float64
+}
+
+// Evaluate runs the cascade over aligned sample sets: specSamples at
+// SpecRes and targetSamples at TargetRes, index-aligned with identical
+// labels.
+func (c Cascade) Evaluate(specSamples, targetSamples []nn.Sample) (EvalResult, error) {
+	if len(specSamples) != len(targetSamples) {
+		return EvalResult{}, fmt.Errorf("tahoma: sample sets misaligned (%d vs %d)",
+			len(specSamples), len(targetSamples))
+	}
+	if len(specSamples) == 0 {
+		return EvalResult{}, fmt.Errorf("tahoma: empty evaluation set")
+	}
+	correct, passed, specCorrect := 0, 0, 0
+	for i := range specSamples {
+		s := specSamples[i]
+		if s.Label != targetSamples[i].Label {
+			return EvalResult{}, fmt.Errorf("tahoma: label mismatch at %d", i)
+		}
+		pred, conf := PredictWithConfidence(c.Spec, s.X)
+		if pred == s.Label {
+			specCorrect++
+		}
+		final := pred
+		if conf < c.Threshold {
+			passed++
+			tp, _ := PredictWithConfidence(c.Target, targetSamples[i].X)
+			final = tp
+		}
+		if final == s.Label {
+			correct++
+		}
+	}
+	n := float64(len(specSamples))
+	return EvalResult{
+		Accuracy:         float64(correct) / n,
+		PassRate:         float64(passed) / n,
+		SpecOnlyAccuracy: float64(specCorrect) / n,
+	}, nil
+}
+
+// PredictWithConfidence runs a single sample through the model and returns
+// the argmax class and its softmax probability.
+func PredictWithConfidence(m *nn.Model, x *tensor.Tensor) (int, float64) {
+	batch := tensor.FromData(x.Data, 1, x.Shape[0], x.Shape[1], x.Shape[2])
+	logits := m.Forward(batch, false)
+	k := logits.Shape[1]
+	best := 0
+	for j := 1; j < k; j++ {
+		if logits.Data[j] > logits.Data[best] {
+			best = j
+		}
+	}
+	// Stable softmax for the winning probability.
+	maxv := float64(logits.Data[best])
+	var sum float64
+	for j := 0; j < k; j++ {
+		sum += math.Exp(float64(logits.Data[j]) - maxv)
+	}
+	return best, 1 / sum
+}
+
+// SweepThresholds evaluates the cascade at several confidence thresholds,
+// tracing its accuracy/pass-rate curve (each point is one Tahoma plan).
+func (c Cascade) SweepThresholds(specSamples, targetSamples []nn.Sample, thresholds []float64) ([]EvalResult, error) {
+	out := make([]EvalResult, 0, len(thresholds))
+	for _, th := range thresholds {
+		cc := c
+		cc.Threshold = th
+		r, err := cc.Evaluate(specSamples, targetSamples)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package tahoma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smol/internal/data"
+	"smol/internal/img"
+	"smol/internal/nn"
+	"smol/internal/tensor"
+)
+
+func TestSpecConfigs(t *testing.T) {
+	cfgs := SpecConfigs(64)
+	if len(cfgs) != 8 {
+		t.Fatalf("got %d configs, want 8 (the paper's representative set)", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if seen[c.Name] {
+			t.Fatalf("duplicate config %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.InputRes != 32 && c.InputRes != 64 {
+			t.Fatalf("%s: unexpected resolution %d", c.Name, c.InputRes)
+		}
+	}
+}
+
+func TestNewTinyCNNShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range SpecConfigs(32) {
+		m, err := NewTinyCNN(rng, cfg, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		x := nnRandInput(rng, 2, cfg.InputRes)
+		y := m.Forward(x, false)
+		if y.Shape[0] != 2 || y.Shape[1] != 5 {
+			t.Fatalf("%s: output %v", cfg.Name, y.Shape)
+		}
+	}
+}
+
+func TestNewTinyCNNValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewTinyCNN(rng, TinyCNNConfig{}, 2); err == nil {
+		t.Fatal("empty config should error")
+	}
+	if _, err := NewTinyCNN(rng, TinyCNNConfig{Widths: []int{4, 8, 16}, InputRes: 4}, 2); err == nil {
+		t.Fatal("too-deep config for tiny input should error")
+	}
+}
+
+func nnRandInput(rng *rand.Rand, n, res int) *tensor.Tensor {
+	x := tensor.New(n, 3, res, res)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	return x
+}
+
+func TestCascadeOnTrainedModels(t *testing.T) {
+	// Train a weak spec model and a strong target model on an easy
+	// dataset, then verify the cascade's characteristic behaviour.
+	spec := data.DatasetSpec{Name: "cascade-test", NumClasses: 4, TrainN: 480, TestN: 160,
+		FullRes: 32, ThumbRes: 16}
+	ds := data.Generate(spec)
+
+	toRes := func(set []data.LabeledImage, res int) []nn.Sample {
+		return data.ToSamples(set, func(m *img.Image) *img.Image {
+			if m.W == res {
+				return m
+			}
+			return m.ResizeBilinear(res, res)
+		})
+	}
+	specTrain := toRes(ds.Train, 16)
+	specTest := toRes(ds.Test, 16)
+	tgtTrain := toRes(ds.Train, 32)
+	tgtTest := toRes(ds.Test, 32)
+
+	rng := rand.New(rand.NewSource(3))
+	specModel, err := NewTinyCNN(rng, TinyCNNConfig{Name: "t", Widths: []int{6}, InputRes: 16}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn.Fit(specModel, specTrain, nn.TrainConfig{Epochs: 3, BatchSize: 32, LR: 0.05, Momentum: 0.9, Seed: 4})
+
+	tgtCfg, err := nn.VariantConfig(nn.VariantA, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := nn.NewResNet(rand.New(rand.NewSource(5)), tgtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn.Fit(target, tgtTrain, nn.TrainConfig{Epochs: 4, BatchSize: 32, LR: 0.05, Momentum: 0.9, Seed: 6})
+
+	targetAcc := nn.Evaluate(target, tgtTest, 64)
+	if targetAcc < 0.8 {
+		t.Fatalf("target model too weak to test cascades: %v", targetAcc)
+	}
+
+	c := Cascade{Spec: specModel, SpecRes: 16, Target: target, TargetRes: 32, Threshold: 0.9}
+	res, err := c.Evaluate(specTest, tgtTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PassRate <= 0 || res.PassRate > 1 {
+		t.Fatalf("pass rate %v", res.PassRate)
+	}
+	// Cascading with a strong target cannot be much worse than spec alone.
+	if res.Accuracy < res.SpecOnlyAccuracy-0.05 {
+		t.Fatalf("cascade accuracy %v below spec-only %v", res.Accuracy, res.SpecOnlyAccuracy)
+	}
+
+	// Threshold sweep: pass rate must rise monotonically with threshold.
+	sweep, err := c.SweepThresholds(specTest, tgtTest, []float64{0, 0.5, 0.9, 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].PassRate < sweep[i-1].PassRate {
+			t.Fatalf("pass rate not monotone: %+v", sweep)
+		}
+	}
+	// Threshold 0: nothing passes; spec decides everything.
+	if sweep[0].PassRate != 0 {
+		t.Fatalf("threshold 0 pass rate %v", sweep[0].PassRate)
+	}
+	if math.Abs(sweep[0].Accuracy-res.SpecOnlyAccuracy) > 1e-9 {
+		t.Fatal("threshold-0 accuracy should equal spec-only accuracy")
+	}
+	// Threshold > 1: everything passes; accuracy equals target accuracy.
+	if sweep[3].PassRate != 1 {
+		t.Fatalf("threshold 1.01 pass rate %v", sweep[3].PassRate)
+	}
+	if math.Abs(sweep[3].Accuracy-targetAcc) > 1e-9 {
+		t.Fatalf("all-pass accuracy %v vs target accuracy %v", sweep[3].Accuracy, targetAcc)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	c := Cascade{}
+	if _, err := c.Evaluate(nil, nil); err == nil {
+		t.Fatal("empty sets should error")
+	}
+	a := []nn.Sample{{Label: 0}}
+	b := []nn.Sample{{Label: 1}}
+	if _, err := c.Evaluate(a, b); err == nil {
+		t.Fatal("label mismatch should error")
+	}
+}

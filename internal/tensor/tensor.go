@@ -1,0 +1,271 @@
+// Package tensor provides the minimal dense float32 tensor the neural
+// network substrate is built on: an NCHW-oriented container plus the hot
+// linear-algebra kernels (matrix multiply, im2col) used by convolution
+// layers.
+package tensor
+
+import "fmt"
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zeroed tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromData wraps data (not copied) with the given shape.
+func FromData(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Reshape returns a view of the same data with a new shape. The element
+// count must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMul computes c = a @ b for a (m x k) and b (k x n), writing into a
+// newly allocated (m x n) tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	MatMulInto(a, b, c)
+	_ = k
+	return c
+}
+
+// MatMulInto computes c = a @ b into an existing output tensor. The loop
+// order (i, p, j) streams b rows sequentially, which is cache-friendly
+// without blocking.
+func MatMulInto(a, b, c *Tensor) {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes c = a @ b^T for a (m x k) and b (n x k).
+func MatMulTransB(a, b, c *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransB shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+}
+
+// MatMulTransA computes c = a^T @ b for a (k x m) and b (k x n).
+func MatMulTransA(a, b, c *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransA shape mismatch")
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Im2Col unfolds an NCHW input (single image: C x H x W) into a matrix of
+// shape (C*kh*kw) x (outH*outW) for convolution-as-matmul, writing into
+// col, which must be presized.
+func Im2Col(in *Tensor, kh, kw, stride, pad int, col *Tensor) (outH, outW int) {
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	outH = (h+2*pad-kh)/stride + 1
+	outW = (w+2*pad-kw)/stride + 1
+	rows := c * kh * kw
+	cols := outH * outW
+	if col.Shape[0] != rows || col.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2Col output shape %v, want %dx%d", col.Shape, rows, cols))
+	}
+	for ci := 0; ci < c; ci++ {
+		chanBase := ci * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ci*kh+ky)*kw + kx) * cols
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							col.Data[row+oy*outW+ox] = 0
+						}
+						continue
+					}
+					inRow := chanBase + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							col.Data[row+oy*outW+ox] = 0
+						} else {
+							col.Data[row+oy*outW+ox] = in.Data[inRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return outH, outW
+}
+
+// Col2Im folds gradients back from im2col layout into an input-shaped
+// gradient tensor (accumulating), the adjoint of Im2Col.
+func Col2Im(col *Tensor, c, h, w, kh, kw, stride, pad int, out *Tensor) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := outH * outW
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	for ci := 0; ci < c; ci++ {
+		chanBase := ci * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ci*kh+ky)*kw + kx) * cols
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					inRow := chanBase + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						out.Data[inRow+ix] += col.Data[row+oy*outW+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// AXPY computes y += alpha * x elementwise.
+func AXPY(alpha float32, x, y *Tensor) {
+	if len(x.Data) != len(y.Data) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, v := range x.Data {
+		y.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Argmax returns the index of the maximum element.
+func (t *Tensor) Argmax() int {
+	best := 0
+	for i, v := range t.Data {
+		if v > t.Data[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,284 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 || a.Dim(0) != 2 || a.Dim(2) != 4 {
+		t.Fatalf("bad tensor %v", a.Shape)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromDataValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromData(make([]float32, 5), 2, 3)
+}
+
+func TestReshape(t *testing.T) {
+	a := New(2, 6)
+	for i := range a.Data {
+		a.Data[i] = float32(i)
+	}
+	b := a.Reshape(3, 4)
+	if b.Dim(0) != 3 || b.Dim(1) != 4 {
+		t.Fatal("bad reshape")
+	}
+	b.Data[0] = 99
+	if a.Data[0] != 99 {
+		t.Fatal("reshape should alias data")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(4)
+	a.Data[0] = 1
+	b := a.Clone()
+	b.Data[0] = 2
+	if a.Data[0] != 1 {
+		t.Fatal("clone aliases")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromData([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromData([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(5, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()
+	}
+	eye := New(5, 5)
+	for i := 0; i < 5; i++ {
+		eye.Data[i*5+i] = 1
+	}
+	c := MatMul(a, eye)
+	for i := range a.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatal("A @ I != A")
+		}
+	}
+}
+
+// naiveMatMul is the reference implementation for property tests.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float32()*2 - 1
+	}
+	return t
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		want := naiveMatMul(a, b)
+
+		c1 := New(m, n)
+		MatMulInto(a, b, c1)
+
+		// MatMulTransB with b stored transposed.
+		bt := New(n, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				bt.Data[j*k+i] = b.Data[i*n+j]
+			}
+		}
+		c2 := New(m, n)
+		MatMulTransB(a, bt, c2)
+
+		// MatMulTransA with a stored transposed.
+		at := New(k, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				at.Data[j*m+i] = a.Data[i*k+j]
+			}
+		}
+		c3 := New(m, n)
+		MatMulTransA(at, b, c3)
+
+		for i := range want.Data {
+			for _, c := range []*Tensor{c1, c2, c3} {
+				if math.Abs(float64(c.Data[i]-want.Data[i])) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveConv is a direct convolution used to validate Im2Col+MatMul.
+func naiveConv(in, w *Tensor, stride, pad int) *Tensor {
+	c, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	oc, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (wd+2*pad-kw)/stride + 1
+	out := New(oc, outH, outW)
+	for o := 0; o < oc; o++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				var s float32
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy := oy*stride + ky - pad
+							ix := ox*stride + kx - pad
+							if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+								continue
+							}
+							s += in.Data[ci*h*wd+iy*wd+ix] *
+								w.Data[((o*c+ci)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.Data[(o*outH+oy)*outW+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColConvMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + rng.Intn(3)
+		h := 4 + rng.Intn(6)
+		wd := 4 + rng.Intn(6)
+		oc := 1 + rng.Intn(4)
+		k := 1 + 2*rng.Intn(2) // 1 or 3
+		stride := 1 + rng.Intn(2)
+		pad := k / 2
+
+		in := randTensor(rng, c, h, wd)
+		wt := randTensor(rng, oc, c, k, k)
+		want := naiveConv(in, wt, stride, pad)
+
+		outH := (h+2*pad-k)/stride + 1
+		outW := (wd+2*pad-k)/stride + 1
+		col := New(c*k*k, outH*outW)
+		Im2Col(in, k, k, stride, pad, col)
+		wmat := wt.Reshape(oc, c*k*k)
+		got := MatMul(wmat, col)
+
+		for i := range want.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// The adjoint test: <Im2Col(x), y> == <x, Col2Im(y)> for random x, y.
+	rng := rand.New(rand.NewSource(7))
+	c, h, w, k, stride, pad := 2, 6, 5, 3, 1, 1
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+
+	x := randTensor(rng, c, h, w)
+	y := randTensor(rng, c*k*k, outH*outW)
+
+	colX := New(c*k*k, outH*outW)
+	Im2Col(x, k, k, stride, pad, colX)
+	var lhs float64
+	for i := range colX.Data {
+		lhs += float64(colX.Data[i]) * float64(y.Data[i])
+	}
+
+	xGrad := New(c, h, w)
+	Col2Im(y, c, h, w, k, k, stride, pad, xGrad)
+	var rhs float64
+	for i := range x.Data {
+		rhs += float64(x.Data[i]) * float64(xGrad.Data[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3 {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	x := FromData([]float32{1, 2, 3}, 3)
+	y := FromData([]float32{10, 20, 30}, 3)
+	AXPY(2, x, y)
+	want := []float32{12, 24, 36}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("AXPY = %v", y.Data)
+		}
+	}
+	y.Scale(0.5)
+	for i := range want {
+		if y.Data[i] != want[i]/2 {
+			t.Fatalf("Scale = %v", y.Data)
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	a := FromData([]float32{1, 5, 3, 5}, 4)
+	if a.Argmax() != 1 {
+		t.Fatalf("Argmax = %d (first max wins)", a.Argmax())
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(New(2, 3), New(2, 3)) {
+		t.Fatal("equal shapes reported unequal")
+	}
+	if SameShape(New(2, 3), New(3, 2)) || SameShape(New(2), New(2, 1)) {
+		t.Fatal("unequal shapes reported equal")
+	}
+}

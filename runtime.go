@@ -1,0 +1,155 @@
+package smol
+
+import (
+	"fmt"
+	"sync"
+
+	"smol/internal/codec/jpeg"
+	"smol/internal/codec/spng"
+	"smol/internal/engine"
+	"smol/internal/img"
+	"smol/internal/nn"
+	"smol/internal/preproc"
+	"smol/internal/tensor"
+)
+
+// RuntimeConfig configures the execution engine for real (in-process)
+// inference over encoded images.
+type RuntimeConfig struct {
+	// Workers is the number of preprocessing goroutines (0 = GOMAXPROCS).
+	Workers int
+	// BatchSize is the model batch size (0 = 32).
+	BatchSize int
+	// InputRes is the model's square input resolution.
+	InputRes int
+	// Mean and Std are the normalization constants; zero Std means the
+	// plain [0,1] scaling used by models trained with internal/data.
+	Mean, Std [3]float32
+	// ROIDecode enables partial JPEG decoding of the central crop region
+	// (Algorithm 1).
+	ROIDecode bool
+	// Opts toggles engine optimizations (all on by default).
+	Opts engine.Options
+}
+
+// Runtime executes classification over encoded images with a trained
+// model, using the pipelined engine: decode -> preprocess -> batch ->
+// model forward.
+type Runtime struct {
+	cfg   RuntimeConfig
+	model *nn.Model
+}
+
+// NewRuntime wraps a trained model (e.g. from LoadClassifier or
+// TrainClassifier) for pipelined batch inference.
+func NewRuntime(model *nn.Model, cfg RuntimeConfig) (*Runtime, error) {
+	if model == nil {
+		return nil, fmt.Errorf("smol: nil model")
+	}
+	if cfg.InputRes <= 0 {
+		return nil, fmt.Errorf("smol: InputRes is required")
+	}
+	if cfg.Std == ([3]float32{}) {
+		cfg.Std = [3]float32{1, 1, 1}
+	}
+	return &Runtime{cfg: cfg, model: model}, nil
+}
+
+// EncodedImage is one input: bytes in one of the supported codecs.
+type EncodedImage struct {
+	// Data is the encoded image (JPEG from this repo's codec, or spng).
+	Data []byte
+	// PNG marks the data as spng-encoded rather than JPEG.
+	PNG bool
+}
+
+// ClassifyResult reports predictions in input order plus engine statistics.
+type ClassifyResult struct {
+	Predictions []int
+	Stats       engine.Stats
+}
+
+// Classify runs the full pipeline over the encoded inputs.
+func (r *Runtime) Classify(inputs []EncodedImage) (ClassifyResult, error) {
+	res := r.cfg.InputRes
+	preds := make([]int, len(inputs))
+
+	prep := func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
+		in := inputs[job.Index]
+		var m *img.Image
+		var err error
+		switch {
+		case in.PNG:
+			m, err = spng.Decode(in.Data)
+		case r.cfg.ROIDecode:
+			w, h, herr := jpeg.DecodeHeader(in.Data)
+			if herr != nil {
+				return herr
+			}
+			short := res * 256 / 224
+			sw, sh := img.AspectPreservingSize(w, h, short)
+			// Map the post-resize central crop back to source pixels.
+			crop := img.CenterCropRect(sw, sh, res, res)
+			scaleX := float64(w) / float64(sw)
+			scaleY := float64(h) / float64(sh)
+			roi := img.Rect{
+				X0: int(float64(crop.X0) * scaleX), Y0: int(float64(crop.Y0) * scaleY),
+				X1: int(float64(crop.X1)*scaleX) + 1, Y1: int(float64(crop.Y1)*scaleY) + 1,
+			}
+			m, _, _, err = jpeg.DecodeWithOptions(in.Data, jpeg.DecodeOptions{ROI: &roi})
+		default:
+			m, err = jpeg.Decode(in.Data)
+		}
+		if err != nil {
+			return err
+		}
+		ex, _ := ws.Scratch.(*preproc.Executor)
+		if ex == nil {
+			ex = preproc.NewExecutor()
+			ws.Scratch = ex
+		}
+		spec := preproc.Spec{
+			InW: m.W, InH: m.H,
+			ResizeShort: res, CropW: res, CropH: res,
+			Mean: r.cfg.Mean, Std: r.cfg.Std,
+		}
+		plan, err := preproc.Optimize(spec)
+		if err != nil {
+			return err
+		}
+		return ex.Execute(plan, m, out)
+	}
+
+	// The model is one compute resource (as a physical accelerator is) and
+	// its layers cache per-forward state, so execution serializes; multiple
+	// engine streams still overlap batch assembly with execution.
+	var execMu sync.Mutex
+	exec := func(batch *tensor.Tensor, indices []int) error {
+		execMu.Lock()
+		out := r.model.Predict(batch)
+		execMu.Unlock()
+		for i, idx := range indices {
+			preds[idx] = out[i]
+		}
+		return nil
+	}
+
+	eng, err := engine.New(engine.Config{
+		Workers:     r.cfg.Workers,
+		BatchSize:   r.cfg.BatchSize,
+		SampleShape: [3]int{3, res, res},
+		Opts:        r.cfg.Opts,
+	}, prep, exec)
+	if err != nil {
+		return ClassifyResult{}, err
+	}
+	jobs := make([]engine.Job, len(inputs))
+	for i := range jobs {
+		jobs[i] = engine.Job{Index: i}
+	}
+	stats, err := eng.Run(jobs)
+	if err != nil {
+		return ClassifyResult{}, err
+	}
+	return ClassifyResult{Predictions: preds, Stats: stats}, nil
+}

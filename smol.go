@@ -1,0 +1,117 @@
+// Package smol is a Go reproduction of "Jointly Optimizing Preprocessing
+// and Inference for DNN-based Visual Analytics" (Kang et al., VLDB 2020).
+//
+// Smol executes end-to-end batch visual analytics queries. Unlike systems
+// that optimize only DNN execution, it models and optimizes the whole
+// pipeline — decode, preprocessing, transfer, and execution — because on
+// modern accelerators preprocessing is frequently the bottleneck.
+//
+// The package exposes three layers:
+//
+//   - Plan optimization: describe your networks (D) and the natively
+//     available input formats (F); Optimize searches D x F with the
+//     preprocessing-aware cost model (min of pipelined stage throughputs,
+//     Eq. 4 of the paper), places preprocessing operators on CPU or
+//     accelerator, and returns the Pareto-optimal set or the best plan
+//     under an accuracy/throughput constraint.
+//
+//   - Execution: a real pipelined runtime engine (multi-producer
+//     multi-consumer queue, buffer reuse, pinned staging) that decodes,
+//     preprocesses and batches real images for a model you supply.
+//
+//   - Substrates: from-scratch JPEG (with ROI and early-stop partial
+//     decoding), PNG-like, and H.264-like codecs; a CNN library with
+//     training (including the low-resolution-aware augmented training of
+//     §5.3); and a calibrated hardware model of the paper's testbed.
+//
+// See the examples directory for runnable walkthroughs.
+package smol
+
+import (
+	"smol/internal/costmodel"
+	"smol/internal/hw"
+)
+
+// Re-exported planning types. A Format is one natively available encoding
+// of the input data; a DNNChoice pairs a network with its input resolution
+// and estimated accuracy; an Evaluated is a plan with its cost-model
+// throughput estimate.
+type (
+	// Format describes a natively available visual data format.
+	Format = costmodel.Format
+	// DNNChoice pairs a network with an input resolution and accuracy.
+	DNNChoice = costmodel.DNNChoice
+	// Plan is one executable (DNN, format, preprocessing, placement) tuple.
+	Plan = costmodel.Plan
+	// Evaluated pairs a plan with estimated accuracy and throughput.
+	Evaluated = costmodel.Evaluated
+	// Constraint restricts plan selection.
+	Constraint = costmodel.Constraint
+	// Env is the hardware/software environment plans run in.
+	Env = costmodel.Env
+)
+
+// Image format kinds for Format.Kind.
+const (
+	FormatJPEG = hw.FormatJPEG
+	FormatPNG  = hw.FormatPNG
+	FormatH264 = hw.FormatVideoH264
+)
+
+// DefaultEnv returns the paper's testbed environment: one NVIDIA T4 with
+// TensorRT and 4 vCPUs (AWS g4dn.xlarge).
+func DefaultEnv() Env { return costmodel.DefaultEnv() }
+
+// Optimize generates the D x F plan space, optimizes each plan's
+// preprocessing DAG and operator placement, estimates throughput with the
+// preprocessing-aware cost model, and returns the Pareto-optimal set
+// sorted by ascending throughput.
+func Optimize(dnns []DNNChoice, formats []Format, env Env) ([]Evaluated, error) {
+	plans, err := costmodel.Generate(dnns, formats, env,
+		costmodel.GenerateOptions{OptimizePreproc: true, PlaceOps: true})
+	if err != nil {
+		return nil, err
+	}
+	evals, err := costmodel.Evaluate(plans, env)
+	if err != nil {
+		return nil, err
+	}
+	return costmodel.ParetoFrontier(evals), nil
+}
+
+// Select optimizes and then picks the single best plan under the
+// constraint: the fastest plan meeting MinAccuracy, the most accurate plan
+// meeting MinThroughput, or the fastest plan overall when unconstrained.
+func Select(dnns []DNNChoice, formats []Format, env Env, c Constraint) (Evaluated, error) {
+	plans, err := costmodel.Generate(dnns, formats, env,
+		costmodel.GenerateOptions{OptimizePreproc: true, PlaceOps: true})
+	if err != nil {
+		return Evaluated{}, err
+	}
+	evals, err := costmodel.Evaluate(plans, env)
+	if err != nil {
+		return Evaluated{}, err
+	}
+	return costmodel.Select(evals, c)
+}
+
+// EstimateThroughput returns the preprocessing-aware throughput estimate
+// (Eq. 4) for a single plan.
+func EstimateThroughput(p Plan, env Env) (float64, error) {
+	return costmodel.EstimateSmol(p, env)
+}
+
+// EstimateLatency returns the worst-case per-image latency estimate in
+// microseconds for a plan in env's pipelined batch engine (the
+// latency-constrained deployment of §3.1). Pair with Constraint.MaxLatencyUS
+// in Select, or with BatchForLatency to tune the batch size.
+func EstimateLatency(p Plan, env Env) (float64, error) {
+	return costmodel.EstimateLatencyUS(p, env)
+}
+
+// BatchForLatency returns the largest batch size (halving from
+// env.BatchSize) whose estimated worst-case latency meets the target, and
+// the throughput that batch achieves.
+func BatchForLatency(p Plan, env Env, maxLatencyUS float64) (batch int, throughput float64, err error) {
+	return costmodel.BatchForLatency(p, env, maxLatencyUS)
+}

@@ -1,0 +1,114 @@
+package smol
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"smol/internal/data"
+	"smol/internal/img"
+	"smol/internal/nn"
+)
+
+// Classifier couples a trained model with the metadata needed to run it.
+type Classifier struct {
+	Model    *nn.Model
+	Config   nn.ResNetConfig
+	InputRes int
+}
+
+// TrainOptions configures TrainClassifier.
+type TrainOptions struct {
+	// Variant is one of nn.Variants(): "resnet-a" (cheapest), "resnet-b",
+	// "resnet-c" (most accurate). Empty means resnet-a.
+	Variant string
+	// Epochs of SGD (0 = 3).
+	Epochs int
+	// LowResAware enables the augmented training of §5.3: inputs are
+	// randomly downsampled to LowRes and upsampled back, teaching the
+	// model to tolerate upscaled thumbnails.
+	LowResAware bool
+	// LowRes is the thumbnail resolution for augmentation (0 = half the
+	// input resolution).
+	LowRes int
+	// Seed fixes initialization and shuffling.
+	Seed int64
+}
+
+// TrainClassifier trains a micro-ResNet on labelled images. All images
+// must be square with identical dimensions.
+func TrainClassifier(images []LabeledImage, numClasses int, opts TrainOptions) (*Classifier, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("smol: no training images")
+	}
+	res := images[0].Image.W
+	if images[0].Image.H != res {
+		return nil, fmt.Errorf("smol: training images must be square")
+	}
+	variant := opts.Variant
+	if variant == "" {
+		variant = nn.VariantA
+	}
+	cfg, err := nn.VariantConfig(variant, numClasses, res)
+	if err != nil {
+		return nil, err
+	}
+	model, err := nn.NewResNet(rand.New(rand.NewSource(opts.Seed)), cfg)
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]nn.Sample, len(images))
+	for i, li := range images {
+		if li.Image.W != res || li.Image.H != res {
+			return nil, fmt.Errorf("smol: image %d has mismatched dimensions", i)
+		}
+		if li.Label < 0 || li.Label >= numClasses {
+			return nil, fmt.Errorf("smol: image %d label %d out of range", i, li.Label)
+		}
+		samples[i] = data.ToSample(li.Image, li.Label)
+	}
+	epochs := opts.Epochs
+	if epochs <= 0 {
+		epochs = 3
+	}
+	tc := nn.TrainConfig{
+		Epochs: epochs, BatchSize: 32, LR: 0.06, Momentum: 0.9, WeightDecay: 1e-4,
+		Seed: opts.Seed + 1,
+	}
+	if opts.LowResAware {
+		low := opts.LowRes
+		if low <= 0 {
+			low = res / 2
+		}
+		tc.Augment = data.DownUpAugmenter(low, 0.5)
+	}
+	nn.Fit(model, samples, tc)
+	return &Classifier{Model: model, Config: cfg, InputRes: res}, nil
+}
+
+// LabeledImage pairs an image with its class label.
+type LabeledImage struct {
+	Image *img.Image
+	Label int
+}
+
+// Evaluate returns the classifier's accuracy on labelled images.
+func (c *Classifier) Evaluate(images []LabeledImage) float64 {
+	samples := make([]nn.Sample, len(images))
+	for i, li := range images {
+		samples[i] = data.ToSample(li.Image, li.Label)
+	}
+	return nn.Evaluate(c.Model, samples, 64)
+}
+
+// Save serializes the classifier.
+func (c *Classifier) Save(w io.Writer) error { return nn.SaveModel(w, c.Config, c.Model) }
+
+// LoadClassifier reads a classifier saved with Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	cfg, m, err := nn.LoadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{Model: m, Config: cfg, InputRes: cfg.InputRes}, nil
+}
