@@ -9,6 +9,7 @@ package smol
 // as a custom metric; full tables print via cmd/smol-bench.
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"strconv"
@@ -332,6 +333,68 @@ func BenchmarkEnginePipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineStreamingWarm is the streaming counterpart of
+// BenchmarkEnginePipeline: the pipeline (pool, arena, queue, workers) is
+// built once and every iteration streams one request through it warm. The
+// gap between the two is the per-call setup cost the serving mode removes.
+func BenchmarkEngineStreamingWarm(b *testing.B) {
+	prep := func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
+		for i := range out.Data {
+			out.Data[i] = float32(job.Index)
+		}
+		return nil
+	}
+	exec := func(batch *tensor.Tensor, refs []engine.Ref) error { return nil }
+	p, err := engine.NewPipeline(engine.Config{Workers: 2, Streams: 2, BatchSize: 32,
+		SampleShape: [3]int{3, 32, 32}}, prep, exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	jobs := make([]engine.Job, 512)
+	for i := range jobs {
+		jobs[i] = engine.Job{Index: i}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Process(ctx, engine.SliceSource(jobs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStreamingConcurrent measures many callers sharing one warm
+// pipeline, the serving workload of §3.1: each parallel benchmark goroutine
+// repeatedly streams a small request through the shared engine.
+func BenchmarkEngineStreamingConcurrent(b *testing.B) {
+	prep := func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
+		for i := range out.Data {
+			out.Data[i] = float32(job.Index)
+		}
+		return nil
+	}
+	exec := func(batch *tensor.Tensor, refs []engine.Ref) error { return nil }
+	p, err := engine.NewPipeline(engine.Config{Workers: 4, Streams: 2, BatchSize: 32,
+		SampleShape: [3]int{3, 32, 32}}, prep, exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	b.RunParallel(func(pb *testing.PB) {
+		jobs := make([]engine.Job, 64)
+		for i := range jobs {
+			jobs[i] = engine.Job{Index: i}
+		}
+		for pb.Next() {
+			if _, err := p.Process(ctx, engine.SliceSource(jobs)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkResNetForward(b *testing.B) {

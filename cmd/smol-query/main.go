@@ -9,12 +9,20 @@
 // synthetic video with real encode/decode):
 //
 //	smol-query -type aggregate -dataset taipei -err 0.03
+//
+// Serving mode (trains once, then holds a warm streaming pipeline and fires
+// concurrent classification requests at it — the latency-constrained
+// deployment of §3.1):
+//
+//	smol-query -type classify -dataset bike-bird -serve -requests 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"smol"
@@ -27,11 +35,17 @@ func main() {
 	qtype := flag.String("type", "classify", "query type: classify or aggregate")
 	dataset := flag.String("dataset", "bike-bird", "dataset name")
 	errTarget := flag.Float64("err", 0.03, "aggregation error target")
+	serve := flag.Bool("serve", false, "classify through a warm streaming server with concurrent requests")
+	requests := flag.Int("requests", 4, "concurrent requests in -serve mode")
 	flag.Parse()
 
 	switch *qtype {
 	case "classify":
-		classify(*dataset)
+		if *serve {
+			serveClassify(*dataset, *requests)
+		} else {
+			classify(*dataset)
+		}
 	case "aggregate":
 		aggregate(*dataset, *errTarget)
 	default:
@@ -81,6 +95,87 @@ func classify(name string) {
 	fmt.Printf("accuracy %.1f%% over %d images, engine %.0f im/s (%d batches)\n",
 		100*float64(correct)/float64(len(inputs)), len(inputs),
 		res.Stats.Throughput, res.Stats.Batches)
+}
+
+// serveClassify trains once, brings up a resident streaming server, and
+// fires concurrent classification requests that share the warm engine.
+func serveClassify(name string, requests int) {
+	if requests < 1 {
+		requests = 1
+	}
+	spec, err := data.ImageDataset(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := data.Generate(spec)
+	fmt.Printf("dataset %s: %d classes, %d train / %d test at %dpx\n",
+		spec.Name, spec.NumClasses, len(ds.Train), len(ds.Test), spec.FullRes)
+
+	train := make([]smol.LabeledImage, len(ds.Train))
+	for i, li := range ds.Train {
+		train[i] = smol.LabeledImage{Image: li.Image, Label: li.Label}
+	}
+	fmt.Println("training resnet-a...")
+	start := time.Now()
+	clf, err := smol.TrainClassifier(train, spec.NumClasses, smol.TrainOptions{Epochs: 3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s\n", time.Since(start).Round(time.Second))
+
+	inputs := make([]smol.EncodedImage, len(ds.Test))
+	for i, li := range ds.Test {
+		inputs[i] = smol.EncodedImage{Data: smol.EncodeJPEG(li.Image, 90)}
+	}
+	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{InputRes: spec.FullRes, BatchSize: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("serving: %d concurrent requests x %d images against one warm engine\n",
+		requests, len(inputs))
+	var wg sync.WaitGroup
+	results := make([]smol.ClassifyResult, requests)
+	errs := make([]error, requests)
+	wall := time.Now()
+	for r := 0; r < requests; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = srv.Classify(context.Background(), inputs)
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(wall)
+	for r, err := range errs {
+		if err != nil {
+			log.Fatalf("request %d: %v", r, err)
+		}
+	}
+
+	total := 0
+	for r, res := range results {
+		correct := 0
+		for i, p := range res.Predictions {
+			if p == ds.Test[i].Label {
+				correct++
+			}
+		}
+		total += len(res.Predictions)
+		fmt.Printf("request %d: accuracy %.1f%%, %.0f im/s, %d batches, mean latency %s\n",
+			r, 100*float64(correct)/float64(len(res.Predictions)),
+			res.Stats.Throughput, res.Stats.Batches,
+			res.Stats.MeanLatency.Round(time.Microsecond))
+	}
+	last := results[len(results)-1].Stats
+	fmt.Printf("aggregate: %d images in %s (%.0f im/s); pool %d allocs / %d reuses across all requests\n",
+		total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), last.PoolAllocs, last.PoolReuses)
 }
 
 func aggregate(name string, errTarget float64) {

@@ -1,0 +1,3 @@
+module smol
+
+go 1.22

@@ -261,11 +261,11 @@ func Measure(p Plan, env Env, numImages int) (hw.PipelineResult, error) {
 	cpuUS := c.DecodeUS + c.CPUPostUS
 	accelUS := c.ExecUS + c.AccelPostUS
 	cfg := hw.PipelineConfig{
-		NumImages:      numImages,
-		Producers:      env.VCPUs,
-		Consumers:      2,
-		BatchSize:      env.BatchSize,
-		QueueCap:       4 * env.BatchSize,
+		NumImages:       numImages,
+		Producers:       env.VCPUs,
+		Consumers:       2,
+		BatchSize:       env.BatchSize,
+		QueueCap:        4 * env.BatchSize,
 		PreprocUS:       func(i int) float64 { return cpuUS },
 		ExecUSPerImage:  accelUS,
 		BatchOverheadUS: simBatchOverheadUS,

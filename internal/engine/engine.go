@@ -1,10 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"smol/internal/tensor"
@@ -58,10 +57,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Job is one unit of input: an encoded image plus its position in the
-// input order.
+// input order. Tag is an opaque per-job payload the engine threads through
+// to the execution stage's Refs; streaming callers use it to route results
+// back to the submitting request.
 type Job struct {
 	Index int
 	Data  []byte
+	Tag   any
 }
 
 // PrepFunc decodes and preprocesses one job into out, which has
@@ -85,7 +87,7 @@ type WorkerState struct {
 	Scratch any
 }
 
-// Stats summarizes one engine run.
+// Stats summarizes one engine run (one Run call or one streamed request).
 type Stats struct {
 	Images          int
 	Elapsed         time.Duration
@@ -98,6 +100,10 @@ type Stats struct {
 	// of an image's preprocessing to the completion of the batch that
 	// carried it — the real-engine counterpart of the simulator's latency
 	// tracking and the quantity Constraint.MaxLatencyUS caps.
+	//
+	// On a long-lived Pipeline, QueueFullStalls, PoolAllocs and PoolReuses
+	// are cumulative over the pipeline's lifetime; the other fields are
+	// per-request.
 	MeanLatency time.Duration
 	MaxLatency  time.Duration
 }
@@ -125,170 +131,52 @@ func New(cfg Config, prep PrepFunc, exec ExecFunc) (*Engine, error) {
 
 // item is a preprocessed sample flowing through the queue. Only the pointer
 // crosses goroutines, avoiding copies (§6.1: "Smol only passes pointers
-// between workers").
+// between workers"). req binds the sample to the request that submitted it
+// so results, errors, and latency route per request.
 type item struct {
 	index int
+	tag   any
 	buf   *tensor.Tensor
 	// start is when the item's preprocessing began, for latency tracking.
 	start time.Time
+	req   *request
+}
+
+// adaptExec lifts an index-based ExecFunc to the streaming BatchFunc.
+func adaptExec(exec ExecFunc) BatchFunc {
+	return func(batch *tensor.Tensor, refs []Ref) error {
+		indices := make([]int, len(refs))
+		for i, r := range refs {
+			indices[i] = r.Index
+		}
+		return exec(batch, indices)
+	}
+}
+
+// Start brings up a long-lived streaming Pipeline with this engine's
+// configuration and callbacks. The pipeline's workers, tensor pool, and
+// pinned arena stay resident across requests until Close; concurrent
+// Process calls share them.
+func (e *Engine) Start() (*Pipeline, error) {
+	p, err := NewPipeline(e.cfg, e.prep, adaptExec(e.exec))
+	if err != nil {
+		return nil, err
+	}
+	p.InitWorker = e.InitWorker
+	return p, nil
 }
 
 // Run pushes all jobs through the pipeline and blocks until every batch has
-// been executed. The first error from any stage aborts the run.
+// been executed. The first error from any stage aborts the run. It is a
+// thin one-shot wrapper over the streaming core: a private Pipeline is
+// started, the jobs are streamed through it, and it is torn down again.
+// Callers that issue many requests should hold a Pipeline (via Start) and
+// call Process instead, keeping the pool and arena warm.
 func (e *Engine) Run(jobs []Job) (Stats, error) {
-	cfg := e.cfg
-	shape := []int{cfg.SampleShape[0], cfg.SampleShape[1], cfg.SampleShape[2]}
-	sampleLen := shape[0] * shape[1] * shape[2]
-
-	pool := NewTensorPool(shape, cfg.QueueCap+cfg.Workers+cfg.Streams*cfg.BatchSize)
-	arena := NewPinnedArena(cfg.Streams+1, cfg.BatchSize*sampleLen)
-	queue := NewMPMCQueue[item](cfg.QueueCap)
-
-	var (
-		next     atomic.Int64
-		firstErr atomic.Value
-		wgProd   sync.WaitGroup
-		wgCons   sync.WaitGroup
-		batches  atomic.Int64
-	)
-	setErr := func(err error) {
-		if err != nil {
-			firstErr.CompareAndSwap(nil, err)
-		}
-	}
-
-	start := time.Now()
-	// Producers.
-	for w := 0; w < cfg.Workers; w++ {
-		wgProd.Add(1)
-		go func(id int) {
-			defer wgProd.Done()
-			ws := &WorkerState{ID: id}
-			if e.InitWorker != nil {
-				e.InitWorker(ws)
-			}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || firstErr.Load() != nil {
-					return
-				}
-				prepStart := time.Now()
-				var buf *tensor.Tensor
-				if cfg.Opts.DisableMemReuse {
-					buf = tensor.New(shape...)
-				} else {
-					buf = pool.Get()
-				}
-				if err := e.prep(ws, jobs[i], buf); err != nil {
-					setErr(fmt.Errorf("engine: job %d: %w", jobs[i].Index, err))
-					queue.Close()
-					return
-				}
-				if err := queue.Put(item{index: jobs[i].Index, buf: buf, start: prepStart}); err != nil {
-					return // queue closed by an erroring stage
-				}
-			}
-		}(w)
-	}
-
-	// Consumers (streams). Each stream accumulates latency locally and
-	// merges under latMu when it drains.
-	var (
-		latMu  sync.Mutex
-		latSum time.Duration
-		latMax time.Duration
-	)
-	scratch := make([][]item, cfg.Streams)
-	for s := 0; s < cfg.Streams; s++ {
-		scratch[s] = make([]item, cfg.BatchSize)
-		wgCons.Add(1)
-		go func(id int) {
-			defer wgCons.Done()
-			var localSum, localMax time.Duration
-			defer func() {
-				latMu.Lock()
-				latSum += localSum
-				if localMax > latMax {
-					latMax = localMax
-				}
-				latMu.Unlock()
-			}()
-			items := scratch[id]
-			indices := make([]int, cfg.BatchSize)
-			for {
-				n := queue.TakeUpTo(items, cfg.BatchSize)
-				if n == 0 {
-					return
-				}
-				var staging []float32
-				if cfg.Opts.DisablePinned {
-					// Unpinned path: fresh allocation plus an extra staging
-					// copy, as DALI-to-TensorRT style integrations require.
-					staging = make([]float32, cfg.BatchSize*sampleLen)
-					tmp := make([]float32, n*sampleLen)
-					for i := 0; i < n; i++ {
-						copy(tmp[i*sampleLen:], items[i].buf.Data)
-					}
-					copy(staging, tmp)
-				} else {
-					staging = arena.Acquire()
-					for i := 0; i < n; i++ {
-						copy(staging[i*sampleLen:], items[i].buf.Data)
-					}
-				}
-				for i := 0; i < n; i++ {
-					indices[i] = items[i].index
-					if !cfg.Opts.DisableMemReuse {
-						pool.Put(items[i].buf)
-					}
-					items[i].buf = nil
-				}
-				batch := tensor.FromData(staging[:n*sampleLen], n, shape[0], shape[1], shape[2])
-				err := e.exec(batch, indices[:n])
-				if !cfg.Opts.DisablePinned {
-					arena.Release(staging)
-				}
-				done := time.Now()
-				for i := 0; i < n; i++ {
-					lat := done.Sub(items[i].start)
-					localSum += lat
-					if lat > localMax {
-						localMax = lat
-					}
-				}
-				batches.Add(1)
-				if err != nil {
-					setErr(fmt.Errorf("engine: exec: %w", err))
-					queue.Close()
-					return
-				}
-			}
-		}(s)
-	}
-
-	wgProd.Wait()
-	queue.Close()
-	wgCons.Wait()
-
-	if err, _ := firstErr.Load().(error); err != nil {
+	p, err := e.Start()
+	if err != nil {
 		return Stats{}, err
 	}
-	elapsed := time.Since(start)
-	allocs, reuses := pool.Stats()
-	st := Stats{
-		Images:          len(jobs),
-		Elapsed:         elapsed,
-		Batches:         int(batches.Load()),
-		QueueFullStalls: queue.PutStalls(),
-		PoolAllocs:      allocs,
-		PoolReuses:      reuses,
-		MaxLatency:      latMax,
-	}
-	if len(jobs) > 0 {
-		st.MeanLatency = latSum / time.Duration(len(jobs))
-	}
-	if elapsed > 0 {
-		st.Throughput = float64(len(jobs)) / elapsed.Seconds()
-	}
-	return st, nil
+	defer p.Close()
+	return p.Process(context.Background(), SliceSource(jobs))
 }

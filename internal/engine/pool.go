@@ -64,6 +64,15 @@ func (p *TensorPool) Put(t *tensor.Tensor) {
 	p.free = append(p.free, t)
 }
 
+// Free returns how many tensors sit idle in the pool. When no run is in
+// flight every tensor the pool ever allocated should be back on the free
+// list — the invariant the engine's error paths are tested against.
+func (p *TensorPool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
 // Stats returns (allocations, reuses).
 func (p *TensorPool) Stats() (allocs, reuses int) {
 	p.mu.Lock()

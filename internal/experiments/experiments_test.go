@@ -179,6 +179,9 @@ func TestFigure10SmolWinsEndToEnd(t *testing.T) {
 }
 
 func TestFigure9SmolBeatsBlazeIt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full video aggregation pipeline (~5s); skipped in -short mode")
+	}
 	tbl, err := Run("figure9", Quick)
 	if err != nil {
 		t.Fatal(err)

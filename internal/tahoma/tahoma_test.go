@@ -62,6 +62,9 @@ func nnRandInput(rng *rand.Rand, n, res int) *tensor.Tensor {
 }
 
 func TestCascadeOnTrainedModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models (~20s); skipped in -short mode")
+	}
 	// Train a weak spec model and a strong target model on an easy
 	// dataset, then verify the cascade's characteristic behaviour.
 	spec := data.DatasetSpec{Name: "cascade-test", NumClasses: 4, TrainN: 480, TestN: 160,

@@ -1,6 +1,7 @@
 package smol
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -34,10 +35,22 @@ type RuntimeConfig struct {
 
 // Runtime executes classification over encoded images with a trained
 // model, using the pipelined engine: decode -> preprocess -> batch ->
-// model forward.
+// model forward. Use Classify for one-shot batches, or Serve to hold a
+// warm engine that many concurrent callers share.
 type Runtime struct {
 	cfg   RuntimeConfig
 	model *nn.Model
+
+	// The model's layers cache per-forward state, so execution serializes
+	// behind execMu (one compute resource, as a physical accelerator is);
+	// multiple engine streams still overlap batch assembly with execution.
+	execMu sync.Mutex
+
+	// plans caches optimized preprocessing plans keyed by decoded input
+	// dimensions, so the plan search runs once per distinct resolution
+	// instead of once per image on the hot prep path.
+	planMu sync.RWMutex
+	plans  map[[2]int]preproc.Plan
 }
 
 // NewRuntime wraps a trained model (e.g. from LoadClassifier or
@@ -52,7 +65,7 @@ func NewRuntime(model *nn.Model, cfg RuntimeConfig) (*Runtime, error) {
 	if cfg.Std == ([3]float32{}) {
 		cfg.Std = [3]float32{1, 1, 1}
 	}
-	return &Runtime{cfg: cfg, model: model}, nil
+	return &Runtime{cfg: cfg, model: model, plans: make(map[[2]int]preproc.Plan)}, nil
 }
 
 // EncodedImage is one input: bytes in one of the supported codecs.
@@ -69,13 +82,62 @@ type ClassifyResult struct {
 	Stats       engine.Stats
 }
 
-// Classify runs the full pipeline over the encoded inputs.
-func (r *Runtime) Classify(inputs []EncodedImage) (ClassifyResult, error) {
-	res := r.cfg.InputRes
-	preds := make([]int, len(inputs))
+// classifyReq is the per-request state threaded through the engine via
+// Job.Tag: the request's inputs and its prediction slots. Many requests
+// interleave in one warm pipeline; Refs route each sample back here.
+type classifyReq struct {
+	inputs []EncodedImage
+	preds  []int
+}
 
-	prep := func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
-		in := inputs[job.Index]
+// maxCachedPlans bounds the plan cache: input dimensions come from
+// user-supplied images, and a resident Server must not grow memory without
+// bound under adversarially varied resolutions. Beyond the cap plans are
+// still computed, just not retained.
+const maxCachedPlans = 1024
+
+// planFor returns the optimized preprocessing plan for a decoded input of
+// the given dimensions, computing and caching it on first sight.
+func (r *Runtime) planFor(w, h int) (preproc.Plan, error) {
+	key := [2]int{w, h}
+	r.planMu.RLock()
+	plan, ok := r.plans[key]
+	r.planMu.RUnlock()
+	if ok {
+		return plan, nil
+	}
+	res := r.cfg.InputRes
+	plan, err := preproc.Optimize(preproc.Spec{
+		InW: w, InH: h,
+		ResizeShort: res, CropW: res, CropH: res,
+		Mean: r.cfg.Mean, Std: r.cfg.Std,
+	})
+	if err != nil {
+		return preproc.Plan{}, err
+	}
+	r.planMu.Lock()
+	// A concurrent worker may have won the race for this key; keep the
+	// first entry so all workers share one plan value.
+	if cached, ok := r.plans[key]; ok {
+		plan = cached
+	} else if len(r.plans) < maxCachedPlans {
+		r.plans[key] = plan
+	}
+	r.planMu.Unlock()
+	return plan, nil
+}
+
+// prepFunc builds the engine preprocessing callback: decode (optionally
+// ROI-limited), then execute the cached preprocessing plan into the pooled
+// output tensor.
+func (r *Runtime) prepFunc() engine.PrepFunc {
+	res := r.cfg.InputRes
+	return func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
+		cr, ok := job.Tag.(*classifyReq)
+		if !ok {
+			return fmt.Errorf("smol: job %d carries no request state", job.Index)
+		}
+		in := cr.inputs[job.Index]
 		var m *img.Image
 		var err error
 		switch {
@@ -108,48 +170,51 @@ func (r *Runtime) Classify(inputs []EncodedImage) (ClassifyResult, error) {
 			ex = preproc.NewExecutor()
 			ws.Scratch = ex
 		}
-		spec := preproc.Spec{
-			InW: m.W, InH: m.H,
-			ResizeShort: res, CropW: res, CropH: res,
-			Mean: r.cfg.Mean, Std: r.cfg.Std,
-		}
-		plan, err := preproc.Optimize(spec)
+		plan, err := r.planFor(m.W, m.H)
 		if err != nil {
 			return err
 		}
 		return ex.Execute(plan, m, out)
 	}
+}
 
-	// The model is one compute resource (as a physical accelerator is) and
-	// its layers cache per-forward state, so execution serializes; multiple
-	// engine streams still overlap batch assembly with execution.
-	var execMu sync.Mutex
-	exec := func(batch *tensor.Tensor, indices []int) error {
-		execMu.Lock()
+// execFunc builds the engine execution callback: a serialized model forward
+// whose outputs are routed to each sample's originating request.
+func (r *Runtime) execFunc() engine.BatchFunc {
+	return func(batch *tensor.Tensor, refs []engine.Ref) error {
+		r.execMu.Lock()
 		out := r.model.Predict(batch)
-		execMu.Unlock()
-		for i, idx := range indices {
-			preds[idx] = out[i]
+		r.execMu.Unlock()
+		for i, ref := range refs {
+			cr, ok := ref.Tag.(*classifyReq)
+			if !ok {
+				return fmt.Errorf("smol: sample %d carries no request state", ref.Index)
+			}
+			cr.preds[ref.Index] = out[i]
 		}
 		return nil
 	}
+}
 
-	eng, err := engine.New(engine.Config{
+// engineConfig maps the runtime configuration onto the engine topology.
+func (r *Runtime) engineConfig() engine.Config {
+	return engine.Config{
 		Workers:     r.cfg.Workers,
 		BatchSize:   r.cfg.BatchSize,
-		SampleShape: [3]int{3, res, res},
+		SampleShape: [3]int{3, r.cfg.InputRes, r.cfg.InputRes},
 		Opts:        r.cfg.Opts,
-	}, prep, exec)
+	}
+}
+
+// Classify runs the full pipeline over the encoded inputs. It is a
+// one-shot wrapper over the streaming core: a pipeline is brought up, the
+// inputs stream through it, and it is torn down. Callers serving many
+// requests should use Serve instead and keep the engine warm.
+func (r *Runtime) Classify(inputs []EncodedImage) (ClassifyResult, error) {
+	srv, err := r.Serve()
 	if err != nil {
 		return ClassifyResult{}, err
 	}
-	jobs := make([]engine.Job, len(inputs))
-	for i := range jobs {
-		jobs[i] = engine.Job{Index: i}
-	}
-	stats, err := eng.Run(jobs)
-	if err != nil {
-		return ClassifyResult{}, err
-	}
-	return ClassifyResult{Predictions: preds, Stats: stats}, nil
+	defer srv.Close()
+	return srv.Classify(context.Background(), inputs)
 }

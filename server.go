@@ -1,0 +1,61 @@
+package smol
+
+import (
+	"context"
+
+	"smol/internal/engine"
+)
+
+// Server is a long-lived serving frontend over one warm engine pipeline:
+// the preprocessing workers, tensor pool, and pinned staging arena come up
+// once and stay resident, and any number of concurrent Classify calls
+// share them (the latency-constrained deployment mode of §3.1). Samples
+// from different requests may share accelerator batches; results,
+// per-image decode/preprocess errors, and cancellation stay confined to
+// their own request. The one shared failure domain is batch execution: if
+// the model forward fails, every request with a sample in that batch
+// fails, while the server itself keeps serving later requests.
+//
+// Create a Server with Runtime.Serve and release it with Close.
+type Server struct {
+	rt   *Runtime
+	pipe *engine.Pipeline
+}
+
+// Serve brings up a resident streaming pipeline for this runtime and
+// returns the Server fronting it. The returned Server is safe for
+// concurrent use; Close it to release the engine's goroutines.
+func (r *Runtime) Serve() (*Server, error) {
+	pipe, err := engine.NewPipeline(r.engineConfig(), r.prepFunc(), r.execFunc())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{rt: r, pipe: pipe}, nil
+}
+
+// Classify streams one request's encoded inputs through the shared warm
+// engine and blocks until every prediction is ready, ctx is cancelled, or
+// a stage fails. Concurrent calls interleave in the pipeline and may share
+// batches; each call only ever sees its own predictions.
+//
+// On cancellation Classify returns ctx's error promptly; the request's
+// in-flight samples are dropped inside the engine without disturbing other
+// requests.
+func (s *Server) Classify(ctx context.Context, inputs []EncodedImage) (ClassifyResult, error) {
+	cr := &classifyReq{inputs: inputs, preds: make([]int, len(inputs))}
+	jobs := make([]engine.Job, len(inputs))
+	for i := range jobs {
+		jobs[i] = engine.Job{Index: i, Tag: cr}
+	}
+	stats, err := s.pipe.Process(ctx, engine.SliceSource(jobs))
+	if err != nil {
+		return ClassifyResult{}, err
+	}
+	return ClassifyResult{Predictions: cr.preds, Stats: stats}, nil
+}
+
+// Close tears the pipeline down, waiting for resident goroutines to exit.
+// Requests still in flight fail with engine.ErrPipelineClosed.
+func (s *Server) Close() {
+	s.pipe.Close()
+}

@@ -3,6 +3,7 @@ package smol
 import (
 	"bytes"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"smol/internal/data"
@@ -113,23 +114,34 @@ func TestCodecFacades(t *testing.T) {
 }
 
 // trainTinyClassifier builds a 2-class dataset and classifier quickly.
+// Training is deterministic (fixed seeds), so the result is memoized and
+// shared by every test that needs a trained model.
+var (
+	tinyOnce sync.Once
+	tinyClf  *Classifier
+	tinyTest []LabeledImage
+	tinyErr  error
+)
+
 func trainTinyClassifier(t *testing.T) (*Classifier, []LabeledImage) {
 	t.Helper()
-	rng := rand.New(rand.NewSource(1))
-	var train, test []LabeledImage
-	for i := 0; i < 192; i++ {
-		c := i % 2
-		train = append(train, LabeledImage{Image: data.RenderImage(rng, c, 2, 16), Label: c})
+	tinyOnce.Do(func() {
+		rng := rand.New(rand.NewSource(1))
+		var train []LabeledImage
+		for i := 0; i < 192; i++ {
+			c := i % 2
+			train = append(train, LabeledImage{Image: data.RenderImage(rng, c, 2, 16), Label: c})
+		}
+		for i := 0; i < 40; i++ {
+			c := i % 2
+			tinyTest = append(tinyTest, LabeledImage{Image: data.RenderImage(rng, c, 2, 16), Label: c})
+		}
+		tinyClf, tinyErr = TrainClassifier(train, 2, TrainOptions{Epochs: 6, Seed: 2})
+	})
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
 	}
-	for i := 0; i < 40; i++ {
-		c := i % 2
-		test = append(test, LabeledImage{Image: data.RenderImage(rng, c, 2, 16), Label: c})
-	}
-	clf, err := TrainClassifier(train, 2, TrainOptions{Epochs: 6, Seed: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return clf, test
+	return tinyClf, tinyTest
 }
 
 func TestTrainEvaluateSaveLoad(t *testing.T) {
