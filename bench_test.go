@@ -10,6 +10,7 @@ package smol
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
@@ -42,6 +43,12 @@ func benchScale() experiments.Scale {
 // value as a custom metric.
 func runExperiment(b *testing.B, id string, metric func(*experiments.Table) (float64, string)) {
 	b.Helper()
+	if testing.Short() {
+		// The CI bench-smoke step (-bench . -benchtime 1x -short) only
+		// checks that benchmarks compile and run; the experiment harness is
+		// far too slow for that budget.
+		b.Skip("experiment benchmarks skipped in -short mode")
+	}
 	s := benchScale()
 	var tbl *experiments.Table
 	var err error
@@ -413,6 +420,60 @@ func BenchmarkResNetForward(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m.Forward(x, false)
 			}
+		})
+	}
+}
+
+// BenchmarkResNetForwardCompiled is the compiled-plan counterpart of
+// BenchmarkResNetForward: same variants, same batch-8 input, executed
+// through nn.Compile's folded/fused/arena path. The ratio between the two
+// is the compiled-path speedup tracked in BENCH_infer.json.
+func BenchmarkResNetForwardCompiled(b *testing.B) {
+	for _, variant := range nn.Variants() {
+		b.Run(variant, func(b *testing.B) {
+			cfg, err := nn.VariantConfig(variant, 10, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := nn.NewResNet(rand.New(rand.NewSource(1)), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := nn.Compile(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := tensor.New(8, 3, 32, 32)
+			preds := make([]int, 8)
+			plan.PredictInto(x, preds) // warm the arena pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.PredictInto(x, preds)
+			}
+		})
+	}
+}
+
+// BenchmarkGEMM measures the blocked kernel on square problems; the
+// custom metric reports achieved multiply-add throughput.
+func BenchmarkGEMM(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := tensor.New(size, size)
+			bm := tensor.New(size, size)
+			c := tensor.New(size, size)
+			for i := range a.Data {
+				a.Data[i] = rng.Float32()
+				bm.Data[i] = rng.Float32()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.GEMM(a, bm, c)
+			}
+			macs := float64(size) * float64(size) * float64(size)
+			b.ReportMetric(macs*float64(b.N)/b.Elapsed().Seconds()/1e6, "MMAC/s")
 		})
 	}
 }

@@ -37,12 +37,14 @@ func main() {
 	errTarget := flag.Float64("err", 0.03, "aggregation error target")
 	serve := flag.Bool("serve", false, "classify through a warm streaming server with concurrent requests")
 	requests := flag.Int("requests", 4, "concurrent requests in -serve mode")
+	execPar := flag.Int("execpar", 0, "max concurrent model executions on the compiled path (0 = 2)")
+	compiled := flag.Bool("compiled", true, "execute batches through the compiled inference plan")
 	flag.Parse()
 
 	switch *qtype {
 	case "classify":
 		if *serve {
-			serveClassify(*dataset, *requests)
+			serveClassify(*dataset, *requests, *execPar, *compiled)
 		} else {
 			classify(*dataset)
 		}
@@ -99,7 +101,9 @@ func classify(name string) {
 
 // serveClassify trains once, brings up a resident streaming server, and
 // fires concurrent classification requests that share the warm engine.
-func serveClassify(name string, requests int) {
+// With the compiled inference plan the requests' batches also execute in
+// parallel (up to execPar forwards at once) instead of serializing.
+func serveClassify(name string, requests, execPar int, compiled bool) {
 	if requests < 1 {
 		requests = 1
 	}
@@ -127,9 +131,17 @@ func serveClassify(name string, requests int) {
 	for i, li := range ds.Test {
 		inputs[i] = smol.EncodedImage{Data: smol.EncodeJPEG(li.Image, 90)}
 	}
-	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{InputRes: spec.FullRes, BatchSize: 32})
+	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{
+		InputRes: spec.FullRes, BatchSize: 32,
+		ExecParallel: execPar, DisableCompiled: !compiled,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rt.Compiled() {
+		fmt.Println("execution: compiled inference plan (folded batch-norm, fused GEMM, parallel batches)")
+	} else {
+		fmt.Println("execution: reference model forward (serialized)")
 	}
 	srv, err := rt.Serve()
 	if err != nil {

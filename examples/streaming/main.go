@@ -5,9 +5,15 @@
 // of requests shares them: the serving posture the paper's
 // latency-constrained deployment mode (§3.1) assumes.
 //
+// Serve also executes batches in parallel: the runtime compiles the model
+// into a reentrant inference plan (folded batch-norm, fused GEMM
+// epilogues, recycled activation arenas), so batches from different
+// streams run model forwards concurrently — bounded by
+// RuntimeConfig.ExecParallel — instead of serializing behind one lock.
+//
 // The walkthrough trains a tiny classifier, then demonstrates
 //  1. concurrent requests interleaving in one pipeline (their samples may
-//     share accelerator batches),
+//     share accelerator batches and execute in parallel),
 //  2. warm-pool reuse across sequential requests, and
 //  3. context cancellation stopping an in-flight request without
 //     disturbing its neighbours.

@@ -64,11 +64,15 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.cols = c.cols[:n]
 
 	out := tensor.New(n, c.OutC, outH, outW)
-	wmat := c.W.Reshape(c.OutC, c.InC*c.K*c.K)
+	rows := c.InC * c.K * c.K
+	wmat := c.W.Reshape(c.OutC, rows)
 	for i := 0; i < n; i++ {
 		sample := tensor.FromData(x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
-		if c.cols[i] == nil || c.cols[i].Shape[1] != outH*outW {
-			c.cols[i] = tensor.New(c.InC*c.K*c.K, outH*outW)
+		// Re-size the cached column matrix whenever either dimension is
+		// stale: a cache entry matching only on outH*outW would make
+		// Im2Col panic on the row count.
+		if c.cols[i] == nil || c.cols[i].Shape[0] != rows || c.cols[i].Shape[1] != outH*outW {
+			c.cols[i] = tensor.New(rows, outH*outW)
 		}
 		tensor.Im2Col(sample, c.K, c.K, c.Stride, c.Pad, c.cols[i])
 		dst := tensor.FromData(out.Data[i*c.OutC*outH*outW:(i+1)*c.OutC*outH*outW], c.OutC, outH*outW)

@@ -17,6 +17,11 @@ import "smol/internal/tensor"
 type Layer interface {
 	// Forward computes the layer output for a batch. train selects
 	// training-mode behaviour (e.g. batch statistics in BatchNorm).
+	//
+	// The returned tensor may be a buffer owned by the layer that the
+	// next Forward call overwrites (ReLU and Residual recycle theirs);
+	// callers that need the output beyond the following Forward must
+	// Clone it.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward receives dL/d(output) and returns dL/d(input), accumulating
 	// parameter gradients internally.

@@ -10,11 +10,19 @@ import (
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+	out  *tensor.Tensor // reused output buffer, valid until the next Forward
 }
 
-// Forward clamps negatives to zero.
+// Forward clamps negatives to zero. The returned tensor is a buffer owned
+// by the layer and is overwritten by the next Forward call.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	if r.out == nil || cap(r.out.Data) < len(x.Data) {
+		r.out = tensor.New(x.Shape...)
+	} else {
+		r.out.Data = r.out.Data[:len(x.Data)]
+		r.out.Shape = append(r.out.Shape[:0], x.Shape...)
+	}
+	out := r.out
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -24,6 +32,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out.Data[i] = 0
 			r.mask[i] = false
 		} else {
+			out.Data[i] = v
 			r.mask[i] = true
 		}
 	}

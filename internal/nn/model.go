@@ -88,6 +88,7 @@ type Residual struct {
 	projBN *BatchNorm2D // nil when proj is nil
 
 	shortcutIn *tensor.Tensor
+	sum        *tensor.Tensor // reused pre-activation buffer for the skip add
 }
 
 // NewResidual builds a residual block mapping inC channels to outC with the
@@ -123,9 +124,17 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		sc = x
 	}
-	sum := y.Clone()
-	tensor.AXPY(1, sc, sum)
-	return r.relu2.Forward(sum, train)
+	// Reuse the skip-add buffer instead of cloning y each call; the result
+	// is consumed immediately by relu2, which copies into its own buffer.
+	if r.sum == nil || cap(r.sum.Data) < len(y.Data) {
+		r.sum = tensor.New(y.Shape...)
+	} else {
+		r.sum.Data = r.sum.Data[:len(y.Data)]
+		r.sum.Shape = append(r.sum.Shape[:0], y.Shape...)
+	}
+	copy(r.sum.Data, y.Data)
+	tensor.AXPY(1, sc, r.sum)
+	return r.relu2.Forward(r.sum, train)
 }
 
 // Backward propagates through both the residual and shortcut paths.

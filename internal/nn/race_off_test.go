@@ -1,0 +1,8 @@
+//go:build !race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-count test is meaningless under -race because the detector's
+// instrumentation allocates and sync.Pool intentionally drops puts.
+const raceEnabled = false

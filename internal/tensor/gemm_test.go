@@ -1,0 +1,198 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestGEMMMatchesMatMulInto: the blocked kernel accumulates each output
+// element's k terms in ascending order, so it must agree bit-for-bit with
+// the reference kernel across awkward shapes (tile remainders, single
+// rows/columns, sizes straddling every block boundary).
+func TestGEMMMatchesMatMulInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 7, 1}, {3, 5, 2}, {4, 4, 4}, {5, 9, 7},
+		{8, 27, 33}, {13, 300, 17}, {4, 513, 515}, {6, 257, 600},
+		{65, 64, 63}, {2, 1024, 9},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		want := New(m, n)
+		MatMulInto(a, b, want)
+		got := New(m, n)
+		// Poison the output to catch missing initialization.
+		for i := range got.Data {
+			got.Data[i] = 999
+		}
+		GEMM(a, b, got)
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%dx%dx%d: element %d: GEMM %v, MatMulInto %v",
+					m, k, n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestGEMMParallelMatchesSerial raises GOMAXPROCS so the goroutine-split
+// paths (row panels for tall problems, column panels for wide ones) are
+// exercised even on a single-core machine.
+func TestGEMMParallelMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range [][3]int{
+		{64, 64, 64},   // tall enough for row panels
+		{8, 72, 4096},  // conv shape: few rows, many columns -> column panels
+		{3, 100, 2000}, // column panels with a row remainder
+	} {
+		m, k, n := s[0], s[1], s[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		want := New(m, n)
+		MatMulInto(a, b, want)
+		got := New(m, n)
+		GEMM(a, b, got)
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%dx%dx%d: element %d differs under parallel GEMM", m, k, n, i)
+			}
+		}
+	}
+}
+
+// TestGEMMFusedEpilogue checks bias, elementwise add, and ReLU against a
+// naive recomputation, in every combination.
+func TestGEMMFusedEpilogue(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, k, n := 6, 40, 530 // straddles one gemmNC boundary
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	base := New(m, n)
+	MatMulInto(a, b, base)
+	bias := make([]float32, m)
+	for i := range bias {
+		bias[i] = rng.Float32()*2 - 1
+	}
+	add := make([]float32, m*n)
+	for i := range add {
+		add[i] = rng.Float32()*2 - 1
+	}
+	for _, tc := range []struct {
+		name string
+		ep   Epilogue
+	}{
+		{"none", Epilogue{}},
+		{"bias", Epilogue{RowBias: bias}},
+		{"add", Epilogue{Add: add}},
+		{"relu", Epilogue{ReLU: true}},
+		{"bias+add", Epilogue{RowBias: bias, Add: add}},
+		{"bias+relu", Epilogue{RowBias: bias, ReLU: true}},
+		{"bias+add+relu", Epilogue{RowBias: bias, Add: add, ReLU: true}},
+	} {
+		got := New(m, n)
+		GEMMFused(a, b, got, tc.ep)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want := base.Data[i*n+j]
+				if tc.ep.RowBias != nil {
+					want += bias[i]
+				}
+				if tc.ep.Add != nil {
+					want += add[i*n+j]
+				}
+				if tc.ep.ReLU && want < 0 {
+					want = 0
+				}
+				if got.Data[i*n+j] != want {
+					t.Fatalf("%s: c[%d,%d] = %v, want %v", tc.name, i, j, got.Data[i*n+j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestIm2ColBatchMatchesIm2Col: the batched unfold with NCHW strides must
+// reproduce the per-sample reference column-for-column.
+func TestIm2ColBatchMatchesIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, g := range []struct{ n, c, h, w, k, stride, pad int }{
+		{1, 1, 5, 5, 3, 1, 1},
+		{3, 2, 6, 6, 3, 2, 1},
+		{2, 3, 8, 7, 1, 2, 0},
+		{4, 2, 5, 9, 3, 1, 0},
+		// Kernel wider than the padded row: the stride-1 fast path must
+		// zero-fill fully instead of computing a negative copy range.
+		{1, 1, 1, 1, 6, 1, 3},
+	} {
+		x := randTensor(rng, g.n, g.c, g.h, g.w)
+		outH := (g.h+2*g.pad-g.k)/g.stride + 1
+		outW := (g.w+2*g.pad-g.k)/g.stride + 1
+		rows := g.c * g.k * g.k
+		ohow := outH * outW
+		batch := New(rows, g.n*ohow)
+		Im2ColBatch(x.Data, g.n, g.c, g.h, g.w, g.c*g.h*g.w, g.h*g.w,
+			g.k, g.k, g.stride, g.pad, batch.Data)
+		single := New(rows, ohow)
+		for i := 0; i < g.n; i++ {
+			sample := FromData(x.Data[i*g.c*g.h*g.w:(i+1)*g.c*g.h*g.w], g.c, g.h, g.w)
+			Im2Col(sample, g.k, g.k, g.stride, g.pad, single)
+			for r := 0; r < rows; r++ {
+				for j := 0; j < ohow; j++ {
+					got := batch.Data[r*g.n*ohow+i*ohow+j]
+					want := single.Data[r*ohow+j]
+					if got != want {
+						t.Fatalf("geom %+v sample %d: col[%d,%d] = %v, want %v", g, i, r, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIm2ColBatchCNHW: with channel-major strides, reading channel plane
+// (c*n+i) must produce the same columns as the NCHW layout of the same
+// logical tensor.
+func TestIm2ColBatchCNHW(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, c, h, w := 3, 4, 6, 5
+	k, stride, pad := 3, 1, 1
+	nchw := randTensor(rng, n, c, h, w)
+	// Transpose to CNHW.
+	cnhw := make([]float32, len(nchw.Data))
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			copy(cnhw[(ci*n+i)*h*w:(ci*n+i+1)*h*w], nchw.Data[(i*c+ci)*h*w:(i*c+ci+1)*h*w])
+		}
+	}
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	rows := c * k * k
+	want := New(rows, n*outH*outW)
+	Im2ColBatch(nchw.Data, n, c, h, w, c*h*w, h*w, k, k, stride, pad, want.Data)
+	got := New(rows, n*outH*outW)
+	Im2ColBatch(cnhw, n, c, h, w, h*w, n*h*w, k, k, stride, pad, got.Data)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("element %d: CNHW %v, NCHW %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMulStillWorks pins the public MatMul wrapper after the dead
+// variable cleanup.
+func TestMatMulStillWorks(t *testing.T) {
+	a := FromData([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromData([]float32{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}

@@ -88,10 +88,8 @@ func MatMul(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
+	c := New(a.Shape[0], b.Shape[1])
 	MatMulInto(a, b, c)
-	_ = k
 	return c
 }
 
@@ -170,7 +168,8 @@ func MatMulTransA(a, b, c *Tensor) {
 
 // Im2Col unfolds an NCHW input (single image: C x H x W) into a matrix of
 // shape (C*kh*kw) x (outH*outW) for convolution-as-matmul, writing into
-// col, which must be presized.
+// col, which must be presized. It is the single-image case of Im2ColBatch
+// (see gemm.go), which owns the unfold loop.
 func Im2Col(in *Tensor, kh, kw, stride, pad int, col *Tensor) (outH, outW int) {
 	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
 	outH = (h+2*pad-kh)/stride + 1
@@ -180,33 +179,7 @@ func Im2Col(in *Tensor, kh, kw, stride, pad int, col *Tensor) (outH, outW int) {
 	if col.Shape[0] != rows || col.Shape[1] != cols {
 		panic(fmt.Sprintf("tensor: Im2Col output shape %v, want %dx%d", col.Shape, rows, cols))
 	}
-	for ci := 0; ci < c; ci++ {
-		chanBase := ci * h * w
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := ((ci*kh+ky)*kw + kx) * cols
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						for ox := 0; ox < outW; ox++ {
-							col.Data[row+oy*outW+ox] = 0
-						}
-						continue
-					}
-					inRow := chanBase + iy*w
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
-							col.Data[row+oy*outW+ox] = 0
-						} else {
-							col.Data[row+oy*outW+ox] = in.Data[inRow+ix]
-						}
-					}
-				}
-			}
-		}
-	}
-	return outH, outW
+	return Im2ColBatch(in.Data, 1, c, h, w, c*h*w, h*w, kh, kw, stride, pad, col.Data)
 }
 
 // Col2Im folds gradients back from im2col layout into an input-shaped

@@ -29,6 +29,16 @@ type RuntimeConfig struct {
 	// ROIDecode enables partial JPEG decoding of the central crop region
 	// (Algorithm 1).
 	ROIDecode bool
+	// ExecParallel bounds how many model forwards may run at once on the
+	// compiled inference path (0 = 2, matching the engine's default stream
+	// count). Each forward already parallelizes its GEMMs across
+	// GOMAXPROCS, so this knob trades arena memory and scheduler pressure
+	// for stream overlap, not raw compute. The reference path always
+	// serializes regardless.
+	ExecParallel int
+	// DisableCompiled forces the reference Model.Forward execution path
+	// even when the model compiles, for A/B comparison and tests.
+	DisableCompiled bool
 	// Opts toggles engine optimizations (all on by default).
 	Opts engine.Options
 }
@@ -41,9 +51,21 @@ type Runtime struct {
 	cfg   RuntimeConfig
 	model *nn.Model
 
-	// The model's layers cache per-forward state, so execution serializes
-	// behind execMu (one compute resource, as a physical accelerator is);
-	// multiple engine streams still overlap batch assembly with execution.
+	// plan is the compiled inference path (folded batch-norm, fused GEMM
+	// epilogues, recycled activation arenas). It is immutable and
+	// reentrant, so execution only needs the bounded execSem below; nil
+	// when compilation was disabled or the model shape is unsupported.
+	plan *nn.InferencePlan
+	// execSem bounds concurrent compiled forwards (configurable exec
+	// parallelism), letting multiple engine streams overlap execution.
+	execSem chan struct{}
+	// preds recycles per-batch prediction buffers (as *[]int to avoid
+	// interface boxing), keeping the compiled exec path allocation-free.
+	preds sync.Pool
+
+	// The reference model's layers cache per-forward state, so the
+	// fallback path serializes behind execMu (one mutable compute
+	// resource); engine streams still overlap batch assembly with it.
 	execMu sync.Mutex
 
 	// plans caches optimized preprocessing plans keyed by decoded input
@@ -55,6 +77,12 @@ type Runtime struct {
 
 // NewRuntime wraps a trained model (e.g. from LoadClassifier or
 // TrainClassifier) for pipelined batch inference.
+//
+// Unless DisableCompiled is set, the model's weights (and batch-norm
+// statistics) are snapshotted here into an immutable compiled plan:
+// mutating the model afterwards — further training, reloading weights —
+// does not affect this runtime. Construct a new Runtime after updating a
+// model.
 func NewRuntime(model *nn.Model, cfg RuntimeConfig) (*Runtime, error) {
 	if model == nil {
 		return nil, fmt.Errorf("smol: nil model")
@@ -65,8 +93,26 @@ func NewRuntime(model *nn.Model, cfg RuntimeConfig) (*Runtime, error) {
 	if cfg.Std == ([3]float32{}) {
 		cfg.Std = [3]float32{1, 1, 1}
 	}
-	return &Runtime{cfg: cfg, model: model, plans: make(map[[2]int]preproc.Plan)}, nil
+	r := &Runtime{cfg: cfg, model: model, plans: make(map[[2]int]preproc.Plan)}
+	if !cfg.DisableCompiled {
+		// Compilation fails only for layer shapes the plan vocabulary does
+		// not cover; those models fall back to the serialized reference path.
+		if plan, err := nn.Compile(model); err == nil {
+			r.plan = plan
+		}
+	}
+	par := cfg.ExecParallel
+	if par <= 0 {
+		par = 2
+	}
+	r.execSem = make(chan struct{}, par)
+	return r, nil
 }
+
+// Compiled reports whether this runtime executes batches through the
+// compiled inference plan (parallel) rather than the serialized reference
+// model.
+func (r *Runtime) Compiled() bool { return r.plan != nil }
 
 // EncodedImage is one input: bytes in one of the supported codecs.
 type EncodedImage struct {
@@ -178,19 +224,40 @@ func (r *Runtime) prepFunc() engine.PrepFunc {
 	}
 }
 
-// execFunc builds the engine execution callback: a serialized model forward
-// whose outputs are routed to each sample's originating request.
+// execFunc builds the engine execution callback: a model forward whose
+// outputs are routed to each sample's originating request. With a compiled
+// plan, forwards from different engine streams run concurrently up to the
+// ExecParallel bound; the reference path serializes behind execMu because
+// the model's layers carry mutable per-forward caches.
 func (r *Runtime) execFunc() engine.BatchFunc {
 	return func(batch *tensor.Tensor, refs []engine.Ref) error {
-		r.execMu.Lock()
-		out := r.model.Predict(batch)
-		r.execMu.Unlock()
+		var out []int
+		var pooled *[]int
+		if r.plan != nil {
+			n := batch.Shape[0]
+			pooled, _ = r.preds.Get().(*[]int)
+			if pooled == nil || cap(*pooled) < n {
+				pooled = new([]int)
+				*pooled = make([]int, n)
+			}
+			out = (*pooled)[:n]
+			r.execSem <- struct{}{}
+			r.plan.PredictInto(batch, out)
+			<-r.execSem
+		} else {
+			r.execMu.Lock()
+			out = r.model.Predict(batch)
+			r.execMu.Unlock()
+		}
 		for i, ref := range refs {
 			cr, ok := ref.Tag.(*classifyReq)
 			if !ok {
 				return fmt.Errorf("smol: sample %d carries no request state", ref.Index)
 			}
 			cr.preds[ref.Index] = out[i]
+		}
+		if pooled != nil {
+			r.preds.Put(pooled)
 		}
 		return nil
 	}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the inference micro-benchmarks (reference vs compiled forward, GEMM,
+# streaming engine) and records ns/op per benchmark in BENCH_infer.json so
+# the perf trajectory of the compiled path is tracked in-repo.
+#
+#   scripts/bench.sh                # 1s per benchmark, writes BENCH_infer.json
+#   BENCHTIME=300ms scripts/bench.sh
+#   OUT=/tmp/b.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_infer.json}"
+FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkGEMM|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$FILTER" -benchtime "$BENCHTIME" . | tee "$tmp"
+
+awk -v benchtime="$BENCHTIME" '
+/^Benchmark/ && $4 == "ns/op" {
+  name = $1
+  sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+  if (out != "") out = out ",\n"
+  out = out sprintf("    \"%s\": %s", name, $3)
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+  printf "{\n"
+  printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"cpu\": \"%s\",\n", cpu
+  printf "  \"unit\": \"ns/op\",\n"
+  printf "  \"benchmarks\": {\n%s\n  }\n}\n", out
+}' "$tmp" > "$OUT"
+
+echo "wrote $OUT"

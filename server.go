@@ -9,8 +9,12 @@ import (
 // Server is a long-lived serving frontend over one warm engine pipeline:
 // the preprocessing workers, tensor pool, and pinned staging arena come up
 // once and stay resident, and any number of concurrent Classify calls
-// share them (the latency-constrained deployment mode of §3.1). Samples
-// from different requests may share accelerator batches; results,
+// share them (the latency-constrained deployment mode of §3.1). When the
+// model compiles (see nn.Compile), batches execute through the reentrant
+// compiled inference plan, so different engine streams run model forwards
+// in parallel up to RuntimeConfig.ExecParallel instead of serializing
+// behind a global lock. Samples from different requests may share
+// accelerator batches; results,
 // per-image decode/preprocess errors, and cancellation stay confined to
 // their own request. The one shared failure domain is batch execution: if
 // the model forward fails, every request with a sample in that batch
