@@ -538,3 +538,119 @@ func BenchmarkSPNGDecodeProgressive(b *testing.B) {
 		}
 	}
 }
+
+// hdBenchJPEG renders and encodes one 1920x1080 4:2:0 frame, shared by the
+// ingest benchmarks (encoding full HD through the float FDCT is slow, so
+// do it once).
+var hdBenchJPEG []byte
+
+func hdJPEG(b *testing.B) []byte {
+	b.Helper()
+	if hdBenchJPEG == nil {
+		rng := rand.New(rand.NewSource(2))
+		frame := data.RenderImage(rng, 2, 10, 540).ResizeBilinear(1920, 1080)
+		hdBenchJPEG = jpeg.Encode(frame, jpeg.EncodeOptions{Quality: 90, Subsampling: jpeg.Sub420})
+	}
+	return hdBenchJPEG
+}
+
+// BenchmarkIngestHD measures the serving ingest hot path in isolation —
+// header parse, (scaled/ROI) decode into pooled buffers, residual preproc
+// chain into the pooled tensor — on a 1920x1080 JPEG headed for a 224x224
+// model input. "full" forces full-resolution decode; "scaled" lets the
+// ingest planner pick the decode scale (1/4 here); "scaled-roi" adds
+// central-crop ROI decoding. The full/scaled ratio is the compiled-ingest
+// speedup tracked in BENCH_preproc.json.
+func BenchmarkIngestHD(b *testing.B) {
+	enc := hdJPEG(b)
+	cfg, err := nn.VariantConfig("resnet-a", 10, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := nn.NewResNet(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		rc   RuntimeConfig
+	}{
+		{"full", RuntimeConfig{InputRes: 224, DisableCompiled: true, DisableScaledDecode: true}},
+		{"scaled", RuntimeConfig{InputRes: 224, DisableCompiled: true}},
+		{"scaled-roi", RuntimeConfig{InputRes: 224, DisableCompiled: true, ROIDecode: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rt, err := NewRuntime(model, bc.rc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep := rt.prepFunc()
+			ws := &engine.WorkerState{}
+			job := engine.Job{Index: 0, Tag: &classifyReq{inputs: []EncodedImage{{Data: enc}}, preds: make([]int, 1)}}
+			out := tensor.New(3, 224, 224)
+			if err := prep(ws, job, out); err != nil { // compile the plan, warm the buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prep(ws, job, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "im/s")
+		})
+	}
+}
+
+// BenchmarkServeIngestHD is the end-to-end serve-mode counterpart: a warm
+// streaming pipeline classifying 1920x1080 JPEGs through a 64x64 model,
+// with and without the compiled scaled-decode ingest path. Each iteration
+// streams one 32-image request through the shared engine; the metric is
+// end-to-end images/second.
+func BenchmarkServeIngestHD(b *testing.B) {
+	enc := hdJPEG(b)
+	cfg, err := nn.VariantConfig("resnet-a", 10, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := nn.NewResNet(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const reqImages = 32
+	inputs := make([]EncodedImage, reqImages)
+	for i := range inputs {
+		inputs[i] = EncodedImage{Data: enc}
+	}
+	for _, bc := range []struct {
+		name string
+		rc   RuntimeConfig
+	}{
+		{"full", RuntimeConfig{InputRes: 64, BatchSize: 8, DisableScaledDecode: true}},
+		{"scaled", RuntimeConfig{InputRes: 64, BatchSize: 8}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rt, err := NewRuntime(model, bc.rc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := rt.Serve()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ctx := context.Background()
+			if _, err := srv.Classify(ctx, inputs[:2]); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Classify(ctx, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*reqImages)/b.Elapsed().Seconds(), "im/s")
+		})
+	}
+}

@@ -39,14 +39,16 @@ func main() {
 	requests := flag.Int("requests", 4, "concurrent requests in -serve mode")
 	execPar := flag.Int("execpar", 0, "max concurrent model executions on the compiled path (0 = 2)")
 	compiled := flag.Bool("compiled", true, "execute batches through the compiled inference plan")
+	roiDecode := flag.Bool("roidecode", false, "partially decode only the central crop region (Algorithm 1)")
+	scaleDecode := flag.Bool("scaledecode", true, "let the ingest planner decode JPEGs at reduced resolution (1/2, 1/4, 1/8) when cheapest")
 	flag.Parse()
 
 	switch *qtype {
 	case "classify":
 		if *serve {
-			serveClassify(*dataset, *requests, *execPar, *compiled)
+			serveClassify(*dataset, *requests, *execPar, *compiled, *roiDecode, *scaleDecode)
 		} else {
-			classify(*dataset)
+			classify(*dataset, *roiDecode, *scaleDecode)
 		}
 	case "aggregate":
 		aggregate(*dataset, *errTarget)
@@ -55,7 +57,7 @@ func main() {
 	}
 }
 
-func classify(name string) {
+func classify(name string, roiDecode, scaleDecode bool) {
 	spec, err := data.ImageDataset(name)
 	if err != nil {
 		log.Fatal(err)
@@ -80,7 +82,10 @@ func classify(name string) {
 	for i, li := range ds.Test {
 		inputs[i] = smol.EncodedImage{Data: smol.EncodeJPEG(li.Image, 90)}
 	}
-	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{InputRes: spec.FullRes, BatchSize: 32})
+	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{
+		InputRes: spec.FullRes, BatchSize: 32,
+		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,7 +108,7 @@ func classify(name string) {
 // fires concurrent classification requests that share the warm engine.
 // With the compiled inference plan the requests' batches also execute in
 // parallel (up to execPar forwards at once) instead of serializing.
-func serveClassify(name string, requests, execPar int, compiled bool) {
+func serveClassify(name string, requests, execPar int, compiled, roiDecode, scaleDecode bool) {
 	if requests < 1 {
 		requests = 1
 	}
@@ -134,6 +139,7 @@ func serveClassify(name string, requests, execPar int, compiled bool) {
 	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{
 		InputRes: spec.FullRes, BatchSize: 32,
 		ExecParallel: execPar, DisableCompiled: !compiled,
+		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -143,6 +149,7 @@ func serveClassify(name string, requests, execPar int, compiled bool) {
 	} else {
 		fmt.Println("execution: reference model forward (serialized)")
 	}
+	fmt.Printf("ingest: scaled decode %v, ROI decode %v\n", scaleDecode, roiDecode)
 	srv, err := rt.Serve()
 	if err != nil {
 		log.Fatal(err)

@@ -37,6 +37,25 @@ func DecodeJPEGROI(data []byte, roi Rect) (*Image, Rect, *JPEGDecodeStats, error
 	return jpeg.DecodeWithOptions(data, jpeg.DecodeOptions{ROI: &roi})
 }
 
+// DecodeJPEGScaled decodes at reduced resolution directly in the DCT
+// domain (the paper's low-resolution decode, §5): scale 2, 4 or 8 shrinks
+// IDCT and color-conversion work by ~scale^2 via reduced 4x4/2x2/1x1
+// inverse transforms while the entropy stream is still fully parsed. The
+// output approximates a full decode followed by a box downsample by scale.
+func DecodeJPEGScaled(data []byte, scale int) (*Image, *JPEGDecodeStats, error) {
+	m, _, stats, err := jpeg.DecodeWithOptions(data, jpeg.DecodeOptions{Scale: scale})
+	return m, stats, err
+}
+
+// JPEGDecoder re-exports the reusable JPEG decoder: Parse once, then
+// Decode with any combination of ROI, Scale and a pooled destination
+// image. Warm instances decode without allocating.
+type JPEGDecoder = jpeg.Decoder
+
+// JPEGDecodeOptions re-exports the decode options (ROI, EarlyStopRow,
+// Scale, Dst) accepted by JPEGDecoder.Decode.
+type JPEGDecodeOptions = jpeg.DecodeOptions
+
 // EncodePNG compresses losslessly with the PNG-like codec.
 func EncodePNG(m *Image) []byte { return spng.Encode(m, 0) }
 

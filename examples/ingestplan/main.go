@@ -1,0 +1,95 @@
+// Ingestplan: walk through the joint decode+preprocess optimization and
+// its compiled execution, the pipeline behind Runtime serving.
+//
+// The preproc planner treats decode resolution as part of the plan space:
+// with Spec.DecodeScales set, every legal decode scale (decoded short edge
+// must still cover the resize target) is enumerated against every
+// post-decode ordering, costed jointly, and pruned. The winning plan's
+// decode op is then *lowered* into the JPEG codec (DecodeOptions.Scale —
+// reduced 4x4/2x2/1x1 IDCTs) and only the residual chain runs in software,
+// which is how a 1920x1080 frame headed for a 224x224 model input skips
+// ~94% of its IDCT and color-conversion work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"smol"
+	"smol/internal/codec/jpeg"
+	"smol/internal/data"
+	"smol/internal/preproc"
+	"smol/internal/tensor"
+)
+
+func main() {
+	// A full-HD frame destined for a 224x224 DNN input.
+	rng := rand.New(rand.NewSource(1))
+	frame := data.RenderImage(rng, 2, 10, 1080)
+	big := frame.ResizeBilinear(1920, 1080)
+	encoded := smol.EncodeJPEG(big, 90)
+	fmt.Printf("input: 1920x1080 JPEG, %d KB; target: 256-short resize, 224x224 crop\n\n", len(encoded)/1024)
+
+	spec := preproc.Spec{
+		InW: 1920, InH: 1080,
+		ResizeShort: 256, CropW: 224, CropH: 224,
+		Mean:         [3]float32{0.485, 0.456, 0.406},
+		Std:          [3]float32{0.229, 0.224, 0.225},
+		DecodeScales: []int{1, 2, 4, 8},
+	}
+
+	// Joint plan search: cheapest plan per decode scale.
+	fmt.Println("plan space (cheapest per decode scale):")
+	best := map[int]preproc.Plan{}
+	for _, p := range preproc.EnumeratePlans(spec) {
+		sc := p.DecodeScale()
+		if cur, ok := best[sc]; !ok || preproc.PlanCost(p, spec) < preproc.PlanCost(cur, spec) {
+			best[sc] = p
+		}
+	}
+	for _, sc := range []int{1, 2, 4} {
+		p := best[sc]
+		fmt.Printf("  decode 1/%d: %-45s cost %12.0f\n", sc, p.Name, preproc.PlanCost(p, spec))
+	}
+	fmt.Println("  decode 1/8: (illegal — decoded short edge 135 < resize target 256)")
+
+	chosen, err := preproc.Optimize(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimizer chose %q (decode scale 1/%d)\n\n", chosen.Name, chosen.DecodeScale())
+
+	// Lower and execute: the decode op becomes jpeg.DecodeOptions.Scale,
+	// the rest of the plan runs on the decoder's reduced output.
+	out := tensor.New(3, 224, 224)
+	run := func(scale int, plan preproc.Plan) (time.Duration, *jpeg.DecodeStats) {
+		var dec jpeg.Decoder
+		ex := preproc.NewExecutor()
+		start := time.Now()
+		var stats *jpeg.DecodeStats
+		const iters = 5
+		for i := 0; i < iters; i++ {
+			if _, _, err := dec.Parse(encoded); err != nil {
+				log.Fatal(err)
+			}
+			m, _, st, err := dec.Decode(jpeg.DecodeOptions{Scale: scale})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := ex.Execute(plan.ResidualAfterDecode(), m, out); err != nil {
+				log.Fatal(err)
+			}
+			stats = st
+		}
+		return time.Since(start) / iters, stats
+	}
+
+	fullTime, fullStats := run(1, best[1])
+	scaledTime, scaledStats := run(chosen.DecodeScale(), chosen)
+	fmt.Printf("full-decode ingest:   %8s/frame (%d IDCT samples)\n", fullTime.Round(time.Microsecond), fullStats.IDCTSamples)
+	fmt.Printf("compiled ingest:      %8s/frame (%d IDCT samples, 1/%d decode)\n",
+		scaledTime.Round(time.Microsecond), scaledStats.IDCTSamples, chosen.DecodeScale())
+	fmt.Printf("speedup:              %.1fx\n", float64(fullTime)/float64(scaledTime))
+}

@@ -54,6 +54,23 @@ func main() {
 	}
 	fmt.Println("ROI decode matches the full decode exactly within the region")
 
+	// Scaled decode (DecodeOptions.Scale): reconstruct at 1/2, 1/4 or 1/8
+	// resolution directly in the DCT domain. Entropy decoding still parses
+	// every MCU, but each 8x8 block goes through a reduced 4x4/2x2/1x1
+	// IDCT, so reconstruction work (the IDCTSamples counter) and color
+	// conversion shrink by ~scale^2 — the right call when the image is
+	// headed for a small DNN input anyway.
+	for _, scale := range []int{2, 4, 8} {
+		small, stats, err := smol.DecodeJPEGScaled(encoded, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := full.DownsampleBox(scale)
+		fmt.Printf("1/%d decode:   %dx%d px, %6d/%6d IDCT samples vs full, %5d px color-converted, diff %.2f vs box downsample\n",
+			scale, small.W, small.H, stats.IDCTSamples, fullStats.IDCTSamples,
+			stats.PixelsColorConverted, img.MeanAbsDiff(small, ref))
+	}
+
 	// Write both out for inspection.
 	writePPM("full.ppm", full)
 	writePPM("roi.ppm", part)

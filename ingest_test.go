@@ -1,0 +1,245 @@
+package smol
+
+import (
+	"math/rand"
+	"testing"
+
+	"smol/internal/codec/jpeg"
+	"smol/internal/data"
+	"smol/internal/engine"
+	"smol/internal/img"
+	"smol/internal/preproc"
+	"smol/internal/tensor"
+)
+
+// renderLargeInputs draws class-bearing images well above the model's
+// input resolution, the regime where the ingest planner should choose a
+// reduced decode scale.
+func renderLargeInputs(n, res int) ([]EncodedImage, []*img.Image) {
+	rng := rand.New(rand.NewSource(77))
+	inputs := make([]EncodedImage, n)
+	images := make([]*img.Image, n)
+	for i := range inputs {
+		m := data.RenderImage(rng, i%2, 2, res)
+		images[i] = m
+		inputs[i] = EncodedImage{Data: EncodeJPEG(m, 95)}
+	}
+	return inputs, images
+}
+
+// TestIngestPlanSelectsScale: the runtime's compiled ingest plan must pick
+// the largest decode scale whose decoded short edge covers the input
+// resolution, and full decode when scaling is disabled or the input is
+// small.
+func TestIngestPlanSelectsScale(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	rt, err := NewRuntime(clf.Model, RuntimeConfig{InputRes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 160x120 to 16px target: 1/8 gives short edge 15 (< 16), so 1/4 (30)
+	// is the largest legal scale.
+	ip, err := rt.ingestFor(160, 120, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.scale != 4 {
+		t.Fatalf("160x120 -> 16px chose scale 1/%d (%q), want 1/4", ip.scale, ip.full.Name)
+	}
+	if ip.roi != nil {
+		t.Fatal("ROI set without ROIDecode")
+	}
+	if len(ip.resid.Ops) != len(ip.full.Ops)-1 {
+		t.Fatalf("residual chain should drop exactly the decode op: %d vs %d ops",
+			len(ip.resid.Ops), len(ip.full.Ops))
+	}
+	// 16x16 input: no reduced scale is legal.
+	ip, err = rt.ingestFor(16, 16, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.scale != 1 {
+		t.Fatalf("16x16 input chose scale 1/%d", ip.scale)
+	}
+	// PNG inputs never scale (the codec cannot).
+	ip, err = rt.ingestFor(160, 120, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.scale != 1 || ip.full.DecodeScale() != 1 {
+		t.Fatalf("PNG ingest chose scale 1/%d", ip.scale)
+	}
+	// Disabled: full decode regardless of geometry.
+	rtFull, err := NewRuntime(clf.Model, RuntimeConfig{InputRes: 16, DisableScaledDecode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err = rtFull.ingestFor(160, 120, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.scale != 1 {
+		t.Fatalf("DisableScaledDecode chose scale 1/%d", ip.scale)
+	}
+}
+
+// TestIngestPlanROIGeometry: with ROIDecode the compiled plan precomputes
+// the MCU-aligned region once, and its residual chain geometry matches
+// what the decoder actually produces for both subsampling modes.
+func TestIngestPlanROIGeometry(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	rt, err := NewRuntime(clf.Model, RuntimeConfig{InputRes: 16, ROIDecode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	m := data.RenderImage(rng, 0, 2, 120) // 120x120, above the 16px target
+	for _, sub := range []jpeg.Subsampling{jpeg.Sub444, jpeg.Sub420} {
+		enc := jpeg.Encode(m, jpeg.EncodeOptions{Quality: 92, Subsampling: sub})
+		var dec jpeg.Decoder
+		w, h, err := dec.Parse(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, err := rt.ingestFor(w, h, dec.MCUSize(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip.roi == nil {
+			t.Fatal("ROIDecode plan carries no ROI")
+		}
+		out, region, _, err := dec.Decode(jpeg.DecodeOptions{ROI: ip.roi, Scale: ip.scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantW, wantH := img.ScaledDims(region.W(), region.H(), ip.scale)
+		if out.W != wantW || out.H != wantH {
+			t.Fatalf("sub %v: decoded %dx%d, plan geometry %dx%d", sub, out.W, out.H, wantW, wantH)
+		}
+		// The residual chain must accept exactly this geometry.
+		ex := preproc.NewExecutor()
+		dst := tensor.New(3, 16, 16)
+		if err := ex.Execute(ip.resid, out, dst); err != nil {
+			t.Fatalf("sub %v: residual chain rejects decoded image: %v", sub, err)
+		}
+	}
+}
+
+// TestCompiledIngestMatchesNaivePath: the compiled ingest path (single
+// header parse, pooled decode buffers, cached plans, scaled decode) must
+// produce predictions identical to naively decoding each image with the
+// same options through the one-shot codec API and running the residual
+// chain with a fresh executor — the lowering changes execution strategy,
+// never semantics.
+func TestCompiledIngestMatchesNaivePath(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	for _, cfg := range []RuntimeConfig{
+		{InputRes: 16, BatchSize: 8, Workers: 2},
+		{InputRes: 16, BatchSize: 8, Workers: 2, ROIDecode: true},
+		{InputRes: 16, BatchSize: 8, Workers: 2, DisableScaledDecode: true},
+	} {
+		rt, err := NewRuntime(clf.Model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs, _ := renderLargeInputs(24, 96)
+		res, err := rt.Classify(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive reference: one-shot decode per image with the plan's
+		// options, fresh executor, reference model forward.
+		for i, in := range inputs {
+			var dec jpeg.Decoder
+			w, h, err := dec.Parse(in.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip, err := rt.ingestFor(w, h, dec.MCUSize(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, _, _, err := jpeg.DecodeWithOptions(in.Data, jpeg.DecodeOptions{ROI: ip.roi, Scale: ip.scale})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch := tensor.New(1, 3, 16, 16)
+			one := tensor.New(3, 16, 16)
+			if err := preproc.NewExecutor().Execute(ip.resid, m, one); err != nil {
+				t.Fatal(err)
+			}
+			copy(batch.Data, one.Data)
+			want := clf.Model.Predict(batch)[0]
+			if res.Predictions[i] != want {
+				t.Fatalf("cfg %+v image %d: engine predicted %d, naive path %d",
+					cfg, i, res.Predictions[i], want)
+			}
+		}
+	}
+}
+
+// TestScaledIngestPreservesAccuracy: serving with reduced-resolution
+// decode must classify the (trivially separable) large test images as
+// accurately as full decode.
+func TestScaledIngestPreservesAccuracy(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	inputs, _ := renderLargeInputs(40, 128)
+	labels := make([]int, len(inputs))
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	acc := func(cfg RuntimeConfig) float64 {
+		rt, err := NewRuntime(clf.Model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Classify(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for i, p := range res.Predictions {
+			if p == labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(inputs))
+	}
+	full := acc(RuntimeConfig{InputRes: 16, BatchSize: 8, DisableScaledDecode: true})
+	scaled := acc(RuntimeConfig{InputRes: 16, BatchSize: 8})
+	if scaled < full-0.05 {
+		t.Fatalf("scaled ingest accuracy %.2f vs full-decode %.2f", scaled, full)
+	}
+}
+
+// TestIngestWarmPathAllocates0: one warm prep invocation — header parse,
+// scaled decode into the pooled image, residual chain into the pooled
+// tensor — must perform zero heap allocations. This is the allocs/op
+// regression guard for the serving-mode ingest hot path.
+func TestIngestWarmPathAllocates0(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	for _, cfg := range []RuntimeConfig{
+		{InputRes: 16},
+		{InputRes: 16, ROIDecode: true},
+	} {
+		rt, err := NewRuntime(clf.Model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs, _ := renderLargeInputs(1, 96)
+		prep := rt.prepFunc()
+		ws := &engine.WorkerState{}
+		job := engine.Job{Index: 0, Tag: &classifyReq{inputs: inputs, preds: make([]int, 1)}}
+		out := tensor.New(3, 16, 16)
+		run := func() {
+			if err := prep(ws, job, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the decoder, executor scratch and plan cache
+		if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+			t.Errorf("cfg ROIDecode=%v: warm ingest allocates %.1f objects/op, want 0",
+				cfg.ROIDecode, allocs)
+		}
+	}
+}

@@ -106,6 +106,92 @@ func idctShift(coeffs, out *Block, offset, lo, hi int32) {
 	}
 }
 
+// ScaledSizes lists the reduced reconstruction edge lengths IDCTScaled
+// supports, besides the full Size: 8/2, 8/4 and 8/8.
+var ScaledSizes = []int{4, 2, 1}
+
+// scaledBasis[i][u][x] is the reduced-IDCT basis for n = 4>>i:
+//
+//	T[u][x] = alpha(u) * g(u) * cos((2x+1) u pi / (2n))
+//
+// where g(u) = sin(r*u*pi/16) / (r*sin(u*pi/16)) with r = 8/n is the box
+// response of averaging r consecutive samples. With this basis the n-point
+// reconstruction equals the area (box) downsample of the full 8x8
+// reconstruction, truncated to the lowest n x n frequencies — so scaled
+// decoding approximates full-decode-then-box-downsample, exactly the
+// equivalence codec tests assert. DC behaves identically to the full IDCT
+// (a DC-only block reconstructs to the constant DC/8 + 128 at every size).
+var scaledBasis [3][4][4]float64
+
+func init() {
+	for i, n := range ScaledSizes {
+		r := float64(Size / n)
+		for u := 0; u < n; u++ {
+			g := 1.0
+			if u > 0 {
+				theta := float64(u) * math.Pi / 16
+				g = math.Sin(r*theta) / (r * math.Sin(theta))
+			}
+			for x := 0; x < n; x++ {
+				scaledBasis[i][u][x] = alpha(u) * g *
+					math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*float64(n)))
+			}
+		}
+	}
+}
+
+func scaledIndex(n int) int {
+	switch n {
+	case 4:
+		return 0
+	case 2:
+		return 1
+	case 1:
+		return 2
+	default:
+		panic("blockdct: unsupported scaled IDCT size")
+	}
+}
+
+// IDCTScaled reconstructs an n x n block (n in {8, 4, 2, 1}) from the
+// lowest n x n frequency coefficients of an 8x8 JPEG block, writing
+// row-major n x n samples into out[0:n*n]. n = Size is the full IDCT; the
+// reduced sizes cost O(n^3) instead of O(Size^3) per block and produce the
+// 1/2, 1/4 and 1/8 resolution reconstructions DCT-domain scaled decoding
+// serves.
+func IDCTScaled(coeffs, out *Block, n int) {
+	if n == Size {
+		IDCT(coeffs, out)
+		return
+	}
+	t := &scaledBasis[scaledIndex(n)]
+	var tmp [4][4]float64
+	for u := 0; u < n; u++ {
+		for y := 0; y < n; y++ {
+			var s float64
+			for v := 0; v < n; v++ {
+				s += t[v][y] * float64(coeffs[v*Size+u])
+			}
+			tmp[y][u] = s
+		}
+	}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var s float64
+			for u := 0; u < n; u++ {
+				s += t[u][x] * tmp[y][u]
+			}
+			v := int32(math.RoundToEven(0.25*s)) + 128
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			out[y*n+x] = v
+		}
+	}
+}
+
 // FDCT transforms level-shifted image samples (range [0,255]).
 func FDCT(samples, out *Block) { fdctShift(samples, out, 128) }
 

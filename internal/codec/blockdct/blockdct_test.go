@@ -123,3 +123,90 @@ func TestEnergyPreservation(t *testing.T) {
 		t.Fatalf("energy ratio = %v", ratio)
 	}
 }
+
+// TestIDCTScaledDCOnly: a DC-only block reconstructs to the constant
+// DC/8 + 128 at every output size, the invariant that makes scaled and
+// full decodes agree on flat content.
+func TestIDCTScaledDCOnly(t *testing.T) {
+	for _, dc := range []int32{-1024, -400, 0, 8, 400, 1016} {
+		var coeffs, out Block
+		coeffs[0] = dc
+		want := dc/8 + 128
+		if want < 0 {
+			want = 0
+		} else if want > 255 {
+			want = 255
+		}
+		for _, n := range []int{8, 4, 2, 1} {
+			IDCTScaled(&coeffs, &out, n)
+			for i := 0; i < n*n; i++ {
+				got := out[i]
+				if got < want-1 || got > want+1 {
+					t.Fatalf("n=%d dc=%d: sample %d = %d, want ~%d", n, dc, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIDCTScaledMatchesBoxAverage: for band-limited blocks (only the
+// lowest n x n frequencies populated) the reduced reconstruction must
+// equal the box average of the full reconstruction — the scaled basis is
+// exactly the box response of the surviving frequencies.
+func TestIDCTScaledMatchesBoxAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 2, 1} {
+		r := Size / n
+		for trial := 0; trial < 50; trial++ {
+			var coeffs, full, scaled Block
+			for v := 0; v < n; v++ {
+				for u := 0; u < n; u++ {
+					coeffs[v*Size+u] = int32(rng.Intn(401) - 200)
+				}
+			}
+			coeffs[0] = int32(rng.Intn(1200) - 600)
+			IDCT(&coeffs, &full)
+			IDCTScaled(&coeffs, &scaled, n)
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					var sum int32
+					clipped := false
+					for dy := 0; dy < r; dy++ {
+						for dx := 0; dx < r; dx++ {
+							s := full[(y*r+dy)*Size+x*r+dx]
+							if s == 0 || s == 255 {
+								clipped = true
+							}
+							sum += s
+						}
+					}
+					// Clamping in the full-resolution reconstruction is a
+					// nonlinearity the scaled path cannot reproduce.
+					if clipped {
+						continue
+					}
+					want := (sum + int32(r*r)/2) / int32(r*r)
+					got := scaled[y*n+x]
+					if got < want-2 || got > want+2 {
+						t.Fatalf("n=%d trial %d (%d,%d): scaled %d, box average %d",
+							n, trial, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIDCTScaledFullSizePassthrough: n = Size must equal the plain IDCT.
+func TestIDCTScaledFullSizePassthrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var coeffs, a, b Block
+	for i := range coeffs {
+		coeffs[i] = int32(rng.Intn(200) - 100)
+	}
+	IDCT(&coeffs, &a)
+	IDCTScaled(&coeffs, &b, Size)
+	if a != b {
+		t.Fatal("IDCTScaled(8) diverges from IDCT")
+	}
+}

@@ -24,3 +24,7 @@ type block = blockdct.Block
 
 func fdct(samples, out *block) { blockdct.FDCT(samples, out) }
 func idct(coeffs, out *block)  { blockdct.IDCT(coeffs, out) }
+
+// idctScaled reconstructs n x n samples (n in {4, 2, 1}) from the lowest
+// n x n frequencies, the kernel behind DecodeOptions.Scale.
+func idctScaled(coeffs, out *block, n int) { blockdct.IDCTScaled(coeffs, out, n) }

@@ -1,15 +1,17 @@
 package jpeg
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
+	"smol/internal/codec/blockdct"
 	"smol/internal/img"
 )
 
 // DecodeStats reports how much work a (possibly partial) decode performed.
-// The partial-decoding experiments use these counters to verify that ROI and
-// early-stop decoding genuinely skip work.
+// The partial-decoding experiments use these counters to verify that ROI,
+// early-stop, and scaled decoding genuinely skip work.
 type DecodeStats struct {
 	// MCUsEntropyDecoded counts MCUs whose entropy data was consumed.
 	MCUsEntropyDecoded int
@@ -19,6 +21,11 @@ type DecodeStats struct {
 	BlocksIDCT int
 	// BlocksTotal is the total number of 8x8 blocks in the image.
 	BlocksTotal int
+	// IDCTSamples counts samples produced by inverse transforms: 64 per
+	// block at full resolution, (8/Scale)^2 per block for scaled decoding.
+	// The ratio IDCTSamples/BlocksIDCT exposes how much reconstruction
+	// arithmetic a reduced-resolution decode skipped.
+	IDCTSamples int
 	// EntropyBytesRead counts compressed bytes consumed from the scan.
 	EntropyBytesRead int
 	// PixelsColorConverted counts output pixels that were color converted.
@@ -31,7 +38,7 @@ type DecodeStats struct {
 	EntropyBytesSkipped int
 }
 
-// DecodeOptions configures partial decoding.
+// DecodeOptions configures partial and reduced-resolution decoding.
 type DecodeOptions struct {
 	// ROI, when non-nil, restricts reconstruction to the macroblock-aligned
 	// region containing the rectangle (pixel coordinates). Entropy decoding
@@ -43,6 +50,45 @@ type DecodeOptions struct {
 	// stopping the scan at the first MCU row past it. Ignored when ROI is
 	// set (the ROI implies its own stopping row).
 	EarlyStopRow int
+	// Scale, when > 1, reconstructs at reduced resolution directly in the
+	// DCT domain: each 8x8 block inverse-transforms only its lowest
+	// (8/Scale)^2 frequencies through a reduced 4x4/2x2/1x1 IDCT, so IDCT
+	// and color conversion cost shrinks by ~Scale^2 while entropy decoding
+	// is unchanged. Supported values are 1 (or 0), 2, 4 and 8. The output
+	// approximates a full decode followed by a box downsample by Scale,
+	// with dimensions img.ScaledDims of the reconstructed region. Composes
+	// with ROI and EarlyStopRow, whose coordinates stay in full-resolution
+	// pixels.
+	Scale int
+	// Dst, when non-nil, receives the decoded pixels: it is reshaped (the
+	// buffer is reused when large enough) and returned, so warm serving
+	// paths decode into pooled images instead of allocating per frame.
+	Dst *img.Image
+}
+
+// SupportedScales lists the decode scales DecodeOptions.Scale accepts:
+// full resolution plus the reduced reconstructions blockdct provides.
+// Planners (preproc.Spec.DecodeScales) should use this list so they never
+// propose a scale the decoder rejects.
+func SupportedScales() []int {
+	scales := []int{1}
+	for _, n := range blockdct.ScaledSizes {
+		scales = append(scales, blockSize/n)
+	}
+	return scales
+}
+
+// AlignedRegion returns the MCU-aligned cover of roi that a ROI decode
+// reconstructs for an image of the given dimensions and MCU edge length,
+// or an empty rectangle when roi misses the image. It is the single
+// source of truth shared by the decoder and plan compilers that need the
+// decoded geometry before decoding (e.g. the runtime's ingest planner).
+func AlignedRegion(roi img.Rect, w, h, mcu int) img.Rect {
+	region := roi.Intersect(img.Rect{X1: w, Y1: h})
+	if region.Empty() {
+		return img.Rect{}
+	}
+	return region.AlignTo(mcu, w, h)
 }
 
 // Decode decompresses a baseline JPEG produced by Encode (or any conforming
@@ -54,7 +100,8 @@ func Decode(data []byte) (*img.Image, error) {
 
 // DecodeHeader parses only far enough to return the image dimensions.
 func DecodeHeader(data []byte) (w, h int, err error) {
-	d := &decoder{data: data}
+	d := &decoder{}
+	d.reset(data)
 	if err := d.parseSegments(true); err != nil {
 		return 0, 0, err
 	}
@@ -63,18 +110,68 @@ func DecodeHeader(data []byte) (w, h int, err error) {
 
 // DecodeWithOptions decodes with partial-decoding options. The returned
 // image covers only the reconstructed region, whose placement in the full
-// image is given by the returned rectangle. With no options the region is
-// the whole image.
+// image is given by the returned rectangle (always in full-resolution
+// coordinates; with Scale > 1 the image holds the region downscaled by
+// Scale). With no options the region is the whole image.
 func DecodeWithOptions(data []byte, opts DecodeOptions) (*img.Image, img.Rect, *DecodeStats, error) {
-	d := &decoder{data: data}
-	if err := d.parseSegments(false); err != nil {
+	var r Decoder
+	if _, _, err := r.Parse(data); err != nil {
 		return nil, img.Rect{}, nil, err
 	}
-	m, region, err := d.decodeScan(opts)
+	return r.Decode(opts)
+}
+
+// Decoder is a reusable decoder for serving paths. Parse reads a stream's
+// headers exactly once; Size, MCUSize and Decode then operate on the parsed
+// state, removing the double header parse that chaining DecodeHeader with
+// DecodeWithOptions costs. A warm Decoder also retains its Huffman tables
+// (rebuilt only when a stream's DHT segments differ from the previous
+// ones), its planar scratch, and — with DecodeOptions.Dst — the output
+// image, so steady-state decoding performs no heap allocations.
+//
+// A Decoder is not safe for concurrent use; serving gives each worker its
+// own.
+type Decoder struct {
+	d decoder
+}
+
+// Parse reads the stream's headers through SOS and returns the image
+// dimensions. It must precede Decode and invalidates any previous state.
+func (r *Decoder) Parse(data []byte) (w, h int, err error) {
+	r.d.reset(data)
+	if err := r.d.parseSegments(false); err != nil {
+		r.d.scanStart = 0
+		return 0, 0, err
+	}
+	return r.d.width, r.d.height, nil
+}
+
+// Size returns the dimensions of the parsed image.
+func (r *Decoder) Size() (w, h int) { return r.d.width, r.d.height }
+
+// MCUSize returns the MCU edge length in pixels of the parsed image: 8 for
+// 4:4:4 streams, 16 for 4:2:0. ROI regions align outward to this grid.
+func (r *Decoder) MCUSize() int {
+	if r.d.comps[0].hSamp == 2 {
+		return 16
+	}
+	return blockSize
+}
+
+// Decode reconstructs the parsed stream with the given options. It may be
+// called repeatedly with different options without re-parsing. The returned
+// stats pointer aliases the Decoder and is valid until the next Decode or
+// Parse call.
+func (r *Decoder) Decode(opts DecodeOptions) (*img.Image, img.Rect, *DecodeStats, error) {
+	if r.d.scanStart == 0 {
+		return nil, img.Rect{}, nil, errors.New("jpeg: Decode before successful Parse")
+	}
+	r.d.stats = DecodeStats{}
+	m, region, err := r.d.decodeScan(opts)
 	if err != nil {
 		return nil, img.Rect{}, nil, err
 	}
-	return m, region, &d.stats, nil
+	return m, region, &r.d.stats, nil
 }
 
 type component struct {
@@ -93,15 +190,62 @@ type decoder struct {
 	comps  [3]component
 
 	quant [4][64]int32
-	dcTab [4]*decHuff
-	acTab [4]*decHuff
+	// dqtSeen marks quant tables defined by the current stream, so a warm
+	// Decoder cannot silently reuse a previous stream's tables when a
+	// malformed stream omits its DQT segment.
+	dqtSeen [4]bool
+	dcTab   [4]*decHuff
+	acTab   [4]*decHuff
+	// dhtRaw caches each table's raw DHT segment and dhtSeen marks tables
+	// defined by the current stream: identical segments (the common case —
+	// most encoders, including this repo's, always emit the Annex K
+	// tables) reuse the previously built decode tables without allocating.
+	dhtRaw  [2][4][]byte
+	dhtSeen [2][4]bool
 
 	restartInterval int
 	scanStart       int
 	stats           DecodeStats
+
+	// Per-scan state and reusable scratch: the bit reader, DC predictors
+	// and block buffers live here (not on the stack of decodeScan) so the
+	// block decode loop needs no closure, and the planar buffers are
+	// reused across images by a warm Decoder.
+	br      bitReader
+	dcPred  [3]int32
+	coeffs  block
+	samples block
+	planes  [3]plane
 }
 
 var errTruncated = errors.New("jpeg: truncated data")
+
+// reset prepares the decoder for a new stream, keeping reusable caches
+// (Huffman tables, quant storage, planar scratch).
+func (d *decoder) reset(data []byte) {
+	d.data = data
+	d.width, d.height = 0, 0
+	d.comps = [3]component{}
+	d.dhtSeen = [2][4]bool{}
+	d.dqtSeen = [4]bool{}
+	d.restartInterval = 0
+	d.scanStart = 0
+	d.stats = DecodeStats{}
+}
+
+// sizedPlane returns planar scratch i reshaped to w x h, reusing its pixel
+// buffer when possible. Contents are undefined; decodeScan writes every
+// sample the color-conversion pass reads.
+func (d *decoder) sizedPlane(i, w, h int) *plane {
+	p := &d.planes[i]
+	p.w, p.h = w, h
+	if cap(p.pix) < w*h {
+		p.pix = make([]uint8, w*h)
+	} else {
+		p.pix = p.pix[:w*h]
+	}
+	return p
+}
 
 func (d *decoder) parseSegments(headerOnly bool) error {
 	p := 0
@@ -227,6 +371,7 @@ func (d *decoder) parseDQT(p []byte) error {
 			}
 			d.quant[id][zigzag[i]] = v
 		}
+		d.dqtSeen[id] = true
 		p = p[65:]
 	}
 	return nil
@@ -242,21 +387,28 @@ func (d *decoder) parseDHT(p []byte) error {
 		if class > 1 || id > 3 {
 			return errors.New("jpeg: bad huffman table id")
 		}
-		var spec huffSpec
 		total := 0
 		for i := 0; i < 16; i++ {
-			spec.counts[i] = p[1+i]
 			total += int(p[1+i])
 		}
 		if len(p) < 17+total {
 			return errTruncated
 		}
-		spec.values = append([]byte(nil), p[17:17+total]...)
-		if class == 0 {
-			d.dcTab[id] = buildDecHuff(spec)
-		} else {
-			d.acTab[id] = buildDecHuff(spec)
+		seg := p[:17+total]
+		tab := &d.dcTab[id]
+		if class == 1 {
+			tab = &d.acTab[id]
 		}
+		// Rebuild only when the table actually changed since the last
+		// stream this decoder saw.
+		if *tab == nil || !bytes.Equal(d.dhtRaw[class][id], seg) {
+			var spec huffSpec
+			copy(spec.counts[:], seg[1:17])
+			spec.values = append([]byte(nil), seg[17:]...)
+			*tab = buildDecHuff(spec)
+			d.dhtRaw[class][id] = append(d.dhtRaw[class][id][:0], seg...)
+		}
+		d.dhtSeen[class][id] = true
 		p = p[17+total:]
 	}
 	return nil
@@ -284,8 +436,108 @@ func (d *decoder) parseSOS(p []byte) error {
 	return nil
 }
 
-// decodeScan entropy-decodes MCUs and reconstructs the requested region.
+// decodeBlock entropy-decodes one 8x8 block and, when reconstruct is set,
+// dequantizes, inverse-transforms at the requested sub-resolution (sub x
+// sub samples, sub = 8/scale) and stores the samples into dst at block
+// coordinates (bx, by) on the scaled grid.
+func (d *decoder) decodeBlock(comp int, reconstruct bool, dst *plane, bx, by, sub int) error {
+	c := &d.comps[comp]
+	dc := d.dcTab[c.dcSel]
+	ac := d.acTab[c.acSel]
+	br := &d.br
+	// DC.
+	sym, err := dc.decode(br)
+	if err != nil {
+		return err
+	}
+	bits, err := br.readBits(sym)
+	if err != nil {
+		return err
+	}
+	coeffs := &d.coeffs
+	for i := range coeffs {
+		coeffs[i] = 0
+	}
+	d.dcPred[comp] += extendMagnitude(bits, sym)
+	coeffs[0] = d.dcPred[comp]
+	// AC.
+	for k := 1; k < 64; {
+		sym, err := ac.decode(br)
+		if err != nil {
+			return err
+		}
+		run := int(sym >> 4)
+		size := sym & 0xf
+		if size == 0 {
+			if run == 15 { // ZRL
+				k += 16
+				continue
+			}
+			break // EOB
+		}
+		k += run
+		if k > 63 {
+			return errors.New("jpeg: AC coefficient index overflow")
+		}
+		bits, err := br.readBits(size)
+		if err != nil {
+			return err
+		}
+		coeffs[zigzag[k]] = extendMagnitude(bits, size)
+		k++
+	}
+	if !reconstruct {
+		return nil
+	}
+	q := &d.quant[c.quantSel]
+	samples := &d.samples
+	if sub == blockSize {
+		for i := 0; i < 64; i++ {
+			coeffs[i] *= q[i]
+		}
+		idct(coeffs, samples)
+	} else {
+		// Only the lowest sub x sub frequencies feed the reduced IDCT.
+		for v := 0; v < sub; v++ {
+			for u := 0; u < sub; u++ {
+				coeffs[v*blockSize+u] *= q[v*blockSize+u]
+			}
+		}
+		idctScaled(coeffs, samples, sub)
+	}
+	d.stats.BlocksIDCT++
+	d.stats.IDCTSamples += sub * sub
+	// Store into destination plane (clipped).
+	for yy := 0; yy < sub; yy++ {
+		py := by*sub + yy
+		if py < 0 || py >= dst.h {
+			continue
+		}
+		for xx := 0; xx < sub; xx++ {
+			px := bx*sub + xx
+			if px < 0 || px >= dst.w {
+				continue
+			}
+			dst.pix[py*dst.w+px] = uint8(samples[yy*sub+xx])
+		}
+	}
+	return nil
+}
+
+// decodeScan entropy-decodes MCUs and reconstructs the requested region at
+// the requested scale.
 func (d *decoder) decodeScan(opts DecodeOptions) (*img.Image, img.Rect, error) {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	switch scale {
+	case 1, 2, 4, 8:
+	default:
+		return nil, img.Rect{}, fmt.Errorf("jpeg: unsupported decode scale 1/%d (want 1, 2, 4 or 8)", scale)
+	}
+	sub := blockSize / scale // reconstructed samples per block edge
+
 	is420 := d.comps[0].hSamp == 2
 	mcuW, mcuH := blockSize, blockSize
 	if is420 {
@@ -300,14 +552,14 @@ func (d *decoder) decodeScan(opts DecodeOptions) (*img.Image, img.Rect, error) {
 	d.stats.MCUsTotal = mcusX * mcusY
 	d.stats.BlocksTotal = d.stats.MCUsTotal * blocksPerMCU
 
-	// Determine the reconstruction region (MCU-aligned) and stop row.
+	// Determine the reconstruction region (MCU-aligned, full-resolution
+	// coordinates) and stop row.
 	region := img.Rect{X0: 0, Y0: 0, X1: d.width, Y1: d.height}
 	if opts.ROI != nil {
-		region = opts.ROI.Intersect(img.Rect{X1: d.width, Y1: d.height})
+		region = AlignedRegion(*opts.ROI, d.width, d.height, mcuW)
 		if region.Empty() {
 			return nil, img.Rect{}, errors.New("jpeg: ROI outside image")
 		}
-		region = region.AlignTo(mcuW, d.width, d.height)
 	} else if opts.EarlyStopRow > 0 && opts.EarlyStopRow < d.height {
 		region.Y1 = opts.EarlyStopRow
 		region = region.AlignTo(mcuH, d.width, d.height)
@@ -316,99 +568,35 @@ func (d *decoder) decodeScan(opts DecodeOptions) (*img.Image, img.Rect, error) {
 	mcuX0 := region.X0 / mcuW
 	mcuX1 := (region.X1 - 1) / mcuW
 
-	// Planar buffers sized to the region.
+	// Planar buffers sized to the region at the output scale: each 8x8
+	// block contributes sub x sub samples.
 	rw, rh := region.W(), region.H()
-	// Luma plane padded to MCU multiple; chroma at subsampled size.
-	lumaW := ((rw + mcuW - 1) / mcuW) * mcuW
-	lumaH := ((rh + mcuH - 1) / mcuH) * mcuH
-	yPlane := &plane{w: lumaW, h: lumaH, pix: make([]uint8, lumaW*lumaH)}
+	blocksX := ((rw + mcuW - 1) / mcuW) * mcuW / blockSize
+	blocksY := ((rh + mcuH - 1) / mcuH) * mcuH / blockSize
+	lumaW := blocksX * sub
+	lumaH := blocksY * sub
 	cw, ch := lumaW, lumaH
 	if is420 {
 		cw, ch = lumaW/2, lumaH/2
 	}
-	cbPlane := &plane{w: cw, h: ch, pix: make([]uint8, cw*ch)}
-	crPlane := &plane{w: cw, h: ch, pix: make([]uint8, cw*ch)}
+	yPlane := d.sizedPlane(0, lumaW, lumaH)
+	cbPlane := d.sizedPlane(1, cw, ch)
+	crPlane := d.sizedPlane(2, cw, ch)
 
 	for i := range d.comps {
 		c := &d.comps[i]
-		if d.dcTab[c.dcSel] == nil || d.acTab[c.acSel] == nil {
+		if c.dcSel > 3 || c.acSel > 3 ||
+			!d.dhtSeen[0][c.dcSel] || !d.dhtSeen[1][c.acSel] ||
+			d.dcTab[c.dcSel] == nil || d.acTab[c.acSel] == nil {
 			return nil, img.Rect{}, errors.New("jpeg: scan references missing huffman table")
 		}
+		if !d.dqtSeen[c.quantSel] {
+			return nil, img.Rect{}, errors.New("jpeg: scan references missing quant table")
+		}
 	}
 
-	br := &bitReader{data: d.data[d.scanStart:]}
-	var dcPred [3]int32
-	var coeffs, samples block
-
-	decodeBlock := func(comp int, reconstruct bool, dst *plane, bx, by int) error {
-		c := &d.comps[comp]
-		dc := d.dcTab[c.dcSel]
-		ac := d.acTab[c.acSel]
-		// DC.
-		sym, err := dc.decode(br)
-		if err != nil {
-			return err
-		}
-		bits, err := br.readBits(sym)
-		if err != nil {
-			return err
-		}
-		for i := range coeffs {
-			coeffs[i] = 0
-		}
-		dcPred[comp] += extendMagnitude(bits, sym)
-		coeffs[0] = dcPred[comp]
-		// AC.
-		for k := 1; k < 64; {
-			sym, err := ac.decode(br)
-			if err != nil {
-				return err
-			}
-			run := int(sym >> 4)
-			size := sym & 0xf
-			if size == 0 {
-				if run == 15 { // ZRL
-					k += 16
-					continue
-				}
-				break // EOB
-			}
-			k += run
-			if k > 63 {
-				return errors.New("jpeg: AC coefficient index overflow")
-			}
-			bits, err := br.readBits(size)
-			if err != nil {
-				return err
-			}
-			coeffs[zigzag[k]] = extendMagnitude(bits, size)
-			k++
-		}
-		if !reconstruct {
-			return nil
-		}
-		q := &d.quant[c.quantSel]
-		for i := 0; i < 64; i++ {
-			coeffs[i] *= q[i]
-		}
-		idct(&coeffs, &samples)
-		d.stats.BlocksIDCT++
-		// Store into destination plane (clipped).
-		for yy := 0; yy < blockSize; yy++ {
-			py := by*blockSize + yy
-			if py < 0 || py >= dst.h {
-				continue
-			}
-			for xx := 0; xx < blockSize; xx++ {
-				px := bx*blockSize + xx
-				if px < 0 || px >= dst.w {
-					continue
-				}
-				dst.pix[py*dst.w+px] = uint8(samples[yy*blockSize+xx])
-			}
-		}
-		return nil
-	}
+	d.br = bitReader{data: d.data[d.scanStart:]}
+	d.dcPred = [3]int32{}
 
 	// Restart-segment fast path: when the stream has restart intervals and
 	// the ROI starts below the top, whole segments before the first needed
@@ -418,7 +606,7 @@ func (d *decoder) decodeScan(opts DecodeOptions) (*img.Image, img.Rect, error) {
 	if d.restartInterval > 0 && region.Y0 > 0 {
 		firstNeeded := (region.Y0 / mcuH) * mcusX
 		if segs := firstNeeded / d.restartInterval; segs > 0 {
-			skipped, err := br.skipRestartSegments(segs)
+			skipped, err := d.br.skipRestartSegments(segs)
 			if err != nil {
 				return nil, img.Rect{}, err
 			}
@@ -431,10 +619,10 @@ func (d *decoder) decodeScan(opts DecodeOptions) (*img.Image, img.Rect, error) {
 scan:
 	for idx := startIdx; idx < endIdx; idx++ {
 		if d.restartInterval > 0 && idx > startIdx && idx%d.restartInterval == 0 {
-			if err := br.syncToRestart(); err != nil {
+			if err := d.br.syncToRestart(); err != nil {
 				return nil, img.Rect{}, err
 			}
-			dcPred = [3]int32{}
+			d.dcPred = [3]int32{}
 		}
 		my := idx / mcusX
 		mx := idx % mcusX
@@ -446,26 +634,26 @@ scan:
 		if is420 {
 			for dy := 0; dy < 2; dy++ {
 				for dx := 0; dx < 2; dx++ {
-					err = decodeBlock(0, reconstruct, yPlane, relMX*2+dx, relMY*2+dy)
+					err = d.decodeBlock(0, reconstruct, yPlane, relMX*2+dx, relMY*2+dy, sub)
 					if err != nil {
 						break scan
 					}
 				}
 			}
-			if err = decodeBlock(1, reconstruct, cbPlane, relMX, relMY); err != nil {
+			if err = d.decodeBlock(1, reconstruct, cbPlane, relMX, relMY, sub); err != nil {
 				break scan
 			}
-			if err = decodeBlock(2, reconstruct, crPlane, relMX, relMY); err != nil {
+			if err = d.decodeBlock(2, reconstruct, crPlane, relMX, relMY, sub); err != nil {
 				break scan
 			}
 		} else {
-			if err = decodeBlock(0, reconstruct, yPlane, relMX, relMY); err != nil {
+			if err = d.decodeBlock(0, reconstruct, yPlane, relMX, relMY, sub); err != nil {
 				break scan
 			}
-			if err = decodeBlock(1, reconstruct, cbPlane, relMX, relMY); err != nil {
+			if err = d.decodeBlock(1, reconstruct, cbPlane, relMX, relMY, sub); err != nil {
 				break scan
 			}
-			if err = decodeBlock(2, reconstruct, crPlane, relMX, relMY); err != nil {
+			if err = d.decodeBlock(2, reconstruct, crPlane, relMX, relMY, sub); err != nil {
 				break scan
 			}
 		}
@@ -474,13 +662,22 @@ scan:
 	if d.stats.MCUsEntropyDecoded < endIdx-startIdx {
 		return nil, img.Rect{}, errTruncated
 	}
-	d.stats.EntropyBytesRead = br.bytesRead
+	d.stats.EntropyBytesRead = d.br.bytesRead
 
-	// Color conversion for the region.
-	out := img.New(rw, rh)
-	d.stats.PixelsColorConverted = rw * rh
-	for y := 0; y < rh; y++ {
-		for x := 0; x < rw; x++ {
+	// Color conversion for the region at the output scale. A scaled luma
+	// sample (x, y) originates from the same block grid position as the
+	// corresponding scaled chroma sample, so the subsampling relation is
+	// unchanged: 4:2:0 chroma still upsamples 2x relative to luma.
+	ow, oh := img.ScaledDims(rw, rh, scale)
+	out := opts.Dst
+	if out == nil {
+		out = img.New(ow, oh)
+	} else {
+		out.Reset(ow, oh)
+	}
+	d.stats.PixelsColorConverted = ow * oh
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
 			yy := int(yPlane.pix[y*yPlane.w+x])
 			var cbv, crv int
 			if is420 {
@@ -493,7 +690,7 @@ scan:
 			r := float64(yy) + 1.402*float64(crv-128)
 			g := float64(yy) - 0.344136*float64(cbv-128) - 0.714136*float64(crv-128)
 			b := float64(yy) + 1.772*float64(cbv-128)
-			i := (y*rw + x) * 3
+			i := (y*ow + x) * 3
 			out.Pix[i] = img.ClampF(r)
 			out.Pix[i+1] = img.ClampF(g)
 			out.Pix[i+2] = img.ClampF(b)

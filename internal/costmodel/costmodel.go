@@ -37,6 +37,9 @@ type Format struct {
 	// ROIFraction < 1 enables partial decoding of this fraction of the
 	// image (Algorithm 1); 1 or 0 means full decode.
 	ROIFraction float64
+	// DecodeScale > 1 enables DCT-domain scaled decoding (JPEG only):
+	// reconstruction at 1/DecodeScale resolution, entropy decode unchanged.
+	DecodeScale int
 	// NoDeblock disables the deblocking filter for video formats.
 	NoDeblock bool
 }
@@ -116,6 +119,7 @@ func Costs(p Plan, env Env) (StageCosts, error) {
 		H:           p.Format.H,
 		Quality:     p.Format.Quality,
 		ROIFraction: p.Format.ROIFraction,
+		Scale:       p.Format.DecodeScale,
 		NoDeblock:   p.Format.NoDeblock,
 	})
 	opCosts := preproc.OpCosts(p.Preproc, p.PreprocSpec)
@@ -124,6 +128,12 @@ func Costs(p Plan, env Env) (StageCosts, error) {
 		split = 0
 	}
 	for i, oc := range opCosts {
+		if p.Preproc.Ops[i].Kind == preproc.OpDecodeScale {
+			// Decode cost is carried by DecodeUS (the hw model, including
+			// Format.DecodeScale); the plan's decode op only shapes the
+			// geometry downstream ops see.
+			continue
+		}
 		if i < split {
 			c.CPUPostUS += hw.PostprocCostUS(oc)
 		} else {

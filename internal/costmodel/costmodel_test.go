@@ -451,3 +451,53 @@ func TestSelectMaxLatency(t *testing.T) {
 		t.Fatal("unsatisfiable latency cap should error")
 	}
 }
+
+// TestGenerateSelectsDecodeScale: with preprocessing optimization on, a
+// large JPEG format should come back with a sub-full decode scale chosen
+// jointly with the preproc chain, and its modeled decode cost must drop
+// accordingly.
+func TestGenerateSelectsDecodeScale(t *testing.T) {
+	env := DefaultEnv()
+	dnn := DNNChoice{Name: "resnet-50", InputRes: 224, Accuracy: 0.76}
+	hd := Format{Name: "hd-jpeg", Kind: hw.FormatJPEG, W: 1920, H: 1080, Quality: 90}
+	opt, err := Generate([]DNNChoice{dnn}, []Format{hd}, env, GenerateOptions{OptimizePreproc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt[0].Preproc.DecodeScale(); got != 4 {
+		t.Fatalf("optimized plan decode scale 1/%d (%q), want 1/4", got, opt[0].Preproc.Name)
+	}
+	if opt[0].Format.DecodeScale != 4 {
+		t.Fatalf("format not annotated with the chosen scale: %+v", opt[0].Format)
+	}
+	naive, err := Generate([]DNNChoice{dnn}, []Format{hd}, env, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Costs(opt[0], env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := Costs(naive[0], env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.DecodeUS >= cn.DecodeUS/2 {
+		t.Fatalf("scaled decode %v us should be well under half of full %v us", co.DecodeUS, cn.DecodeUS)
+	}
+	// The decode op must not be double counted as a CPU post-op: the
+	// optimized post cost cannot exceed the naive one.
+	if co.CPUPostUS > cn.CPUPostUS {
+		t.Fatalf("optimized CPU post %v us exceeds naive %v us (decode op double-counted?)", co.CPUPostUS, cn.CPUPostUS)
+	}
+	// Thumbnails near the input resolution keep full decode.
+	thumb := Format{Name: "thumb-jpeg", Kind: hw.FormatJPEG, W: 300, H: 260, Quality: 75}
+	small, err := Generate([]DNNChoice{{Name: "resnet-18", InputRes: 224, Accuracy: 0.7}},
+		[]Format{thumb}, env, GenerateOptions{OptimizePreproc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small[0].Preproc.DecodeScale(); got != 1 {
+		t.Fatalf("thumbnail chose decode scale 1/%d", got)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"smol/internal/codec/jpeg"
+	"smol/internal/hw"
 	"smol/internal/preproc"
 	"smol/internal/stats"
 )
@@ -40,6 +42,11 @@ func Generate(dnns []DNNChoice, formats []Format, env Env, opts GenerateOptions)
 				CropW:       d.InputRes, CropH: d.InputRes,
 				Mean: imagenetMean, Std: imagenetStd,
 			}
+			if opts.OptimizePreproc && f.Kind == hw.FormatJPEG {
+				// JPEG offers DCT-domain reduced decoding, so decode
+				// resolution joins the plan search (§5 jointly with §6.2).
+				spec.DecodeScales = jpeg.SupportedScales()
+			}
 			// Small thumbnails may be below the resize target; upscale
 			// specs are still valid as long as crop <= short target.
 			var pplan preproc.Plan
@@ -53,6 +60,11 @@ func Generate(dnns []DNNChoice, formats []Format, env Env, opts GenerateOptions)
 				pplan = preproc.NaivePlan(spec)
 			}
 			p := Plan{DNN: d, Format: f, Preproc: pplan, PreprocSpec: spec}
+			if sc := pplan.DecodeScale(); sc > 1 {
+				// Record the chosen scale on the format so the hw decode
+				// model prices the reduced reconstruction.
+				p.Format.DecodeScale = sc
+			}
 			if opts.PlaceOps {
 				p, err = PlacePreprocOps(p, env)
 				if err != nil {

@@ -384,3 +384,38 @@ func TestSimulateLatencyExecBoundBacklog(t *testing.T) {
 			slow.MeanLatencyUS, fast.MeanLatencyUS)
 	}
 }
+
+func TestDecodeCostScaled(t *testing.T) {
+	full := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 1920, H: 1080})
+	prev := full
+	for _, scale := range []int{2, 4, 8} {
+		s := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 1920, H: 1080, Scale: scale})
+		if s >= prev {
+			t.Fatalf("scale 1/%d (%v us) not cheaper than next-larger resolution (%v us)", scale, s, prev)
+		}
+		prev = s
+	}
+	// At 1/8 only the entropy share remains (within ~4%): reconstruction
+	// work is 64x smaller.
+	s8 := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 1920, H: 1080, Scale: 8})
+	entropy := full * (1 - jpegReconShare)
+	if s8 < entropy || s8 > entropy*1.05 {
+		t.Fatalf("1/8 decode %v us, want just above the entropy floor %v us", s8, entropy)
+	}
+	// Scale composes with ROI: both discounts apply to reconstruction only.
+	roiScaled := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 1920, H: 1080, Scale: 4, ROIFraction: 0.25})
+	scaled := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 1920, H: 1080, Scale: 4})
+	if roiScaled >= scaled || roiScaled < entropy {
+		t.Fatalf("ROI+scale %v us, scale-only %v us, entropy floor %v us", roiScaled, scaled, entropy)
+	}
+	// Scale=1 must be byte-identical to the legacy path.
+	if a, b := DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 500, H: 375, ROIFraction: 0.3, Scale: 1}),
+		DecodeCostUS(DecodeSpec{Format: FormatJPEG, W: 500, H: 375, ROIFraction: 0.3}); a != b {
+		t.Fatalf("scale 1 diverges from unscaled: %v vs %v", a, b)
+	}
+	// Non-JPEG formats ignore Scale.
+	if a, b := DecodeCostUS(DecodeSpec{Format: FormatPNG, W: 500, H: 375, Scale: 8}),
+		DecodeCostUS(DecodeSpec{Format: FormatPNG, W: 500, H: 375}); a != b {
+		t.Fatalf("PNG should ignore Scale: %v vs %v", a, b)
+	}
+}

@@ -49,6 +49,14 @@ const (
 	// jpegQualityRef scales entropy-decode cost with quality: higher quality
 	// keeps more coefficients. Cost multiplier = 0.6 + 0.4*q/75.
 	jpegQualityRef = 75.0
+	// jpegReconShare is the fraction of JPEG decode cost spent on
+	// reconstruction (dequantization, IDCT, upsampling, color conversion)
+	// as opposed to sequential entropy decoding. It is both the ROI
+	// partial-decode discount (reconstruction outside the region is
+	// skipped, entropy is not) and the share that DCT-domain scaled
+	// decoding divides by Scale^2 (reduced IDCTs produce Scale^2 fewer
+	// samples while the entropy stream is still fully parsed).
+	jpegReconShare = 0.7
 )
 
 // DecodeSpec describes a decode task for costing.
@@ -63,6 +71,11 @@ type DecodeSpec struct {
 	// the model reflects by discounting only ~70% of the skipped work for
 	// JPEG (IDCT+color) and ~95% for row-streaming PNG.
 	ROIFraction float64
+	// Scale, when > 1, models DCT-domain scaled decoding (JPEG only):
+	// reconstruction runs on Scale^2 fewer samples via reduced IDCTs while
+	// entropy decoding is unchanged. Composes with ROIFraction — both
+	// discount only the reconstruction share.
+	Scale int
 	// NoDeblock skips the in-loop deblocking filter (video only), saving
 	// roughly 15% of decode cost (§6.4).
 	NoDeblock bool
@@ -87,7 +100,14 @@ func DecodeCostUS(s DecodeSpec) float64 {
 			q = jpegQualityRef
 		}
 		nsPerPx = jpegNsPerPixel * (0.6 + 0.4*q/jpegQualityRef)
-		partialDiscount = 0.7
+		partialDiscount = jpegReconShare
+		if s.Scale > 1 {
+			// cost = base * (entropy share + recon share * frac / scale^2):
+			// entropy is paid in full, reconstruction only for the region
+			// fraction actually produced, at scale^2 fewer samples.
+			base := px * nsPerPx / 1000
+			return base * ((1 - jpegReconShare) + jpegReconShare*frac/float64(s.Scale*s.Scale))
+		}
 	case FormatPNG:
 		nsPerPx = pngNsPerPixel
 		partialDiscount = 0.95

@@ -23,6 +23,22 @@ func New(w, h int) *Image {
 	return &Image{W: w, H: h, Pix: make([]uint8, w*h*3)}
 }
 
+// Reset reshapes m to w x h, reusing the existing pixel buffer when it has
+// capacity (the contents become undefined). Decoders use it to fill
+// caller-owned images without reallocating on warm serving paths.
+func (m *Image) Reset(w, h int) {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	m.W, m.H = w, h
+	n := w * h * 3
+	if cap(m.Pix) < n {
+		m.Pix = make([]uint8, n)
+	} else {
+		m.Pix = m.Pix[:n]
+	}
+}
+
 // At returns the RGB triple at (x, y). Out-of-bounds access panics via the
 // underlying slice.
 func (m *Image) At(x, y int) (r, g, b uint8) {
@@ -183,6 +199,66 @@ func ResizeBilinearInto(src, dst *Image) {
 			}
 		}
 	}
+}
+
+// ScaledDims returns the dimensions of an image downsampled by an integer
+// factor, rounding partial edge boxes up — the output geometry of both
+// DownsampleBoxInto and the JPEG codec's DCT-domain scaled decode.
+func ScaledDims(w, h, factor int) (int, int) {
+	if factor <= 1 {
+		return w, h
+	}
+	return (w + factor - 1) / factor, (h + factor - 1) / factor
+}
+
+// DownsampleBoxInto box-averages src by an integer factor into dst, which
+// is reshaped to ScaledDims(src.W, src.H, factor). Partial boxes at the
+// right/bottom edges average only the pixels they cover. This is the
+// reference semantics of reduced-resolution decoding: the codec's scaled
+// DCT reconstruction approximates exactly this kernel.
+func DownsampleBoxInto(src, dst *Image, factor int) {
+	if factor <= 1 {
+		dst.Reset(src.W, src.H)
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	ow, oh := ScaledDims(src.W, src.H, factor)
+	dst.Reset(ow, oh)
+	for y := 0; y < oh; y++ {
+		y0 := y * factor
+		y1 := y0 + factor
+		if y1 > src.H {
+			y1 = src.H
+		}
+		for x := 0; x < ow; x++ {
+			x0 := x * factor
+			x1 := x0 + factor
+			if x1 > src.W {
+				x1 = src.W
+			}
+			var r, g, b, n int
+			for sy := y0; sy < y1; sy++ {
+				row := src.Pix[(sy*src.W+x0)*3 : (sy*src.W+x1)*3]
+				for i := 0; i < len(row); i += 3 {
+					r += int(row[i])
+					g += int(row[i+1])
+					b += int(row[i+2])
+				}
+			}
+			n = (y1 - y0) * (x1 - x0)
+			i := (y*ow + x) * 3
+			dst.Pix[i] = uint8((r + n/2) / n)
+			dst.Pix[i+1] = uint8((g + n/2) / n)
+			dst.Pix[i+2] = uint8((b + n/2) / n)
+		}
+	}
+}
+
+// DownsampleBox returns a new image box-downsampled by an integer factor.
+func (m *Image) DownsampleBox(factor int) *Image {
+	out := &Image{}
+	DownsampleBoxInto(m, out, factor)
+	return out
 }
 
 // AspectPreservingSize returns the dimensions of an aspect-preserving resize

@@ -1,5 +1,7 @@
 package preproc
 
+import "smol/internal/img"
+
 // Cost model: each operator's cost is an estimated arithmetic-operation
 // count for the given data geometry, with a dtype multiplier (float32
 // arithmetic costs more than uint8 on typical CPUs, chiefly through memory
@@ -12,6 +14,16 @@ const (
 	// bilinearOpsPerPixel is the per-output-pixel-channel cost of bilinear
 	// interpolation (4 taps, 3 lerps, index math).
 	bilinearOpsPerPixel = 8.0
+
+	// JPEG decode cost split for OpDecodeScale, calibrated against
+	// internal/hw: full decode is ~40.5 ns/px x 7500 ops/us ~= 304 ops per
+	// source pixel, of which hw's partial-decode model attributes 30% to
+	// entropy decoding (paid on every source pixel regardless of scale —
+	// Huffman streams are sequential) and 70% to reconstruction
+	// (dequantization, IDCT, upsampling, color conversion), which scaled
+	// decoding pays only per *output* pixel.
+	decodeEntropyOpsPerPixel = 91.0
+	decodeReconOpsPerPixel   = 213.0
 )
 
 // geometry tracks the image dims and dtype as ops are applied.
@@ -28,6 +40,17 @@ func OpCost(op Op, g geometry) (float64, geometry) {
 		dtype = dtypeF32Factor
 	}
 	switch op.Kind {
+	case OpDecodeScale:
+		// Geometry here is the *encoded* image: entropy decode is paid in
+		// full, reconstruction only for the pixels actually produced. The
+		// resulting geometry is the decoder's reduced-resolution output.
+		sc := op.Scale
+		if sc < 1 {
+			sc = 1
+		}
+		ow, oh := img.ScaledDims(g.w, g.h, sc)
+		cost := float64(g.w*g.h)*decodeEntropyOpsPerPixel + float64(ow*oh)*decodeReconOpsPerPixel
+		return cost, geometry{w: ow, h: oh}
 	case OpResizeShort:
 		ow, oh := shortEdgeDims(g.w, g.h, op.Short)
 		cost := float64(ow*oh*3) * bilinearOpsPerPixel * dtype

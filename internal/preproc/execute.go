@@ -12,7 +12,10 @@ import (
 // An Executor is not safe for concurrent use; the engine gives each worker
 // its own.
 type Executor struct {
-	scratchU8  [2]*img.Image
+	// Slots 0 and 1 ping-pong between resize and crop; slot 2 is reserved
+	// for the decode-scale fallback so its (differently sized) output does
+	// not evict the resize/crop buffers every run.
+	scratchU8  [3]*img.Image
 	scratchF32 [2][]float32
 }
 
@@ -68,6 +71,23 @@ func (e *Executor) Execute(p Plan, m *img.Image, out *tensor.Tensor) error {
 // apply runs one op. The final CHW-producing op writes directly into out.
 func (e *Executor) apply(op Op, v value, opIdx int, out *tensor.Tensor) (value, error) {
 	switch op.Kind {
+	case OpDecodeScale:
+		// Software reference for reduced-resolution decoding: a box
+		// downsample of the full-resolution image. Serving paths never
+		// reach this case — they lower the op into the codec
+		// (jpeg.DecodeOptions.Scale) and execute only
+		// Plan.ResidualAfterDecode — but it keeps every plan executable
+		// on plain decoded images (tests, codecs without scaling).
+		if v.u8 == nil {
+			return v, fmt.Errorf("decode-scale expects uint8 input")
+		}
+		if op.Scale <= 1 {
+			return v, nil
+		}
+		ow, oh := img.ScaledDims(v.w, v.h, op.Scale)
+		dst := e.u8Buf(2, ow, oh)
+		img.DownsampleBoxInto(v.u8, dst, op.Scale)
+		return value{u8: dst, w: ow, h: oh}, nil
 	case OpResizeShort:
 		w, h := shortEdgeDims(v.w, v.h, op.Short)
 		return e.resize(v, w, h)

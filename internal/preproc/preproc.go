@@ -12,6 +12,8 @@ package preproc
 
 import (
 	"fmt"
+
+	"smol/internal/img"
 )
 
 // OpKind identifies a preprocessing operator.
@@ -28,6 +30,14 @@ const (
 	OpNormalize
 	OpReorder
 	OpFusedPost
+	// OpDecodeScale asks the decoder for reduced-resolution output (the
+	// paper's low-resolution decoding, §5): the image enters the pipeline
+	// already downsampled by Scale. It is always the first op of a plan.
+	// Executed in software (Executor) it is a box downsample — the
+	// reference semantics that DCT-domain scaled JPEG decoding implements
+	// for ~Scale^2 less reconstruction work; serving lowers it into
+	// jpeg.DecodeOptions.Scale instead.
+	OpDecodeScale
 )
 
 func (k OpKind) String() string {
@@ -46,6 +56,8 @@ func (k OpKind) String() string {
 		return "reorder-chw"
 	case OpFusedPost:
 		return "fused-post"
+	case OpDecodeScale:
+		return "decode-scale"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -58,6 +70,8 @@ type Op struct {
 	Short int
 	// W, H are the target dims for OpResizeExact / OpCenterCrop.
 	W, H int
+	// Scale is the decode downsample factor for OpDecodeScale (1 = full).
+	Scale int
 	// Mean, Std are per-channel normalization constants (OpNormalize,
 	// OpFusedPost).
 	Mean, Std [3]float32
@@ -70,6 +84,29 @@ type Plan struct {
 	Name string
 }
 
+// DecodeScale returns the reduced decode factor the plan asks of the
+// decoder (1 = full-resolution decode, no decode op present).
+func (p Plan) DecodeScale() int {
+	for _, op := range p.Ops {
+		if op.Kind == OpDecodeScale && op.Scale > 1 {
+			return op.Scale
+		}
+	}
+	return 1
+}
+
+// ResidualAfterDecode returns the plan with any leading decode op removed:
+// the chain an executor runs on an image the codec already produced at the
+// plan's decode scale. Serving lowers the decode op into the codec and
+// executes only this residue.
+func (p Plan) ResidualAfterDecode() Plan {
+	ops := p.Ops
+	for len(ops) > 0 && ops[0].Kind == OpDecodeScale {
+		ops = ops[1:]
+	}
+	return Plan{Ops: ops, Name: p.Name}
+}
+
 // Spec describes a preprocessing problem: input dimensions and the target
 // DNN input contract.
 type Spec struct {
@@ -77,6 +114,14 @@ type Spec struct {
 	ResizeShort  int
 	CropW, CropH int
 	Mean, Std    [3]float32
+	// DecodeScales lists the reduced decode factors the input's codec
+	// offers (e.g. 1, 2, 4, 8 for DCT-domain scaled JPEG decoding), making
+	// decode resolution part of the joint plan search: enumeration
+	// considers each scale whose decoded short edge still covers
+	// ResizeShort, so the optimizer picks decode scale and the post-decode
+	// chain together. Empty means the decoder only produces full
+	// resolution and plans contain no decode op.
+	DecodeScales []int
 }
 
 // Validate checks the spec.
@@ -86,6 +131,11 @@ func (s Spec) Validate() error {
 	}
 	if s.ResizeShort <= 0 || s.CropW <= 0 || s.CropH <= 0 {
 		return fmt.Errorf("preproc: invalid targets short=%d crop=%dx%d", s.ResizeShort, s.CropW, s.CropH)
+	}
+	for _, sc := range s.DecodeScales {
+		if sc < 1 {
+			return fmt.Errorf("preproc: invalid decode scale %d", sc)
+		}
 	}
 	if s.CropW > s.ResizeShort || s.CropH > s.ResizeShort {
 		return fmt.Errorf("preproc: crop %dx%d exceeds resized short edge %d", s.CropW, s.CropH, s.ResizeShort)
@@ -102,26 +152,72 @@ func (s Spec) Validate() error {
 // loaders use: convert to float first, then resize and crop in float32,
 // then separate normalize and reorder passes. Correct but expensive.
 func NaivePlan(s Spec) Plan {
+	var ops []Op
+	if len(s.DecodeScales) > 0 {
+		// Naive loaders always decode at full resolution; the explicit op
+		// keeps decode cost in the total so naive and optimized plans for
+		// a scale-capable codec compare like for like.
+		ops = append(ops, Op{Kind: OpDecodeScale, Scale: 1})
+	}
 	return Plan{
 		Name: "naive",
-		Ops: []Op{
-			{Kind: OpConvert},
-			{Kind: OpResizeShort, Short: s.ResizeShort},
-			{Kind: OpCenterCrop, W: s.CropW, H: s.CropH},
-			{Kind: OpNormalize, Mean: s.Mean, Std: s.Std},
-			{Kind: OpReorder},
-		},
+		Ops: append(ops,
+			Op{Kind: OpConvert},
+			Op{Kind: OpResizeShort, Short: s.ResizeShort},
+			Op{Kind: OpCenterCrop, W: s.CropW, H: s.CropH},
+			Op{Kind: OpNormalize, Mean: s.Mean, Std: s.Std},
+			Op{Kind: OpReorder},
+		),
 	}
 }
 
 // EnumeratePlans generates the legal plan space for s using the reordering
-// rules of §6.2:
+// rules of §6.2 plus the decode-resolution dimension of §5:
 //
 //  1. normalization / conversion may move anywhere (they are linear and
 //     pointwise, and bilinear resize is linear),
 //  2. conversion+normalization+reordering may fuse,
-//  3. resize and crop may swap (with adjusted crop geometry).
+//  3. resize and crop may swap (with adjusted crop geometry),
+//  4. when the codec offers reduced decode scales, decoding may happen at
+//     any scale whose decoded short edge still covers ResizeShort (never
+//     below the resize target, so no information the DNN input needs is
+//     lost), with every post-decode ordering enumerated per scale.
 func EnumeratePlans(s Spec) []Plan {
+	if len(s.DecodeScales) == 0 {
+		return enumerateAtScale(s, 0)
+	}
+	var plans []Plan
+	for _, sc := range s.DecodeScales {
+		if sc < 1 {
+			continue
+		}
+		sw, sh := img.ScaledDims(s.InW, s.InH, sc)
+		if min(sw, sh) < s.ResizeShort {
+			continue // decoded short edge below the resize target
+		}
+		plans = append(plans, enumerateAtScale(s, sc)...)
+	}
+	if len(plans) == 0 {
+		// Every offered scale undershoots the resize target (tiny input):
+		// fall back to full-resolution decode.
+		plans = enumerateAtScale(s, 1)
+	}
+	return plans
+}
+
+// enumerateAtScale generates the post-decode orderings for one decode
+// scale. scale 0 means "no decode op" (codec without scaling support);
+// scale >= 1 prepends an explicit decode op so decode cost is part of
+// every plan's total and scales compete on equal footing.
+func enumerateAtScale(s Spec, scale int) []Plan {
+	inW, inH := s.InW, s.InH
+	var prefix []Op
+	prefixName := ""
+	if scale >= 1 {
+		inW, inH = img.ScaledDims(s.InW, s.InH, scale)
+		prefix = []Op{{Kind: OpDecodeScale, Scale: scale}}
+		prefixName = fmt.Sprintf("decode-1/%d/", scale)
+	}
 	var plans []Plan
 	for _, cropFirst := range []bool{false, true} {
 		for _, convertEarly := range []bool{false, true} {
@@ -131,8 +227,8 @@ func EnumeratePlans(s Spec) []Plan {
 					// kernel at the end.
 					continue
 				}
-				var ops []Op
-				name := ""
+				ops := append([]Op(nil), prefix...)
+				name := prefixName
 				if convertEarly {
 					ops = append(ops, Op{Kind: OpConvert})
 					name += "convert-early/"
@@ -140,7 +236,7 @@ func EnumeratePlans(s Spec) []Plan {
 				if cropFirst {
 					// Crop the region of the original that maps onto the
 					// final crop, then resize exactly.
-					cw, ch := preResizeCrop(s)
+					cw, ch := preResizeCrop(inW, inH, s)
 					ops = append(ops,
 						Op{Kind: OpCenterCrop, W: cw, H: ch},
 						Op{Kind: OpResizeExact, W: s.CropW, H: s.CropH},
@@ -173,22 +269,22 @@ func EnumeratePlans(s Spec) []Plan {
 	return plans
 }
 
-// preResizeCrop computes the centered crop of the original image that maps
-// onto the final CropW x CropH after an exact resize, for the crop-first
-// ordering.
-func preResizeCrop(s Spec) (w, h int) {
-	short := s.InW
-	if s.InH < short {
-		short = s.InH
+// preResizeCrop computes the centered crop of the decoded image (inW x
+// inH) that maps onto the final CropW x CropH after an exact resize, for
+// the crop-first ordering.
+func preResizeCrop(inW, inH int, s Spec) (w, h int) {
+	short := inW
+	if inH < short {
+		short = inH
 	}
 	scale := float64(short) / float64(s.ResizeShort)
 	w = int(float64(s.CropW)*scale + 0.5)
 	h = int(float64(s.CropH)*scale + 0.5)
-	if w > s.InW {
-		w = s.InW
+	if w > inW {
+		w = inW
 	}
-	if h > s.InH {
-		h = s.InH
+	if h > inH {
+		h = inH
 	}
 	if w < 1 {
 		w = 1
@@ -200,9 +296,19 @@ func preResizeCrop(s Spec) (w, h int) {
 }
 
 // PruneRules removes plans dominated under the paper's pruning rules:
-// resizing on float data is never cheaper than on uint8, and unfused
-// post-processing is never cheaper than fused. Returns the surviving plans.
+// resizing on float data is never cheaper than on uint8, unfused
+// post-processing is never cheaper than fused, and decoding at a lower
+// scale than another legal plan is never cheaper (entropy decoding costs
+// the same at every scale while reconstruction and every downstream op
+// shrink, and the resize target — hence the DNN input — is identical).
+// Returns the surviving plans.
 func PruneRules(plans []Plan) []Plan {
+	maxScale := 0
+	for _, p := range plans {
+		if sc := p.DecodeScale(); sc > maxScale {
+			maxScale = sc
+		}
+	}
 	var out []Plan
 	for _, p := range plans {
 		if convertsBeforeResize(p) {
@@ -210,6 +316,9 @@ func PruneRules(plans []Plan) []Plan {
 		}
 		if !isFused(p) && existsFusedTwin(plans, p) {
 			continue // rule: fusion always improves performance
+		}
+		if maxScale > 1 && p.DecodeScale() < maxScale {
+			continue // rule: the largest legal decode scale dominates
 		}
 		out = append(out, p)
 	}
@@ -263,6 +372,8 @@ func geometricPrefix(p Plan) string {
 		switch op.Kind {
 		case OpResizeShort, OpResizeExact, OpCenterCrop:
 			s += fmt.Sprintf("%d:%d:%d:%d;", op.Kind, op.Short, op.W, op.H)
+		case OpDecodeScale:
+			s += fmt.Sprintf("d%d;", op.Scale)
 		}
 	}
 	return s

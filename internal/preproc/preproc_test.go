@@ -241,7 +241,7 @@ func TestExecuteRejectsIncompletePlan(t *testing.T) {
 
 func TestPreResizeCropGeometry(t *testing.T) {
 	s := testSpec() // in 100x80, short 64, crop 56
-	w, h := preResizeCrop(s)
+	w, h := preResizeCrop(s.InW, s.InH, s)
 	// scale = 80/64 = 1.25; 56*1.25 = 70.
 	if w != 70 || h != 70 {
 		t.Fatalf("preResizeCrop = %dx%d, want 70x70", w, h)
@@ -263,6 +263,180 @@ func TestF32ResizeMatchesU8Resize(t *testing.T) {
 	for i := range fout {
 		if d := math.Abs(float64(fout[i]) - float64(u8out.Pix[i])); d > 1 {
 			t.Fatalf("resize paths diverge at %d: %v vs %d", i, fout[i], u8out.Pix[i])
+		}
+	}
+}
+
+func hdSpec() Spec {
+	return Spec{
+		InW: 1920, InH: 1080,
+		ResizeShort: 256,
+		CropW:       224, CropH: 224,
+		Mean:         [3]float32{0.485, 0.456, 0.406},
+		Std:          [3]float32{0.229, 0.224, 0.225},
+		DecodeScales: []int{1, 2, 4, 8},
+	}
+}
+
+func TestEnumerateWithDecodeScales(t *testing.T) {
+	s := hdSpec()
+	plans := EnumeratePlans(s)
+	// Legal scales for 1920x1080 -> short 256: 1 (1080), 2 (540), 4 (270);
+	// 8 undershoots (135 < 256). 6 orderings each.
+	if len(plans) != 18 {
+		t.Fatalf("got %d plans, want 18", len(plans))
+	}
+	counts := map[int]int{}
+	for _, p := range plans {
+		if p.Ops[0].Kind != OpDecodeScale {
+			t.Fatalf("plan %q does not start with a decode op", p.Name)
+		}
+		counts[p.DecodeScale()]++
+	}
+	if counts[1] != 6 || counts[2] != 6 || counts[4] != 6 || counts[8] != 0 {
+		t.Fatalf("plans per scale: %v", counts)
+	}
+	// Without DecodeScales the space is unchanged (no decode ops).
+	base := testSpec()
+	for _, p := range EnumeratePlans(base) {
+		for _, op := range p.Ops {
+			if op.Kind == OpDecodeScale {
+				t.Fatalf("plan %q has a decode op without DecodeScales", p.Name)
+			}
+		}
+	}
+}
+
+// TestOptimizePicksSubFullDecodeScale is the paper's joint
+// decode+preprocess selection: when the target resolution makes reduced
+// decoding cheapest, Optimize must choose a sub-full DecodeScale — here
+// 1/4, the largest scale whose decoded short edge (270) still covers the
+// resize target (256).
+func TestOptimizePicksSubFullDecodeScale(t *testing.T) {
+	s := hdSpec()
+	plan, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.DecodeScale(); got != 4 {
+		t.Fatalf("Optimize chose decode scale 1/%d (%q), want 1/4", got, plan.Name)
+	}
+	if plan.Ops[0].Kind != OpDecodeScale {
+		t.Fatalf("plan %q does not lead with the decode op", plan.Name)
+	}
+	resid := plan.ResidualAfterDecode()
+	if len(resid.Ops) != len(plan.Ops)-1 || resid.Ops[0].Kind == OpDecodeScale {
+		t.Fatalf("residual chain %+v", resid.Ops)
+	}
+	// A small input offers no legal reduced scale: full decode survives.
+	small := s
+	small.InW, small.InH = 300, 260
+	plan, err = Optimize(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.DecodeScale(); got != 1 {
+		t.Fatalf("small input chose decode scale 1/%d", got)
+	}
+}
+
+func TestPruneDropsDominatedScales(t *testing.T) {
+	s := hdSpec()
+	pruned := PruneRules(EnumeratePlans(s))
+	for _, p := range pruned {
+		if got := p.DecodeScale(); got != 4 {
+			t.Fatalf("pruned set keeps dominated scale 1/%d (%q)", got, p.Name)
+		}
+	}
+	if len(pruned) == 0 {
+		t.Fatal("pruning removed every plan")
+	}
+}
+
+// TestScaledPlanCostBelowFullDecode: joint cost of decode-1/4 + preproc
+// must undercut full decode + preproc for HD inputs — the core claim that
+// decode resolution belongs in the plan search.
+func TestScaledPlanCostBelowFullDecode(t *testing.T) {
+	s := hdSpec()
+	plans := EnumeratePlans(s)
+	best := map[int]float64{}
+	for _, p := range plans {
+		c := PlanCost(p, s)
+		sc := p.DecodeScale()
+		if v, ok := best[sc]; !ok || c < v {
+			best[sc] = c
+		}
+	}
+	if !(best[4] < best[2] && best[2] < best[1]) {
+		t.Fatalf("per-scale best costs not monotone: %v", best)
+	}
+	if best[1]/best[4] < 2 {
+		t.Fatalf("1/4 decode should cut joint cost >2x on HD inputs, got %v", best)
+	}
+}
+
+// TestExecuteDecodeScaleFallback: executing a decode-scale plan on a
+// full-resolution image box-downsamples in software, matching a manual
+// DownsampleBox + residual-chain execution exactly.
+func TestExecuteDecodeScaleFallback(t *testing.T) {
+	s := Spec{
+		InW: 200, InH: 160, ResizeShort: 40, CropW: 32, CropH: 32,
+		Mean: [3]float32{0.5, 0.5, 0.5}, Std: [3]float32{0.3, 0.3, 0.3},
+		DecodeScales: []int{1, 2, 4},
+	}
+	plan, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := plan.DecodeScale()
+	if sc != 4 {
+		t.Fatalf("chose scale 1/%d, want 1/4 (short 40 of 200x160)", sc)
+	}
+	m := smoothImage(s.InW, s.InH)
+	got := tensor.New(OutputShape(s))
+	if err := NewExecutor().Execute(plan, m, got); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.New(OutputShape(s))
+	if err := NewExecutor().Execute(plan.ResidualAfterDecode(), m.DownsampleBox(sc), want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestScaledPlansStayFaithful: the reduced-resolution plans remain close
+// to the naive full-resolution pipeline on smooth content — decode scaling
+// trades a bounded fidelity delta for large cost savings.
+func TestScaledPlansStayFaithful(t *testing.T) {
+	s := Spec{
+		InW: 320, InH: 240, ResizeShort: 56, CropW: 48, CropH: 48,
+		Mean: [3]float32{0.45, 0.45, 0.45}, Std: [3]float32{0.25, 0.25, 0.25},
+		DecodeScales: []int{1, 2, 4},
+	}
+	m := smoothImage(s.InW, s.InH)
+	ref := tensor.New(OutputShape(s))
+	if err := NewExecutor().Execute(NaivePlan(s), m, ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range EnumeratePlans(s) {
+		got := tensor.New(OutputShape(s))
+		if err := NewExecutor().Execute(p, m, got); err != nil {
+			t.Fatalf("%q: %v", p.Name, err)
+		}
+		var sum float64
+		for i := range ref.Data {
+			d := float64(ref.Data[i]-got.Data[i]) * 0.25 // back to raw pixel space
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if mean := sum / float64(len(ref.Data)); mean > 0.03 {
+			t.Errorf("%q: mean raw deviation %.4f from naive plan", p.Name, mean)
 		}
 	}
 }

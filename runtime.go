@@ -29,6 +29,13 @@ type RuntimeConfig struct {
 	// ROIDecode enables partial JPEG decoding of the central crop region
 	// (Algorithm 1).
 	ROIDecode bool
+	// DisableScaledDecode turns off DCT-domain reduced-resolution JPEG
+	// decoding. By default the ingest planner may decode at 1/2, 1/4 or
+	// 1/8 resolution when the model's input resolution makes that the
+	// cheapest joint decode+preprocess plan (the paper's low-resolution
+	// decode optimization, §5); disable it to force full-resolution decode
+	// for A/B comparison.
+	DisableScaledDecode bool
 	// ExecParallel bounds how many model forwards may run at once on the
 	// compiled inference path (0 = 2, matching the engine's default stream
 	// count). Each forward already parallelizes its GEMMs across
@@ -68,11 +75,41 @@ type Runtime struct {
 	// resource); engine streams still overlap batch assembly with it.
 	execMu sync.Mutex
 
-	// plans caches optimized preprocessing plans keyed by decoded input
-	// dimensions, so the plan search runs once per distinct resolution
+	// plans caches compiled ingest plans keyed by input class (codec,
+	// encoded dimensions, MCU geometry), so the joint decode+preprocess
+	// plan search and ROI mapping run once per distinct input shape
 	// instead of once per image on the hot prep path.
 	planMu sync.RWMutex
-	plans  map[[2]int]preproc.Plan
+	plans  map[ingestKey]*ingestPlan
+}
+
+// ingestKey identifies one class of inputs a compiled ingest plan covers.
+// The MCU edge length matters because ROI regions align outward to the MCU
+// grid, so two JPEGs with equal dimensions but different chroma subsampling
+// decode to different region geometries.
+type ingestKey struct {
+	w, h, mcu int
+	png       bool
+}
+
+// ingestPlan is the compiled decode+preprocess recipe for one input class:
+// the jointly optimized decode scale, the precomputed (plan-time) ROI, and
+// the residual operator chain that runs on the decoded image. It is
+// immutable and shared across workers; prepFunc executes it with per-worker
+// reusable buffers.
+type ingestPlan struct {
+	// full is the complete optimized plan, decode op included (reports,
+	// cost accounting).
+	full preproc.Plan
+	// resid is full minus the decode op: what the preproc executor runs on
+	// the image the codec already produced at the plan's scale.
+	resid preproc.Plan
+	// scale is the decode scale lowered into jpeg.DecodeOptions.Scale.
+	scale int
+	// roi, when non-nil, is the central-crop-covering region lowered into
+	// jpeg.DecodeOptions.ROI. Decode options only read it, so sharing the
+	// pointer across workers is safe.
+	roi *img.Rect
 }
 
 // NewRuntime wraps a trained model (e.g. from LoadClassifier or
@@ -93,7 +130,7 @@ func NewRuntime(model *nn.Model, cfg RuntimeConfig) (*Runtime, error) {
 	if cfg.Std == ([3]float32{}) {
 		cfg.Std = [3]float32{1, 1, 1}
 	}
-	r := &Runtime{cfg: cfg, model: model, plans: make(map[[2]int]preproc.Plan)}
+	r := &Runtime{cfg: cfg, model: model, plans: make(map[ingestKey]*ingestPlan)}
 	if !cfg.DisableCompiled {
 		// Compilation fails only for layer shapes the plan vocabulary does
 		// not cover; those models fall back to the serialized reference path.
@@ -142,85 +179,132 @@ type classifyReq struct {
 // still computed, just not retained.
 const maxCachedPlans = 1024
 
-// planFor returns the optimized preprocessing plan for a decoded input of
-// the given dimensions, computing and caching it on first sight.
-func (r *Runtime) planFor(w, h int) (preproc.Plan, error) {
-	key := [2]int{w, h}
+// ingestFor returns the compiled ingest plan for one input class,
+// computing and caching it on first sight. Plan compilation runs the joint
+// decode+preprocess optimization: the ROI (when enabled) is mapped and
+// MCU-aligned once, the decode scale is chosen together with the residual
+// resize/crop/normalize chain by preproc.Optimize, and the result is an
+// immutable recipe prepFunc executes per image with pooled buffers.
+func (r *Runtime) ingestFor(w, h, mcu int, png bool) (*ingestPlan, error) {
+	key := ingestKey{w: w, h: h, mcu: mcu, png: png}
 	r.planMu.RLock()
-	plan, ok := r.plans[key]
+	ip, ok := r.plans[key]
 	r.planMu.RUnlock()
 	if ok {
-		return plan, nil
+		return ip, nil
 	}
 	res := r.cfg.InputRes
-	plan, err := preproc.Optimize(preproc.Spec{
-		InW: w, InH: h,
+	decW, decH := w, h
+	var roi *img.Rect
+	if !png && r.cfg.ROIDecode {
+		short := res * 256 / 224
+		sw, sh := img.AspectPreservingSize(w, h, short)
+		// Map the post-resize central crop back to source pixels.
+		crop := img.CenterCropRect(sw, sh, res, res)
+		scaleX := float64(w) / float64(sw)
+		scaleY := float64(h) / float64(sh)
+		roi = &img.Rect{
+			X0: int(float64(crop.X0) * scaleX), Y0: int(float64(crop.Y0) * scaleY),
+			X1: int(float64(crop.X1)*scaleX) + 1, Y1: int(float64(crop.Y1)*scaleY) + 1,
+		}
+		// The decoder reconstructs the MCU-aligned cover of the ROI; use
+		// the codec's own mapping so the plan's geometry matches the
+		// decoded image exactly.
+		region := jpeg.AlignedRegion(*roi, w, h, mcu)
+		decW, decH = region.W(), region.H()
+	}
+	spec := preproc.Spec{
+		InW: decW, InH: decH,
 		ResizeShort: res, CropW: res, CropH: res,
 		Mean: r.cfg.Mean, Std: r.cfg.Std,
-	})
+	}
+	if !png && !r.cfg.DisableScaledDecode {
+		spec.DecodeScales = jpegDecodeScales
+	}
+	plan, err := preproc.Optimize(spec)
 	if err != nil {
-		return preproc.Plan{}, err
+		return nil, err
+	}
+	ip = &ingestPlan{
+		full:  plan,
+		resid: plan.ResidualAfterDecode(),
+		scale: plan.DecodeScale(),
+		roi:   roi,
 	}
 	r.planMu.Lock()
 	// A concurrent worker may have won the race for this key; keep the
 	// first entry so all workers share one plan value.
 	if cached, ok := r.plans[key]; ok {
-		plan = cached
+		ip = cached
 	} else if len(r.plans) < maxCachedPlans {
-		r.plans[key] = plan
+		r.plans[key] = ip
 	}
 	r.planMu.Unlock()
-	return plan, nil
+	return ip, nil
 }
 
-// prepFunc builds the engine preprocessing callback: decode (optionally
-// ROI-limited), then execute the cached preprocessing plan into the pooled
-// output tensor.
+// jpegDecodeScales are the decode factors the JPEG codec offers (full plus
+// the reduced 4x4/2x2/1x1 IDCT reconstructions).
+var jpegDecodeScales = jpeg.SupportedScales()
+
+// ingestState is the per-worker mutable half of the ingest path: the
+// reusable JPEG decoder (parsed headers, Huffman tables, planar scratch),
+// the pooled decode output image, and the preproc executor's scratch
+// buffers. The compiled ingestPlan supplies the immutable recipe.
+type ingestState struct {
+	ex  *preproc.Executor
+	dec jpeg.Decoder
+	// buf is the decoder's reused output image (jpeg.DecodeOptions.Dst).
+	buf *img.Image
+}
+
+// prepFunc builds the engine preprocessing callback: look up (or compile)
+// the input class's ingest plan, decode once at the plan's scale/ROI
+// straight into worker-owned pooled buffers, then run the residual preproc
+// chain into the engine's pooled output tensor. The JPEG headers are
+// parsed exactly once per image (the Decoder carries the parse into the
+// decode), and a warm worker performs no per-image allocations.
 func (r *Runtime) prepFunc() engine.PrepFunc {
-	res := r.cfg.InputRes
 	return func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
 		cr, ok := job.Tag.(*classifyReq)
 		if !ok {
 			return fmt.Errorf("smol: job %d carries no request state", job.Index)
 		}
 		in := cr.inputs[job.Index]
-		var m *img.Image
-		var err error
-		switch {
-		case in.PNG:
-			m, err = spng.Decode(in.Data)
-		case r.cfg.ROIDecode:
-			w, h, herr := jpeg.DecodeHeader(in.Data)
-			if herr != nil {
-				return herr
-			}
-			short := res * 256 / 224
-			sw, sh := img.AspectPreservingSize(w, h, short)
-			// Map the post-resize central crop back to source pixels.
-			crop := img.CenterCropRect(sw, sh, res, res)
-			scaleX := float64(w) / float64(sw)
-			scaleY := float64(h) / float64(sh)
-			roi := img.Rect{
-				X0: int(float64(crop.X0) * scaleX), Y0: int(float64(crop.Y0) * scaleY),
-				X1: int(float64(crop.X1)*scaleX) + 1, Y1: int(float64(crop.Y1)*scaleY) + 1,
-			}
-			m, _, _, err = jpeg.DecodeWithOptions(in.Data, jpeg.DecodeOptions{ROI: &roi})
-		default:
-			m, err = jpeg.Decode(in.Data)
+		st, _ := ws.Scratch.(*ingestState)
+		if st == nil {
+			st = &ingestState{ex: preproc.NewExecutor()}
+			ws.Scratch = st
 		}
+		if in.PNG {
+			m, err := spng.Decode(in.Data)
+			if err != nil {
+				return err
+			}
+			ip, err := r.ingestFor(m.W, m.H, 0, true)
+			if err != nil {
+				return err
+			}
+			return st.ex.Execute(ip.resid, m, out)
+		}
+		w, h, err := st.dec.Parse(in.Data)
 		if err != nil {
 			return err
 		}
-		ex, _ := ws.Scratch.(*preproc.Executor)
-		if ex == nil {
-			ex = preproc.NewExecutor()
-			ws.Scratch = ex
-		}
-		plan, err := r.planFor(m.W, m.H)
+		ip, err := r.ingestFor(w, h, st.dec.MCUSize(), false)
 		if err != nil {
 			return err
 		}
-		return ex.Execute(plan, m, out)
+		m, _, _, err := st.dec.Decode(jpeg.DecodeOptions{
+			ROI:   ip.roi,
+			Scale: ip.scale,
+			Dst:   st.buf,
+		})
+		if err != nil {
+			return err
+		}
+		st.buf = m
+		return st.ex.Execute(ip.resid, m, out)
 	}
 }
 

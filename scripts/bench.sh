@@ -1,38 +1,53 @@
 #!/usr/bin/env bash
-# Runs the inference micro-benchmarks (reference vs compiled forward, GEMM,
-# streaming engine) and records ns/op per benchmark in BENCH_infer.json so
-# the perf trajectory of the compiled path is tracked in-repo.
+# Runs the performance micro-benchmarks and records ns/op per benchmark so
+# the perf trajectory is tracked in-repo:
 #
-#   scripts/bench.sh                # 1s per benchmark, writes BENCH_infer.json
+#   - BENCH_infer.json: inference path (reference vs compiled forward,
+#     GEMM, streaming engine).
+#   - BENCH_preproc.json: ingest path (full vs DCT-domain scaled JPEG
+#     decode on 1920x1080, the compiled ingest prep hot path, and
+#     end-to-end serve-mode im/s).
+#
+#   scripts/bench.sh                # 1s per benchmark, writes both files
 #   BENCHTIME=300ms scripts/bench.sh
-#   OUT=/tmp/b.json scripts/bench.sh
+#   OUT=/tmp/b.json OUT_PREPROC=/tmp/p.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_infer.json}"
-FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkGEMM|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
+OUT_PREPROC="${OUT_PREPROC:-BENCH_preproc.json}"
+INFER_FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkGEMM|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
+PREPROC_FILTER='BenchmarkDecodeScaledHD|BenchmarkIngestHD|BenchmarkServeIngestHD'
 
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
-
-go test -run '^$' -bench "$FILTER" -benchtime "$BENCHTIME" . | tee "$tmp"
-
-awk -v benchtime="$BENCHTIME" '
-/^Benchmark/ && $4 == "ns/op" {
-  name = $1
-  sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
-  if (out != "") out = out ",\n"
-  out = out sprintf("    \"%s\": %s", name, $3)
+# collect <filter> <out-file> <packages...>: run the benchmarks and write
+# a {benchmark: ns/op} JSON summary.
+collect() {
+  local filter="$1" out="$2"
+  shift 2
+  local tmp
+  tmp="$(mktemp)"
+  # shellcheck disable=SC2064  # expand $tmp now; it is function-local
+  trap "rm -f '$tmp'" RETURN
+  go test -run '^$' -bench "$filter" -benchtime "$BENCHTIME" "$@" | tee "$tmp"
+  awk -v benchtime="$BENCHTIME" '
+  /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    if (out != "") out = out ",\n"
+    out = out sprintf("    \"%s\": %s", name, $3)
+  }
+  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+  END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"unit\": \"ns/op\",\n"
+    printf "  \"benchmarks\": {\n%s\n  }\n}\n", out
+  }' "$tmp" > "$out"
+  echo "wrote $out"
 }
-/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
-END {
-  printf "{\n"
-  printf "  \"generated_by\": \"scripts/bench.sh\",\n"
-  printf "  \"benchtime\": \"%s\",\n", benchtime
-  printf "  \"cpu\": \"%s\",\n", cpu
-  printf "  \"unit\": \"ns/op\",\n"
-  printf "  \"benchmarks\": {\n%s\n  }\n}\n", out
-}' "$tmp" > "$OUT"
 
-echo "wrote $OUT"
+collect "$INFER_FILTER" "$OUT" .
+collect "$PREPROC_FILTER" "$OUT_PREPROC" ./internal/codec/jpeg/ .
