@@ -586,7 +586,7 @@ func BenchmarkIngestHD(b *testing.B) {
 			}
 			prep := rt.prepFunc()
 			ws := &engine.WorkerState{}
-			job := engine.Job{Index: 0, Tag: &classifyReq{inputs: []EncodedImage{{Data: enc}}, preds: make([]int, 1)}}
+			job := engine.Job{Index: 0, Tag: &classifyReq{inputs: []EncodedImage{{Data: enc}}, preds: make([]int, 1), entry: rt.entries[0]}}
 			out := tensor.New(3, 224, 224)
 			if err := prep(ws, job, out); err != nil { // compile the plan, warm the buffers
 				b.Fatal(err)
@@ -651,6 +651,81 @@ func BenchmarkServeIngestHD(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N*reqImages)/b.Elapsed().Seconds(), "im/s")
+		})
+	}
+}
+
+// BenchmarkServePlannerHD sweeps accuracy floors through the serving
+// planner on a warm multi-variant server: 1920x1080 JPEGs served by a
+// three-entry zoo (resnet-b@128 pinned at 0.95 validation accuracy,
+// resnet-a@128 at 0.88, resnet-a@64 at 0.80 — untrained weights, since
+// only geometry matters for throughput). The strict floor pins the top
+// variant and reproduces the single-model baseline; each relaxation frees
+// the planner to route to a cheaper (variant, resolution, decode scale)
+// point. The floor-strict/floor-relaxed ratio is the planner speedup
+// tracked in BENCH_serve.json.
+func BenchmarkServePlannerHD(b *testing.B) {
+	enc := hdJPEG(b)
+	zoo := NewZoo()
+	for _, e := range []struct {
+		variant string
+		res     int
+		acc     float64
+	}{
+		{"resnet-b", 128, 0.95},
+		{"resnet-a", 128, 0.88},
+		{"resnet-a", 64, 0.80},
+	} {
+		cfg, err := nn.VariantConfig(e.variant, 10, e.res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model, err := nn.NewResNet(rand.New(rand.NewSource(1)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := zoo.Add(ZooEntry{Variant: e.variant, InputRes: e.res, Accuracy: e.acc,
+			Model: model, Config: cfg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt, err := NewZooRuntime(zoo, RuntimeConfig{BatchSize: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const reqImages = 32
+	inputs := make([]EncodedImage, reqImages)
+	for i := range inputs {
+		inputs[i] = EncodedImage{Data: enc}
+	}
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name string
+		qos  QoS
+	}{
+		{"floor-strict", QoS{MinAccuracy: 0.95}},
+		{"floor-mid", QoS{MinAccuracy: 0.85}},
+		{"floor-relaxed", QoS{}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			res, err := srv.ClassifyQoS(ctx, inputs[:2], bc.qos) // warm this entry's pools
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.ClassifyQoS(ctx, inputs, bc.qos); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*reqImages)/b.Elapsed().Seconds(), "im/s")
+			b.StopTimer()
+			_ = res
 		})
 	}
 }

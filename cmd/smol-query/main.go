@@ -15,6 +15,13 @@
 // deployment of §3.1):
 //
 //	smol-query -type classify -dataset bike-bird -serve -requests 4
+//
+// Planner mode (trains a multi-entry model zoo and lets the serving
+// planner jointly pick model variant, input resolution, decode scale, and
+// preprocessing chain per request from an accuracy floor; -explain prints
+// the chosen plan and its predicted vs. measured throughput):
+//
+//	smol-query -type classify -dataset bike-bird -serve -zoo -minacc 0.8 -explain
 package main
 
 import (
@@ -41,12 +48,16 @@ func main() {
 	compiled := flag.Bool("compiled", true, "execute batches through the compiled inference plan")
 	roiDecode := flag.Bool("roidecode", false, "partially decode only the central crop region (Algorithm 1)")
 	scaleDecode := flag.Bool("scaledecode", true, "let the ingest planner decode JPEGs at reduced resolution (1/2, 1/4, 1/8) when cheapest")
+	zoo := flag.Bool("zoo", false, "train a multi-entry model zoo and serve through the joint accuracy/throughput planner (-serve mode)")
+	minAcc := flag.Float64("minacc", 0, "accuracy floor for the serving planner (0 = max throughput)")
+	explain := flag.Bool("explain", false, "print the planner's chosen plan per request (variant, input res, decode scale, preproc chain, predicted vs measured throughput)")
 	flag.Parse()
 
 	switch *qtype {
 	case "classify":
 		if *serve {
-			serveClassify(*dataset, *requests, *execPar, *compiled, *roiDecode, *scaleDecode)
+			serveClassify(*dataset, *requests, *execPar, *compiled, *roiDecode, *scaleDecode,
+				*zoo, *minAcc, *explain)
 		} else {
 			classify(*dataset, *roiDecode, *scaleDecode)
 		}
@@ -107,8 +118,11 @@ func classify(name string, roiDecode, scaleDecode bool) {
 // serveClassify trains once, brings up a resident streaming server, and
 // fires concurrent classification requests that share the warm engine.
 // With the compiled inference plan the requests' batches also execute in
-// parallel (up to execPar forwards at once) instead of serializing.
-func serveClassify(name string, requests, execPar int, compiled, roiDecode, scaleDecode bool) {
+// parallel (up to execPar forwards at once) instead of serializing. With
+// useZoo a multi-entry model zoo is trained instead and each request is
+// routed by the serving planner from the minAcc accuracy floor.
+func serveClassify(name string, requests, execPar int, compiled, roiDecode, scaleDecode,
+	useZoo bool, minAcc float64, explain bool) {
 	if requests < 1 {
 		requests = 1
 	}
@@ -124,25 +138,45 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 	for i, li := range ds.Train {
 		train[i] = smol.LabeledImage{Image: li.Image, Label: li.Label}
 	}
-	fmt.Println("training resnet-a...")
-	start := time.Now()
-	clf, err := smol.TrainClassifier(train, spec.NumClasses, smol.TrainOptions{Epochs: 3, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
+	cfg := smol.RuntimeConfig{
+		BatchSize:    32,
+		QoS:          smol.QoS{MinAccuracy: minAcc},
+		ExecParallel: execPar, DisableCompiled: !compiled,
+		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
 	}
-	fmt.Printf("trained in %s\n", time.Since(start).Round(time.Second))
+	var rt *smol.Runtime
+	start := time.Now()
+	if useZoo {
+		fmt.Println("training model zoo (resnet-b, resnet-a, resnet-a@half)...")
+		zoo, err := smol.TrainZoo(train, spec.NumClasses, smol.ZooTrainOptions{Epochs: 3, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained in %s\n", time.Since(start).Round(time.Second))
+		for _, e := range zoo.Entries() {
+			fmt.Printf("  zoo entry %-14s validation accuracy %.3f\n", e.Name(), e.Accuracy)
+		}
+		rt, err = smol.NewZooRuntime(zoo, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("training resnet-a...")
+		clf, err := smol.TrainClassifier(train, spec.NumClasses, smol.TrainOptions{Epochs: 3, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained in %s\n", time.Since(start).Round(time.Second))
+		cfg.InputRes = spec.FullRes
+		rt, err = smol.NewRuntime(clf.Model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	inputs := make([]smol.EncodedImage, len(ds.Test))
 	for i, li := range ds.Test {
 		inputs[i] = smol.EncodedImage{Data: smol.EncodeJPEG(li.Image, 90)}
-	}
-	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{
-		InputRes: spec.FullRes, BatchSize: 32,
-		ExecParallel: execPar, DisableCompiled: !compiled,
-		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 	if rt.Compiled() {
 		fmt.Println("execution: compiled inference plan (folded batch-norm, fused GEMM, parallel batches)")
@@ -190,6 +224,13 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 			r, 100*float64(correct)/float64(len(res.Predictions)),
 			res.Stats.Throughput, res.Stats.Batches,
 			res.Stats.MeanLatency.Round(time.Microsecond))
+		if explain {
+			p := res.Plan
+			fmt.Printf("  plan: entry %s (val acc %.3f) on %s\n", p.Entry, p.Accuracy, p.InputFormat)
+			fmt.Printf("  plan: decode 1/%d, preproc %s\n", p.DecodeScale, p.Preproc)
+			fmt.Printf("  plan: predicted %.0f im/s (latency %.0fus worst-case), measured %.0f im/s\n",
+				p.PredictedThroughput, p.PredictedLatencyUS, res.Stats.Throughput)
+		}
 	}
 	last := results[len(results)-1].Stats
 	fmt.Printf("aggregate: %d images in %s (%.0f im/s); pool %d allocs / %d reuses across all requests\n",

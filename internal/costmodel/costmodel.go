@@ -74,6 +74,12 @@ type Env struct {
 	Framework hw.FrameworkProfile
 	VCPUs     int
 	BatchSize int
+	// Calibration, when non-nil, replaces parts of the static hardware
+	// model with live measurements: per-DNN execution service times (keyed
+	// by DNNChoice.Name) and a CPU-cost scale factor. The serving planner
+	// fills it by timing the real compiled forwards and ingest kernels, so
+	// plan selection ranks by the machine it is actually running on.
+	Calibration *hw.Calibration
 }
 
 // DefaultEnv returns the paper's g4dn.xlarge environment: one T4,
@@ -108,10 +114,6 @@ type StageCosts struct {
 
 // Costs computes the per-image stage costs of a plan in env.
 func Costs(p Plan, env Env) (StageCosts, error) {
-	dnn, err := hw.DNN(p.DNN.Name)
-	if err != nil {
-		return StageCosts{}, err
-	}
 	var c StageCosts
 	c.DecodeUS = hw.DecodeCostUS(hw.DecodeSpec{
 		Format:      p.Format.Kind,
@@ -139,6 +141,21 @@ func Costs(p Plan, env Env) (StageCosts, error) {
 		} else {
 			c.AccelPostUS += hw.AccelPostprocCostUS(oc)
 		}
+	}
+	// Live CPU-cost calibration: decode and CPU-side preprocessing scale by
+	// the measured-vs-modeled factor.
+	cpuScale := env.Calibration.CPUScale()
+	c.DecodeUS *= cpuScale
+	c.CPUPostUS *= cpuScale
+	// Execution: live-measured service time wins over the static profile,
+	// and is already at the choice's input resolution.
+	if us, ok := env.Calibration.ExecUSFor(p.DNN.Name); ok {
+		c.ExecUS = us
+		return c, nil
+	}
+	dnn, err := hw.DNN(p.DNN.Name)
+	if err != nil {
+		return StageCosts{}, err
 	}
 	execTPut := hw.ExecThroughput(dnn, env.Device, env.Framework)
 	execTPut = hw.InputScaledThroughput(execTPut, p.DNN.InputRes, StandardRes)

@@ -501,3 +501,43 @@ func TestGenerateSelectsDecodeScale(t *testing.T) {
 		t.Fatalf("thumbnail chose decode scale 1/%d", got)
 	}
 }
+
+// TestCalibratedCosts: a live calibration must override the static DNN
+// profile (including names the static tables do not know) and scale the
+// CPU-side stage costs, changing the plan ranking accordingly.
+func TestCalibratedCosts(t *testing.T) {
+	env := DefaultEnv()
+	dnns := []DNNChoice{{Name: "live-model@32", InputRes: 32, Accuracy: 0.9}}
+	formats := []Format{{Name: "jpeg", Kind: hw.FormatJPEG, W: 500, H: 375, Quality: 90}}
+	// Without calibration the unknown DNN name must fail loudly.
+	plans, err := Generate(dnns, formats, env, GenerateOptions{OptimizePreproc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateSmol(plans[0], env); err == nil {
+		t.Fatal("unknown DNN without calibration should error")
+	}
+	env.Calibration = &hw.Calibration{
+		ExecUS:       map[string]float64{"live-model@32": 250},
+		PreprocScale: 2,
+	}
+	c, err := Costs(plans[0], env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ExecUS != 250 {
+		t.Fatalf("calibrated ExecUS %v, want 250", c.ExecUS)
+	}
+	uncal := env
+	uncal.Calibration = &hw.Calibration{ExecUS: env.Calibration.ExecUS}
+	cu, err := Costs(plans[0], uncal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DecodeUS != 2*cu.DecodeUS || c.CPUPostUS != 2*cu.CPUPostUS {
+		t.Fatalf("CPU scale not applied: %+v vs %+v", c, cu)
+	}
+	if _, err := EstimateSmol(plans[0], env); err != nil {
+		t.Fatalf("calibrated estimate: %v", err)
+	}
+}

@@ -33,8 +33,19 @@ type Config struct {
 	// BatchSize is the execution batch size; zero means 32.
 	BatchSize int
 	// SampleShape is the (C, H, W) shape every preprocessed sample has.
+	// It describes the single shape class 0 when Shapes is empty.
 	SampleShape [3]int
-	Opts        Options
+	// Shapes, when non-empty, declares the pipeline's shape classes: every
+	// job names one via Job.Class, and the pipeline keeps a tensor pool,
+	// staging arena, bounded queue, and batch-assembly streams per class.
+	// Batches never mix classes, so a multi-variant model zoo can share one
+	// warm pipeline while each variant keeps its own input geometry.
+	Shapes [][3]int
+	// BatchSizes optionally overrides BatchSize per shape class (parallel to
+	// Shapes; zero entries fall back to BatchSize), letting large-input
+	// classes run smaller batches than cheap ones.
+	BatchSizes []int
+	Opts       Options
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +75,9 @@ type Job struct {
 	Index int
 	Data  []byte
 	Tag   any
+	// Class is the job's shape class (an index into Config.Shapes); leave 0
+	// for single-shape pipelines.
+	Class int
 }
 
 // PrepFunc decodes and preprocesses one job into out, which has
@@ -123,8 +137,8 @@ func New(cfg Config, prep PrepFunc, exec ExecFunc) (*Engine, error) {
 	if prep == nil || exec == nil {
 		return nil, fmt.Errorf("engine: prep and exec functions are required")
 	}
-	if cfg.SampleShape[0] <= 0 || cfg.SampleShape[1] <= 0 || cfg.SampleShape[2] <= 0 {
-		return nil, fmt.Errorf("engine: invalid sample shape %v", cfg.SampleShape)
+	if _, err := classGeoms(cfg); err != nil {
+		return nil, err
 	}
 	return &Engine{cfg: cfg, prep: prep, exec: exec}, nil
 }

@@ -194,11 +194,16 @@ type Pipeline struct {
 	// It must be set before the first Process call.
 	InitWorker func(ws *WorkerState)
 
-	pool  *TensorPool
-	arena *PinnedArena
-	queue *MPMCQueue[item]
-	subs  chan task
-	stop  chan struct{}
+	// classes is the resolved per-shape-class geometry; pools, arenas and
+	// queues are parallel to it. Jobs name their class via Job.Class, and
+	// each class gets its own batch-assembly streams, so batches never mix
+	// sample shapes and every class keeps an allocation-free warm path.
+	classes []classGeom
+	pools   []*TensorPool
+	arenas  []*PinnedArena
+	queues  []*MPMCQueue[item]
+	subs    chan task
+	stop    chan struct{}
 
 	startOnce sync.Once
 	started   atomic.Bool
@@ -217,6 +222,44 @@ type Pipeline struct {
 	batches atomic.Int64 // lifetime batches dispatched
 }
 
+// classGeom is the resolved geometry of one shape class: its sample shape,
+// batch size, and queue capacity.
+type classGeom struct {
+	shape     [3]int
+	sampleLen int
+	batch     int
+	queueCap  int
+}
+
+// classGeoms resolves Config.Shapes/BatchSizes (falling back to the
+// single-shape SampleShape/BatchSize) into per-class geometry.
+func classGeoms(cfg Config) ([]classGeom, error) {
+	shapes := cfg.Shapes
+	if len(shapes) == 0 {
+		shapes = [][3]int{cfg.SampleShape}
+	}
+	if len(cfg.BatchSizes) > len(shapes) {
+		return nil, fmt.Errorf("engine: %d batch sizes for %d shape classes",
+			len(cfg.BatchSizes), len(shapes))
+	}
+	out := make([]classGeom, len(shapes))
+	for i, s := range shapes {
+		if s[0] <= 0 || s[1] <= 0 || s[2] <= 0 {
+			return nil, fmt.Errorf("engine: invalid sample shape %v (class %d)", s, i)
+		}
+		batch := cfg.BatchSize
+		if i < len(cfg.BatchSizes) && cfg.BatchSizes[i] > 0 {
+			batch = cfg.BatchSizes[i]
+		}
+		qc := cfg.QueueCap
+		if qc < batch {
+			qc = 4 * batch
+		}
+		out[i] = classGeom{shape: s, sampleLen: s[0] * s[1] * s[2], batch: batch, queueCap: qc}
+	}
+	return out, nil
+}
+
 // NewPipeline constructs a streaming pipeline. prep runs on the resident
 // worker goroutines; exec consumes assembled batches and routes per-sample
 // results via refs.
@@ -225,24 +268,28 @@ func NewPipeline(cfg Config, prep PrepFunc, exec BatchFunc) (*Pipeline, error) {
 	if prep == nil || exec == nil {
 		return nil, fmt.Errorf("engine: prep and exec functions are required")
 	}
-	if cfg.SampleShape[0] <= 0 || cfg.SampleShape[1] <= 0 || cfg.SampleShape[2] <= 0 {
-		return nil, fmt.Errorf("engine: invalid sample shape %v", cfg.SampleShape)
+	classes, err := classGeoms(cfg)
+	if err != nil {
+		return nil, err
 	}
-	shape := []int{cfg.SampleShape[0], cfg.SampleShape[1], cfg.SampleShape[2]}
-	sampleLen := shape[0] * shape[1] * shape[2]
-	return &Pipeline{
-		cfg:   cfg,
-		prep:  prep,
-		exec:  exec,
-		pool:  NewTensorPool(shape, cfg.QueueCap+cfg.Workers+cfg.Streams*cfg.BatchSize),
-		arena: NewPinnedArena(cfg.Streams+1, cfg.BatchSize*sampleLen),
-		queue: NewMPMCQueue[item](cfg.QueueCap),
-		subs:  make(chan task, cfg.QueueCap),
-		stop:  make(chan struct{}),
-	}, nil
+	p := &Pipeline{
+		cfg:     cfg,
+		prep:    prep,
+		exec:    exec,
+		classes: classes,
+		subs:    make(chan task, classes[0].queueCap),
+		stop:    make(chan struct{}),
+	}
+	for _, g := range classes {
+		shape := []int{g.shape[0], g.shape[1], g.shape[2]}
+		p.pools = append(p.pools, NewTensorPool(shape, g.queueCap+cfg.Workers+cfg.Streams*g.batch))
+		p.arenas = append(p.arenas, NewPinnedArena(cfg.Streams+1, g.batch*g.sampleLen))
+		p.queues = append(p.queues, NewMPMCQueue[item](g.queueCap))
+	}
+	return p, nil
 }
 
-// start spawns the resident workers and streams exactly once.
+// start spawns the resident workers and per-class streams exactly once.
 func (p *Pipeline) start() {
 	p.startOnce.Do(func() {
 		p.started.Store(true)
@@ -250,9 +297,11 @@ func (p *Pipeline) start() {
 			p.wgWorkers.Add(1)
 			go p.runWorker(w)
 		}
-		for s := 0; s < p.cfg.Streams; s++ {
-			p.wgStreams.Add(1)
-			go p.runStream()
+		for c := range p.classes {
+			for s := 0; s < p.cfg.Streams; s++ {
+				p.wgStreams.Add(1)
+				go p.runStream(c)
+			}
 		}
 	})
 }
@@ -294,26 +343,49 @@ func (p *Pipeline) Close() {
 				}
 				break
 			}
-			p.queue.Close()
+			for _, q := range p.queues {
+				q.Close()
+			}
 			p.wgStreams.Wait()
 		}
 	})
 }
 
-// newBuf fetches a sample buffer honouring the memory-reuse toggle.
-func (p *Pipeline) newBuf() *tensor.Tensor {
+// newBuf fetches a sample buffer of one shape class, honouring the
+// memory-reuse toggle.
+func (p *Pipeline) newBuf(class int) *tensor.Tensor {
 	if p.cfg.Opts.DisableMemReuse {
-		s := p.cfg.SampleShape
+		s := p.classes[class].shape
 		return tensor.New(s[0], s[1], s[2])
 	}
-	return p.pool.Get()
+	return p.pools[class].Get()
 }
 
-// recycle returns a sample buffer to the pool (no-op when reuse is off).
-func (p *Pipeline) recycle(buf *tensor.Tensor) {
+// recycle returns a sample buffer to its class pool (no-op when reuse is
+// off).
+func (p *Pipeline) recycle(class int, buf *tensor.Tensor) {
 	if !p.cfg.Opts.DisableMemReuse {
-		p.pool.Put(buf)
+		p.pools[class].Put(buf)
 	}
+}
+
+// poolStats sums allocation/reuse counters across the class pools.
+func (p *Pipeline) poolStats() (allocs, reuses int) {
+	for _, pool := range p.pools {
+		a, r := pool.Stats()
+		allocs += a
+		reuses += r
+	}
+	return allocs, reuses
+}
+
+// queueStalls sums full-queue Put stalls across the class queues.
+func (p *Pipeline) queueStalls() int {
+	total := 0
+	for _, q := range p.queues {
+		total += q.PutStalls()
+	}
+	return total
 }
 
 func (p *Pipeline) runWorker(id int) {
@@ -341,32 +413,38 @@ func (p *Pipeline) prepOne(ws *WorkerState, t task) {
 		req.finish(false, 0)
 		return
 	}
+	class := t.job.Class
 	prepStart := time.Now()
-	buf := p.newBuf()
+	buf := p.newBuf(class)
 	if err := p.prep(ws, t.job, buf); err != nil {
-		p.recycle(buf)
+		p.recycle(class, buf)
 		req.fail(fmt.Errorf("engine: job %d: %w", t.job.Index, err))
 		req.finish(false, 0)
 		return
 	}
 	it := item{index: t.job.Index, tag: t.job.Tag, buf: buf, start: prepStart, req: req}
-	if err := p.queue.Put(it); err != nil {
+	if err := p.queues[class].Put(it); err != nil {
 		// Pipeline shutting down underneath the request.
-		p.recycle(buf)
+		p.recycle(class, buf)
 		req.fail(ErrPipelineClosed)
 		req.finish(false, 0)
 	}
 }
 
-func (p *Pipeline) runStream() {
+// runStream assembles and executes batches for one shape class. Per-class
+// streams mean a batch only ever carries samples of its class's geometry.
+func (p *Pipeline) runStream(class int) {
 	defer p.wgStreams.Done()
 	cfg := p.cfg
-	shape := cfg.SampleShape
-	sampleLen := shape[0] * shape[1] * shape[2]
-	items := make([]item, cfg.BatchSize)
-	refs := make([]Ref, cfg.BatchSize)
+	g := p.classes[class]
+	shape := g.shape
+	sampleLen := g.sampleLen
+	queue := p.queues[class]
+	arena := p.arenas[class]
+	items := make([]item, g.batch)
+	refs := make([]Ref, g.batch)
 	for {
-		n := p.queue.TakeUpTo(items, cfg.BatchSize)
+		n := queue.TakeUpTo(items, g.batch)
 		if n == 0 {
 			return // closed and drained
 		}
@@ -375,7 +453,7 @@ func (p *Pipeline) runStream() {
 		m := 0
 		for i := 0; i < n; i++ {
 			if items[i].req.abandoned() {
-				p.recycle(items[i].buf)
+				p.recycle(class, items[i].buf)
 				items[i].req.finish(false, 0)
 				items[i].buf = nil
 				continue
@@ -391,27 +469,27 @@ func (p *Pipeline) runStream() {
 		// DALI-to-TensorRT style integrations require.
 		var staging []float32
 		if cfg.Opts.DisablePinned {
-			staging = make([]float32, cfg.BatchSize*sampleLen)
+			staging = make([]float32, g.batch*sampleLen)
 			tmp := make([]float32, m*sampleLen)
 			for i := 0; i < m; i++ {
 				copy(tmp[i*sampleLen:], items[i].buf.Data)
 			}
 			copy(staging, tmp)
 		} else {
-			staging = p.arena.Acquire()
+			staging = arena.Acquire()
 			for i := 0; i < m; i++ {
 				copy(staging[i*sampleLen:], items[i].buf.Data)
 			}
 		}
 		for i := 0; i < m; i++ {
 			refs[i] = Ref{Index: items[i].index, Tag: items[i].tag}
-			p.recycle(items[i].buf)
+			p.recycle(class, items[i].buf)
 			items[i].buf = nil
 		}
 		batch := tensor.FromData(staging[:m*sampleLen], m, shape[0], shape[1], shape[2])
 		err := p.exec(batch, refs[:m])
 		if !cfg.Opts.DisablePinned {
-			p.arena.Release(staging)
+			arena.Release(staging)
 		}
 		p.batches.Add(1)
 		done := time.Now()
@@ -476,6 +554,11 @@ feed:
 		if !ok {
 			break
 		}
+		if job.Class < 0 || job.Class >= len(p.classes) {
+			req.fail(fmt.Errorf("engine: job %d: shape class %d out of range [0,%d)",
+				job.Index, job.Class, len(p.classes)))
+			break
+		}
 		req.add()
 		select {
 		case p.subs <- task{job: job, req: req}:
@@ -505,13 +588,13 @@ feed:
 	}
 
 	elapsed := time.Since(start)
-	allocs, reuses := p.pool.Stats()
+	allocs, reuses := p.poolStats()
 	req.mu.Lock()
 	st := Stats{
 		Images:          req.submitted,
 		Elapsed:         elapsed,
 		Batches:         req.batches,
-		QueueFullStalls: p.queue.PutStalls(),
+		QueueFullStalls: p.queueStalls(),
 		PoolAllocs:      allocs,
 		PoolReuses:      reuses,
 		MaxLatency:      req.latMax,

@@ -94,7 +94,7 @@ func TestPipelineConcurrentRequestsShareWarmEngine(t *testing.T) {
 	}
 	// All four requests ran through one warm pool: the pool never allocated
 	// per-image (4 x 100 images >> pipeline depth).
-	allocs, reuses := p.pool.Stats()
+	allocs, reuses := p.poolStats()
 	if reuses == 0 {
 		t.Fatal("warm pipeline never reused a buffer")
 	}
@@ -313,8 +313,8 @@ func TestPipelineErrorReturnsPooledBuffers(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 	p.Close()
-	allocs, _ := p.pool.Stats()
-	if free := p.pool.Free(); free != allocs {
+	allocs, _ := p.poolStats()
+	if free := p.pools[0].Free(); free != allocs {
 		t.Fatalf("pool leaked buffers after failed run: %d free of %d allocated", free, allocs)
 	}
 }
@@ -398,5 +398,102 @@ func TestMPMCCloseUnblocksConcurrentPuts(t *testing.T) {
 	}
 	if _, ok := q.Take(); ok {
 		t.Fatal("empty closed queue reported ok")
+	}
+}
+
+// TestPipelineMultiShapeClasses: a pipeline declaring several shape classes
+// must route every job to a batch of its own class's geometry (and batch
+// size), never mixing shapes, while concurrent requests of different
+// classes share the warm workers.
+func TestPipelineMultiShapeClasses(t *testing.T) {
+	cfg := Config{
+		Workers: 4, Streams: 2, BatchSize: 8,
+		Shapes:     [][3]int{{3, 4, 4}, {3, 6, 6}, {1, 2, 2}},
+		BatchSizes: []int{0, 4, 0}, // class 1 runs smaller batches
+	}
+	sampleLens := []int{3 * 4 * 4, 3 * 6 * 6, 1 * 2 * 2}
+	maxBatch := []int{8, 4, 8}
+	exec := func(batch *tensor.Tensor, refs []Ref) error {
+		n := batch.Shape[0]
+		sampleLen := batch.Len() / n
+		class := -1
+		for c, l := range sampleLens {
+			if l == sampleLen {
+				class = c
+			}
+		}
+		if class < 0 {
+			return fmt.Errorf("batch with unknown sample length %d", sampleLen)
+		}
+		if n > maxBatch[class] {
+			return fmt.Errorf("class %d batch of %d exceeds its batch size %d", class, n, maxBatch[class])
+		}
+		for i, r := range refs {
+			res := r.Tag.(*results)
+			if res.offset != class {
+				return fmt.Errorf("class %d batch carries a job of class %d", class, res.offset)
+			}
+			got := batch.Data[i*sampleLen]
+			if got != float32(r.Index) {
+				return fmt.Errorf("batch slot %d carries %v, want %d", i, got, r.Index)
+			}
+			res.mu.Lock()
+			res.preds[r.Index] = int(got)
+			res.mu.Unlock()
+		}
+		return nil
+	}
+	p, err := NewPipeline(cfg, tagPrep, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const perClass = 100
+	var wg sync.WaitGroup
+	resSlices := make([]*results, len(sampleLens))
+	errs := make([]error, len(sampleLens))
+	for c := range sampleLens {
+		// offset doubles as the request's class marker for exec above.
+		resSlices[c] = &results{preds: make([]int, perClass), offset: c}
+		jobs := make([]Job, perClass)
+		for i := range jobs {
+			jobs[i] = Job{Index: i, Tag: resSlices[c], Class: c}
+		}
+		wg.Add(1)
+		go func(c int, jobs []Job) {
+			defer wg.Done()
+			_, errs[c] = p.Process(context.Background(), SliceSource(jobs))
+		}(c, jobs)
+	}
+	wg.Wait()
+	for c := range sampleLens {
+		if errs[c] != nil {
+			t.Fatalf("class %d: %v", c, errs[c])
+		}
+		for i, got := range resSlices[c].preds {
+			if got != i {
+				t.Fatalf("class %d job %d routed to %d", c, i, got)
+			}
+		}
+	}
+}
+
+// TestPipelineRejectsInvalidClass: a job naming a shape class the pipeline
+// does not have must fail its own request without wedging the pipeline.
+func TestPipelineRejectsInvalidClass(t *testing.T) {
+	p, err := NewPipeline(streamCfg(), tagPrep, routeExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	res := &results{preds: make([]int, 2)}
+	jobs := []Job{{Index: 0, Tag: res}, {Index: 1, Tag: res, Class: 3}}
+	if _, err := p.Process(context.Background(), SliceSource(jobs)); err == nil {
+		t.Fatal("out-of-range shape class should fail the request")
+	}
+	good := &results{preds: make([]int, 8)}
+	if _, err := p.Process(context.Background(), SliceSource(tagJobs(8, good))); err != nil {
+		t.Fatalf("pipeline did not survive the invalid job: %v", err)
 	}
 }

@@ -419,3 +419,29 @@ func TestDecodeCostScaled(t *testing.T) {
 		t.Fatalf("PNG should ignore Scale: %v vs %v", a, b)
 	}
 }
+
+func TestCalibrationZeroValueAndLookup(t *testing.T) {
+	var nilCal *Calibration
+	if s := nilCal.CPUScale(); s != 1 {
+		t.Fatalf("nil calibration CPU scale %v, want 1", s)
+	}
+	if _, ok := nilCal.ExecUSFor("resnet-50"); ok {
+		t.Fatal("nil calibration should not resolve exec times")
+	}
+	cal := &Calibration{
+		ExecUS:       map[string]float64{"live@64": 123.5, "broken": 0},
+		PreprocScale: 0.25,
+	}
+	if us, ok := cal.ExecUSFor("live@64"); !ok || us != 123.5 {
+		t.Fatalf("ExecUSFor = %v, %v", us, ok)
+	}
+	if _, ok := cal.ExecUSFor("missing"); ok {
+		t.Fatal("missing entry resolved")
+	}
+	if _, ok := cal.ExecUSFor("broken"); ok {
+		t.Fatal("non-positive measurement resolved")
+	}
+	if s := cal.CPUScale(); s != 0.25 {
+		t.Fatalf("CPU scale %v", s)
+	}
+}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -409,3 +410,43 @@ func (f *fakeParamLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { 
 func (f *fakeParamLayer) Backward(grad *tensor.Tensor) *tensor.Tensor         { return grad }
 func (f *fakeParamLayer) Params() []*tensor.Tensor                            { return []*tensor.Tensor{f.p} }
 func (f *fakeParamLayer) Grads() []*tensor.Tensor                             { return []*tensor.Tensor{f.g} }
+
+// TestSaveLoadModelMeta: zoo metadata (variant name, measured accuracy)
+// must round-trip with the weights, and metadata-free saves load with zero
+// metadata.
+func TestSaveLoadModelMeta(t *testing.T) {
+	cfg, err := VariantConfig(VariantA, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewResNet(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := ModelMeta{Variant: VariantA, Accuracy: 0.875}
+	var buf bytes.Buffer
+	if err := SaveModelMeta(&buf, cfg, meta, m); err != nil {
+		t.Fatal(err)
+	}
+	_, gotMeta, loaded, err := LoadModelMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("metadata %+v, want %+v", gotMeta, meta)
+	}
+	x := tensor.New(1, 3, 16, 16)
+	if got, want := loaded.Predict(x)[0], m.Predict(x)[0]; got != want {
+		t.Fatalf("loaded model predicts %d, original %d", got, want)
+	}
+	buf.Reset()
+	if err := SaveModel(&buf, cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, gotMeta, _, err = LoadModelMeta(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != (ModelMeta{}) {
+		t.Fatalf("plain save produced metadata %+v", gotMeta)
+	}
+}

@@ -44,43 +44,71 @@ func (m *Model) stateTensors() []*tensor.Tensor {
 	return out
 }
 
-// savedModel is the gob wire format.
+// ModelMeta is the zoo bookkeeping serialized alongside a model: which
+// named variant it is and the validation accuracy measured after training.
+// A serving planner trades this accuracy against throughput, so it travels
+// with the weights rather than in a side channel.
+type ModelMeta struct {
+	// Variant is the nn variant name ("resnet-a" etc.); empty for models
+	// saved before metadata existed or built from custom configs.
+	Variant string
+	// Accuracy is the measured validation accuracy in [0, 1]; zero means
+	// unmeasured.
+	Accuracy float64
+}
+
+// savedModel is the gob wire format. Meta was added after the first release;
+// gob's field-by-name decoding keeps both directions compatible (old files
+// load with zero Meta, old readers skip it).
 type savedModel struct {
 	Config  ResNetConfig
+	Meta    ModelMeta
 	Tensors [][]float32
 }
 
 // SaveModel serializes a ResNet built from cfg.
 func SaveModel(w io.Writer, cfg ResNetConfig, m *Model) error {
-	sm := savedModel{Config: cfg}
+	return SaveModelMeta(w, cfg, ModelMeta{}, m)
+}
+
+// SaveModelMeta serializes a ResNet together with its zoo metadata.
+func SaveModelMeta(w io.Writer, cfg ResNetConfig, meta ModelMeta, m *Model) error {
+	sm := savedModel{Config: cfg, Meta: meta}
 	for _, t := range m.stateTensors() {
 		sm.Tensors = append(sm.Tensors, t.Data)
 	}
 	return gob.NewEncoder(w).Encode(&sm)
 }
 
-// LoadModel reconstructs a model saved by SaveModel.
+// LoadModel reconstructs a model saved by SaveModel, dropping any metadata.
 func LoadModel(r io.Reader) (ResNetConfig, *Model, error) {
+	cfg, _, m, err := LoadModelMeta(r)
+	return cfg, m, err
+}
+
+// LoadModelMeta reconstructs a model and its metadata saved by
+// SaveModelMeta (zero metadata for files saved by plain SaveModel).
+func LoadModelMeta(r io.Reader) (ResNetConfig, ModelMeta, *Model, error) {
 	var sm savedModel
 	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
-		return ResNetConfig{}, nil, fmt.Errorf("nn: decoding model: %w", err)
+		return ResNetConfig{}, ModelMeta{}, nil, fmt.Errorf("nn: decoding model: %w", err)
 	}
 	// Weight values are overwritten below; the seed only shapes the graph.
 	m, err := NewResNet(rand.New(rand.NewSource(0)), sm.Config)
 	if err != nil {
-		return ResNetConfig{}, nil, err
+		return ResNetConfig{}, ModelMeta{}, nil, err
 	}
 	tensors := m.stateTensors()
 	if len(tensors) != len(sm.Tensors) {
-		return ResNetConfig{}, nil, fmt.Errorf("nn: model has %d tensors, file has %d",
+		return ResNetConfig{}, ModelMeta{}, nil, fmt.Errorf("nn: model has %d tensors, file has %d",
 			len(tensors), len(sm.Tensors))
 	}
 	for i, t := range tensors {
 		if len(t.Data) != len(sm.Tensors[i]) {
-			return ResNetConfig{}, nil, fmt.Errorf("nn: tensor %d size %d, file has %d",
+			return ResNetConfig{}, ModelMeta{}, nil, fmt.Errorf("nn: tensor %d size %d, file has %d",
 				i, len(t.Data), len(sm.Tensors[i]))
 		}
 		copy(t.Data, sm.Tensors[i])
 	}
-	return sm.Config, m, nil
+	return sm.Config, sm.Meta, m, nil
 }

@@ -124,6 +124,23 @@ type Spec struct {
 	DecodeScales []int
 }
 
+// ServeSpec builds the serving-time preprocessing problem for one input
+// class and one chosen model resolution: decode an inW x inH image, resize
+// its short edge to res, center-crop res x res, and normalize by mean/std.
+// decodeScales lists the codec's reduced decode factors (nil for codecs
+// that only decode at full resolution, or when scaled decode is disabled).
+// The serving planner calls this once per (input class, zoo entry) pair, so
+// a spec is always parameterized by the resolution the planner chose rather
+// than a runtime-wide constant.
+func ServeSpec(inW, inH, res int, mean, std [3]float32, decodeScales []int) Spec {
+	return Spec{
+		InW: inW, InH: inH,
+		ResizeShort: res, CropW: res, CropH: res,
+		Mean: mean, Std: std,
+		DecodeScales: decodeScales,
+	}
+}
+
 // Validate checks the spec.
 func (s Spec) Validate() error {
 	if s.InW <= 0 || s.InH <= 0 {

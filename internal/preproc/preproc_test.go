@@ -440,3 +440,35 @@ func TestScaledPlansStayFaithful(t *testing.T) {
 		}
 	}
 }
+
+// TestServeSpec: the serving-time spec constructor must be parameterized
+// by the chosen model resolution and validate for every legal (dims, res)
+// pair the planner produces.
+func TestServeSpec(t *testing.T) {
+	mean := [3]float32{0.5, 0.5, 0.5}
+	std := [3]float32{1, 1, 1}
+	s := ServeSpec(1920, 1080, 224, mean, std, []int{1, 2, 4, 8})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ResizeShort != 224 || s.CropW != 224 || s.CropH != 224 {
+		t.Fatalf("spec geometry %+v", s)
+	}
+	plan, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DecodeScale() != 4 {
+		t.Fatalf("1080p to 224 chose decode 1/%d, want 1/4", plan.DecodeScale())
+	}
+	// Different chosen resolution, same input class: a distinct spec with a
+	// deeper legal scale.
+	s64 := ServeSpec(1920, 1080, 64, mean, std, []int{1, 2, 4, 8})
+	plan64, err := Optimize(s64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan64.DecodeScale() != 8 {
+		t.Fatalf("1080p to 64 chose decode 1/%d, want 1/8", plan64.DecodeScale())
+	}
+}

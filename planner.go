@@ -1,0 +1,358 @@
+package smol
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"smol/internal/codec/jpeg"
+	"smol/internal/codec/spng"
+	"smol/internal/costmodel"
+	"smol/internal/hw"
+	"smol/internal/img"
+	"smol/internal/preproc"
+	"smol/internal/tensor"
+)
+
+// QoS is a serving quality target, set per runtime (RuntimeConfig.QoS) and
+// overridable per request (Server.ClassifyQoS). The zero value asks for
+// maximum throughput: the planner picks the cheapest zoo entry with no
+// accuracy floor.
+type QoS struct {
+	// MinAccuracy requires the chosen zoo entry's measured validation
+	// accuracy to be at least this floor; among feasible entries the
+	// planner maximizes predicted throughput.
+	MinAccuracy float64
+	// MaxLatencyUS caps the predicted worst-case per-image latency in
+	// microseconds (the latency-constrained deployment of §3.1). Zero
+	// means unconstrained.
+	MaxLatencyUS float64
+}
+
+// ServePlan is the planner's decision for one request: the zoo entry it
+// routed the request to, the joint decode/preprocessing plan for the
+// request's input class, and the calibrated cost-model predictions that
+// justified the choice. smol-query -explain prints it next to the measured
+// throughput.
+type ServePlan struct {
+	// Entry is the chosen zoo entry ("variant@res").
+	Entry string
+	// Variant and InputRes split Entry into its parts.
+	Variant  string
+	InputRes int
+	// Accuracy is the entry's measured validation accuracy.
+	Accuracy float64
+	// InputFormat describes the representative input class the plan was
+	// selected for (codec and encoded dimensions of the request's first
+	// image).
+	InputFormat string
+	// DecodeScale is the reduced decode factor the joint plan chose for
+	// that input class (1 = full-resolution decode).
+	DecodeScale int
+	// Preproc names the optimized post-decode operator chain.
+	Preproc string
+	// PredictedThroughput is the calibrated Eq. 4 estimate (im/s) for this
+	// plan on the live machine.
+	PredictedThroughput float64
+	// PredictedLatencyUS is the calibrated worst-case per-image latency
+	// estimate.
+	PredictedLatencyUS float64
+}
+
+func (p ServePlan) String() string {
+	return fmt.Sprintf("%s on %s: decode 1/%d, %s, predicted %.0f im/s (acc %.3f)",
+		p.Entry, p.InputFormat, p.DecodeScale, p.Preproc, p.PredictedThroughput, p.Accuracy)
+}
+
+// selKey memoizes planner decisions per (input class, QoS) pair.
+type selKey struct {
+	w, h int
+	png  bool
+	qos  QoS
+}
+
+// selection is one memoized planner decision.
+type selection struct {
+	entry *rtEntry
+	plan  ServePlan
+}
+
+// maxCachedSelections bounds the planner's memo; beyond it the memo resets
+// (selections are cheap to recompute — the expensive parts, calibration
+// and ingest-plan compilation, have their own caches).
+const maxCachedSelections = 256
+
+// planFor picks the zoo entry for one request: it peeks at the first
+// input's header to establish the request's input class, builds the
+// calibrated D x F plan space (every zoo entry against that class, each
+// with its jointly optimized decode scale and preprocessing chain), and
+// selects the best plan under the QoS constraint — the paper's joint
+// preprocessing/inference optimization running live inside the serving
+// path.
+func (r *Runtime) planFor(inputs []EncodedImage, qos QoS) (*rtEntry, ServePlan, error) {
+	if len(inputs) == 0 {
+		// An empty request has no input class to cost and no work to
+		// bound: route it by accuracy alone (no calibration, no plan
+		// search) so it stays the no-op it always was, while a genuinely
+		// unsatisfiable accuracy floor still fails loudly.
+		var best *rtEntry
+		for _, ent := range r.entries {
+			if ent.Accuracy >= qos.MinAccuracy && (best == nil || ent.Accuracy > best.Accuracy) {
+				best = ent
+			}
+		}
+		if best == nil {
+			return nil, ServePlan{}, fmt.Errorf("smol: no zoo entry meets accuracy floor %v", qos.MinAccuracy)
+		}
+		return best, ServePlan{Entry: best.name, Variant: best.Variant,
+			InputRes: best.InputRes, Accuracy: best.Accuracy, DecodeScale: 1}, nil
+	}
+	w, h, err := peekDims(inputs[0])
+	if err != nil {
+		return nil, ServePlan{}, fmt.Errorf("smol: reading input header: %w", err)
+	}
+	key := selKey{w: w, h: h, png: inputs[0].PNG, qos: qos}
+	r.selMu.Lock()
+	sel, ok := r.sels[key]
+	r.selMu.Unlock()
+	if ok {
+		return sel.entry, sel.plan, nil
+	}
+	sel, err = r.selectPlan(key)
+	if err != nil {
+		return nil, ServePlan{}, err
+	}
+	r.selMu.Lock()
+	if len(r.sels) >= maxCachedSelections {
+		r.sels = make(map[selKey]selection)
+	}
+	r.sels[key] = sel
+	r.selMu.Unlock()
+	return sel.entry, sel.plan, nil
+}
+
+// selectPlan runs the calibrated plan search for one (input class, QoS)
+// pair and lowers the winner into a ServePlan.
+func (r *Runtime) selectPlan(key selKey) (selection, error) {
+	env := costmodel.DefaultEnv()
+	env.VCPUs = r.workerCount()
+	env.BatchSize = r.batchSize()
+	env.Calibration = r.calibrate()
+
+	kind := hw.FormatJPEG
+	name := "jpeg"
+	if key.png {
+		kind = hw.FormatPNG
+		name = "png"
+	}
+	format := costmodel.Format{
+		Name: fmt.Sprintf("%s %dx%d", name, key.w, key.h),
+		Kind: kind, W: key.w, H: key.h, Quality: 90,
+	}
+
+	// Build one candidate plan per zoo entry, with the same joint
+	// decode-scale + preprocessing optimization the ingest compiler runs,
+	// so the predicted plan is the one the runtime will actually execute.
+	plans := make([]costmodel.Plan, 0, len(r.entries))
+	for _, ent := range r.entries {
+		var scales []int
+		if !key.png && !r.cfg.DisableScaledDecode {
+			scales = jpegDecodeScales
+		}
+		specW, specH := key.w, key.h
+		entFormat := format
+		if !key.png && r.cfg.ROIDecode {
+			// The executed ingest plan decodes only the MCU-aligned cover
+			// of the central crop; cost the same geometry. The stream's
+			// real MCU size is unknown until decode, so assume the
+			// worst-case 16px grid (4:2:0) — at most one MCU of slack per
+			// edge against what ingestFor will compile.
+			_, region := roiGeometry(key.w, key.h, ent.InputRes, 16)
+			specW, specH = region.W(), region.H()
+			entFormat.ROIFraction = float64(specW*specH) / float64(key.w*key.h)
+		}
+		spec := preproc.ServeSpec(specW, specH, ent.InputRes, r.cfg.Mean, r.cfg.Std, scales)
+		pplan, err := preproc.Optimize(spec)
+		if err != nil {
+			return selection{}, fmt.Errorf("smol: optimizing preproc for %s: %w", ent.name, err)
+		}
+		p := costmodel.Plan{
+			DNN: costmodel.DNNChoice{
+				Name: ent.name, InputRes: ent.InputRes, Accuracy: ent.Accuracy,
+			},
+			Format: entFormat, Preproc: pplan, PreprocSpec: spec,
+		}
+		if sc := pplan.DecodeScale(); sc > 1 {
+			p.Format.DecodeScale = sc
+		}
+		plans = append(plans, p)
+	}
+	evals, err := costmodel.Evaluate(plans, env)
+	if err != nil {
+		return selection{}, err
+	}
+	best, err := costmodel.Select(evals, costmodel.Constraint{
+		MinAccuracy:  key.qos.MinAccuracy,
+		MaxLatencyUS: key.qos.MaxLatencyUS,
+	})
+	if err != nil {
+		return selection{}, fmt.Errorf("smol: no zoo entry satisfies QoS %+v: %w", key.qos, err)
+	}
+	ent := r.byName[best.Plan.DNN.Name]
+	if ent == nil {
+		return selection{}, fmt.Errorf("smol: planner chose unknown entry %q", best.Plan.DNN.Name)
+	}
+	return selection{
+		entry: ent,
+		plan: ServePlan{
+			Entry:               ent.name,
+			Variant:             ent.Variant,
+			InputRes:            ent.InputRes,
+			Accuracy:            ent.Accuracy,
+			InputFormat:         format.Name,
+			DecodeScale:         best.Plan.Preproc.DecodeScale(),
+			Preproc:             describeChain(best.Plan.Preproc),
+			PredictedThroughput: best.Throughput,
+			PredictedLatencyUS:  best.LatencyUS,
+		},
+	}, nil
+}
+
+// describeChain renders a preprocessing chain as its operator kinds.
+func describeChain(p preproc.Plan) string {
+	kinds := make([]string, len(p.Ops))
+	for i, op := range p.Ops {
+		kinds[i] = op.Kind.String()
+	}
+	return strings.Join(kinds, "+")
+}
+
+// peekDims reads the encoded dimensions from an input's header without
+// decoding it.
+func peekDims(in EncodedImage) (w, h int, err error) {
+	if in.PNG {
+		return spng.DecodeHeader(in.Data)
+	}
+	return jpeg.DecodeHeader(in.Data)
+}
+
+func (r *Runtime) workerCount() int {
+	if r.cfg.Workers > 0 {
+		return r.cfg.Workers
+	}
+	if r.cfg.Opts.DisableThreading {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r *Runtime) batchSize() int {
+	if r.cfg.BatchSize > 0 {
+		return r.cfg.BatchSize
+	}
+	return 32
+}
+
+// calibrate measures this machine once per runtime: every zoo entry's real
+// per-image forward time (through the same compiled plan serving uses) and
+// the ratio of live to modeled CPU preprocessing cost. The planner's
+// estimators then rank plans by the hardware they are actually running on
+// — the live counterpart of the BENCH_*.json tracking — instead of the
+// paper's static testbed profiles.
+func (r *Runtime) calibrate() *hw.Calibration {
+	r.calOnce.Do(func() {
+		cal := &hw.Calibration{ExecUS: make(map[string]float64, len(r.entries))}
+		for _, ent := range r.entries {
+			cal.ExecUS[ent.name] = r.measureExecUS(ent)
+		}
+		cal.PreprocScale = r.measurePreprocScale()
+		r.cal = cal
+	})
+	return r.cal
+}
+
+// measureExecUS times one entry's batch forward (best of a few warm runs)
+// and returns microseconds per image.
+func (r *Runtime) measureExecUS(ent *rtEntry) float64 {
+	n := 4
+	if bs := r.batchSize(); bs < n {
+		n = bs
+	}
+	x := tensor.New(n, 3, ent.InputRes, ent.InputRes)
+	preds := make([]int, n)
+	run := func() time.Duration {
+		start := time.Now()
+		if ent.plan != nil {
+			ent.plan.PredictInto(x, preds)
+		} else {
+			ent.execMu.Lock()
+			ent.Model.Predict(x)
+			ent.execMu.Unlock()
+		}
+		return time.Since(start)
+	}
+	run() // warm arenas and layer caches
+	best := run()
+	if d := run(); d < best {
+		best = d
+	}
+	return best.Seconds() * 1e6 / float64(n)
+}
+
+// measurePreprocScale times a fixed reference decode+preprocess workload
+// and returns the live/modeled cost ratio.
+func (r *Runtime) measurePreprocScale() float64 {
+	const refW, refH, refRes = 192, 192, 64
+	m := img.New(refW, refH)
+	for y := 0; y < refH; y++ {
+		for x := 0; x < refW; x++ {
+			m.Set(x, y, uint8(x*3), uint8(y*5), uint8((x+y)*2))
+		}
+	}
+	enc := jpeg.Encode(m, jpeg.EncodeOptions{Quality: 90})
+	spec := preproc.ServeSpec(refW, refH, refRes, r.cfg.Mean, r.cfg.Std, nil)
+	plan, err := preproc.Optimize(spec)
+	if err != nil {
+		return 1
+	}
+	ex := preproc.NewExecutor()
+	out := tensor.New(3, refRes, refRes)
+	run := func() (time.Duration, error) {
+		start := time.Now()
+		dec, err := jpeg.Decode(enc)
+		if err != nil {
+			return 0, err
+		}
+		if err := ex.Execute(plan, dec, out); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	if _, err := run(); err != nil { // warm the executor scratch
+		return 1
+	}
+	best, err := run()
+	if err != nil {
+		return 1
+	}
+	if d, err := run(); err == nil && d < best {
+		best = d
+	}
+	modeled := hw.DecodeCostUS(hw.DecodeSpec{Format: hw.FormatJPEG, W: refW, H: refH, Quality: 90})
+	for _, oc := range preproc.OpCosts(plan, spec) {
+		modeled += hw.PostprocCostUS(oc)
+	}
+	if modeled <= 0 {
+		return 1
+	}
+	scale := best.Seconds() * 1e6 / modeled
+	// Clamp pathological measurements (debuggers, contended CI machines).
+	if scale < 0.02 {
+		scale = 0.02
+	}
+	if scale > 50 {
+		scale = 50
+	}
+	return scale
+}

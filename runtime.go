@@ -1,6 +1,7 @@
 package smol
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"smol/internal/codec/jpeg"
 	"smol/internal/codec/spng"
 	"smol/internal/engine"
+	"smol/internal/hw"
 	"smol/internal/img"
 	"smol/internal/nn"
 	"smol/internal/preproc"
@@ -21,11 +23,17 @@ type RuntimeConfig struct {
 	Workers int
 	// BatchSize is the model batch size (0 = 32).
 	BatchSize int
-	// InputRes is the model's square input resolution.
+	// InputRes is the model's square input resolution. Required by
+	// NewRuntime (single model); ignored by NewZooRuntime, where every zoo
+	// entry carries its own resolution.
 	InputRes int
 	// Mean and Std are the normalization constants; zero Std means the
 	// plain [0,1] scaling used by models trained with internal/data.
 	Mean, Std [3]float32
+	// QoS is the default serving target applied to Classify calls that do
+	// not supply their own (see Server.ClassifyQoS). The zero value asks
+	// for maximum throughput with no accuracy floor.
+	QoS QoS
 	// ROIDecode enables partial JPEG decoding of the central crop region
 	// (Algorithm 1).
 	ROIDecode bool
@@ -41,55 +49,201 @@ type RuntimeConfig struct {
 	// count). Each forward already parallelizes its GEMMs across
 	// GOMAXPROCS, so this knob trades arena memory and scheduler pressure
 	// for stream overlap, not raw compute. The reference path always
-	// serializes regardless.
+	// serializes per entry regardless.
 	ExecParallel int
 	// DisableCompiled forces the reference Model.Forward execution path
 	// even when the model compiles, for A/B comparison and tests.
 	DisableCompiled bool
+	// MaxCachedPlans bounds the compiled ingest-plan LRU cache (0 = 1024).
+	// Input dimensions come from user-supplied images, so a resident
+	// Server must not grow memory without bound; beyond the cap the least
+	// recently used input class is evicted and recompiled on next sight.
+	MaxCachedPlans int
 	// Opts toggles engine optimizations (all on by default).
 	Opts engine.Options
 }
 
-// Runtime executes classification over encoded images with a trained
-// model, using the pipelined engine: decode -> preprocess -> batch ->
-// model forward. Use Classify for one-shot batches, or Serve to hold a
-// warm engine that many concurrent callers share.
+// Runtime executes classification over encoded images with a zoo of
+// trained models, using the pipelined engine: decode -> preprocess ->
+// batch -> model forward. A serving planner (see QoS and ServePlan)
+// jointly picks the zoo entry, decode scale, and preprocessing chain per
+// request. Use Classify for one-shot batches, or Serve to hold a warm
+// engine that many concurrent callers share.
 type Runtime struct {
-	cfg   RuntimeConfig
-	model *nn.Model
+	cfg RuntimeConfig
 
+	// entries are the zoo's models lowered for execution, one engine shape
+	// class each. A single-model Runtime is a zoo of one.
+	entries []*rtEntry
+	byName  map[string]*rtEntry
+
+	// execSem bounds concurrent compiled forwards across all entries
+	// (configurable exec parallelism), letting multiple engine streams
+	// overlap execution.
+	execSem chan struct{}
+
+	// ingest caches compiled ingest plans keyed by input class (codec,
+	// encoded dimensions, MCU geometry, target resolution) with LRU
+	// eviction, so the joint decode+preprocess plan search and ROI mapping
+	// run once per distinct input shape instead of once per image on the
+	// hot prep path.
+	ingest ingestCache
+
+	// Planner state: the live calibration is measured once per runtime,
+	// and plan selections are memoized per (input class, QoS).
+	calOnce sync.Once
+	cal     *hw.Calibration
+	selMu   sync.Mutex
+	sels    map[selKey]selection
+}
+
+// rtEntry is one zoo entry lowered for serving: its compiled inference
+// plan (or the serialized reference path), its engine shape class, and its
+// recycled prediction buffers.
+type rtEntry struct {
+	ZooEntry
+	name string
+	// class is the entry's engine shape class index: the pipeline keeps a
+	// tensor pool, staging arena, queue and streams per entry, so batch
+	// geometry is per-variant rather than one global shape.
+	class int
 	// plan is the compiled inference path (folded batch-norm, fused GEMM
 	// epilogues, recycled activation arenas). It is immutable and
-	// reentrant, so execution only needs the bounded execSem below; nil
-	// when compilation was disabled or the model shape is unsupported.
+	// reentrant; nil when compilation was disabled or the model shape is
+	// unsupported.
 	plan *nn.InferencePlan
-	// execSem bounds concurrent compiled forwards (configurable exec
-	// parallelism), letting multiple engine streams overlap execution.
-	execSem chan struct{}
+	// The reference model's layers cache per-forward state, so the
+	// fallback path serializes behind execMu (one mutable compute resource
+	// per entry); engine streams still overlap batch assembly with it.
+	execMu sync.Mutex
 	// preds recycles per-batch prediction buffers (as *[]int to avoid
 	// interface boxing), keeping the compiled exec path allocation-free.
 	preds sync.Pool
+}
 
-	// The reference model's layers cache per-forward state, so the
-	// fallback path serializes behind execMu (one mutable compute
-	// resource); engine streams still overlap batch assembly with it.
-	execMu sync.Mutex
+// NewRuntime wraps a single trained model (e.g. from LoadClassifier or
+// TrainClassifier) for pipelined batch inference: a zoo of one, so every
+// request runs the same plan regardless of QoS.
+//
+// Unless DisableCompiled is set, the model's weights (and batch-norm
+// statistics) are snapshotted here into an immutable compiled plan:
+// mutating the model afterwards — further training, reloading weights —
+// does not affect this runtime. Construct a new Runtime after updating a
+// model.
+func NewRuntime(model *nn.Model, cfg RuntimeConfig) (*Runtime, error) {
+	if model == nil {
+		return nil, fmt.Errorf("smol: nil model")
+	}
+	if cfg.InputRes <= 0 {
+		return nil, fmt.Errorf("smol: InputRes is required")
+	}
+	z := NewZoo()
+	if err := z.Add(ZooEntry{Variant: "model", InputRes: cfg.InputRes, Accuracy: 1, Model: model}); err != nil {
+		return nil, err
+	}
+	return NewZooRuntime(z, cfg)
+}
 
-	// plans caches compiled ingest plans keyed by input class (codec,
-	// encoded dimensions, MCU geometry), so the joint decode+preprocess
-	// plan search and ROI mapping run once per distinct input shape
-	// instead of once per image on the hot prep path.
-	planMu sync.RWMutex
-	plans  map[ingestKey]*ingestPlan
+// NewZooRuntime builds a serving runtime over a model zoo. Every entry is
+// compiled once (unless DisableCompiled); the serving planner then picks
+// the entry per request from its QoS target, using cost estimates
+// calibrated against live measurements of the compiled plans and ingest
+// kernels.
+func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
+	if zoo == nil || zoo.Len() == 0 {
+		return nil, fmt.Errorf("smol: empty zoo")
+	}
+	if cfg.Std == ([3]float32{}) {
+		cfg.Std = [3]float32{1, 1, 1}
+	}
+	maxPlans := cfg.MaxCachedPlans
+	if maxPlans <= 0 {
+		maxPlans = 1024
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		byName: make(map[string]*rtEntry),
+		sels:   make(map[selKey]selection),
+	}
+	r.ingest.init(maxPlans)
+	for i, e := range zoo.Entries() {
+		ent := &rtEntry{ZooEntry: e, name: e.Name(), class: i}
+		if !cfg.DisableCompiled {
+			// Compilation fails only for layer shapes the plan vocabulary
+			// does not cover; those models fall back to the serialized
+			// reference path.
+			if plan, err := nn.Compile(e.Model); err == nil {
+				ent.plan = plan
+			}
+		}
+		r.entries = append(r.entries, ent)
+		r.byName[ent.name] = ent
+	}
+	par := cfg.ExecParallel
+	if par <= 0 {
+		par = 2
+	}
+	r.execSem = make(chan struct{}, par)
+	return r, nil
+}
+
+// Compiled reports whether every zoo entry executes through a compiled
+// inference plan (parallel) rather than the serialized reference model.
+func (r *Runtime) Compiled() bool {
+	for _, ent := range r.entries {
+		if ent.plan == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Entries lists the zoo entry names ("variant@res") in shape-class order.
+func (r *Runtime) Entries() []string {
+	names := make([]string, len(r.entries))
+	for i, ent := range r.entries {
+		names[i] = ent.name
+	}
+	return names
+}
+
+// EncodedImage is one input: bytes in one of the supported codecs.
+type EncodedImage struct {
+	// Data is the encoded image (JPEG from this repo's codec, or spng).
+	Data []byte
+	// PNG marks the data as spng-encoded rather than JPEG.
+	PNG bool
+}
+
+// ClassifyResult reports predictions in input order, the serving plan the
+// planner chose for the request, and engine statistics.
+type ClassifyResult struct {
+	Predictions []int
+	// Plan describes the planner's joint choice for this request: zoo
+	// entry, decode scale, preprocessing chain, and predicted performance.
+	Plan  ServePlan
+	Stats engine.Stats
+}
+
+// classifyReq is the per-request state threaded through the engine via
+// Job.Tag: the request's inputs, its prediction slots, and the zoo entry
+// the planner chose for it. Many requests interleave in one warm pipeline;
+// Refs route each sample back here. Batches never mix shape classes, so
+// all samples of a batch share one entry.
+type classifyReq struct {
+	inputs []EncodedImage
+	preds  []int
+	entry  *rtEntry
 }
 
 // ingestKey identifies one class of inputs a compiled ingest plan covers.
 // The MCU edge length matters because ROI regions align outward to the MCU
 // grid, so two JPEGs with equal dimensions but different chroma subsampling
-// decode to different region geometries.
+// decode to different region geometries; the target resolution matters
+// because the planner may route equal inputs to different zoo entries.
 type ingestKey struct {
-	w, h, mcu int
-	png       bool
+	w, h, mcu, res int
+	png            bool
 }
 
 // ingestPlan is the compiled decode+preprocess recipe for one input class:
@@ -112,140 +266,124 @@ type ingestPlan struct {
 	roi *img.Rect
 }
 
-// NewRuntime wraps a trained model (e.g. from LoadClassifier or
-// TrainClassifier) for pipelined batch inference.
-//
-// Unless DisableCompiled is set, the model's weights (and batch-norm
-// statistics) are snapshotted here into an immutable compiled plan:
-// mutating the model afterwards — further training, reloading weights —
-// does not affect this runtime. Construct a new Runtime after updating a
-// model.
-func NewRuntime(model *nn.Model, cfg RuntimeConfig) (*Runtime, error) {
-	if model == nil {
-		return nil, fmt.Errorf("smol: nil model")
-	}
-	if cfg.InputRes <= 0 {
-		return nil, fmt.Errorf("smol: InputRes is required")
-	}
-	if cfg.Std == ([3]float32{}) {
-		cfg.Std = [3]float32{1, 1, 1}
-	}
-	r := &Runtime{cfg: cfg, model: model, plans: make(map[ingestKey]*ingestPlan)}
-	if !cfg.DisableCompiled {
-		// Compilation fails only for layer shapes the plan vocabulary does
-		// not cover; those models fall back to the serialized reference path.
-		if plan, err := nn.Compile(model); err == nil {
-			r.plan = plan
-		}
-	}
-	par := cfg.ExecParallel
-	if par <= 0 {
-		par = 2
-	}
-	r.execSem = make(chan struct{}, par)
-	return r, nil
+// ingestCache is an LRU map of compiled ingest plans. Adversarially varied
+// input resolutions evict the least recently used class instead of
+// permanently disabling caching, so steady-state traffic keeps its
+// zero-alloc cached path however hostile the warm-up was.
+type ingestCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[ingestKey]*list.Element
+	l   *list.List // of *ingestCacheEntry, front = most recently used
 }
 
-// Compiled reports whether this runtime executes batches through the
-// compiled inference plan (parallel) rather than the serialized reference
-// model.
-func (r *Runtime) Compiled() bool { return r.plan != nil }
-
-// EncodedImage is one input: bytes in one of the supported codecs.
-type EncodedImage struct {
-	// Data is the encoded image (JPEG from this repo's codec, or spng).
-	Data []byte
-	// PNG marks the data as spng-encoded rather than JPEG.
-	PNG bool
+type ingestCacheEntry struct {
+	key  ingestKey
+	plan *ingestPlan
 }
 
-// ClassifyResult reports predictions in input order plus engine statistics.
-type ClassifyResult struct {
-	Predictions []int
-	Stats       engine.Stats
+func (c *ingestCache) init(capacity int) {
+	c.cap = capacity
+	c.m = make(map[ingestKey]*list.Element)
+	c.l = list.New()
 }
 
-// classifyReq is the per-request state threaded through the engine via
-// Job.Tag: the request's inputs and its prediction slots. Many requests
-// interleave in one warm pipeline; Refs route each sample back here.
-type classifyReq struct {
-	inputs []EncodedImage
-	preds  []int
+// get returns the cached plan for a key, marking it most recently used.
+func (c *ingestCache) get(k ingestKey) (*ingestPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*ingestCacheEntry).plan, true
 }
 
-// maxCachedPlans bounds the plan cache: input dimensions come from
-// user-supplied images, and a resident Server must not grow memory without
-// bound under adversarially varied resolutions. Beyond the cap plans are
-// still computed, just not retained.
-const maxCachedPlans = 1024
+// put inserts a plan, evicting the least recently used entry beyond the
+// cap. A concurrent worker may have won the race for this key; the first
+// entry wins so all workers share one plan value.
+func (c *ingestCache) put(k ingestKey, p *ingestPlan) *ingestPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.l.MoveToFront(el)
+		return el.Value.(*ingestCacheEntry).plan
+	}
+	c.m[k] = c.l.PushFront(&ingestCacheEntry{key: k, plan: p})
+	if c.l.Len() > c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*ingestCacheEntry).key)
+	}
+	return p
+}
 
-// ingestFor returns the compiled ingest plan for one input class,
-// computing and caching it on first sight. Plan compilation runs the joint
-// decode+preprocess optimization: the ROI (when enabled) is mapped and
-// MCU-aligned once, the decode scale is chosen together with the residual
-// resize/crop/normalize chain by preproc.Optimize, and the result is an
-// immutable recipe prepFunc executes per image with pooled buffers.
-func (r *Runtime) ingestFor(w, h, mcu int, png bool) (*ingestPlan, error) {
-	key := ingestKey{w: w, h: h, mcu: mcu, png: png}
-	r.planMu.RLock()
-	ip, ok := r.plans[key]
-	r.planMu.RUnlock()
-	if ok {
+// len reports the resident entry count.
+func (c *ingestCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}
+
+// ingestFor returns the compiled ingest plan for one (input class, target
+// resolution) pair, computing and caching it on first sight. Plan
+// compilation runs the joint decode+preprocess optimization: the ROI (when
+// enabled) is mapped and MCU-aligned once, the decode scale is chosen
+// together with the residual resize/crop/normalize chain by
+// preproc.Optimize, and the result is an immutable recipe prepFunc
+// executes per image with pooled buffers.
+func (r *Runtime) ingestFor(w, h, mcu int, png bool, res int) (*ingestPlan, error) {
+	key := ingestKey{w: w, h: h, mcu: mcu, res: res, png: png}
+	if ip, ok := r.ingest.get(key); ok {
 		return ip, nil
 	}
-	res := r.cfg.InputRes
 	decW, decH := w, h
 	var roi *img.Rect
 	if !png && r.cfg.ROIDecode {
-		short := res * 256 / 224
-		sw, sh := img.AspectPreservingSize(w, h, short)
-		// Map the post-resize central crop back to source pixels.
-		crop := img.CenterCropRect(sw, sh, res, res)
-		scaleX := float64(w) / float64(sw)
-		scaleY := float64(h) / float64(sh)
-		roi = &img.Rect{
-			X0: int(float64(crop.X0) * scaleX), Y0: int(float64(crop.Y0) * scaleY),
-			X1: int(float64(crop.X1)*scaleX) + 1, Y1: int(float64(crop.Y1)*scaleY) + 1,
-		}
-		// The decoder reconstructs the MCU-aligned cover of the ROI; use
-		// the codec's own mapping so the plan's geometry matches the
-		// decoded image exactly.
-		region := jpeg.AlignedRegion(*roi, w, h, mcu)
+		var region img.Rect
+		roi, region = roiGeometry(w, h, res, mcu)
 		decW, decH = region.W(), region.H()
 	}
-	spec := preproc.Spec{
-		InW: decW, InH: decH,
-		ResizeShort: res, CropW: res, CropH: res,
-		Mean: r.cfg.Mean, Std: r.cfg.Std,
-	}
+	var scales []int
 	if !png && !r.cfg.DisableScaledDecode {
-		spec.DecodeScales = jpegDecodeScales
+		scales = jpegDecodeScales
 	}
+	spec := preproc.ServeSpec(decW, decH, res, r.cfg.Mean, r.cfg.Std, scales)
 	plan, err := preproc.Optimize(spec)
 	if err != nil {
 		return nil, err
 	}
-	ip = &ingestPlan{
+	ip := &ingestPlan{
 		full:  plan,
 		resid: plan.ResidualAfterDecode(),
 		scale: plan.DecodeScale(),
 		roi:   roi,
 	}
-	r.planMu.Lock()
-	// A concurrent worker may have won the race for this key; keep the
-	// first entry so all workers share one plan value.
-	if cached, ok := r.plans[key]; ok {
-		ip = cached
-	} else if len(r.plans) < maxCachedPlans {
-		r.plans[key] = ip
-	}
-	r.planMu.Unlock()
-	return ip, nil
+	return r.ingest.put(key, ip), nil
 }
 
 // jpegDecodeScales are the decode factors the JPEG codec offers (full plus
 // the reduced 4x4/2x2/1x1 IDCT reconstructions).
 var jpegDecodeScales = jpeg.SupportedScales()
+
+// roiGeometry maps the post-resize central crop for a res-input model back
+// to source pixels of a w x h image, returning the ROI and its MCU-aligned
+// cover (the region the decoder actually reconstructs). Shared by the
+// ingest compiler (exact, with the stream's real MCU size) and the planner
+// (estimate, with the worst-case MCU).
+func roiGeometry(w, h, res, mcu int) (*img.Rect, img.Rect) {
+	short := res * 256 / 224
+	sw, sh := img.AspectPreservingSize(w, h, short)
+	crop := img.CenterCropRect(sw, sh, res, res)
+	scaleX := float64(w) / float64(sw)
+	scaleY := float64(h) / float64(sh)
+	roi := &img.Rect{
+		X0: int(float64(crop.X0) * scaleX), Y0: int(float64(crop.Y0) * scaleY),
+		X1: int(float64(crop.X1)*scaleX) + 1, Y1: int(float64(crop.Y1)*scaleY) + 1,
+	}
+	return roi, jpeg.AlignedRegion(*roi, w, h, mcu)
+}
 
 // ingestState is the per-worker mutable half of the ingest path: the
 // reusable JPEG decoder (parsed headers, Huffman tables, planar scratch),
@@ -259,11 +397,12 @@ type ingestState struct {
 }
 
 // prepFunc builds the engine preprocessing callback: look up (or compile)
-// the input class's ingest plan, decode once at the plan's scale/ROI
-// straight into worker-owned pooled buffers, then run the residual preproc
-// chain into the engine's pooled output tensor. The JPEG headers are
-// parsed exactly once per image (the Decoder carries the parse into the
-// decode), and a warm worker performs no per-image allocations.
+// the input class's ingest plan for the request's chosen zoo entry, decode
+// once at the plan's scale/ROI straight into worker-owned pooled buffers,
+// then run the residual preproc chain into the engine's pooled output
+// tensor. The JPEG headers are parsed exactly once per image (the Decoder
+// carries the parse into the decode), and a warm worker performs no
+// per-image allocations.
 func (r *Runtime) prepFunc() engine.PrepFunc {
 	return func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
 		cr, ok := job.Tag.(*classifyReq)
@@ -271,6 +410,7 @@ func (r *Runtime) prepFunc() engine.PrepFunc {
 			return fmt.Errorf("smol: job %d carries no request state", job.Index)
 		}
 		in := cr.inputs[job.Index]
+		res := cr.entry.InputRes
 		st, _ := ws.Scratch.(*ingestState)
 		if st == nil {
 			st = &ingestState{ex: preproc.NewExecutor()}
@@ -281,7 +421,7 @@ func (r *Runtime) prepFunc() engine.PrepFunc {
 			if err != nil {
 				return err
 			}
-			ip, err := r.ingestFor(m.W, m.H, 0, true)
+			ip, err := r.ingestFor(m.W, m.H, 0, true, res)
 			if err != nil {
 				return err
 			}
@@ -291,7 +431,7 @@ func (r *Runtime) prepFunc() engine.PrepFunc {
 		if err != nil {
 			return err
 		}
-		ip, err := r.ingestFor(w, h, st.dec.MCUSize(), false)
+		ip, err := r.ingestFor(w, h, st.dec.MCUSize(), false, res)
 		if err != nil {
 			return err
 		}
@@ -309,29 +449,45 @@ func (r *Runtime) prepFunc() engine.PrepFunc {
 }
 
 // execFunc builds the engine execution callback: a model forward whose
-// outputs are routed to each sample's originating request. With a compiled
-// plan, forwards from different engine streams run concurrently up to the
-// ExecParallel bound; the reference path serializes behind execMu because
-// the model's layers carry mutable per-forward caches.
+// outputs are routed to each sample's originating request. The engine
+// never mixes shape classes in a batch, so the batch's zoo entry is the
+// one its first ref's request chose. With a compiled plan, forwards from
+// different engine streams run concurrently up to the ExecParallel bound;
+// the reference path serializes behind the entry's execMu because the
+// model's layers carry mutable per-forward caches.
 func (r *Runtime) execFunc() engine.BatchFunc {
 	return func(batch *tensor.Tensor, refs []engine.Ref) error {
+		if len(refs) == 0 {
+			return nil
+		}
+		first, ok := refs[0].Tag.(*classifyReq)
+		if !ok {
+			return fmt.Errorf("smol: sample %d carries no request state", refs[0].Index)
+		}
+		ent := first.entry
 		var out []int
-		var pooled *[]int
-		if r.plan != nil {
+		if ent.plan != nil {
 			n := batch.Shape[0]
-			pooled, _ = r.preds.Get().(*[]int)
+			pooled, _ := ent.preds.Get().(*[]int)
 			if pooled == nil || cap(*pooled) < n {
 				pooled = new([]int)
 				*pooled = make([]int, n)
 			}
+			// The pooled buffer goes back on every exit path — error,
+			// panic, or success — and the closure releases the semaphore
+			// slot even if the forward panics, so a poisoned batch can't
+			// leak execution capacity.
+			defer ent.preds.Put(pooled)
 			out = (*pooled)[:n]
-			r.execSem <- struct{}{}
-			r.plan.PredictInto(batch, out)
-			<-r.execSem
+			func() {
+				r.execSem <- struct{}{}
+				defer func() { <-r.execSem }()
+				ent.plan.PredictInto(batch, out)
+			}()
 		} else {
-			r.execMu.Lock()
-			out = r.model.Predict(batch)
-			r.execMu.Unlock()
+			ent.execMu.Lock()
+			out = ent.Model.Predict(batch)
+			ent.execMu.Unlock()
 		}
 		for i, ref := range refs {
 			cr, ok := ref.Tag.(*classifyReq)
@@ -340,32 +496,41 @@ func (r *Runtime) execFunc() engine.BatchFunc {
 			}
 			cr.preds[ref.Index] = out[i]
 		}
-		if pooled != nil {
-			r.preds.Put(pooled)
-		}
 		return nil
 	}
 }
 
-// engineConfig maps the runtime configuration onto the engine topology.
+// engineConfig maps the runtime configuration onto the engine topology:
+// one shape class per zoo entry, so each variant keeps its own tensor
+// pool, staging arena, and batch geometry inside the shared pipeline.
 func (r *Runtime) engineConfig() engine.Config {
+	shapes := make([][3]int, len(r.entries))
+	for i, ent := range r.entries {
+		shapes[i] = [3]int{3, ent.InputRes, ent.InputRes}
+	}
 	return engine.Config{
-		Workers:     r.cfg.Workers,
-		BatchSize:   r.cfg.BatchSize,
-		SampleShape: [3]int{3, r.cfg.InputRes, r.cfg.InputRes},
-		Opts:        r.cfg.Opts,
+		Workers:   r.cfg.Workers,
+		BatchSize: r.cfg.BatchSize,
+		Shapes:    shapes,
+		Opts:      r.cfg.Opts,
 	}
 }
 
-// Classify runs the full pipeline over the encoded inputs. It is a
-// one-shot wrapper over the streaming core: a pipeline is brought up, the
-// inputs stream through it, and it is torn down. Callers serving many
-// requests should use Serve instead and keep the engine warm.
+// Classify runs the full pipeline over the encoded inputs under the
+// runtime's default QoS. It is a one-shot wrapper over the streaming core:
+// a pipeline is brought up, the inputs stream through it, and it is torn
+// down. Callers serving many requests should use Serve instead and keep
+// the engine warm.
 func (r *Runtime) Classify(inputs []EncodedImage) (ClassifyResult, error) {
+	return r.ClassifyQoS(inputs, r.cfg.QoS)
+}
+
+// ClassifyQoS is Classify with an explicit serving target.
+func (r *Runtime) ClassifyQoS(inputs []EncodedImage, qos QoS) (ClassifyResult, error) {
 	srv, err := r.Serve()
 	if err != nil {
 		return ClassifyResult{}, err
 	}
 	defer srv.Close()
-	return srv.Classify(context.Background(), inputs)
+	return srv.ClassifyQoS(context.Background(), inputs, qos)
 }

@@ -7,18 +7,23 @@
 #   - BENCH_preproc.json: ingest path (full vs DCT-domain scaled JPEG
 #     decode on 1920x1080, the compiled ingest prep hot path, and
 #     end-to-end serve-mode im/s).
+#   - BENCH_serve.json: serving planner (accuracy floors swept through a
+#     warm multi-variant zoo server; the floor-strict/floor-relaxed ratio
+#     is the planner's throughput headroom).
 #
-#   scripts/bench.sh                # 1s per benchmark, writes both files
+#   scripts/bench.sh                # 1s per benchmark, writes all files
 #   BENCHTIME=300ms scripts/bench.sh
-#   OUT=/tmp/b.json OUT_PREPROC=/tmp/p.json scripts/bench.sh
+#   OUT=/tmp/b.json OUT_PREPROC=/tmp/p.json OUT_SERVE=/tmp/s.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_infer.json}"
 OUT_PREPROC="${OUT_PREPROC:-BENCH_preproc.json}"
+OUT_SERVE="${OUT_SERVE:-BENCH_serve.json}"
 INFER_FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkGEMM|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
 PREPROC_FILTER='BenchmarkDecodeScaledHD|BenchmarkIngestHD|BenchmarkServeIngestHD'
+SERVE_FILTER='BenchmarkServePlannerHD'
 
 # collect <filter> <out-file> <packages...>: run the benchmarks and write
 # a {benchmark: ns/op} JSON summary.
@@ -51,3 +56,4 @@ collect() {
 
 collect "$INFER_FILTER" "$OUT" .
 collect "$PREPROC_FILTER" "$OUT_PREPROC" ./internal/codec/jpeg/ .
+collect "$SERVE_FILTER" "$OUT_SERVE" .

@@ -7,18 +7,23 @@ import (
 )
 
 // Server is a long-lived serving frontend over one warm engine pipeline:
-// the preprocessing workers, tensor pool, and pinned staging arena come up
-// once and stay resident, and any number of concurrent Classify calls
-// share them (the latency-constrained deployment mode of §3.1). When the
-// model compiles (see nn.Compile), batches execute through the reentrant
-// compiled inference plan, so different engine streams run model forwards
-// in parallel up to RuntimeConfig.ExecParallel instead of serializing
-// behind a global lock. Samples from different requests may share
-// accelerator batches; results,
-// per-image decode/preprocess errors, and cancellation stay confined to
-// their own request. The one shared failure domain is batch execution: if
-// the model forward fails, every request with a sample in that batch
-// fails, while the server itself keeps serving later requests.
+// the preprocessing workers, per-variant tensor pools, and pinned staging
+// arenas come up once and stay resident, and any number of concurrent
+// Classify calls share them (the latency-constrained deployment mode of
+// §3.1). Each request is routed by the serving planner: its QoS target
+// (accuracy floor, latency ceiling, or max throughput) picks a zoo entry,
+// decode scale, and preprocessing chain jointly, and the engine keeps a
+// shape class per entry so requests with different targets share the warm
+// pipeline without sharing batches. When a model compiles (see
+// nn.Compile), its batches execute through the reentrant compiled
+// inference plan, so different engine streams run model forwards in
+// parallel up to RuntimeConfig.ExecParallel instead of serializing behind
+// a global lock. Samples from different requests with the same chosen
+// entry may share accelerator batches; results, per-image
+// decode/preprocess errors, and cancellation stay confined to their own
+// request. The one shared failure domain is batch execution: if the model
+// forward fails, every request with a sample in that batch fails, while
+// the server itself keeps serving later requests.
 //
 // Create a Server with Runtime.Serve and release it with Close.
 type Server struct {
@@ -38,24 +43,38 @@ func (r *Runtime) Serve() (*Server, error) {
 }
 
 // Classify streams one request's encoded inputs through the shared warm
-// engine and blocks until every prediction is ready, ctx is cancelled, or
-// a stage fails. Concurrent calls interleave in the pipeline and may share
-// batches; each call only ever sees its own predictions.
+// engine under the runtime's default QoS and blocks until every prediction
+// is ready, ctx is cancelled, or a stage fails. Concurrent calls
+// interleave in the pipeline and may share batches; each call only ever
+// sees its own predictions.
 //
 // On cancellation Classify returns ctx's error promptly; the request's
 // in-flight samples are dropped inside the engine without disturbing other
 // requests.
 func (s *Server) Classify(ctx context.Context, inputs []EncodedImage) (ClassifyResult, error) {
-	cr := &classifyReq{inputs: inputs, preds: make([]int, len(inputs))}
+	return s.ClassifyQoS(ctx, inputs, s.rt.cfg.QoS)
+}
+
+// ClassifyQoS is Classify with a per-request serving target: the planner
+// re-selects the zoo entry (and with it the decode scale and
+// preprocessing chain) for this request alone, so one warm Server can
+// serve an accuracy-floor request and a max-throughput request
+// back-to-back from the same pipeline.
+func (s *Server) ClassifyQoS(ctx context.Context, inputs []EncodedImage, qos QoS) (ClassifyResult, error) {
+	ent, plan, err := s.rt.planFor(inputs, qos)
+	if err != nil {
+		return ClassifyResult{}, err
+	}
+	cr := &classifyReq{inputs: inputs, preds: make([]int, len(inputs)), entry: ent}
 	jobs := make([]engine.Job, len(inputs))
 	for i := range jobs {
-		jobs[i] = engine.Job{Index: i, Tag: cr}
+		jobs[i] = engine.Job{Index: i, Tag: cr, Class: ent.class}
 	}
 	stats, err := s.pipe.Process(ctx, engine.SliceSource(jobs))
 	if err != nil {
 		return ClassifyResult{}, err
 	}
-	return ClassifyResult{Predictions: cr.preds, Stats: stats}, nil
+	return ClassifyResult{Predictions: cr.preds, Plan: plan, Stats: stats}, nil
 }
 
 // Close tears the pipeline down, waiting for resident goroutines to exit.

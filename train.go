@@ -92,6 +92,103 @@ type LabeledImage struct {
 	Label int
 }
 
+// ZooSpec names one zoo entry to train: a variant at an input resolution.
+type ZooSpec struct {
+	// Variant is one of nn.Variants(); empty means resnet-a.
+	Variant string
+	// InputRes is the square training/serving resolution; zero means the
+	// dataset's native resolution.
+	InputRes int
+}
+
+// ZooTrainOptions configures TrainZoo.
+type ZooTrainOptions struct {
+	// Specs lists the entries to train. Empty means a default 3-entry
+	// spread: resnet-b at native resolution (most accurate), resnet-a at
+	// native resolution, and resnet-a at half resolution when that is a
+	// legal input size (cheapest).
+	Specs []ZooSpec
+	// Epochs of SGD per entry (0 = 3).
+	Epochs int
+	// ValFraction is the trailing fraction of images held out to measure
+	// each entry's validation accuracy (0 = 0.2). Accuracy is measured at
+	// the entry's own input resolution, so reduced-resolution entries pay
+	// their real accuracy cost.
+	ValFraction float64
+	// LowResAware applies the augmented training of §5.3 to every entry.
+	LowResAware bool
+	// Seed fixes initialization and shuffling (entry i trains with Seed+i).
+	Seed int64
+}
+
+// TrainZoo trains a model zoo: each requested (variant, resolution) entry
+// is trained on the head of images and scored on the held-out tail, so the
+// zoo carries measured — not assumed — validation accuracies for the
+// serving planner to trade against throughput. All images must be square
+// with identical dimensions.
+func TrainZoo(images []LabeledImage, numClasses int, opts ZooTrainOptions) (*Zoo, error) {
+	if len(images) < 2 {
+		return nil, fmt.Errorf("smol: need at least 2 images to train and validate a zoo")
+	}
+	res := images[0].Image.W
+	specs := opts.Specs
+	if len(specs) == 0 {
+		specs = []ZooSpec{{Variant: "resnet-b"}, {Variant: "resnet-a"}}
+		if half := res / 2; half >= 8 && half%4 == 0 {
+			specs = append(specs, ZooSpec{Variant: "resnet-a", InputRes: half})
+		}
+	}
+	valFrac := opts.ValFraction
+	if valFrac <= 0 || valFrac >= 1 {
+		valFrac = 0.2
+	}
+	split := len(images) - int(float64(len(images))*valFrac)
+	if split < 1 {
+		split = 1
+	}
+	if split == len(images) {
+		split = len(images) - 1
+	}
+	train, val := images[:split], images[split:]
+
+	z := NewZoo()
+	for i, spec := range specs {
+		variant := spec.Variant
+		if variant == "" {
+			variant = "resnet-a"
+		}
+		entryRes := spec.InputRes
+		if entryRes == 0 {
+			entryRes = res
+		}
+		clf, err := TrainClassifier(resizeLabeled(train, entryRes), numClasses, TrainOptions{
+			Variant: variant, Epochs: opts.Epochs,
+			LowResAware: opts.LowResAware, Seed: opts.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("smol: training zoo entry %s@%d: %w", variant, entryRes, err)
+		}
+		acc := clf.Evaluate(resizeLabeled(val, entryRes))
+		if err := z.AddClassifier(clf, variant, acc); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+// resizeLabeled resizes a labelled set to a square resolution, passing the
+// original slice through when no resize is needed.
+func resizeLabeled(images []LabeledImage, res int) []LabeledImage {
+	if len(images) == 0 || (images[0].Image.W == res && images[0].Image.H == res) {
+		return images
+	}
+	out := make([]LabeledImage, len(images))
+	for i, li := range images {
+		out[i] = LabeledImage{Image: li.Image.ResizeBilinear(res, res), Label: li.Label}
+	}
+	return out
+}
+
 // Evaluate returns the classifier's accuracy on labelled images.
 func (c *Classifier) Evaluate(images []LabeledImage) float64 {
 	samples := make([]nn.Sample, len(images))

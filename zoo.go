@@ -1,0 +1,144 @@
+package smol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"smol/internal/nn"
+)
+
+// ZooEntry is one trained (variant, input resolution) model in a zoo,
+// together with its measured validation accuracy. The serving planner
+// trades that accuracy against the entry's measured execution cost, so an
+// entry without a real accuracy measurement (Accuracy 0) is only ever
+// selected by unconstrained max-throughput requests.
+type ZooEntry struct {
+	// Variant is the nn variant name ("resnet-a" etc.), or any label for
+	// custom models.
+	Variant string
+	// InputRes is the square input resolution this entry runs at.
+	InputRes int
+	// Accuracy is the validation accuracy measured after training, in [0,1].
+	Accuracy float64
+	// Model holds the trained weights.
+	Model *nn.Model
+	// Config is the architecture description (needed to serialize).
+	Config nn.ResNetConfig
+}
+
+// Name identifies the entry inside its zoo: "variant@res".
+func (e ZooEntry) Name() string { return fmt.Sprintf("%s@%d", e.Variant, e.InputRes) }
+
+// Zoo is a registry of trained model entries a serving planner chooses
+// among: the same task served by several (variant, input resolution)
+// points on the accuracy/throughput trade-off. Build one with NewZoo+Add
+// (or TrainZoo), then hand it to NewZooRuntime.
+type Zoo struct {
+	entries []ZooEntry
+}
+
+// NewZoo returns an empty zoo.
+func NewZoo() *Zoo { return &Zoo{} }
+
+// Add registers an entry. Entries must have distinct (variant, resolution)
+// names.
+func (z *Zoo) Add(e ZooEntry) error {
+	if e.Model == nil {
+		return fmt.Errorf("smol: zoo entry %s has no model", e.Name())
+	}
+	if e.InputRes <= 0 {
+		return fmt.Errorf("smol: zoo entry %q has invalid input resolution %d", e.Variant, e.InputRes)
+	}
+	if e.Accuracy < 0 || e.Accuracy > 1 {
+		return fmt.Errorf("smol: zoo entry %s accuracy %v outside [0,1]", e.Name(), e.Accuracy)
+	}
+	for _, ex := range z.entries {
+		if ex.Name() == e.Name() {
+			return fmt.Errorf("smol: duplicate zoo entry %s", e.Name())
+		}
+	}
+	z.entries = append(z.entries, e)
+	return nil
+}
+
+// AddClassifier registers a trained classifier under a variant label with
+// its measured validation accuracy.
+func (z *Zoo) AddClassifier(c *Classifier, variant string, accuracy float64) error {
+	if c == nil {
+		return fmt.Errorf("smol: nil classifier")
+	}
+	return z.Add(ZooEntry{
+		Variant: variant, InputRes: c.InputRes, Accuracy: accuracy,
+		Model: c.Model, Config: c.Config,
+	})
+}
+
+// Len reports how many entries the zoo holds.
+func (z *Zoo) Len() int { return len(z.entries) }
+
+// Entries returns a copy of the registry in insertion order.
+func (z *Zoo) Entries() []ZooEntry { return append([]ZooEntry(nil), z.entries...) }
+
+// Best returns the highest-accuracy entry (ties keep the earlier entry).
+func (z *Zoo) Best() (ZooEntry, bool) {
+	if len(z.entries) == 0 {
+		return ZooEntry{}, false
+	}
+	best := z.entries[0]
+	for _, e := range z.entries[1:] {
+		if e.Accuracy > best.Accuracy {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// savedZoo is the gob wire format: each entry is an independent
+// nn.SaveModelMeta blob, so the zoo format inherits the model format's
+// compatibility behavior.
+type savedZoo struct {
+	Blobs [][]byte
+}
+
+// Save serializes the zoo (weights, architectures, variant names, measured
+// accuracies).
+func (z *Zoo) Save(w io.Writer) error {
+	var sz savedZoo
+	for _, e := range z.entries {
+		var buf bytes.Buffer
+		meta := nn.ModelMeta{Variant: e.Variant, Accuracy: e.Accuracy}
+		if err := nn.SaveModelMeta(&buf, e.Config, meta, e.Model); err != nil {
+			return fmt.Errorf("smol: saving zoo entry %s: %w", e.Name(), err)
+		}
+		sz.Blobs = append(sz.Blobs, buf.Bytes())
+	}
+	return gob.NewEncoder(w).Encode(&sz)
+}
+
+// LoadZoo reads a zoo saved with Save.
+func LoadZoo(r io.Reader) (*Zoo, error) {
+	var sz savedZoo
+	if err := gob.NewDecoder(r).Decode(&sz); err != nil {
+		return nil, fmt.Errorf("smol: decoding zoo: %w", err)
+	}
+	z := NewZoo()
+	for i, blob := range sz.Blobs {
+		cfg, meta, m, err := nn.LoadModelMeta(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("smol: zoo entry %d: %w", i, err)
+		}
+		variant := meta.Variant
+		if variant == "" {
+			variant = fmt.Sprintf("model-%d", i)
+		}
+		if err := z.Add(ZooEntry{
+			Variant: variant, InputRes: cfg.InputRes, Accuracy: meta.Accuracy,
+			Model: m, Config: cfg,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
