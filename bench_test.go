@@ -586,7 +586,7 @@ func BenchmarkIngestHD(b *testing.B) {
 			}
 			prep := rt.prepFunc()
 			ws := &engine.WorkerState{}
-			job := engine.Job{Index: 0, Tag: &classifyReq{inputs: []EncodedImage{{Data: enc}}, preds: make([]int, 1), entry: rt.entries[0]}}
+			job := engine.Job{Index: 0, Tag: &classifyReq{inputs: []MediaInput{{Codec: CodecJPEG, Data: enc}}, preds: make([]int, 1), entry: rt.entries[0]}}
 			out := tensor.New(3, 224, 224)
 			if err := prep(ws, job, out); err != nil { // compile the plan, warm the buffers
 				b.Fatal(err)

@@ -22,6 +22,14 @@
 // the chosen plan and its predicted vs. measured throughput):
 //
 //	smol-query -type classify -dataset bike-bird -serve -zoo -minacc 0.8 -explain
+//
+// Video serving mode (classifies an SVID file — e.g. one written by
+// smol-datagen -videos — through the warm engine; the video planner picks
+// deblocking, the stored rendition, the zoo entry, and the preprocessing
+// chain jointly; -explain prints the chosen video plan):
+//
+//	smol-query -video out/video/taipei-full.vid -stride 5 -explain
+//	smol-query -video taipei-full.vid -lowres taipei-low.vid -zoo -minacc 0.8 -explain
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -51,11 +60,17 @@ func main() {
 	zoo := flag.Bool("zoo", false, "train a multi-entry model zoo and serve through the joint accuracy/throughput planner (-serve mode)")
 	minAcc := flag.Float64("minacc", 0, "accuracy floor for the serving planner (0 = max throughput)")
 	explain := flag.Bool("explain", false, "print the planner's chosen plan per request (variant, input res, decode scale, preproc chain, predicted vs measured throughput)")
+	video := flag.String("video", "", "classify an SVID video file through the warm serving engine")
+	lowres := flag.String("lowres", "", "optional natively-stored low-resolution rendition of -video the planner may route to")
+	stride := flag.Int("stride", 1, "classify every Nth frame of -video (skipped frames are decoded, not preprocessed)")
 	flag.Parse()
 
 	switch *qtype {
 	case "classify":
-		if *serve {
+		if *video != "" {
+			videoClassify(*video, *lowres, *dataset, *stride, *execPar, *compiled, *roiDecode, *scaleDecode,
+				*zoo, *minAcc, *explain)
+		} else if *serve {
 			serveClassify(*dataset, *requests, *execPar, *compiled, *roiDecode, *scaleDecode,
 				*zoo, *minAcc, *explain)
 		} else {
@@ -115,34 +130,22 @@ func classify(name string, roiDecode, scaleDecode bool) {
 		res.Stats.Throughput, res.Stats.Batches)
 }
 
-// serveClassify trains once, brings up a resident streaming server, and
-// fires concurrent classification requests that share the warm engine.
-// With the compiled inference plan the requests' batches also execute in
-// parallel (up to execPar forwards at once) instead of serializing. With
-// useZoo a multi-entry model zoo is trained instead and each request is
-// routed by the serving planner from the minAcc accuracy floor.
-func serveClassify(name string, requests, execPar int, compiled, roiDecode, scaleDecode,
-	useZoo bool, minAcc float64, explain bool) {
-	if requests < 1 {
-		requests = 1
-	}
-	spec, err := data.ImageDataset(name)
+// trainServingRuntime generates the synthetic image dataset, trains a
+// single resnet-a (or a multi-entry zoo, with useZoo), and builds the
+// serving runtime from cfg — the setup shared by the -serve and -video
+// modes, so runtime flags (-execpar, -compiled, -roidecode, -scaledecode)
+// behave identically in both.
+func trainServingRuntime(dataset string, useZoo bool, cfg smol.RuntimeConfig) (*smol.Runtime, data.DatasetSpec, *data.Dataset) {
+	spec, err := data.ImageDataset(dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ds := data.Generate(spec)
 	fmt.Printf("dataset %s: %d classes, %d train / %d test at %dpx\n",
 		spec.Name, spec.NumClasses, len(ds.Train), len(ds.Test), spec.FullRes)
-
 	train := make([]smol.LabeledImage, len(ds.Train))
 	for i, li := range ds.Train {
 		train[i] = smol.LabeledImage{Image: li.Image, Label: li.Label}
-	}
-	cfg := smol.RuntimeConfig{
-		BatchSize:    32,
-		QoS:          smol.QoS{MinAccuracy: minAcc},
-		ExecParallel: execPar, DisableCompiled: !compiled,
-		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
 	}
 	var rt *smol.Runtime
 	start := time.Now()
@@ -173,6 +176,26 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 			log.Fatal(err)
 		}
 	}
+	return rt, spec, ds
+}
+
+// serveClassify trains once, brings up a resident streaming server, and
+// fires concurrent classification requests that share the warm engine.
+// With the compiled inference plan the requests' batches also execute in
+// parallel (up to execPar forwards at once) instead of serializing. With
+// useZoo a multi-entry model zoo is trained instead and each request is
+// routed by the serving planner from the minAcc accuracy floor.
+func serveClassify(name string, requests, execPar int, compiled, roiDecode, scaleDecode,
+	useZoo bool, minAcc float64, explain bool) {
+	if requests < 1 {
+		requests = 1
+	}
+	rt, _, ds := trainServingRuntime(name, useZoo, smol.RuntimeConfig{
+		BatchSize:    32,
+		QoS:          smol.QoS{MinAccuracy: minAcc},
+		ExecParallel: execPar, DisableCompiled: !compiled,
+		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
+	})
 
 	inputs := make([]smol.EncodedImage, len(ds.Test))
 	for i, li := range ds.Test {
@@ -236,6 +259,75 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 	fmt.Printf("aggregate: %d images in %s (%.0f im/s); pool %d allocs / %d reuses across all requests\n",
 		total, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(), last.PoolAllocs, last.PoolReuses)
+}
+
+// videoClassify serves one SVID file through a warm engine: it trains the
+// model (or zoo) on the synthetic image dataset, then streams the video's
+// sampled frames through the media-generic pipeline, letting the video
+// planner jointly pick deblocking, the stored rendition (when -lowres
+// supplies one), the zoo entry, and the preprocessing chain for the -minacc
+// target.
+func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled, roiDecode, scaleDecode,
+	useZoo bool, minAcc float64, explain bool) {
+	streamData, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := smol.ProbeVideo(streamData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("video %s: %d frames at %dx%d, GOP %d\n", path, info.Frames, info.W, info.H, info.GOP)
+	var variants [][]byte
+	if lowPath != "" {
+		low, err := os.ReadFile(lowPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		variants = append(variants, low)
+		if li, err := smol.ProbeVideo(low); err == nil {
+			fmt.Printf("low-res rendition %s: %dx%d\n", lowPath, li.W, li.H)
+		}
+	}
+	rt, _, _ := trainServingRuntime(dataset, useZoo, smol.RuntimeConfig{
+		BatchSize:    32,
+		QoS:          smol.QoS{MinAccuracy: minAcc},
+		ExecParallel: execPar, DisableCompiled: !compiled,
+		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
+	})
+
+	srv, err := rt.Serve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	wall := time.Now()
+	res, err := srv.ClassifyVideo(context.Background(), streamData, smol.VideoOpts{
+		Stride:   stride,
+		QoS:      smol.QoS{MinAccuracy: minAcc},
+		Variants: variants,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(wall)
+	hist := map[int]int{}
+	for _, p := range res.Predictions {
+		hist[p]++
+	}
+	fmt.Printf("classified %d frames (stride %d) in %s: %.1f sampled frames/s, %.1f decoded frames/s\n",
+		len(res.Predictions), stride, elapsed.Round(time.Millisecond),
+		float64(len(res.Predictions))/elapsed.Seconds(),
+		float64(res.Decode.FramesDecoded)/elapsed.Seconds())
+	fmt.Printf("prediction histogram: %v\n", hist)
+	if explain {
+		p := res.Plan
+		fmt.Printf("  plan: %s\n", p)
+		fmt.Printf("  plan: rendition %d (%s), deblock %v, preproc %s\n", p.Stream, p.InputFormat, p.Deblock, p.Preproc)
+		fmt.Printf("  plan: predicted %.0f im/s (latency %.0fus worst-case)\n", p.PredictedThroughput, p.PredictedLatencyUS)
+		fmt.Printf("  decode: %d IDCT blocks, %d deblocked edges, %d inter / %d skipped MBs\n",
+			res.Decode.BlocksIDCT, res.Decode.DeblockedEdges, res.Decode.InterMBs, res.Decode.SkippedMBs)
+	}
 }
 
 func aggregate(name string, errTarget float64) {

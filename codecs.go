@@ -1,11 +1,53 @@
 package smol
 
 import (
+	"fmt"
+
 	"smol/internal/codec/jpeg"
 	"smol/internal/codec/spng"
 	"smol/internal/codec/vid"
 	"smol/internal/img"
 )
+
+// Codec identifies the encoding of a MediaInput. The serving stack is
+// codec-generic: ingest plans, planner memoization, and decode state are all
+// keyed by codec, so same-dimension inputs of different codecs never share
+// a compiled plan.
+type Codec int
+
+// Supported media codecs.
+const (
+	// CodecJPEG is the built-in baseline JPEG codec (ROI and DCT-domain
+	// scaled decoding available).
+	CodecJPEG Codec = iota
+	// CodecPNG is the lossless spng codec.
+	CodecPNG
+	// CodecVideo is the H.264-like SVID video codec (I/P frames, in-loop
+	// deblocking). Video inputs are streams of frames; serve them with
+	// Server.ClassifyVideo or Server.EstimateMean rather than Classify.
+	CodecVideo
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecJPEG:
+		return "jpeg"
+	case CodecPNG:
+		return "png"
+	case CodecVideo:
+		return "svid"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// MediaInput is one encoded input tagged with its codec: the media-generic
+// unit the serving stack plans for and decodes. Still images (JPEG, PNG)
+// flow through Classify; video streams through ClassifyVideo/EstimateMean.
+type MediaInput struct {
+	Codec Codec
+	Data  []byte
+}
 
 // Image re-exports the 8-bit interleaved RGB image type used throughout.
 type Image = img.Image
@@ -74,3 +116,14 @@ func EncodeVideo(frames []*Image, quality, gop int) ([]byte, error) {
 func DecodeVideo(data []byte, disableDeblock bool) ([]*Image, error) {
 	return vid.DecodeAll(data, vid.DecodeOptions{DisableDeblock: disableDeblock})
 }
+
+// VideoInfo re-exports the stream-header summary (dimensions, frame count,
+// GOP) the video planner peeks at without decoding.
+type VideoInfo = vid.Info
+
+// ProbeVideo parses an SVID stream header.
+func ProbeVideo(data []byte) (VideoInfo, error) { return vid.Probe(data) }
+
+// VideoDecodeStats re-exports the video decoder's work counters
+// (frames/IDCT blocks/deblocked edges/macroblock modes).
+type VideoDecodeStats = vid.DecodeStats

@@ -1,85 +1,179 @@
 // Videoagg: a BlazeIt-style aggregation query ("mean objects per frame")
-// answered with a specialized model as a control variate, comparing the
-// full-resolution pipeline against Smol's natively-present low-resolution
-// one. Everything here is real: the video is encoded and decoded with the
-// H.264-like codec, and the specialized model is a connected-components
-// counter running on the decoded frames.
+// answered end to end through the public serving API. A synthetic
+// fixed-camera video is encoded with the real H.264-like codec at two
+// natively-stored resolutions; a small classifier is trained so that its
+// predicted class is the per-frame object count; and Server.EstimateMean
+// runs the control-variate estimator — a cheap connected-components proxy
+// on every decoded frame, the trained model (through the warm engine) only
+// on the sampled frames the confidence interval demands.
+//
+// Compare examples/zoo (still-image planner) and examples/streaming (warm
+// concurrent serving); this example is the video workload: ClassifyVideo
+// for per-frame predictions with a jointly planned decode fidelity, and
+// EstimateMean for aggregation at a fraction of the target-model cost.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
 	"smol"
-	"smol/internal/blazeit"
-	"smol/internal/data"
-	"smol/internal/hw"
 )
 
-// roundTrip pushes frames through the video codec and back.
-func roundTrip(frames []*smol.Image) ([]*smol.Image, error) {
-	enc, err := smol.EncodeVideo(frames, 70, 30)
-	if err != nil {
-		return nil, err
+const (
+	// Square frames so the same clips can train the counting classifier.
+	frameW, frameH = 64, 64
+	lowW, lowH     = 32, 32
+	numFrames      = 240
+	maxObjects     = 3 // classes 0..3 = object count
+	inputRes       = 32
+)
+
+// drawScene renders a road scene with bright square movers at the given
+// horizontal positions.
+func drawScene(rng *rand.Rand, xs []float64) *smol.Image {
+	m := smol.NewImage(frameW, frameH)
+	for y := 0; y < frameH; y++ {
+		for x := 0; x < frameW; x++ {
+			base := uint8(70 + 50*y/frameH + rng.Intn(6))
+			m.Set(x, y, base, base, base+15)
+		}
 	}
-	return smol.DecodeVideo(enc, false)
+	for i, cx := range xs {
+		lane := frameH/4 + i*frameH/5
+		for dy := -4; dy <= 4; dy++ {
+			for dx := -6; dx <= 6; dx++ {
+				x, y := int(cx)+dx, lane+dy
+				if x >= 0 && x < frameW && y >= 0 && y < frameH {
+					m.Set(x, y, 230, 220, 160)
+				}
+			}
+		}
+	}
+	return m
 }
 
-// countFrames runs the specialized counter over every decoded frame.
-func countFrames(frames []*smol.Image, frameW int) []float64 {
-	counter := blazeit.DefaultCounter(frameW)
-	out := make([]float64, len(frames))
+// makeVideo renders a deterministic clip of movers crossing the scene and
+// returns the frames with their ground-truth visible-object counts.
+func makeVideo(seed int64) ([]*smol.Image, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	type mover struct {
+		enter int
+		speed float64
+	}
+	var movers []mover
+	for f := 0; f < numFrames; f++ {
+		if rng.Float64() < 0.04 && len(movers) < 64 {
+			movers = append(movers, mover{enter: f, speed: 1 + rng.Float64()*2})
+		}
+	}
+	frames := make([]*smol.Image, numFrames)
+	counts := make([]int, numFrames)
+	for f := 0; f < numFrames; f++ {
+		var xs []float64
+		for _, mv := range movers {
+			if f < mv.enter {
+				continue
+			}
+			x := float64(f-mv.enter) * mv.speed
+			if x < frameW && len(xs) < maxObjects {
+				xs = append(xs, x)
+			}
+		}
+		frames[f] = drawScene(rng, xs)
+		counts[f] = len(xs)
+	}
+	return frames, counts
+}
+
+// downsample produces the natively-stored low-resolution rendition.
+func downsample(frames []*smol.Image) []*smol.Image {
+	out := make([]*smol.Image, len(frames))
 	for i, f := range frames {
-		out[i] = float64(counter.Count(f))
+		out[i] = f.ResizeBilinear(lowW, lowH)
 	}
 	return out
 }
 
 func main() {
-	spec, err := data.VideoDataset("taipei")
-	if err != nil {
-		log.Fatal(err)
+	log.SetFlags(0)
+	frames, counts := makeVideo(3)
+	trueMean := 0.0
+	for _, c := range counts {
+		trueMean += float64(c)
 	}
-	spec.Frames = 400
-	video := data.GenerateVideo(spec)
-	fmt.Printf("dataset %s: %d frames, true mean %.3f objects/frame\n",
-		spec.Name, spec.Frames, video.MeanCount())
+	trueMean /= float64(len(counts))
+	fmt.Printf("synthetic clip: %d frames at %dx%d, true mean %.3f objects/frame\n",
+		numFrames, frameW, frameH, trueMean)
 
-	full, err := roundTrip(video.Frames)
-	if err != nil {
-		log.Fatal(err)
+	// Train a counting classifier (class = object count) on frames from an
+	// independently seeded clip, so the query video is unseen.
+	trainFrames, trainCounts := makeVideo(17)
+	train := make([]smol.LabeledImage, len(trainFrames))
+	for i := range trainFrames {
+		train[i] = smol.LabeledImage{Image: trainFrames[i], Label: trainCounts[i]}
 	}
-	low, err := roundTrip(video.LowResFrames())
+	fmt.Println("training the counting model...")
+	clf, err := smol.TrainClassifier(train, maxObjects+1, smol.TrainOptions{Epochs: 3, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	oracle := func(f int) float64 { return float64(video.Counts[f]) }
-	for _, cond := range []struct {
-		name    string
-		preds   []float64
-		decodeW int
-		decodeH int
-	}{
-		{"full-res decode", countFrames(full, spec.W), 1280, 720},
-		{"low-res decode", countFrames(low, spec.LowW), 854, 480},
-	} {
-		res, err := blazeit.EstimateMean(cond.preds, oracle,
-			blazeit.Config{ErrTarget: 0.03, Seed: 9})
+	// Store the clip at two native resolutions, as a serving stack would.
+	full, err := smol.EncodeVideo(frames, 70, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	low, err := smol.EncodeVideo(downsample(frames), 70, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored renditions: full %dKB, low-res %dKB\n", len(full)/1024, len(low)/1024)
+
+	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{InputRes: inputRes, BatchSize: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	// Per-frame classification with the planner choosing decode fidelity.
+	res, err := srv.ClassifyVideo(ctx, full, smol.VideoOpts{
+		Stride:   5,
+		Variants: [][]byte{low},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nClassifyVideo (stride 5): %d frames classified, plan: %s\n",
+		len(res.Predictions), res.Plan)
+	fmt.Printf("  rendition %d, deblock %v, decoder did %d IDCT blocks / %d deblocked edges\n",
+		res.Plan.Stream, res.Plan.Deblock, res.Decode.BlocksIDCT, res.Decode.DeblockedEdges)
+
+	// Aggregation: estimate the model's mean count without running it on
+	// every frame.
+	for _, errTarget := range []float64{0.30, 0.15} {
+		agg, err := srv.EstimateMean(ctx, full, smol.AggregateOpts{
+			ErrTarget: errTarget,
+			Variants:  [][]byte{low},
+			Seed:      9,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		decodeUS := hw.DecodeCostUS(hw.DecodeSpec{Format: hw.FormatVideoH264,
-			W: cond.decodeW, H: cond.decodeH})
-		cost := blazeit.QueryCost{
-			SpecPassUSPerFrame:    decodeUS / 4,
-			TargetUSPerInvocation: 250000,
-		}
-		fmt.Printf("%-16s estimate %.3f (+/-%.3f), %d target invocations, modeled query time %.1fs\n",
-			cond.name, res.Estimate, res.HalfWidth, res.Samples,
-			cost.TotalSeconds(spec.Frames, res.Samples))
+		fmt.Printf("\nEstimateMean (err target %.2f): estimate %.3f +/- %.3f objects/frame\n",
+			errTarget, agg.Estimate, agg.HalfWidth)
+		fmt.Printf("  %d of %d target-model invocations (%.0f%% saved), true mean %.3f\n",
+			agg.TargetInvocations, agg.Frames,
+			100*(1-float64(agg.TargetInvocations)/float64(agg.Frames)), trueMean)
 	}
-	fmt.Println("\nSmol's cost model picks whichever configuration minimizes total query time:")
-	fmt.Println("low-res decode cuts the per-frame preprocessing cost; a more accurate full-res")
-	fmt.Println("specialized model cuts the sample count (§8.4 — the winner is dataset-dependent)")
+	fmt.Println("\nthe cheap proxy runs on every frame; the trained model only on the sampled")
+	fmt.Println("frames the confidence interval demands — the better the proxy tracks the")
+	fmt.Println("model, the fewer expensive invocations the query needs (§3.2, §8.4)")
 }

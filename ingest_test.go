@@ -39,7 +39,7 @@ func TestIngestPlanSelectsScale(t *testing.T) {
 	}
 	// 160x120 to 16px target: 1/8 gives short edge 15 (< 16), so 1/4 (30)
 	// is the largest legal scale.
-	ip, err := rt.ingestFor(160, 120, 8, false, 16)
+	ip, err := rt.ingestFor(160, 120, 8, CodecJPEG, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestIngestPlanSelectsScale(t *testing.T) {
 			len(ip.resid.Ops), len(ip.full.Ops))
 	}
 	// 16x16 input: no reduced scale is legal.
-	ip, err = rt.ingestFor(16, 16, 8, false, 16)
+	ip, err = rt.ingestFor(16, 16, 8, CodecJPEG, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestIngestPlanSelectsScale(t *testing.T) {
 		t.Fatalf("16x16 input chose scale 1/%d", ip.scale)
 	}
 	// PNG inputs never scale (the codec cannot).
-	ip, err = rt.ingestFor(160, 120, 0, true, 16)
+	ip, err = rt.ingestFor(160, 120, 0, CodecPNG, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestIngestPlanSelectsScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ip, err = rtFull.ingestFor(160, 120, 8, false, 16)
+	ip, err = rtFull.ingestFor(160, 120, 8, CodecJPEG, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestIngestPlanROIGeometry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ip, err := rt.ingestFor(w, h, dec.MCUSize(), false, 16)
+		ip, err := rt.ingestFor(w, h, dec.MCUSize(), CodecJPEG, 16)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func TestCompiledIngestMatchesNaivePath(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ip, err := rt.ingestFor(w, h, dec.MCUSize(), false, 16)
+			ip, err := rt.ingestFor(w, h, dec.MCUSize(), CodecJPEG, 16)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -229,7 +229,7 @@ func TestIngestWarmPathAllocates0(t *testing.T) {
 		inputs, _ := renderLargeInputs(1, 96)
 		prep := rt.prepFunc()
 		ws := &engine.WorkerState{}
-		job := engine.Job{Index: 0, Tag: &classifyReq{inputs: inputs, preds: make([]int, 1), entry: rt.entries[0]}}
+		job := engine.Job{Index: 0, Tag: &classifyReq{inputs: mediaInputs(inputs), preds: make([]int, 1), entry: rt.entries[0]}}
 		out := tensor.New(3, 16, 16)
 		run := func() {
 			if err := prep(ws, job, out); err != nil {

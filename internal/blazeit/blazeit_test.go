@@ -224,3 +224,47 @@ func TestQueryCost(t *testing.T) {
 		t.Fatalf("cost = %v", got)
 	}
 }
+
+// BenchmarkBlobCounter measures the cheap specialized model on a realistic
+// frame size — the per-frame cost of the aggregation query's full pass.
+func BenchmarkBlobCounter(b *testing.B) {
+	m := img.New(160, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 160; x++ {
+			m.Set(x, y, uint8(60+x), uint8(70+y), 90)
+		}
+	}
+	for k := 0; k < 4; k++ {
+		for dy := 0; dy < 8; dy++ {
+			for dx := 0; dx < 12; dx++ {
+				m.Set(20+k*35+dx, 30+dy, 250, 240, 200)
+			}
+		}
+	}
+	counter := DefaultCounter(160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if counter.Count(m) == 0 {
+			b.Fatal("counter lost the blobs")
+		}
+	}
+}
+
+// BenchmarkEstimateMean measures the estimator loop itself (oracle cost
+// excluded) at aggregation-query scale.
+func BenchmarkEstimateMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	spec := make([]float64, 5000)
+	truth := make([]float64, 5000)
+	for i := range spec {
+		truth[i] = float64(rng.Intn(4))
+		spec[i] = truth[i] + rng.NormFloat64()*0.5
+	}
+	oracle := func(f int) float64 { return truth[f] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateMean(spec, oracle, Config{ErrTarget: 0.05, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package vid
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 
 	"smol/internal/codec/blockdct"
 	"smol/internal/img"
@@ -385,20 +388,36 @@ func abs(x int) int {
 	return x
 }
 
-// Decoder streams frames out of an encoded bitstream.
+// Decoder streams frames out of an encoded bitstream. A Decoder holds
+// reusable decode state — the reference frame P-frames predict from, a spare
+// reconstruction frame, the DEFLATE reader, and the inflated payload buffer
+// — so a resident decoder serving a stream performs no per-frame
+// allocations beyond the output image, and none at all through NextInto
+// with a recycled destination.
 type Decoder struct {
-	data  []byte
-	pos   int
-	opts  DecodeOptions
-	w, h  int
-	padW  int
-	padH  int
-	n     int
-	gop   int
-	quant int32
-	idx   int
-	ref   *frame
-	stats DecodeStats
+	data    []byte
+	pos     int
+	opts    DecodeOptions
+	w, h    int
+	padW    int
+	padH    int
+	n       int
+	gop     int
+	quality int
+	quant   int32
+	idx     int
+	ref     *frame
+	stats   DecodeStats
+
+	// spare is the recycled reconstruction target: every plane of every
+	// frame is fully rewritten by decodeIntra/decodeInter, so the previous
+	// reference can ping-pong back in once it stops being predicted from.
+	spare *frame
+	// inflater and payloadSrc are the resettable DEFLATE state; payload is
+	// the reused inflated-frame buffer.
+	inflater   io.ReadCloser
+	payloadSrc bytes.Reader
+	payload    []byte
 }
 
 // NewDecoder parses the stream header.
@@ -430,8 +449,31 @@ func NewDecoder(data []byte, opts DecodeOptions) (*Decoder, error) {
 	return &Decoder{
 		data: data, pos: 4 + 18, opts: opts,
 		w: w, h: h, padW: padTo(w, mbSize), padH: padTo(h, mbSize),
-		n: n, gop: gop, quant: quantFor(quality),
+		n: n, gop: gop, quality: quality, quant: quantFor(quality),
 	}, nil
+}
+
+// Info summarizes a stream header without decoding any frames.
+type Info struct {
+	// W, H are the visible frame dimensions.
+	W, H int
+	// Frames is the total frame count.
+	Frames int
+	// GOP is the I-frame interval (decode cost per frame amortizes an
+	// expensive intra frame over GOP-1 cheaper predicted ones).
+	GOP int
+	// Quality is the encoder quality the stream was produced with.
+	Quality int
+}
+
+// Probe parses a stream header. It is the planner's peek: cheap enough to
+// run per request, with the geometry and GOP the decode cost model needs.
+func Probe(data []byte) (Info, error) {
+	d, err := NewDecoder(data, DecodeOptions{})
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{W: d.w, H: d.h, Frames: d.n, GOP: d.gop, Quality: d.quality}, nil
 }
 
 // Width returns the frame width in pixels.
@@ -449,8 +491,49 @@ func (d *Decoder) Stats() DecodeStats { return d.stats }
 // ErrEndOfStream is returned by Next after the last frame.
 var ErrEndOfStream = errors.New("vid: end of stream")
 
-// Next decodes and returns the next frame, or ErrEndOfStream.
-func (d *Decoder) Next() (*img.Image, error) {
+// inflate decompresses one frame record into the decoder's reused payload
+// buffer, resetting the resident DEFLATE reader instead of allocating one.
+func (d *Decoder) inflate(compressed []byte) ([]byte, error) {
+	d.payloadSrc.Reset(compressed)
+	if d.inflater == nil {
+		d.inflater = flate.NewReader(&d.payloadSrc)
+	} else if err := d.inflater.(flate.Resetter).Reset(&d.payloadSrc, nil); err != nil {
+		return nil, err
+	}
+	buf := d.payload[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := d.inflater.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.payload = buf
+	return buf, nil
+}
+
+// reconFrame returns the reconstruction target for the next frame,
+// recycling the spare when one is resident.
+func (d *Decoder) reconFrame() *frame {
+	if d.spare != nil {
+		f := d.spare
+		d.spare = nil
+		return f
+	}
+	return newFrame(d.padW, d.padH)
+}
+
+// decodeNext advances the stream by one frame and returns the reconstructed
+// (deblocked, unless disabled) frame. The previous reference frame is
+// recycled as the next reconstruction target: decodeIntra and decodeInter
+// rewrite every sample of every plane, so recycled contents never leak.
+func (d *Decoder) decodeNext() (*frame, error) {
 	if d.idx >= d.n {
 		return nil, ErrEndOfStream
 	}
@@ -466,34 +549,68 @@ func (d *Decoder) Next() (*img.Image, error) {
 	compressed := d.data[d.pos : d.pos+plen]
 	d.pos += plen
 	d.stats.CompressedBytes += plen
-	payload, err := inflateBytes(compressed)
+	payload, err := d.inflate(compressed)
 	if err != nil {
 		return nil, fmt.Errorf("vid: frame %d: %w", d.idx, err)
 	}
-	recon := newFrame(d.padW, d.padH)
+	recon := d.reconFrame()
 	switch ftype {
 	case 'I':
 		if err := decodeIntra(payload, recon, d.quant, &d.stats); err != nil {
+			d.spare = recon
 			return nil, fmt.Errorf("vid: frame %d: %w", d.idx, err)
 		}
 		d.stats.IntraMBs += (d.padW / mbSize) * (d.padH / mbSize)
 	case 'P':
 		if d.ref == nil {
+			d.spare = recon
 			return nil, errors.New("vid: P-frame without reference")
 		}
 		if err := decodeInter(payload, d.ref, recon, d.quant, &d.stats); err != nil {
+			d.spare = recon
 			return nil, fmt.Errorf("vid: frame %d: %w", d.idx, err)
 		}
 	default:
+		d.spare = recon
 		return nil, fmt.Errorf("vid: unknown frame type %q", ftype)
 	}
 	if !d.opts.DisableDeblock {
 		deblockFrame(recon, &d.stats)
 	}
+	d.spare = d.ref
 	d.ref = recon
 	d.idx++
 	d.stats.FramesDecoded++
-	return frameToRGB(recon, d.w, d.h), nil
+	return recon, nil
+}
+
+// Next decodes and returns the next frame, or ErrEndOfStream. Each call
+// allocates a fresh output image; resident decoders should prefer NextInto
+// with a recycled destination.
+func (d *Decoder) Next() (*img.Image, error) {
+	return d.NextInto(nil)
+}
+
+// NextInto decodes the next frame into dst, which is reused when it matches
+// the stream dimensions and allocated otherwise (nil is always valid). A
+// warm decoder cycling destinations through a pool decodes without
+// per-frame allocations.
+func (d *Decoder) NextInto(dst *img.Image) (*img.Image, error) {
+	recon, err := d.decodeNext()
+	if err != nil {
+		return nil, err
+	}
+	return frameToRGBInto(recon, d.w, d.h, dst), nil
+}
+
+// Skip decodes the next frame without converting it to RGB, advancing the
+// reference state P-frames need. Stride-sampling callers Skip the frames
+// they do not classify, saving the color conversion (the only part of
+// decode a sampled stream can actually omit — motion compensation needs
+// every reference).
+func (d *Decoder) Skip() error {
+	_, err := d.decodeNext()
+	return err
 }
 
 // DecodeAll decodes every frame in the stream.

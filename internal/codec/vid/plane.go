@@ -93,7 +93,16 @@ func rgbToFrame(m *img.Image, padW, padH int) *frame {
 
 // frameToRGB converts the visible wxh region back to interleaved RGB.
 func frameToRGB(f *frame, w, h int) *img.Image {
-	m := img.New(w, h)
+	return frameToRGBInto(f, w, h, nil)
+}
+
+// frameToRGBInto converts into dst, reusing it when the dimensions match
+// and allocating a fresh image otherwise (nil is always valid).
+func frameToRGBInto(f *frame, w, h int, dst *img.Image) *img.Image {
+	m := dst
+	if m == nil || m.W != w || m.H != h {
+		m = img.New(w, h)
+	}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			yy := float64(f.y.pix[y*f.y.w+x])

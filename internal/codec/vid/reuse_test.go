@@ -1,0 +1,199 @@
+package vid
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"smol/internal/img"
+)
+
+// testClip renders n frames with real motion so P-frames exercise motion
+// compensation, skip mode, and residual coding.
+func testClip(t testing.TB, n, w, h int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	frames := make([]*img.Image, n)
+	for f := range frames {
+		m := img.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				m.Set(x, y, uint8(60+x), uint8(80+y), uint8(100+((x+y)&31)))
+			}
+		}
+		// Two movers at different speeds.
+		for _, mv := range [][3]int{{f * 2, h / 4, 200}, {w - f*3, h / 2, 240}} {
+			for dy := 0; dy < 6; dy++ {
+				for dx := 0; dx < 10; dx++ {
+					x, y := mv[0]+dx, mv[1]+dy
+					if x >= 0 && x < w && y < h {
+						m.Set(x, y, uint8(mv[2]), uint8(mv[2]-30), uint8(rng.Intn(40)+180))
+					}
+				}
+			}
+		}
+		frames[f] = m
+	}
+	enc, err := Encode(frames, EncodeOptions{Quality: 70, GOP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestDecoderReuseEquivalence: a resident decoder recycling its reference
+// frames, DEFLATE reader, and output images through NextInto must produce
+// frames bit-identical to a fresh decoder allocated per frame (decoding the
+// stream prefix from scratch each time). Reused state is an execution
+// strategy, never a semantics change.
+func TestDecoderReuseEquivalence(t *testing.T) {
+	enc := testClip(t, 12, 64, 48)
+	for _, deblock := range []bool{true, false} {
+		opts := DecodeOptions{DisableDeblock: !deblock}
+		warm, err := NewDecoder(enc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recycled [2]*img.Image
+		for i := 0; ; i++ {
+			got, err := warm.NextInto(recycled[i%2])
+			if errors.Is(err, ErrEndOfStream) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			recycled[i%2] = got
+			// Fresh decoder per frame: decode the prefix from scratch.
+			fresh, err := NewDecoder(enc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want *img.Image
+			for j := 0; j <= i; j++ {
+				want, err = fresh.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(got.Pix, want.Pix) {
+				t.Fatalf("deblock=%v frame %d: reused decoder diverges from fresh decode", deblock, i)
+			}
+		}
+	}
+}
+
+// TestDecoderSkipEquivalence: Skip must advance the reference state exactly
+// as Next does, so stride-sampled frames decode bit-identical to a full
+// decode, while skipping the RGB conversion work.
+func TestDecoderSkipEquivalence(t *testing.T) {
+	enc := testClip(t, 13, 64, 48)
+	all, err := DecodeAll(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stride = 3
+	dec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(all); i++ {
+		if i%stride != 0 {
+			if err := dec.Skip(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Pix, all[i].Pix) {
+			t.Fatalf("frame %d: stride decode diverges from full decode", i)
+		}
+	}
+	if err := dec.Skip(); !errors.Is(err, ErrEndOfStream) {
+		t.Fatalf("Skip past the end returned %v, want ErrEndOfStream", err)
+	}
+}
+
+// TestDecoderWarmPathAllocates: a warm resident decoder cycling two
+// destination images must decode P-frames with at most the payload-growth
+// allocations of its first frames — steady state is allocation-free.
+func TestDecoderWarmPathAllocates(t *testing.T) {
+	enc := testClip(t, 60, 64, 48)
+	dec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst *img.Image
+	// Warm: first GOP allocates frames, payload buffer, inflater.
+	for i := 0; i < 10; i++ {
+		if dst, err = dec.NextInto(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		m, err := dec.NextInto(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = m
+	})
+	// The flate reader's Reset keeps its window; tolerate at most one
+	// stray allocation per frame for dictionary bookkeeping.
+	if allocs > 1 {
+		t.Fatalf("warm video decode allocates %.1f objects/frame, want <= 1", allocs)
+	}
+}
+
+// TestProbe: the header peek reports the stream geometry without decoding.
+func TestProbe(t *testing.T) {
+	enc := testClip(t, 7, 48, 32)
+	info, err := Probe(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.W != 48 || info.H != 32 || info.Frames != 7 || info.GOP != 5 || info.Quality != 70 {
+		t.Fatalf("probe reported %+v", info)
+	}
+	if _, err := Probe([]byte("not a video")); err == nil {
+		t.Fatal("probing garbage should error")
+	}
+}
+
+// BenchmarkDecoderResident measures the warm streaming decode path —
+// resident decoder, recycled reference frames and output images — with and
+// without the deblocking filter (the §6.4 reduced-fidelity lever).
+func BenchmarkDecoderResident(b *testing.B) {
+	enc := testClip(b, 30, 160, 96)
+	for _, bc := range []struct {
+		name    string
+		deblock bool
+	}{{"deblock-on", true}, {"deblock-off", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var dst *img.Image
+			frames := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec, err := NewDecoder(enc, DecodeOptions{DisableDeblock: !bc.deblock})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					m, err := dec.NextInto(dst)
+					if errors.Is(err, ErrEndOfStream) {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					dst = m
+					frames++
+				}
+			}
+			b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}

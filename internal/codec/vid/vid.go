@@ -22,7 +22,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 
 	"smol/internal/codec/blockdct"
 	"smol/internal/img"
@@ -155,12 +154,6 @@ func deflateBytes(p []byte) []byte {
 		panic(err)
 	}
 	return buf.Bytes()
-}
-
-func inflateBytes(p []byte) ([]byte, error) {
-	fr := flate.NewReader(bytes.NewReader(p))
-	defer fr.Close()
-	return io.ReadAll(fr)
 }
 
 // coefWriter serializes quantized blocks as (DC svarint, AC run-length

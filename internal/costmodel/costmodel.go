@@ -42,6 +42,15 @@ type Format struct {
 	DecodeScale int
 	// NoDeblock disables the deblocking filter for video formats.
 	NoDeblock bool
+	// GOP is the video I-frame interval (FormatVideoH264 only; zero means
+	// unknown, costing the generic I/P average).
+	GOP int
+	// FramesPerSample amortizes stride-sampled video: producing one DNN
+	// input requires decoding this many frames, because motion-compensated
+	// frames need their references even when they are not classified. The
+	// decode cost is multiplied by it; zero or one means every decoded
+	// frame is sampled.
+	FramesPerSample int
 }
 
 // DNNChoice pairs a network with the input resolution it will run at and
@@ -123,7 +132,11 @@ func Costs(p Plan, env Env) (StageCosts, error) {
 		ROIFraction: p.Format.ROIFraction,
 		Scale:       p.Format.DecodeScale,
 		NoDeblock:   p.Format.NoDeblock,
+		GOP:         p.Format.GOP,
 	})
+	if p.Format.FramesPerSample > 1 {
+		c.DecodeUS *= float64(p.Format.FramesPerSample)
+	}
 	opCosts := preproc.OpCosts(p.Preproc, p.PreprocSpec)
 	split := len(opCosts) - p.AccelOps
 	if split < 0 {
@@ -143,9 +156,14 @@ func Costs(p Plan, env Env) (StageCosts, error) {
 		}
 	}
 	// Live CPU-cost calibration: decode and CPU-side preprocessing scale by
-	// the measured-vs-modeled factor.
+	// the measured-vs-modeled factor. Video decode has its own measured
+	// factor (the vid codec's live constants differ from the image kernels).
 	cpuScale := env.Calibration.CPUScale()
-	c.DecodeUS *= cpuScale
+	decodeScale := cpuScale
+	if p.Format.Kind == hw.FormatVideoH264 {
+		decodeScale = env.Calibration.VideoCPUScale()
+	}
+	c.DecodeUS *= decodeScale
 	c.CPUPostUS *= cpuScale
 	// Execution: live-measured service time wins over the static profile,
 	// and is already at the choice's input resolution.

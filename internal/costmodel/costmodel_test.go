@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"smol/internal/hw"
+	"smol/internal/preproc"
 	"smol/internal/stats"
 )
 
@@ -539,5 +540,72 @@ func TestCalibratedCosts(t *testing.T) {
 	}
 	if _, err := EstimateSmol(plans[0], env); err != nil {
 		t.Fatalf("calibrated estimate: %v", err)
+	}
+}
+
+// TestVideoFormatCosts: the video-specific cost dimensions — stride
+// amortization, GOP mix, deblock discount, and the dedicated video
+// calibration scale — must all reach the stage costs.
+func TestVideoFormatCosts(t *testing.T) {
+	env := DefaultEnv()
+	env.Calibration = &hw.Calibration{ExecUS: map[string]float64{"vid-model@64": 500}}
+	spec := preproc.Spec{
+		InW: 640, InH: 360, ResizeShort: 64, CropW: 64, CropH: 64,
+		Std: [3]float32{1, 1, 1},
+	}
+	pplan, err := preproc.Optimize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkPlan := func(f Format) Plan {
+		return Plan{
+			DNN:    DNNChoice{Name: "vid-model@64", InputRes: 64, Accuracy: 0.9},
+			Format: f, Preproc: pplan, PreprocSpec: spec,
+		}
+	}
+	base := Format{Name: "svid", Kind: hw.FormatVideoH264, W: 640, H: 360, GOP: 30}
+	c1, err := Costs(mkPlan(base), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride 10: one sample costs ten decoded frames.
+	strided := base
+	strided.FramesPerSample = 10
+	c10, err := Costs(mkPlan(strided), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c10.DecodeUS, 10*c1.DecodeUS; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("stride-10 decode cost %v, want %v", got, want)
+	}
+	if c10.CPUPostUS != c1.CPUPostUS {
+		t.Fatal("stride must not change per-sample preprocessing cost")
+	}
+	// Deblock off discounts decode only.
+	nd := base
+	nd.NoDeblock = true
+	cnd, err := Costs(mkPlan(nd), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnd.DecodeUS >= c1.DecodeUS {
+		t.Fatal("NoDeblock did not discount decode cost")
+	}
+	// The video calibration scale applies to video decode but not to the
+	// post-decode CPU ops (which keep the generic scale).
+	calEnv := env
+	calEnv.Calibration = &hw.Calibration{
+		ExecUS:     env.Calibration.ExecUS,
+		VideoScale: 5,
+	}
+	cv, err := Costs(mkPlan(base), calEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cv.DecodeUS, 5*c1.DecodeUS; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("video-calibrated decode cost %v, want %v", got, want)
+	}
+	if cv.CPUPostUS != c1.CPUPostUS {
+		t.Fatal("video scale leaked into post-decode CPU cost")
 	}
 }

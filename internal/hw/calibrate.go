@@ -21,6 +21,13 @@ type Calibration struct {
 	// preprocessing costs (measured live cost / modeled cost); zero or
 	// negative means uncalibrated (factor 1).
 	PreprocScale float64
+	// VideoScale multiplies the modeled video decode cost specifically
+	// (measured live vid decode / modeled cost). The video codec's live
+	// speed tracks the still-image kernels only loosely — inflate, motion
+	// compensation and the deblocking loop have different constants — so
+	// the video planner times a real vid decode the same way the still
+	// planner times forwards. Zero or negative falls back to PreprocScale.
+	VideoScale float64
 }
 
 // ExecUSFor returns the measured per-image execution time for a DNN name,
@@ -40,4 +47,13 @@ func (c *Calibration) CPUScale() float64 {
 		return 1
 	}
 	return c.PreprocScale
+}
+
+// VideoCPUScale returns the multiplier for modeled video decode costs,
+// falling back to the generic CPU scale when video was not calibrated.
+func (c *Calibration) VideoCPUScale() float64 {
+	if c == nil || c.VideoScale <= 0 {
+		return c.CPUScale()
+	}
+	return c.VideoScale
 }

@@ -445,3 +445,52 @@ func TestCalibrationZeroValueAndLookup(t *testing.T) {
 		t.Fatalf("CPU scale %v", s)
 	}
 }
+
+func TestVideoDecodeCostGOP(t *testing.T) {
+	base := DecodeSpec{Format: FormatVideoH264, W: 640, H: 360}
+	// All-intra (GOP 1) must cost more than a long-GOP stream: intra frames
+	// carry full DCT coefficients, predicted frames mostly motion vectors.
+	gop1 := base
+	gop1.GOP = 1
+	gop30 := base
+	gop30.GOP = 30
+	if DecodeCostUS(gop1) <= DecodeCostUS(gop30) {
+		t.Fatal("all-intra video must cost more than long-GOP video")
+	}
+	// Longer GOPs monotonically approach the pure P-frame cost from above.
+	prev := DecodeCostUS(gop1)
+	for _, g := range []int{2, 4, 8, 30, 300} {
+		s := base
+		s.GOP = g
+		c := DecodeCostUS(s)
+		if c >= prev {
+			t.Fatalf("GOP %d cost %v not below GOP-shorter cost %v", g, c, prev)
+		}
+		prev = c
+	}
+	// The deblock discount applies on top of the GOP mix.
+	nd := gop30
+	nd.NoDeblock = true
+	if DecodeCostUS(nd) >= DecodeCostUS(gop30) {
+		t.Fatal("NoDeblock must discount GOP-amortized cost")
+	}
+}
+
+func TestCalibrationVideoScale(t *testing.T) {
+	var nilCal *Calibration
+	if s := nilCal.VideoCPUScale(); s != 1 {
+		t.Fatalf("nil calibration video scale %v, want 1", s)
+	}
+	// Uncalibrated video falls back to the generic CPU scale.
+	cal := &Calibration{PreprocScale: 3}
+	if s := cal.VideoCPUScale(); s != 3 {
+		t.Fatalf("video scale fallback %v, want 3", s)
+	}
+	cal.VideoScale = 7
+	if s := cal.VideoCPUScale(); s != 7 {
+		t.Fatalf("video scale %v, want 7", s)
+	}
+	if s := cal.CPUScale(); s != 3 {
+		t.Fatalf("video scale leaked into generic CPU scale: %v", s)
+	}
+}

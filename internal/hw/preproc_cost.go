@@ -44,8 +44,12 @@ const (
 	jpegNsPerPixel = 40.5
 	pngNsPerPixel  = 58.0
 	// h264NsPerPixel reflects motion compensation + residual decode, cheaper
-	// per pixel than JPEG's full entropy decode for P-frames.
+	// per pixel than JPEG's full entropy decode for P-frames. It is the
+	// GOP-amortized default when the I-frame interval is unknown.
 	h264NsPerPixel = 22.0
+	// h264IntraNsPerPixel is the intra-frame cost: no motion compensation,
+	// but every block carries full DCT coefficients, close to JPEG decode.
+	h264IntraNsPerPixel = 36.0
 	// jpegQualityRef scales entropy-decode cost with quality: higher quality
 	// keeps more coefficients. Cost multiplier = 0.6 + 0.4*q/75.
 	jpegQualityRef = 75.0
@@ -79,6 +83,10 @@ type DecodeSpec struct {
 	// NoDeblock skips the in-loop deblocking filter (video only), saving
 	// roughly 15% of decode cost (§6.4).
 	NoDeblock bool
+	// GOP is the video I-frame interval (video only). When > 1 the
+	// per-frame cost amortizes one expensive intra frame over GOP-1
+	// cheaper motion-compensated frames; zero keeps the generic average.
+	GOP int
 }
 
 // DecodeCostUS returns the modeled decode cost in CPU-microseconds on one
@@ -113,6 +121,10 @@ func DecodeCostUS(s DecodeSpec) float64 {
 		partialDiscount = 0.95
 	case FormatVideoH264:
 		nsPerPx = h264NsPerPixel
+		if s.GOP >= 1 {
+			g := float64(s.GOP)
+			nsPerPx = h264IntraNsPerPixel/g + h264NsPerPixel*(g-1)/g
+		}
 		if s.NoDeblock {
 			nsPerPx *= 0.85
 		}

@@ -12,6 +12,7 @@ package preproc
 
 import (
 	"fmt"
+	"strings"
 
 	"smol/internal/img"
 )
@@ -82,6 +83,16 @@ type Plan struct {
 	Ops []Op
 	// Name describes how the plan was constructed (for reports).
 	Name string
+}
+
+// Describe renders the plan as its operator kinds joined with "+", the
+// compact form serving reports (ServePlan) and CLI -explain output use.
+func (p Plan) Describe() string {
+	kinds := make([]string, len(p.Ops))
+	for i, op := range p.Ops {
+		kinds[i] = op.Kind.String()
+	}
+	return strings.Join(kinds, "+")
 }
 
 // DecodeScale returns the reduced decode factor the plan asks of the

@@ -3,11 +3,11 @@ package smol
 import (
 	"fmt"
 	"runtime"
-	"strings"
 	"time"
 
 	"smol/internal/codec/jpeg"
 	"smol/internal/codec/spng"
+	"smol/internal/codec/vid"
 	"smol/internal/costmodel"
 	"smol/internal/hw"
 	"smol/internal/img"
@@ -41,7 +41,10 @@ type ServePlan struct {
 	// Variant and InputRes split Entry into its parts.
 	Variant  string
 	InputRes int
-	// Accuracy is the entry's measured validation accuracy.
+	// Accuracy is the effective accuracy the planner's QoS floor was
+	// checked against: the entry's measured validation accuracy, minus
+	// any decode-fidelity penalties on video plans (deblocking disabled,
+	// undersized stored rendition).
 	Accuracy float64
 	// InputFormat describes the representative input class the plan was
 	// selected for (codec and encoded dimensions of the request's first
@@ -50,6 +53,15 @@ type ServePlan struct {
 	// DecodeScale is the reduced decode factor the joint plan chose for
 	// that input class (1 = full-resolution decode).
 	DecodeScale int
+	// Deblock reports whether the in-loop deblocking filter runs during
+	// decode (video requests only; false is the reduced-fidelity fast
+	// decode of §6.4). Still-image plans leave it false.
+	Deblock bool
+	// Stream is the natively-stored rendition the video planner routed the
+	// request to: 0 is the primary stream, n > 0 is VideoOpts.Variants[n-1]
+	// (the paper's natively-present low-resolution lever). Still-image
+	// plans leave it 0.
+	Stream int
 	// Preproc names the optimized post-decode operator chain.
 	Preproc string
 	// PredictedThroughput is the calibrated Eq. 4 estimate (im/s) for this
@@ -67,9 +79,9 @@ func (p ServePlan) String() string {
 
 // selKey memoizes planner decisions per (input class, QoS) pair.
 type selKey struct {
-	w, h int
-	png  bool
-	qos  QoS
+	w, h  int
+	codec Codec
+	qos   QoS
 }
 
 // selection is one memoized planner decision.
@@ -90,7 +102,7 @@ const maxCachedSelections = 256
 // selects the best plan under the QoS constraint — the paper's joint
 // preprocessing/inference optimization running live inside the serving
 // path.
-func (r *Runtime) planFor(inputs []EncodedImage, qos QoS) (*rtEntry, ServePlan, error) {
+func (r *Runtime) planFor(inputs []MediaInput, qos QoS) (*rtEntry, ServePlan, error) {
 	if len(inputs) == 0 {
 		// An empty request has no input class to cost and no work to
 		// bound: route it by accuracy alone (no calibration, no plan
@@ -108,11 +120,14 @@ func (r *Runtime) planFor(inputs []EncodedImage, qos QoS) (*rtEntry, ServePlan, 
 		return best, ServePlan{Entry: best.name, Variant: best.Variant,
 			InputRes: best.InputRes, Accuracy: best.Accuracy, DecodeScale: 1}, nil
 	}
+	if inputs[0].Codec == CodecVideo {
+		return nil, ServePlan{}, fmt.Errorf("smol: video streams are served by ClassifyVideo/EstimateMean, not Classify")
+	}
 	w, h, err := peekDims(inputs[0])
 	if err != nil {
 		return nil, ServePlan{}, fmt.Errorf("smol: reading input header: %w", err)
 	}
-	key := selKey{w: w, h: h, png: inputs[0].PNG, qos: qos}
+	key := selKey{w: w, h: h, codec: inputs[0].Codec, qos: qos}
 	r.selMu.Lock()
 	sel, ok := r.sels[key]
 	r.selMu.Unlock()
@@ -141,13 +156,11 @@ func (r *Runtime) selectPlan(key selKey) (selection, error) {
 	env.Calibration = r.calibrate()
 
 	kind := hw.FormatJPEG
-	name := "jpeg"
-	if key.png {
+	if key.codec == CodecPNG {
 		kind = hw.FormatPNG
-		name = "png"
 	}
 	format := costmodel.Format{
-		Name: fmt.Sprintf("%s %dx%d", name, key.w, key.h),
+		Name: fmt.Sprintf("%s %dx%d", key.codec, key.w, key.h),
 		Kind: kind, W: key.w, H: key.h, Quality: 90,
 	}
 
@@ -157,12 +170,12 @@ func (r *Runtime) selectPlan(key selKey) (selection, error) {
 	plans := make([]costmodel.Plan, 0, len(r.entries))
 	for _, ent := range r.entries {
 		var scales []int
-		if !key.png && !r.cfg.DisableScaledDecode {
+		if key.codec == CodecJPEG && !r.cfg.DisableScaledDecode {
 			scales = jpegDecodeScales
 		}
 		specW, specH := key.w, key.h
 		entFormat := format
-		if !key.png && r.cfg.ROIDecode {
+		if key.codec == CodecJPEG && r.cfg.ROIDecode {
 			// The executed ingest plan decodes only the MCU-aligned cover
 			// of the central crop; cost the same geometry. The stream's
 			// real MCU size is unknown until decode, so assume the
@@ -212,29 +225,31 @@ func (r *Runtime) selectPlan(key selKey) (selection, error) {
 			Accuracy:            ent.Accuracy,
 			InputFormat:         format.Name,
 			DecodeScale:         best.Plan.Preproc.DecodeScale(),
-			Preproc:             describeChain(best.Plan.Preproc),
+			Preproc:             best.Plan.Preproc.Describe(),
 			PredictedThroughput: best.Throughput,
 			PredictedLatencyUS:  best.LatencyUS,
 		},
 	}, nil
 }
 
-// describeChain renders a preprocessing chain as its operator kinds.
-func describeChain(p preproc.Plan) string {
-	kinds := make([]string, len(p.Ops))
-	for i, op := range p.Ops {
-		kinds[i] = op.Kind.String()
-	}
-	return strings.Join(kinds, "+")
-}
-
 // peekDims reads the encoded dimensions from an input's header without
-// decoding it.
-func peekDims(in EncodedImage) (w, h int, err error) {
-	if in.PNG {
+// decoding it. Unknown codecs fail here, at planning time, with the same
+// verdict the prep workers would reach later.
+func peekDims(in MediaInput) (w, h int, err error) {
+	switch in.Codec {
+	case CodecJPEG:
+		return jpeg.DecodeHeader(in.Data)
+	case CodecPNG:
 		return spng.DecodeHeader(in.Data)
+	case CodecVideo:
+		info, err := vid.Probe(in.Data)
+		if err != nil {
+			return 0, 0, err
+		}
+		return info.W, info.H, nil
+	default:
+		return 0, 0, fmt.Errorf("smol: unsupported codec %v", in.Codec)
 	}
-	return jpeg.DecodeHeader(in.Data)
 }
 
 func (r *Runtime) workerCount() int {
@@ -270,6 +285,30 @@ func (r *Runtime) calibrate() *hw.Calibration {
 		r.cal = cal
 	})
 	return r.cal
+}
+
+// videoCalibrate extends the base calibration with the video decode
+// reference measurement, lazily on the first video request so still-only
+// servers never pay for it. The write is ordered before every video
+// planner's read by the sync.Once.
+func (r *Runtime) videoCalibrate() *hw.Calibration {
+	cal := r.calibrate()
+	r.vidCalOnce.Do(func() {
+		cal.VideoScale = r.measureVideoScale()
+	})
+	return cal
+}
+
+// clampScale bounds a measured/modeled cost ratio against pathological
+// measurements (debuggers, contended CI machines).
+func clampScale(scale float64) float64 {
+	if scale < 0.02 {
+		return 0.02
+	}
+	if scale > 50 {
+		return 50
+	}
+	return scale
 }
 
 // measureExecUS times one entry's batch forward (best of a few warm runs)
@@ -346,13 +385,69 @@ func (r *Runtime) measurePreprocScale() float64 {
 	if modeled <= 0 {
 		return 1
 	}
-	scale := best.Seconds() * 1e6 / modeled
-	// Clamp pathological measurements (debuggers, contended CI machines).
-	if scale < 0.02 {
-		scale = 0.02
+	return clampScale(best.Seconds() * 1e6 / modeled)
+}
+
+// measureVideoScale times a fixed reference vid decode (a short clip with
+// real motion, so P-frames exercise compensation and residual coding) and
+// returns the live/modeled cost ratio — the video counterpart of
+// measurePreprocScale, feeding hw.Calibration.VideoScale.
+func (r *Runtime) measureVideoScale() float64 {
+	const refW, refH, refFrames, refGOP = 64, 48, 8, 4
+	frames := make([]*img.Image, refFrames)
+	for f := range frames {
+		m := img.New(refW, refH)
+		for y := 0; y < refH; y++ {
+			for x := 0; x < refW; x++ {
+				m.Set(x, y, uint8(x*4), uint8(y*5), uint8((x+y)*2))
+			}
+		}
+		// A moving bright bar gives the encoder real motion to chase.
+		for y := refH / 3; y < 2*refH/3; y++ {
+			for x := 0; x < refW/8; x++ {
+				m.Set((x+f*3)%refW, y, 250, 240, 200)
+			}
+		}
+		frames[f] = m
 	}
-	if scale > 50 {
-		scale = 50
+	enc, err := vid.Encode(frames, vid.EncodeOptions{Quality: 70, GOP: refGOP})
+	if err != nil {
+		return 1
 	}
-	return scale
+	var dst *img.Image
+	run := func() (time.Duration, error) {
+		dec, err := vid.NewDecoder(enc, vid.DecodeOptions{})
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for {
+			m, err := dec.NextInto(dst)
+			if err == vid.ErrEndOfStream {
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+			dst = m
+		}
+		return time.Since(start), nil
+	}
+	if _, err := run(); err != nil { // warm the decoder path
+		return 1
+	}
+	best, err := run()
+	if err != nil {
+		return 1
+	}
+	if d, err := run(); err == nil && d < best {
+		best = d
+	}
+	modeled := hw.DecodeCostUS(hw.DecodeSpec{
+		Format: hw.FormatVideoH264, W: refW, H: refH, GOP: refGOP,
+	}) * refFrames
+	if modeled <= 0 {
+		return 1
+	}
+	return clampScale(best.Seconds() * 1e6 / modeled)
 }

@@ -54,6 +54,14 @@ type RuntimeConfig struct {
 	// DisableCompiled forces the reference Model.Forward execution path
 	// even when the model compiles, for A/B comparison and tests.
 	DisableCompiled bool
+	// VideoDeblockPenalty is the validation-accuracy penalty the video
+	// planner assumes when it serves a stream with the in-loop deblocking
+	// filter disabled (the reduced-fidelity decode of §6.4): a candidate
+	// plan's accuracy is the zoo entry's measured accuracy minus this
+	// penalty, so deblock-off only wins when the QoS floor still holds.
+	// Zero means the default 0.01; negative disables deblock-off plans
+	// entirely.
+	VideoDeblockPenalty float64
 	// MaxCachedPlans bounds the compiled ingest-plan LRU cache (0 = 1024).
 	// Input dimensions come from user-supplied images, so a resident
 	// Server must not grow memory without bound; beyond the cap the least
@@ -89,12 +97,16 @@ type Runtime struct {
 	// hot prep path.
 	ingest ingestCache
 
-	// Planner state: the live calibration is measured once per runtime,
-	// and plan selections are memoized per (input class, QoS).
-	calOnce sync.Once
-	cal     *hw.Calibration
-	selMu   sync.Mutex
-	sels    map[selKey]selection
+	// Planner state: the live calibration is measured once per runtime
+	// (the video decode reference lazily, on the first video request), and
+	// plan selections are memoized per (input class, QoS) — still-image
+	// classes in sels, video stream-geometry classes in videoSels.
+	calOnce    sync.Once
+	vidCalOnce sync.Once
+	cal        *hw.Calibration
+	selMu      sync.Mutex
+	sels       map[selKey]selection
+	videoSels  map[videoSelKey]videoSelection
 }
 
 // rtEntry is one zoo entry lowered for serving: its compiled inference
@@ -161,9 +173,10 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 		maxPlans = 1024
 	}
 	r := &Runtime{
-		cfg:    cfg,
-		byName: make(map[string]*rtEntry),
-		sels:   make(map[selKey]selection),
+		cfg:       cfg,
+		byName:    make(map[string]*rtEntry),
+		sels:      make(map[selKey]selection),
+		videoSels: make(map[videoSelKey]videoSelection),
 	}
 	r.ingest.init(maxPlans)
 	for i, e := range zoo.Entries() {
@@ -207,12 +220,33 @@ func (r *Runtime) Entries() []string {
 	return names
 }
 
-// EncodedImage is one input: bytes in one of the supported codecs.
+// EncodedImage is one still-image input: bytes in one of the supported
+// image codecs. It is the still-image shorthand for MediaInput; the serving
+// stack converts it on entry and plans by codec.
 type EncodedImage struct {
 	// Data is the encoded image (JPEG from this repo's codec, or spng).
 	Data []byte
 	// PNG marks the data as spng-encoded rather than JPEG.
 	PNG bool
+}
+
+// media lifts the still-image shorthand into the codec-tagged form the
+// media-generic ingest and planning layers run on.
+func (in EncodedImage) media() MediaInput {
+	c := CodecJPEG
+	if in.PNG {
+		c = CodecPNG
+	}
+	return MediaInput{Codec: c, Data: in.Data}
+}
+
+// mediaInputs converts a still-image request to MediaInputs.
+func mediaInputs(inputs []EncodedImage) []MediaInput {
+	out := make([]MediaInput, len(inputs))
+	for i, in := range inputs {
+		out[i] = in.media()
+	}
+	return out
 }
 
 // ClassifyResult reports predictions in input order, the serving plan the
@@ -230,20 +264,35 @@ type ClassifyResult struct {
 // the planner chose for it. Many requests interleave in one warm pipeline;
 // Refs route each sample back here. Batches never mix shape classes, so
 // all samples of a batch share one entry.
+//
+// Still-image requests carry encoded inputs; video requests carry decoded
+// frames instead (the request's resident vid.Decoder produced them in
+// stream order — P-frames need their references — so prep workers only run
+// the residual resize/crop/normalize chain).
 type classifyReq struct {
-	inputs []EncodedImage
-	preds  []int
-	entry  *rtEntry
+	inputs []MediaInput
+	// frames, when non-nil, marks a video request: frames[i] is the decoded
+	// sampled frame for job i. The feeder writes each slot before
+	// submitting its job, so workers read it race-free.
+	frames []*img.Image
+	// framePool, when non-nil, recycles consumed frame images back to the
+	// request's decoder (ClassifyVideo's bounded-allocation loop).
+	framePool *sync.Pool
+	preds     []int
+	entry     *rtEntry
 }
 
 // ingestKey identifies one class of inputs a compiled ingest plan covers.
 // The MCU edge length matters because ROI regions align outward to the MCU
 // grid, so two JPEGs with equal dimensions but different chroma subsampling
 // decode to different region geometries; the target resolution matters
-// because the planner may route equal inputs to different zoo entries.
+// because the planner may route equal inputs to different zoo entries; the
+// codec matters because the levers differ per codec (scaled/ROI decode is
+// JPEG-only, video frames arrive already decoded), so same-dimension inputs
+// of different codecs must never share a cached plan.
 type ingestKey struct {
 	w, h, mcu, res int
-	png            bool
+	codec          Codec
 }
 
 // ingestPlan is the compiled decode+preprocess recipe for one input class:
@@ -333,20 +382,20 @@ func (c *ingestCache) len() int {
 // together with the residual resize/crop/normalize chain by
 // preproc.Optimize, and the result is an immutable recipe prepFunc
 // executes per image with pooled buffers.
-func (r *Runtime) ingestFor(w, h, mcu int, png bool, res int) (*ingestPlan, error) {
-	key := ingestKey{w: w, h: h, mcu: mcu, res: res, png: png}
+func (r *Runtime) ingestFor(w, h, mcu int, codec Codec, res int) (*ingestPlan, error) {
+	key := ingestKey{w: w, h: h, mcu: mcu, res: res, codec: codec}
 	if ip, ok := r.ingest.get(key); ok {
 		return ip, nil
 	}
 	decW, decH := w, h
 	var roi *img.Rect
-	if !png && r.cfg.ROIDecode {
+	if codec == CodecJPEG && r.cfg.ROIDecode {
 		var region img.Rect
 		roi, region = roiGeometry(w, h, res, mcu)
 		decW, decH = region.W(), region.H()
 	}
 	var scales []int
-	if !png && !r.cfg.DisableScaledDecode {
+	if codec == CodecJPEG && !r.cfg.DisableScaledDecode {
 		scales = jpegDecodeScales
 	}
 	spec := preproc.ServeSpec(decW, decH, res, r.cfg.Mean, r.cfg.Std, scales)
@@ -402,49 +451,71 @@ type ingestState struct {
 // then run the residual preproc chain into the engine's pooled output
 // tensor. The JPEG headers are parsed exactly once per image (the Decoder
 // carries the parse into the decode), and a warm worker performs no
-// per-image allocations.
+// per-image allocations. Video jobs arrive with their frame already decoded
+// (the request's resident decoder owns the sequential I/P stream), so the
+// worker runs only the residual chain and recycles the frame buffer.
 func (r *Runtime) prepFunc() engine.PrepFunc {
 	return func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
 		cr, ok := job.Tag.(*classifyReq)
 		if !ok {
 			return fmt.Errorf("smol: job %d carries no request state", job.Index)
 		}
-		in := cr.inputs[job.Index]
 		res := cr.entry.InputRes
 		st, _ := ws.Scratch.(*ingestState)
 		if st == nil {
 			st = &ingestState{ex: preproc.NewExecutor()}
 			ws.Scratch = st
 		}
-		if in.PNG {
+		if cr.frames != nil {
+			m := cr.frames[job.Index]
+			if m == nil {
+				return fmt.Errorf("smol: video job %d carries no decoded frame", job.Index)
+			}
+			ip, err := r.ingestFor(m.W, m.H, 0, CodecVideo, res)
+			if err != nil {
+				return err
+			}
+			err = st.ex.Execute(ip.resid, m, out)
+			if cr.framePool != nil {
+				cr.frames[job.Index] = nil
+				cr.framePool.Put(m)
+			}
+			return err
+		}
+		in := cr.inputs[job.Index]
+		switch in.Codec {
+		case CodecPNG:
 			m, err := spng.Decode(in.Data)
 			if err != nil {
 				return err
 			}
-			ip, err := r.ingestFor(m.W, m.H, 0, true, res)
+			ip, err := r.ingestFor(m.W, m.H, 0, CodecPNG, res)
 			if err != nil {
 				return err
 			}
 			return st.ex.Execute(ip.resid, m, out)
+		case CodecJPEG:
+			w, h, err := st.dec.Parse(in.Data)
+			if err != nil {
+				return err
+			}
+			ip, err := r.ingestFor(w, h, st.dec.MCUSize(), CodecJPEG, res)
+			if err != nil {
+				return err
+			}
+			m, _, _, err := st.dec.Decode(jpeg.DecodeOptions{
+				ROI:   ip.roi,
+				Scale: ip.scale,
+				Dst:   st.buf,
+			})
+			if err != nil {
+				return err
+			}
+			st.buf = m
+			return st.ex.Execute(ip.resid, m, out)
+		default:
+			return fmt.Errorf("smol: job %d: unsupported codec %v in still-image request", job.Index, in.Codec)
 		}
-		w, h, err := st.dec.Parse(in.Data)
-		if err != nil {
-			return err
-		}
-		ip, err := r.ingestFor(w, h, st.dec.MCUSize(), false, res)
-		if err != nil {
-			return err
-		}
-		m, _, _, err := st.dec.Decode(jpeg.DecodeOptions{
-			ROI:   ip.roi,
-			Scale: ip.scale,
-			Dst:   st.buf,
-		})
-		if err != nil {
-			return err
-		}
-		st.buf = m
-		return st.ex.Execute(ip.resid, m, out)
 	}
 }
 

@@ -10,6 +10,9 @@
 #   - BENCH_serve.json: serving planner (accuracy floors swept through a
 #     warm multi-variant zoo server; the floor-strict/floor-relaxed ratio
 #     is the planner's throughput headroom).
+#   - BENCH_video.json: video serving (frames/s over deblock on/off x
+#     native res variants x accuracy floors, the resident decoder, and
+#     EstimateMean's target-invocation savings vs exhaustive).
 #
 #   scripts/bench.sh                # 1s per benchmark, writes all files
 #   BENCHTIME=300ms scripts/bench.sh
@@ -21,9 +24,11 @@ BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_infer.json}"
 OUT_PREPROC="${OUT_PREPROC:-BENCH_preproc.json}"
 OUT_SERVE="${OUT_SERVE:-BENCH_serve.json}"
+OUT_VIDEO="${OUT_VIDEO:-BENCH_video.json}"
 INFER_FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkGEMM|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
 PREPROC_FILTER='BenchmarkDecodeScaledHD|BenchmarkIngestHD|BenchmarkServeIngestHD'
 SERVE_FILTER='BenchmarkServePlannerHD'
+VIDEO_FILTER='BenchmarkVideoServe|BenchmarkEstimateMeanSavings|BenchmarkDecoderResident'
 
 # collect <filter> <out-file> <packages...>: run the benchmarks and write
 # a {benchmark: ns/op} JSON summary.
@@ -57,3 +62,4 @@ collect() {
 collect "$INFER_FILTER" "$OUT" .
 collect "$PREPROC_FILTER" "$OUT_PREPROC" ./internal/codec/jpeg/ .
 collect "$SERVE_FILTER" "$OUT_SERVE" .
+collect "$VIDEO_FILTER" "$OUT_VIDEO" ./internal/codec/vid/ .

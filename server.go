@@ -61,6 +61,13 @@ func (s *Server) Classify(ctx context.Context, inputs []EncodedImage) (ClassifyR
 // serve an accuracy-floor request and a max-throughput request
 // back-to-back from the same pipeline.
 func (s *Server) ClassifyQoS(ctx context.Context, inputs []EncodedImage, qos QoS) (ClassifyResult, error) {
+	return s.ClassifyMedia(ctx, mediaInputs(inputs), qos)
+}
+
+// ClassifyMedia is the codec-generic form of ClassifyQoS: each input is
+// tagged with its codec rather than assumed JPEG-or-PNG. Video streams are
+// whole requests, not single samples — route them through ClassifyVideo.
+func (s *Server) ClassifyMedia(ctx context.Context, inputs []MediaInput, qos QoS) (ClassifyResult, error) {
 	ent, plan, err := s.rt.planFor(inputs, qos)
 	if err != nil {
 		return ClassifyResult{}, err

@@ -1,0 +1,150 @@
+package smol
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"smol/internal/nn"
+)
+
+// benchClip renders and encodes a clip with real motion at the given square
+// resolution.
+func benchClip(b *testing.B, frames, res, gop int) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	imgs := make([]*Image, frames)
+	for f := range imgs {
+		m := NewImage(res, res)
+		for y := 0; y < res; y++ {
+			for x := 0; x < res; x++ {
+				m.Set(x, y, uint8(60+x%160), uint8(70+y%150), uint8(90+((x+y)&63)))
+			}
+		}
+		for k := 0; k < 3; k++ {
+			cx := (f*(5+2*k) + k*res/3) % res
+			cy := res/4 + k*res/4
+			for dy := -5; dy <= 5; dy++ {
+				for dx := -8; dx <= 8; dx++ {
+					x, y := cx+dx, cy+dy
+					if x >= 0 && x < res && y >= 0 && y < res {
+						m.Set(x, y, 240, uint8(200+rng.Intn(40)), 150)
+					}
+				}
+			}
+		}
+		imgs[f] = m
+	}
+	enc, err := EncodeVideo(imgs, 70, gop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc
+}
+
+// benchVideoZoo builds a two-entry zoo with pinned accuracies (untrained
+// weights — only geometry matters for throughput).
+func benchVideoZoo(b *testing.B) *Zoo {
+	b.Helper()
+	zoo := NewZoo()
+	for _, e := range []struct {
+		variant string
+		res     int
+		acc     float64
+	}{
+		{"resnet-a", 64, 0.95},
+		{"resnet-a", 32, 0.80},
+	} {
+		cfg, err := nn.VariantConfig(e.variant, 4, e.res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model, err := nn.NewResNet(rand.New(rand.NewSource(2)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := zoo.Add(ZooEntry{Variant: e.variant, InputRes: e.res, Accuracy: e.acc,
+			Model: model, Config: cfg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return zoo
+}
+
+// BenchmarkVideoServe sweeps the video planner's fidelity levers through a
+// warm server: deblock on/off and the natively-stored resolution variant,
+// each forced in isolation, then the accuracy floors that let the planner
+// choose jointly. The frames/s metric (sampled frames classified per
+// second, decode included) is the number tracked in BENCH_video.json.
+func BenchmarkVideoServe(b *testing.B) {
+	full := benchClip(b, 24, 256, 8)
+	low := benchClip(b, 24, 128, 8)
+	rt, err := NewZooRuntime(benchVideoZoo(b), RuntimeConfig{BatchSize: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	cases := []struct {
+		name   string
+		stream []byte
+		opts   VideoOpts
+	}{
+		{"deblock-on/res-full", full, VideoOpts{Stride: 2, Deblock: DeblockOn}},
+		{"deblock-off/res-full", full, VideoOpts{Stride: 2, Deblock: DeblockOff}},
+		{"deblock-on/res-low", low, VideoOpts{Stride: 2, Deblock: DeblockOn}},
+		{"deblock-off/res-low", low, VideoOpts{Stride: 2, Deblock: DeblockOff}},
+		{"floor-strict", full, VideoOpts{Stride: 2, QoS: QoS{MinAccuracy: 0.95},
+			Variants: [][]byte{low}}},
+		{"floor-relaxed", full, VideoOpts{Stride: 2, Variants: [][]byte{low}}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			res, err := srv.ClassifyVideo(ctx, bc.stream, bc.opts) // warm pools + plan caches
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames := len(res.Predictions)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.ClassifyVideo(ctx, bc.stream, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*frames)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}
+
+// BenchmarkEstimateMeanSavings measures the aggregation query and reports
+// the target-model invocations it saved against the exhaustive
+// classify-every-frame baseline — BlazeIt's headline number (§8.4).
+func BenchmarkEstimateMeanSavings(b *testing.B) {
+	clip := benchClip(b, 120, 64, 12)
+	rt, err := NewZooRuntime(benchVideoZoo(b), RuntimeConfig{BatchSize: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	var last AggregateResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, err = srv.EstimateMean(ctx, clip, AggregateOpts{ErrTarget: 0.5, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.TargetInvocations), "target-invocations")
+	b.ReportMetric(float64(last.Frames-last.TargetInvocations), "invocations-saved")
+}

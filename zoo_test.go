@@ -267,17 +267,17 @@ func TestIngestPlanCacheLRU(t *testing.T) {
 		t.Fatal(err)
 	}
 	hot := ingestKey{w: 160, h: 120, mcu: 8, res: 16}
-	if _, err := rt.ingestFor(hot.w, hot.h, hot.mcu, false, 16); err != nil {
+	if _, err := rt.ingestFor(hot.w, hot.h, hot.mcu, CodecJPEG, 16); err != nil {
 		t.Fatal(err)
 	}
 	// An adversarial sweep of distinct resolutions, touching the hot class
 	// between evictions so recency protects it.
 	for i := 0; i < 40; i++ {
 		w := 64 + 8*i
-		if _, err := rt.ingestFor(w, w, 8, false, 16); err != nil {
+		if _, err := rt.ingestFor(w, w, 8, CodecJPEG, 16); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := rt.ingestFor(hot.w, hot.h, hot.mcu, false, 16); err != nil {
+		if _, err := rt.ingestFor(hot.w, hot.h, hot.mcu, CodecJPEG, 16); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -290,7 +290,7 @@ func TestIngestPlanCacheLRU(t *testing.T) {
 	}
 	// Cold classes were evicted but remain servable, with the same plan a
 	// fresh runtime would compile.
-	ip, err := rt.ingestFor(64, 64, 8, false, 16)
+	ip, err := rt.ingestFor(64, 64, 8, CodecJPEG, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestIngestPlanCacheLRU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := fresh.ingestFor(64, 64, 8, false, 16)
+	want, err := fresh.ingestFor(64, 64, 8, CodecJPEG, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
