@@ -1,0 +1,64 @@
+// Command smol-vet runs the project's static-analysis suite (package
+// smol/internal/analysis) over the named packages:
+//
+//	smol-vet ./...                  # vet-style findings, exit 1 if any
+//	smol-vet -json ./...            # findings as a JSON array
+//	smol-vet -check-coverage ./...  # also require every //smol:noalloc
+//	                                # function to have an alloctest.Run
+//
+// Findings print as `file:line:col: analyzer: message`. The tool is
+// stdlib-only and loads packages from source via `go list`, so it works
+// offline and needs no dependency beyond the Go toolchain.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"smol/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	checkCoverage := flag.Bool("check-coverage", false, "require every //smol:noalloc function to be covered by an alloctest.Run check")
+	dir := flag.String("C", "", "change to this directory before loading packages")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader(*dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smol-vet:", err)
+		os.Exit(2)
+	}
+	runner := analysis.NewRunner(loader.Fset, pkgs)
+	findings := runner.Run()
+	if *checkCoverage {
+		findings = append(findings, runner.CheckCoverage()...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "smol-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

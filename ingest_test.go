@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"smol/internal/analysis/alloctest"
 	"smol/internal/codec/jpeg"
 	"smol/internal/data"
 	"smol/internal/engine"
@@ -237,9 +238,7 @@ func TestIngestWarmPathAllocates0(t *testing.T) {
 			}
 		}
 		run() // warm the decoder, executor scratch and plan cache
-		if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
-			t.Errorf("cfg ROIDecode=%v: warm ingest allocates %.1f objects/op, want 0",
-				cfg.ROIDecode, allocs)
-		}
+		alloctest.Run(t, "smol.Runtime.prepJob", 0, run,
+			"smol/internal/codec/jpeg.Decoder.Parse", "smol/internal/codec/jpeg.Decoder.Decode")
 	}
 }

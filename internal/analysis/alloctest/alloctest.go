@@ -1,0 +1,39 @@
+// Package alloctest is the shared harness behind the project's
+// zero-allocation regression tests. Every //smol:noalloc function must be
+// exercised — directly or transitively — by an alloctest.Run check;
+// `smol-vet -check-coverage` enforces that by matching the canonical
+// names passed here against the annotated function set.
+package alloctest
+
+import (
+	"testing"
+)
+
+// raceEnabled is set to true by alloctest_race.go under -race.
+var raceEnabled = false
+
+// Run measures allocations of fn and fails t when the average exceeds
+// max. name is the canonical name of the //smol:noalloc function under
+// test ("importpath.Func" or "importpath.Type.Method", pointer receiver
+// stripped); alsoCovers lists further annotated functions the same run
+// exercises transitively (e.g. a forward pass covering its GEMM
+// kernels). The names are what `smol-vet -check-coverage` greps for, so
+// they must be string literals at the call site.
+//
+// Under the race detector allocation counts are meaningless (the
+// instrumentation itself allocates), so Run executes fn once for
+// coverage and skips the measurement.
+func Run(t testing.TB, name string, max float64, fn func(), alsoCovers ...string) {
+	t.Helper()
+	if raceEnabled {
+		fn()
+		t.Logf("alloctest: race detector enabled; ran %s without measuring allocations", name)
+		return
+	}
+	got := testing.AllocsPerRun(100, fn)
+	if got > max {
+		t.Errorf("alloctest: %s allocated %.2f allocs/op on the warm path, want <= %.2f (annotated //smol:noalloc)",
+			name, got, max)
+	}
+	_ = alsoCovers
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package alloctest
+
+func init() { raceEnabled = true }

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic, anchored to a source position.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the vet-style file:line: analyzer: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// funcAnn is the parsed //smol: annotation set of one function declaration.
+type funcAnn struct {
+	// noalloc: the function must not heap-allocate (noalloc analyzer).
+	noalloc bool
+	// owns: the function intentionally transfers resource ownership;
+	// escaping a tracked resource (returning it, storing it in a struct or
+	// slot) is not a finding here.
+	owns bool
+	// acquire/release name a resource class: calls to this function
+	// acquire (or release) one resource of that class in the caller — the
+	// wrapper form of a tracked acquire/release.
+	acquire string
+	release string
+}
+
+// parseFuncAnn extracts //smol: directives from a doc comment group.
+func parseFuncAnn(doc *ast.CommentGroup) (ann funcAnn, ok bool) {
+	if doc == nil {
+		return funcAnn{}, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, "smol:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, "smol:"))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "noalloc":
+			ann.noalloc, ok = true, true
+		case "owns":
+			ann.owns, ok = true, true
+		case "acquire":
+			if len(fields) > 1 {
+				ann.acquire, ok = fields[1], true
+			}
+		case "release":
+			if len(fields) > 1 {
+				ann.release, ok = fields[1], true
+			}
+		}
+	}
+	return ann, ok
+}
+
+// Runner holds the cross-package state the analyzers share: the loaded
+// packages, the function-annotation index, and the per-file cold-path
+// line sets.
+type Runner struct {
+	pkgs []*Package
+	fset *token.FileSet
+
+	// anns indexes //smol: function annotations by their type-checker
+	// object, so wrapper acquire/release annotations resolve across
+	// package boundaries.
+	anns map[*types.Func]funcAnn
+
+	// cold maps filename -> set of lines carrying a //smol:coldpath
+	// directive. A statement starting on (or immediately below) such a
+	// line is exempt from noalloc checking, subtree included.
+	cold map[string]map[int]bool
+}
+
+// NewRunner indexes the target packages' annotations.
+func NewRunner(fset *token.FileSet, pkgs []*Package) *Runner {
+	r := &Runner{
+		pkgs: pkgs,
+		fset: fset,
+		anns: make(map[*types.Func]funcAnn),
+		cold: make(map[string]map[int]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				ann, ok := parseFuncAnn(fd.Doc)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					r.anns[fn] = ann
+				}
+			}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "smol:coldpath") {
+						pos := fset.Position(c.Pos())
+						lines := r.cold[pos.Filename]
+						if lines == nil {
+							lines = make(map[int]bool)
+							r.cold[pos.Filename] = lines
+						}
+						lines[pos.Line] = true
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// annFor resolves the annotation of the function a call expression names,
+// if any.
+func (r *Runner) annFor(pkg *Package, call *ast.CallExpr) (funcAnn, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return funcAnn{}, false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return funcAnn{}, false
+	}
+	ann, ok := r.anns[fn]
+	return ann, ok
+}
+
+// isCold reports whether a node is on (or directly below) a
+// //smol:coldpath line of its file.
+func (r *Runner) isCold(n ast.Node) bool {
+	pos := r.fset.Position(n.Pos())
+	lines := r.cold[pos.Filename]
+	return lines != nil && (lines[pos.Line] || lines[pos.Line-1])
+}
+
+// Run executes every analyzer over every target package and returns the
+// findings sorted by position.
+func (r *Runner) Run() []Finding {
+	var findings []Finding
+	for _, pkg := range r.pkgs {
+		findings = append(findings, r.pairing(pkg)...)
+		findings = append(findings, r.lockbalance(pkg)...)
+		findings = append(findings, r.noalloc(pkg)...)
+		findings = append(findings, r.ctxdrop(pkg)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// finding constructs a Finding at a node's position.
+func (r *Runner) finding(analyzer string, n ast.Node, format string, args ...any) Finding {
+	pos := r.fset.Position(n.Pos())
+	return Finding{
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// namedTypePath returns "importpath.TypeName" for a (possibly pointered)
+// named type, or "".
+func namedTypePath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// funcsIn yields every function body in a file worth analyzing as an
+// independent unit: declared functions and methods plus every function
+// literal (literals run with their own call frames; the pairing engine
+// treats each as its own scope, which is also how the deferred-closure
+// release idiom works).
+type funcUnit struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+	typ  *ast.FuncType
+}
+
+func funcsIn(file *ast.File) []funcUnit {
+	var units []funcUnit
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		units = append(units, funcUnit{decl: fd, body: fd.Body, typ: fd.Type})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				units = append(units, funcUnit{decl: fd, lit: lit, body: lit.Body, typ: lit.Type})
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// name renders a human-readable function name for diagnostics.
+func (u funcUnit) name() string {
+	if u.lit != nil {
+		if u.decl != nil {
+			return u.decl.Name.Name + " (func literal)"
+		}
+		return "func literal"
+	}
+	if u.decl.Recv != nil && len(u.decl.Recv.List) == 1 {
+		return recvTypeName(u.decl.Recv.List[0].Type) + "." + u.decl.Name.Name
+	}
+	return u.decl.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return "?"
+}

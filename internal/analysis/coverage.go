@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// CheckCoverage verifies that every //smol:noalloc function in the
+// target packages is exercised by at least one alloctest.Run check. Test
+// files are scanned syntactically (parse only, no type-check — test
+// binaries aren't part of the main load) for the canonical function
+// names passed to alloctest.Run as string literals, including the
+// alsoCovers variadic tail for functions covered transitively.
+func (r *Runner) CheckCoverage() []Finding {
+	covered := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, pkg := range r.pkgs {
+		files := append(append([]string(nil), pkg.TestGoFiles...), pkg.XTestGoFiles...)
+		for _, f := range files {
+			path := filepath.Join(pkg.Dir, f)
+			af, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				continue
+			}
+			ast.Inspect(af, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Run" {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "alloctest" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if s, err := strconv.Unquote(lit.Value); err == nil {
+							covered[s] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var findings []Finding
+	names := r.NoallocFuncs()
+	sort.Strings(names)
+	for _, name := range names {
+		if covered[name] {
+			continue
+		}
+		pos := r.noallocDeclPos(name)
+		findings = append(findings, Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: "coverage",
+			Message:  "//smol:noalloc function " + name + " has no alloctest.Run check covering it",
+		})
+	}
+	return findings
+}
+
+// noallocDeclPos finds the declaration position of a canonical noalloc
+// function name.
+func (r *Runner) noallocDeclPos(name string) token.Position {
+	for fn, ann := range r.anns {
+		if ann.noalloc && canonicalFuncName(fn) == name {
+			return r.fset.Position(fn.Pos())
+		}
+	}
+	return token.Position{}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxdrop checks that exported functions and methods taking a
+// context.Context actually honour it: the parameter must be used, fresh
+// root contexts must not shadow it, and raw channel operations must sit
+// in a select that also watches ctx.Done() — otherwise cancellation
+// cannot interrupt the blocking point and the "takes a context" contract
+// is a lie.
+func (r *Runner) ctxdrop(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxObj := contextParam(pkg, fd)
+			if ctxObj == nil {
+				continue
+			}
+			cw := &ctxWalker{r: r, pkg: pkg, ctxObj: ctxObj, findings: &findings}
+			cw.walk(fd.Body, false)
+			if !cw.used {
+				findings = append(findings, r.finding("ctxdrop", fd.Name,
+					"%s takes a context.Context but never uses it", fd.Name.Name))
+			}
+		}
+	}
+	return findings
+}
+
+// contextParam returns the object of the function's context.Context
+// parameter, or nil.
+func contextParam(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if namedTypePath(obj.Type()) == "context.Context" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+type ctxWalker struct {
+	r        *Runner
+	pkg      *Package
+	ctxObj   types.Object
+	findings *[]Finding
+	used     bool
+}
+
+// walk visits the body. inSafeSelect is true while visiting the comm
+// clauses of a select that also has a ctx.Done() case — channel ops
+// there are exactly the sanctioned pattern.
+func (cw *ctxWalker) walk(n ast.Node, inSafeSelect bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if cw.pkg.Info.Uses[x] == cw.ctxObj {
+				cw.used = true
+			}
+		case *ast.SelectStmt:
+			safe := cw.selectWatchesCtx(x)
+			for _, c := range x.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm != nil {
+					cw.walk(cc.Comm, safe)
+				}
+				for _, s := range cc.Body {
+					cw.walk(s, false)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if !inSafeSelect && cw.isChanOp(x.Chan) {
+				cw.flag(x, "channel send can block forever; wrap it in a select with a <-ctx.Done() case")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inSafeSelect && cw.isChanOp(x.X) && !cw.isDone(x.X) {
+				cw.flag(x, "channel receive can block forever; wrap it in a select with a <-ctx.Done() case")
+			}
+		case *ast.CallExpr:
+			if name := rootContextCall(cw.pkg, x); name != "" {
+				cw.flag(x, "context.%s() discards the caller's context; thread the ctx parameter instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func (cw *ctxWalker) flag(n ast.Node, format string, args ...any) {
+	*cw.findings = append(*cw.findings, cw.r.finding("ctxdrop", n, format, args...))
+}
+
+// selectWatchesCtx reports whether any comm clause receives from a
+// Done() channel of a context.Context value.
+func (cw *ctxWalker) selectWatchesCtx(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && cw.isDone(u.X) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isDone reports whether an expression is a Done() call on a
+// context.Context value.
+func (cw *ctxWalker) isDone(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := cw.pkg.Info.Types[sel.X]
+	return ok && tv.Type != nil && namedTypePath(tv.Type) == "context.Context"
+}
+
+// isChanOp reports whether an expression has channel type (a real
+// blocking point; time.After results etc. included by design).
+func (cw *ctxWalker) isChanOp(e ast.Expr) bool {
+	tv, ok := cw.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// rootContextCall reports context.Background/context.TODO calls.
+func rootContextCall(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersGolden loads each seeded-bug fixture package under
+// testdata/src and diffs the suite's findings against the `// want`
+// expectation comments: every want must be matched by a finding on its
+// line, and every finding must be claimed by a want.
+func TestAnalyzersGolden(t *testing.T) {
+	loader := NewLoader("")
+	for _, name := range []string{"pairingfix", "noallocfix", "ctxdropfix", "lockbalancefix"} {
+		t.Run(name, func(t *testing.T) {
+			pkgs, err := loader.Load("./testdata/src/" + name)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			runner := NewRunner(loader.Fset, pkgs)
+			findings := runner.Run()
+
+			type want struct {
+				file string
+				line int
+				re   *regexp.Regexp
+				hit  bool
+			}
+			var wants []*want
+			for _, pkg := range pkgs {
+				for _, file := range pkg.Files {
+					for _, cg := range file.Comments {
+						for _, c := range cg.List {
+							text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+							if !strings.HasPrefix(text, "want ") {
+								continue
+							}
+							expr := strings.TrimPrefix(text, "want ")
+							expr = strings.Trim(expr, "`")
+							re, err := regexp.Compile(expr)
+							if err != nil {
+								t.Fatalf("bad want regexp %q: %v", expr, err)
+							}
+							pos := loader.Fset.Position(c.Pos())
+							wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+						}
+					}
+				}
+			}
+
+			matched := make([]bool, len(findings))
+			for _, w := range wants {
+				for i, f := range findings {
+					if matched[i] || f.File != w.file || f.Line != w.line {
+						continue
+					}
+					if w.re.MatchString(f.Analyzer + ": " + f.Message) {
+						matched[i] = true
+						w.hit = true
+						break
+					}
+				}
+				if !w.hit {
+					t.Errorf("%s:%d: want %q: no matching finding", w.file, w.line, w.re)
+				}
+			}
+			for i, f := range findings {
+				if !matched[i] {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestModuleClean runs the full suite (coverage included) over the real
+// module: the tree must stay finding-free, and every //smol:noalloc
+// function must keep an alloctest.Run check.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := NewLoader("../..")
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	runner := NewRunner(loader.Fset, pkgs)
+	findings := runner.Run()
+	findings = append(findings, runner.CheckCoverage()...)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(pkgs) < 10 {
+		t.Errorf("loaded only %d target packages; go list pattern broke", len(pkgs))
+	}
+}
+
+// TestAnnotationIndex spot-checks that the runner indexed the module's
+// key annotations: the wrapper pair on the engine buffer helpers and a
+// //smol:noalloc on the compiled forward.
+func TestAnnotationIndex(t *testing.T) {
+	loader := NewLoader("../..")
+	pkgs, err := loader.Load("./internal/engine", "./internal/nn")
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	runner := NewRunner(loader.Fset, pkgs)
+	byName := make(map[string]funcAnn)
+	for fn, ann := range runner.anns {
+		byName[canonicalFuncName(fn)] = ann
+	}
+	checks := []struct {
+		name string
+		ok   func(funcAnn) bool
+		desc string
+	}{
+		{"smol/internal/engine.Pipeline.newBuf", func(a funcAnn) bool { return a.acquire == "tensorbuf" && a.owns }, "acquire tensorbuf + owns"},
+		{"smol/internal/engine.Pipeline.recycle", func(a funcAnn) bool { return a.release == "tensorbuf" }, "release tensorbuf"},
+		{"smol/internal/nn.InferencePlan.PredictInto", func(a funcAnn) bool { return a.noalloc }, "noalloc"},
+	}
+	for _, c := range checks {
+		ann, ok := byName[c.name]
+		if !ok || !c.ok(ann) {
+			t.Errorf("%s: want %s annotation, got %+v (indexed: %v)", c.name, c.desc, ann, ok)
+		}
+	}
+}

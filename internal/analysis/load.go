@@ -1,0 +1,205 @@
+// Package analysis implements smol-vet, the project's static-analysis
+// suite: a stdlib-only (go/parser + go/types) checker that enforces the
+// runtime's resource-safety and zero-allocation invariants at "compile
+// time" instead of discovering violations under load.
+//
+// The suite knows the module's resource vocabulary — engine.TensorPool
+// Get/Put, engine.PinnedArena Acquire/Release, sync.Pool Get/Put,
+// semaphore channels (names ending in "Sem"), and sync.Mutex/RWMutex —
+// and a small annotation vocabulary that transfers invariants explicitly
+// where the code means to:
+//
+//	//smol:noalloc      this function must not heap-allocate (checked
+//	//                  syntactically; see the noalloc analyzer)
+//	//smol:coldpath     this statement/block is an error or slow path,
+//	//                  exempt from the enclosing //smol:noalloc
+//	//smol:owns         this function intentionally transfers resource
+//	//                  ownership (returning a pooled buffer, storing it
+//	//                  in a struct); escapes are not leaks here
+//	//smol:acquire C    calls to this function acquire one resource of
+//	//                  class C (a wrapper around a tracked acquire)
+//	//smol:release C    calls to this function release one resource of
+//	//                  class C
+//
+// Package loading is go list-driven: `go list -deps -json` names the
+// exact files and import graph for the current platform, and everything
+// (standard library included) is parsed and type-checked from source, so
+// the tool works offline with no dependency outside the standard library.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Standard   bool // part of the standard library
+	DepOnly    bool // loaded only as a dependency, not named by the patterns
+	GoFiles    []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// TestGoFiles and XTestGoFiles are recorded (not parsed) so the
+	// coverage checker can scan test sources syntactically.
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	CgoFiles     []string
+	Imports      []string
+	ImportMap    map[string]string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Loader loads and type-checks packages from source. One Loader shares a
+// FileSet and a cache of checked packages across Load calls, so fixture
+// packages loaded one at a time pay for the standard library once.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root, or any
+	// directory inside it). Empty means the current directory.
+	Dir string
+
+	Fset    *token.FileSet
+	checked map[string]*Package
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, Fset: token.NewFileSet(), checked: make(map[string]*Package)}
+}
+
+// Load resolves the patterns with `go list -deps -json`, parses and
+// type-checks every resulting package bottom-up, and returns the packages
+// the patterns named directly (dependencies are checked but reported with
+// DepOnly set and excluded from the result).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var metas []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m listPkg
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		metas = append(metas, &m)
+	}
+	var targets []*Package
+	for _, m := range metas {
+		if m.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		pkg, err := l.check(m)
+		if err != nil {
+			return nil, err
+		}
+		if !m.DepOnly {
+			targets = append(targets, pkg)
+		}
+	}
+	return targets, nil
+}
+
+// check parses and type-checks one package, memoized by import path.
+// go list -deps emits dependencies before dependents, so every import is
+// already in the cache when its importer asks for it.
+func (l *Loader) check(m *listPkg) (*Package, error) {
+	if p, ok := l.checked[m.ImportPath]; ok {
+		return p, nil
+	}
+	if m.ImportPath == "unsafe" {
+		p := &Package{ImportPath: "unsafe", Standard: true, DepOnly: m.DepOnly, Types: types.Unsafe}
+		l.checked["unsafe"] = p
+		return p, nil
+	}
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	names := make([]string, 0, len(m.GoFiles))
+	for _, f := range append(append([]string(nil), m.GoFiles...), m.CgoFiles...) {
+		path := filepath.Join(m.Dir, f)
+		af, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", path, err)
+		}
+		files = append(files, af)
+		names = append(names, path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{
+		Importer:    &mapImporter{loader: l, importMap: m.ImportMap},
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+	}
+	tpkg, err := cfg.Check(m.ImportPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", m.ImportPath, err)
+	}
+	p := &Package{
+		ImportPath:   m.ImportPath,
+		Dir:          m.Dir,
+		Standard:     m.Standard,
+		DepOnly:      m.DepOnly,
+		GoFiles:      names,
+		Files:        files,
+		Types:        tpkg,
+		Info:         info,
+		TestGoFiles:  m.TestGoFiles,
+		XTestGoFiles: m.XTestGoFiles,
+	}
+	l.checked[m.ImportPath] = p
+	return p, nil
+}
+
+// mapImporter resolves imports against the loader's cache, honouring the
+// package's vendor ImportMap.
+type mapImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (mi *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := mi.loader.checked[path]; ok {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("analysis: import %q not loaded (go list -deps should have listed it)", path)
+}

@@ -1,0 +1,353 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noalloc rejects syntactic heap allocation inside functions annotated
+// //smol:noalloc. The check is syntactic on purpose: it cannot prove the
+// compiler won't stack-allocate a flagged expression, but every warm-path
+// regression this project has seen entered through one of these shapes —
+// make/new, slice or map literals, append into a fresh slice, closures,
+// fmt/errors on the hot path, and interface boxing of values.
+// Statements on a //smol:coldpath line (error and warm-up branches) are
+// exempt, subtree included.
+func (r *Runner) noalloc(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !r.anns[fn].noalloc {
+				continue
+			}
+			nw := &noallocWalker{r: r, pkg: pkg, findings: &findings}
+			nw.collectAllowed(fd.Body)
+			nw.walk(fd.Body)
+		}
+	}
+	return findings
+}
+
+type noallocWalker struct {
+	r        *Runner
+	pkg      *Package
+	findings *[]Finding
+
+	// allowedAppend holds append calls of the self-append idiom
+	// `x = append(x, ...)` (including the `buf = append(buf, 0)[:n]`
+	// capacity-probe form), which reuse the backing array once warm.
+	allowedAppend map[*ast.CallExpr]bool
+	// addrOf holds composite literals under a unary & — those escape to
+	// the heap; plain value literals stay in registers/stack.
+	addrOf map[*ast.CompositeLit]bool
+}
+
+// collectAllowed pre-computes the append-reuse and &-literal maps, which
+// need parent context a plain Inspect doesn't give.
+func (nw *noallocWalker) collectAllowed(body *ast.BlockStmt) {
+	nw.allowedAppend = make(map[*ast.CallExpr]bool)
+	nw.addrOf = make(map[*ast.CompositeLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				call := findAppend(rhs, nw.pkg)
+				if call == nil || len(call.Args) == 0 {
+					continue
+				}
+				if types.ExprString(x.Lhs[i]) == types.ExprString(sliceBase(call.Args[0])) {
+					nw.allowedAppend[call] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					nw.addrOf[cl] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// findAppend unwraps parens and slice expressions around a builtin
+// append call.
+func findAppend(e ast.Expr, pkg *Package) *ast.CallExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isB := pkg.Info.Uses[id].(*types.Builtin); isB {
+					return x
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// sliceBase strips slicing from an expression: append(buf[:0], ...)
+// reuses buf.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// walk visits the body, skipping //smol:coldpath subtrees, and flags
+// allocating shapes.
+func (nw *noallocWalker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isStmt := n.(ast.Stmt); isStmt && nw.r.isCold(n) {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			nw.flag(x, "go statement allocates a goroutine on the hot path")
+			return false
+		case *ast.FuncLit:
+			nw.flag(x, "closure allocation")
+			return false
+		case *ast.CompositeLit:
+			nw.checkCompositeLit(x)
+		case *ast.CallExpr:
+			nw.checkCall(x)
+		case *ast.AssignStmt:
+			nw.checkAssignBoxing(x)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := nw.pkg.Info.Types[x]; ok && tv.Value == nil && isString(tv.Type) {
+					nw.flag(x, "string concatenation allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (nw *noallocWalker) flag(n ast.Node, format string, args ...any) {
+	*nw.findings = append(*nw.findings, nw.r.finding("noalloc", n, format, args...))
+}
+
+func (nw *noallocWalker) checkCompositeLit(x *ast.CompositeLit) {
+	tv, ok := nw.pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		nw.flag(x, "slice literal allocates")
+	case *types.Map:
+		nw.flag(x, "map literal allocates")
+	default:
+		if nw.addrOf[x] {
+			nw.flag(x, "&composite literal escapes to the heap")
+		}
+	}
+}
+
+func (nw *noallocWalker) checkCall(call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, isB := nw.pkg.Info.Uses[fun].(*types.Builtin); isB {
+			switch fun.Name {
+			case "make":
+				nw.flag(call, "make allocates")
+			case "new":
+				nw.flag(call, "new allocates")
+			case "append":
+				if !nw.allowedAppend[call] {
+					nw.flag(call, "append into a non-reused slice allocates (only `x = append(x, ...)` reuse is allowed)")
+				}
+			case "panic":
+				nw.checkBoxedArg(call.Args[0])
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, isFn := nw.pkg.Info.Uses[fun.Sel].(*types.Func); isFn && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "fmt":
+				nw.flag(call, "fmt.%s allocates; move it to a //smol:coldpath line", fn.Name())
+				return
+			case "errors":
+				nw.flag(call, "errors.%s allocates; move it to a //smol:coldpath line", fn.Name())
+				return
+			}
+		}
+	}
+
+	// Conversions that copy: string <-> []byte/[]rune.
+	if tv, ok := nw.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		if src, ok := nw.pkg.Info.Types[call.Args[0]]; ok && src.Type != nil {
+			_, dstSlice := dst.(*types.Slice)
+			if (isString(tv.Type) && !isString(src.Type) && src.Value == nil) ||
+				(dstSlice && isString(src.Type)) {
+				nw.flag(call, "string conversion allocates")
+			}
+		}
+		return
+	}
+
+	// Interface boxing at call boundaries.
+	tv, ok := nw.pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); isIface {
+			nw.checkBoxedArg(arg)
+		}
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) > sig.Params().Len()-1 {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if sl, isSl := last.Type().Underlying().(*types.Slice); isSl {
+			if _, isIface := sl.Elem().Underlying().(*types.Interface); isIface {
+				nw.flag(call, "variadic interface call allocates the argument slice")
+			}
+		}
+	}
+}
+
+// paramType returns the type of parameter i, expanding the variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// checkBoxedArg flags a concrete value converted to an interface unless
+// it is pointer-shaped or a compile-time constant (both box without
+// allocating).
+func (nw *noallocWalker) checkBoxedArg(arg ast.Expr) {
+	tv, ok := nw.pkg.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return
+	}
+	if !boxingAllocates(tv.Type) {
+		return
+	}
+	nw.flag(arg, "interface boxing of a %s value allocates", tv.Type.Underlying().String())
+}
+
+// checkAssignBoxing flags assignments of allocating concrete values into
+// interface-typed destinations.
+func (nw *noallocWalker) checkAssignBoxing(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		lt, ok := nw.pkg.Info.Types[lhs]
+		if !ok || lt.Type == nil {
+			// := defines; look up the object instead.
+			if id, isID := lhs.(*ast.Ident); isID {
+				if obj := nw.pkg.Info.Defs[id]; obj != nil {
+					if _, isIface := obj.Type().Underlying().(*types.Interface); isIface {
+						nw.checkBoxedArg(s.Rhs[i])
+					}
+				}
+			}
+			continue
+		}
+		if _, isIface := lt.Type.Underlying().(*types.Interface); isIface {
+			nw.checkBoxedArg(s.Rhs[i])
+		}
+	}
+}
+
+// boxingAllocates reports whether converting a value of type t to an
+// interface heap-allocates: anything not pointer-shaped does.
+func boxingAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// exported for the coverage checker: NoallocFuncs lists the canonical
+// names ("importpath.Func" or "importpath.Type.Method") of every
+// //smol:noalloc function in the target packages.
+func (r *Runner) NoallocFuncs() []string {
+	var out []string
+	for fn, ann := range r.anns {
+		if ann.noalloc {
+			out = append(out, canonicalFuncName(fn))
+		}
+	}
+	return out
+}
+
+// canonicalFuncName renders "pkgpath.Name" or "pkgpath.Recv.Name" with
+// pointer receivers stripped — the same form alloctest.Run takes.
+func canonicalFuncName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path() + "."
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := rt.(*types.Named); ok {
+			return pkg + n.Obj().Name() + "." + fn.Name()
+		}
+		return pkg + strings.TrimPrefix(rt.String(), fn.Pkg().Path()+".") + "." + fn.Name()
+	}
+	return pkg + fn.Name()
+}

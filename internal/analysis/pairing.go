@@ -1,0 +1,890 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The pairing engine: a flow-insensitive-but-path-aware balance check for
+// acquire/release resource pairs. It walks a function body once, in
+// source order, tracking for every acquired resource the branch
+// conditions it was acquired under. A release (or a deferred release, or
+// an explicit ownership escape) covers an exit path when its recorded
+// conditions do not contradict the exit's; any exit — return, panic,
+// continue, break, loop end — still holding an uncovered resource is a
+// finding.
+//
+// The engine is deliberately conservative in what it tracks (the known
+// resource vocabulary plus //smol:acquire- and //smol:release-annotated
+// wrappers) and in what it concludes: bare releases with no visible
+// acquire are ignored, and correlation across loop iterations is not
+// attempted.
+
+// cond is one branch condition on the current path: the normalized
+// condition text and the branch taken.
+type cond struct {
+	text string
+	val  bool
+}
+
+// normCond normalizes a branch condition: parens and leading negations
+// are stripped into the boolean, and `x == nil` is canonicalized to the
+// negation of `x != nil` so if/else and inverted guards correlate. It
+// returns the core expression the text was rendered from, so the caller
+// can fingerprint the identifiers in it.
+func normCond(e ast.Expr) (cond, ast.Expr) {
+	val := true
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.NOT {
+				val = !val
+				e = x.X
+				continue
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.EQL && isNilIdent(x.Y) {
+				return cond{text: types.ExprString(x.X) + " != nil", val: !val}, x.X
+			}
+			if x.Op == token.NEQ && isNilIdent(x.Y) {
+				return cond{text: types.ExprString(x.X) + " != nil", val: val}, x.X
+			}
+		}
+		return cond{text: types.ExprString(e), val: val}, e
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// condOf normalizes a condition and appends the object positions of its
+// identifiers to the text, so two conditions correlate only when they
+// name the same variables — `if err := a(); err != nil` and a later
+// `if err := b(); err != nil` must not cancel each other out.
+func (w *pairWalker) condOf(e ast.Expr) cond {
+	c, core := normCond(e)
+	var fp strings.Builder
+	fp.WriteString(c.text)
+	ast.Inspect(core, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.pkg.Info.Uses[id]; obj != nil {
+				fmt.Fprintf(&fp, "|%d", obj.Pos())
+			}
+		}
+		return true
+	})
+	c.text = fp.String()
+	return c
+}
+
+// negate flips a condition.
+func (c cond) negate() cond { return cond{text: c.text, val: !c.val} }
+
+// envWith extends a path environment without aliasing the parent's
+// backing array.
+func envWith(env []cond, c cond) []cond {
+	out := make([]cond, len(env)+1)
+	copy(out, env)
+	out[len(env)] = c
+	return out
+}
+
+// compatible reports whether two environments can describe the same
+// dynamic path: no condition appears in both with opposite branches.
+func compatible(a, b []cond) bool {
+	for _, ca := range a {
+		for _, cb := range b {
+			if ca.text == cb.text && ca.val != cb.val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// heldRes is one tracked resource acquisition.
+type heldRes struct {
+	class  string
+	key    string
+	varObj types.Object // variable bound to the acquired value, if any
+	env    []cond       // path conditions at the acquire
+	pos    token.Pos
+	node   ast.Node
+
+	relEnvs  [][]cond // environments a release was seen under
+	escEnvs  [][]cond // environments an ownership escape was seen under
+	reported bool
+}
+
+// coveredAt reports whether a release or escape covers paths described
+// by env.
+func (h *heldRes) coveredAt(env []cond) bool {
+	for _, rel := range h.relEnvs {
+		if compatible(rel, env) {
+			return true
+		}
+	}
+	for _, esc := range h.escEnvs {
+		if compatible(esc, env) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferRel is a deferred release: it covers one held resource of its
+// class/key on every exit whose path is compatible with the defer's.
+type deferRel struct {
+	class string
+	key   string
+	env   []cond
+	pos   token.Pos
+}
+
+// span is a source range (used for loop bodies).
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.pos && p <= s.end }
+
+// pairWalker runs the balance check over one function body.
+type pairWalker struct {
+	r        *Runner
+	pkg      *Package
+	analyzer string
+	track    func(class string) bool
+	owns     bool
+	fname    string
+
+	held     []*heldRes
+	deferred []deferRel
+	loops    []span
+	findings *[]Finding
+}
+
+// runPairing runs the engine over every function of a package for one
+// class filter.
+func (r *Runner) runPairing(pkg *Package, analyzer string, track func(string) bool) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, u := range funcsIn(file) {
+			// A literal inherits its enclosing declaration's //smol:owns:
+			// the annotation describes the whole function's contract.
+			owns := false
+			if u.decl != nil {
+				if fn, ok := pkg.Info.Defs[u.decl.Name].(*types.Func); ok {
+					owns = r.anns[fn].owns
+				}
+			}
+			w := &pairWalker{
+				r: r, pkg: pkg, analyzer: analyzer, track: track,
+				owns: owns, fname: u.name(), findings: &findings,
+			}
+			term := w.walkStmts(u.body.List, nil)
+			if !term {
+				// Falling off the end of the body is an implicit return.
+				w.checkExit(nil, u.body.Rbrace, "function end")
+			}
+		}
+	}
+	return findings
+}
+
+// pairing checks TensorPool Get/Put, PinnedArena Acquire/Release,
+// sync.Pool Get/Put, semaphore-channel send/receive, and annotated
+// wrapper pairs.
+func (r *Runner) pairing(pkg *Package) []Finding {
+	return r.runPairing(pkg, "pairing", func(class string) bool {
+		switch class {
+		case "TensorPool", "PinnedArena", "sync.Pool", "sem":
+			return true
+		}
+		return strings.HasPrefix(class, "wrap:")
+	})
+}
+
+// lockbalance checks sync.Mutex / sync.RWMutex lock/unlock pairing with
+// the same path rules.
+func (r *Runner) lockbalance(pkg *Package) []Finding {
+	return r.runPairing(pkg, "lockbalance", func(class string) bool {
+		return class == "mutex" || class == "rlock"
+	})
+}
+
+// resolveCallOp classifies a call as a tracked acquire or release.
+func (w *pairWalker) resolveCallOp(call *ast.CallExpr) (class, key string, acquire, ok bool) {
+	if ann, found := w.r.annFor(w.pkg, call); found {
+		if ann.acquire != "" {
+			cl := "wrap:" + ann.acquire
+			if w.track(cl) {
+				return cl, cl, true, true
+			}
+		}
+		if ann.release != "" {
+			cl := "wrap:" + ann.release
+			if w.track(cl) {
+				return cl, cl, false, true
+			}
+		}
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	fn, isFn := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false, false
+	}
+	recvPath := namedTypePath(sig.Recv().Type())
+	method := fn.Name()
+	switch recvPath {
+	case "smol/internal/engine.TensorPool":
+		class = "TensorPool"
+		acquire = method == "Get"
+		ok = method == "Get" || method == "Put"
+	case "smol/internal/engine.PinnedArena":
+		class = "PinnedArena"
+		acquire = method == "Acquire"
+		ok = method == "Acquire" || method == "Release"
+	case "sync.Pool":
+		class = "sync.Pool"
+		acquire = method == "Get"
+		ok = method == "Get" || method == "Put"
+	case "sync.Mutex":
+		class = "mutex"
+		acquire = method == "Lock"
+		ok = method == "Lock" || method == "Unlock"
+	case "sync.RWMutex":
+		switch method {
+		case "Lock", "Unlock":
+			class = "mutex"
+			acquire = method == "Lock"
+			ok = true
+		case "RLock", "RUnlock":
+			class = "rlock"
+			acquire = method == "RLock"
+			ok = true
+		}
+	}
+	if !ok || !w.track(class) {
+		return "", "", false, false
+	}
+	return class, class + "(" + types.ExprString(sel.X) + ")", acquire, true
+}
+
+// semChan reports whether an expression is a semaphore channel by the
+// project convention: a channel-typed variable or field whose name ends
+// in "Sem". A send acquires a token; a receive releases it.
+func (w *pairWalker) semChan(e ast.Expr) (key string, ok bool) {
+	if !w.track("sem") {
+		return "", false
+	}
+	var name string
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return "", false
+	}
+	if !strings.HasSuffix(name, "Sem") {
+		return "", false
+	}
+	if tv, found := w.pkg.Info.Types[e]; !found || tv.Type == nil {
+		return "", false
+	} else if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return "", false
+	}
+	return "sem(" + types.ExprString(e) + ")", true
+}
+
+// acquire records a new held resource.
+func (w *pairWalker) acquire(class, key string, varObj types.Object, env []cond, node ast.Node) {
+	w.held = append(w.held, &heldRes{
+		class: class, key: key, varObj: varObj,
+		env: append([]cond(nil), env...), pos: node.Pos(), node: node,
+	})
+}
+
+// release covers the newest held resource of class/key still uncovered
+// on the current path. Releases with no matching acquire are ignored —
+// releasing a parameter or a field is the callee half of a transfer.
+func (w *pairWalker) release(class, key string, env []cond) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		h := w.held[i]
+		if h.class == class && h.key == key && compatible(h.env, env) && !h.coveredAt(env) {
+			h.relEnvs = append(h.relEnvs, append([]cond(nil), env...))
+			return
+		}
+	}
+}
+
+// escape covers a resource whose ownership leaves the function (returned,
+// stored into a struct field, slice slot, map, or channel). Without a
+// //smol:owns annotation the transfer itself is a finding: the invariant
+// moved somewhere the checker cannot see, and the code must say so.
+func (w *pairWalker) escape(h *heldRes, env []cond, node ast.Node) {
+	h.escEnvs = append(h.escEnvs, append([]cond(nil), env...))
+	if !w.owns && !h.reported {
+		h.reported = true
+		*w.findings = append(*w.findings, w.r.finding(w.analyzer, node,
+			"%s acquired at line %d escapes %s here; annotate it //smol:owns if ownership transfer is intended",
+			h.what(), w.r.fset.Position(h.pos).Line, w.fname))
+	}
+}
+
+func (h *heldRes) what() string {
+	if strings.HasPrefix(h.class, "wrap:") {
+		return "resource " + strings.TrimPrefix(h.class, "wrap:")
+	}
+	return h.key
+}
+
+// checkExit reports every resource still uncovered on an exit path.
+func (w *pairWalker) checkExit(env []cond, at token.Pos, why string) {
+	avail := append([]deferRel(nil), w.deferred...)
+	for _, h := range w.held {
+		if h.reported || !compatible(h.env, env) || h.coveredAt(env) {
+			continue
+		}
+		if consumeDefer(&avail, h.class, h.key, env) {
+			continue
+		}
+		h.reported = true
+		*w.findings = append(*w.findings, Finding{
+			File:     w.r.fset.Position(h.pos).Filename,
+			Line:     w.r.fset.Position(h.pos).Line,
+			Col:      w.r.fset.Position(h.pos).Column,
+			Analyzer: w.analyzer,
+			Message: fmt.Sprintf("%s is not released on the %s at line %d (release it on every path, defer the release, or annotate %s //smol:owns)",
+				h.what(), why, w.r.fset.Position(at).Line, w.fname),
+		})
+	}
+}
+
+// checkLoopEnd reports resources acquired inside a loop body that are
+// uncovered when the iteration ends: they would leak once per iteration.
+func (w *pairWalker) checkLoopEnd(env []cond, body span, at token.Pos, why string) {
+	avail := append([]deferRel(nil), w.deferred...)
+	for _, h := range w.held {
+		if h.reported || !body.contains(h.pos) || !compatible(h.env, env) || h.coveredAt(env) {
+			continue
+		}
+		// A defer registered inside the loop still only runs at function
+		// exit, but it does bound the leak; accept it.
+		if consumeDefer(&avail, h.class, h.key, env) {
+			continue
+		}
+		h.reported = true
+		*w.findings = append(*w.findings, Finding{
+			File:     w.r.fset.Position(h.pos).Filename,
+			Line:     w.r.fset.Position(h.pos).Line,
+			Col:      w.r.fset.Position(h.pos).Column,
+			Analyzer: w.analyzer,
+			Message: fmt.Sprintf("%s is not released before the %s at line %d: it leaks once per iteration",
+				h.what(), why, w.r.fset.Position(at).Line),
+		})
+	}
+}
+
+func consumeDefer(avail *[]deferRel, class, key string, env []cond) bool {
+	for i, d := range *avail {
+		if d.class == class && d.key == key && compatible(d.env, env) {
+			*avail = append((*avail)[:i], (*avail)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// heldByObj finds the active held resource bound to a variable object.
+func (w *pairWalker) heldByObj(obj types.Object) *heldRes {
+	if obj == nil {
+		return nil
+	}
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].varObj == obj {
+			return w.held[i]
+		}
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (w *pairWalker) objOf(id *ast.Ident) types.Object {
+	if obj := w.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pkg.Info.Uses[id]
+}
+
+// scanExprOps performs the resource ops contained in an expression, in
+// traversal order: acquires, releases, semaphore receives, and composite
+// literal / closure captures of held variables (ownership escapes).
+// bindCall, when non-nil, names the call whose acquire binds to bindObj.
+func (w *pairWalker) scanExprOps(e ast.Expr, env []cond, bindCall *ast.CallExpr, bindObj types.Object) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Analyzed as its own unit; here it only matters as a capture
+			// site for held variables (the closure may release or retain
+			// them on its own schedule — an escape either way).
+			w.escapeCaptured(x.Body, env)
+			return false
+		case *ast.CallExpr:
+			if class, key, acq, ok := w.resolveCallOp(x); ok {
+				if acq {
+					var obj types.Object
+					if x == bindCall {
+						obj = bindObj
+					}
+					w.acquire(class, key, obj, env, x)
+				} else {
+					w.release(class, key, env)
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if key, ok := w.semChan(x.X); ok {
+					w.release("sem", key, env)
+				}
+			}
+		case *ast.CompositeLit:
+			// A held variable stored into a composite value escapes: the
+			// literal owns it now.
+			for _, elt := range x.Elts {
+				v := elt
+				if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+					v = kv.Value
+				}
+				if id, isID := ast.Unparen(v).(*ast.Ident); isID {
+					if h := w.heldByObj(w.objOf(id)); h != nil {
+						w.escape(h, env, x)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapeCaptured escapes every held variable referenced inside a nested
+// function body.
+func (w *pairWalker) escapeCaptured(body *ast.BlockStmt, env []cond) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if h := w.heldByObj(w.pkg.Info.Uses[id]); h != nil {
+				w.escape(h, env, id)
+			}
+		}
+		return true
+	})
+}
+
+// walkStmts walks a statement list sequentially, refining the path
+// environment as terminating branches rule conditions out. It reports
+// whether the list always terminates (returns, panics, or branches away).
+func (w *pairWalker) walkStmts(list []ast.Stmt, env []cond) bool {
+	for _, s := range list {
+		var term bool
+		env, term = w.walkStmt(s, env)
+		if term {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *pairWalker) walkStmt(s ast.Stmt, env []cond) ([]cond, bool) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return env, w.walkStmts(x.List, env)
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && w.isTerminalCall(call) {
+			w.scanExprOps(x.X, env, nil, nil)
+			w.checkExit(env, x.Pos(), "panic")
+			return env, true
+		}
+		w.scanExprOps(x.X, env, nil, nil)
+		return env, false
+
+	case *ast.AssignStmt:
+		w.handleAssign(x, env)
+		return env, false
+
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, isVS := spec.(*ast.ValueSpec)
+				if !isVS {
+					continue
+				}
+				var bindCall *ast.CallExpr
+				var bindObj types.Object
+				if len(vs.Names) >= 1 && len(vs.Values) == 1 {
+					if call, isCall := unwrapCall(vs.Values[0]); isCall {
+						bindCall = call
+						bindObj = w.objOf(vs.Names[0])
+					}
+				}
+				for _, v := range vs.Values {
+					w.scanExprOps(v, env, bindCall, bindObj)
+				}
+			}
+		}
+		return env, false
+
+	case *ast.SendStmt:
+		if key, ok := w.semChan(x.Chan); ok {
+			w.acquire("sem", key, nil, env, x)
+		}
+		if id, ok := ast.Unparen(x.Value).(*ast.Ident); ok {
+			if h := w.heldByObj(w.objOf(id)); h != nil {
+				w.escape(h, env, x)
+			}
+		}
+		w.scanExprOps(x.Value, env, nil, nil)
+		return env, false
+
+	case *ast.IncDecStmt:
+		w.scanExprOps(x.X, env, nil, nil)
+		return env, false
+
+	case *ast.DeferStmt:
+		w.handleDefer(x, env)
+		return env, false
+
+	case *ast.GoStmt:
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.escapeCaptured(lit.Body, env)
+		}
+		for _, a := range x.Call.Args {
+			w.scanExprOps(a, env, nil, nil)
+		}
+		return env, false
+
+	case *ast.ReturnStmt:
+		for _, res := range x.Results {
+			w.escapeReturned(res, env)
+			w.scanExprOps(res, env, nil, nil)
+		}
+		// An acquire inside the return expression itself escapes with it.
+		for _, h := range w.held {
+			if h.pos >= x.Pos() && h.pos <= x.End() {
+				w.escape(h, env, x)
+			}
+		}
+		w.checkExit(env, x.Pos(), "return")
+		return env, true
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			env, _ = w.walkStmt(x.Init, env)
+		}
+		w.scanExprOps(x.Cond, env, nil, nil)
+		c := w.condOf(x.Cond)
+		thenTerm := w.walkStmts(x.Body.List, envWith(env, c))
+		elseTerm := false
+		if x.Else != nil {
+			_, elseTerm = w.walkStmt(x.Else, envWith(env, c.negate()))
+		}
+		if thenTerm && elseTerm {
+			return env, true
+		}
+		if thenTerm {
+			env = envWith(env, c.negate())
+		} else if elseTerm {
+			env = envWith(env, c)
+		}
+		return env, false
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			env, _ = w.walkStmt(x.Init, env)
+		}
+		if x.Cond != nil {
+			w.scanExprOps(x.Cond, env, nil, nil)
+		}
+		w.loops = append(w.loops, span{x.Body.Pos(), x.Body.End()})
+		w.walkStmts(x.Body.List, env)
+		if x.Post != nil {
+			w.walkStmt(x.Post, env)
+		}
+		w.loops = w.loops[:len(w.loops)-1]
+		w.checkLoopEnd(env, span{x.Body.Pos(), x.Body.End()}, x.Body.End(), "end of the loop body")
+		return env, false
+
+	case *ast.RangeStmt:
+		w.scanExprOps(x.X, env, nil, nil)
+		w.loops = append(w.loops, span{x.Body.Pos(), x.Body.End()})
+		w.walkStmts(x.Body.List, env)
+		w.loops = w.loops[:len(w.loops)-1]
+		w.checkLoopEnd(env, span{x.Body.Pos(), x.Body.End()}, x.Body.End(), "end of the loop body")
+		return env, false
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			env, _ = w.walkStmt(x.Init, env)
+		}
+		if x.Tag != nil {
+			w.scanExprOps(x.Tag, env, nil, nil)
+		}
+		allTerm, hasDefault := true, false
+		for _, c := range x.Body.List {
+			cc, isCC := c.(*ast.CaseClause)
+			if !isCC {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.scanExprOps(e, env, nil, nil)
+			}
+			if !w.walkStmts(cc.Body, env) {
+				allTerm = false
+			}
+		}
+		return env, allTerm && hasDefault
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			env, _ = w.walkStmt(x.Init, env)
+		}
+		allTerm, hasDefault := true, false
+		for _, c := range x.Body.List {
+			cc, isCC := c.(*ast.CaseClause)
+			if !isCC {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			if !w.walkStmts(cc.Body, env) {
+				allTerm = false
+			}
+		}
+		return env, allTerm && hasDefault
+
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc, isCC := c.(*ast.CommClause)
+			if !isCC {
+				continue
+			}
+			if cc.Comm != nil {
+				env2, _ := w.walkStmt(cc.Comm, env)
+				w.walkStmts(cc.Body, env2)
+			} else {
+				w.walkStmts(cc.Body, env)
+			}
+		}
+		return env, false
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(x.Stmt, env)
+
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.CONTINUE, token.BREAK:
+			if len(w.loops) > 0 {
+				why := "continue"
+				if x.Tok == token.BREAK {
+					why = "break"
+				}
+				w.checkLoopEnd(env, w.loops[len(w.loops)-1], x.Pos(), why)
+			}
+			return env, true
+		case token.GOTO:
+			return env, true
+		}
+		return env, false
+	}
+	// Statements with no special handling: scan for ops generically.
+	ast.Inspect(s, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			w.scanExprOps(e, env, nil, nil)
+			return false
+		}
+		return true
+	})
+	return env, false
+}
+
+// handleAssign processes acquires, releases, escapes, and ownership
+// rebinding in one assignment.
+func (w *pairWalker) handleAssign(s *ast.AssignStmt, env []cond) {
+	// Field / slot stores of a held variable are ownership escapes.
+	storesTo := func(lhs ast.Expr) bool {
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		}
+		return false
+	}
+	escaping := false
+	for _, lhs := range s.Lhs {
+		if storesTo(lhs) {
+			escaping = true
+		}
+		w.scanExprOps(lhsIndexExprs(lhs), env, nil, nil)
+	}
+	if escaping {
+		for _, rhs := range s.Rhs {
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+				if h := w.heldByObj(w.objOf(id)); h != nil {
+					w.escape(h, env, s)
+				}
+			}
+		}
+	}
+
+	// Ownership rebinding: `m, err := f(dst)` moves dst's resource to m
+	// when the call takes the held value and an assigned variable has its
+	// exact type (the borrow-through idiom, e.g. Decoder.NextInto).
+	if len(s.Rhs) == 1 {
+		if call, ok := unwrapCall(s.Rhs[0]); ok {
+			for _, arg := range call.Args {
+				id, isID := ast.Unparen(arg).(*ast.Ident)
+				if !isID {
+					continue
+				}
+				h := w.heldByObj(w.objOf(id))
+				if h == nil || h.varObj == nil {
+					continue
+				}
+				for _, lhs := range s.Lhs {
+					lid, isLID := lhs.(*ast.Ident)
+					if !isLID || lid.Name == "_" {
+						continue
+					}
+					obj := w.objOf(lid)
+					if obj != nil && types.Identical(obj.Type(), h.varObj.Type()) {
+						h.varObj = obj
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Acquire binding: `x := pool.Get()` (possibly through a type
+	// assertion) binds the resource to x.
+	var bindCall *ast.CallExpr
+	var bindObj types.Object
+	if len(s.Rhs) == 1 && len(s.Lhs) >= 1 {
+		if call, ok := unwrapCall(s.Rhs[0]); ok {
+			if id, isID := s.Lhs[0].(*ast.Ident); isID && id.Name != "_" {
+				bindCall = call
+				bindObj = w.objOf(id)
+			}
+		}
+	}
+	for _, rhs := range s.Rhs {
+		w.scanExprOps(rhs, env, bindCall, bindObj)
+	}
+}
+
+// lhsIndexExprs returns the index/selector sub-expressions of an
+// assignment target worth scanning for ops (the target itself is not an
+// op site, but `m[pool.Get()] = x` style indices are).
+func lhsIndexExprs(lhs ast.Expr) ast.Expr {
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		return ix.Index
+	}
+	return nil
+}
+
+// handleDefer records deferred releases: a direct deferred release call,
+// or every release inside a deferred closure.
+func (w *pairWalker) handleDefer(s *ast.DeferStmt, env []cond) {
+	if class, key, acq, ok := w.resolveCallOp(s.Call); ok && !acq {
+		w.deferred = append(w.deferred, deferRel{class: class, key: key, env: append([]cond(nil), env...), pos: s.Pos()})
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if class, key, acq, ok := w.resolveCallOp(x); ok && !acq {
+					w.deferred = append(w.deferred, deferRel{class: class, key: key, env: append([]cond(nil), env...), pos: s.Pos()})
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if key, ok := w.semChan(x.X); ok {
+						w.deferred = append(w.deferred, deferRel{class: "sem", key: key, env: append([]cond(nil), env...), pos: s.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, a := range s.Call.Args {
+		w.scanExprOps(a, env, nil, nil)
+	}
+}
+
+// escapeReturned escapes held variables appearing in a return value.
+func (w *pairWalker) escapeReturned(res ast.Expr, env []cond) {
+	ast.Inspect(res, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if h := w.heldByObj(w.objOf(id)); h != nil {
+				w.escape(h, env, id)
+			}
+		}
+		return true
+	})
+}
+
+// isTerminalCall reports whether a call never returns: panic, os.Exit,
+// runtime.Goexit.
+func (w *pairWalker) isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := w.pkg.Info.Uses[fun].(*types.Builtin); ok && fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := w.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			full := fn.FullName()
+			return full == "os.Exit" || full == "runtime.Goexit" || full == "log.Fatal" ||
+				full == "log.Fatalf" || full == "log.Fatalln"
+		}
+	}
+	return false
+}
+
+// unwrapCall strips parens and type assertions around a call expression.
+func unwrapCall(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}

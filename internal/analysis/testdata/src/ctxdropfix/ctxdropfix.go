@@ -1,0 +1,48 @@
+// Package ctxdropfix seeds dropped-context shapes in exported methods
+// next to the sanctioned select-on-Done patterns.
+package ctxdropfix
+
+import "context"
+
+type Worker struct {
+	jobs    chan int
+	results chan int
+}
+
+// Submit blocks on a bare channel send; cancellation cannot reach it.
+func (w *Worker) Submit(ctx context.Context, job int) {
+	if ctx.Err() != nil {
+		return
+	}
+	w.jobs <- job // want `channel send can block forever`
+}
+
+// SubmitCtx is the sanctioned shape: no finding.
+func (w *Worker) SubmitCtx(ctx context.Context, job int) error {
+	select {
+	case w.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Collect receives outside any select watching ctx.
+func (w *Worker) Collect(ctx context.Context) int {
+	_ = ctx.Err()
+	return <-w.results // want `channel receive can block forever`
+}
+
+// Detach shadows the caller's context with a fresh root.
+func (w *Worker) Detach(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	fresh := context.Background() // want `context\.Background\(\) discards the caller's context`
+	return fresh.Err()
+}
+
+// Ignore takes a context and never looks at it.
+func (w *Worker) Ignore(ctx context.Context, job int) { // want `takes a context\.Context but never uses it`
+	w.results = make(chan int, job)
+}

@@ -1,0 +1,69 @@
+// Package lockbalancefix seeds unbalanced mutex shapes next to the
+// defer and both-paths idioms the lockbalance analyzer must accept.
+package lockbalancefix
+
+import (
+	"errors"
+	"sync"
+)
+
+type table struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// heldAcrossReturn leaves the mutex locked on the error path.
+func (t *table) heldAcrossReturn(k string) (int, error) {
+	t.mu.Lock() // want `mutex\(t\.mu\) is not released on the return`
+	v, ok := t.data[k]
+	if !ok {
+		return 0, errors.New("missing key")
+	}
+	t.mu.Unlock()
+	return v, nil
+}
+
+// deferUnlock is the canonical shape: no finding.
+func (t *table) deferUnlock(k string) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.data[k]
+	if !ok {
+		return 0, errors.New("missing key")
+	}
+	return v, nil
+}
+
+// bothPaths unlocks on every branch: no finding.
+func (t *table) bothPaths(k string, v int) bool {
+	t.mu.Lock()
+	if _, ok := t.data[k]; ok {
+		t.mu.Unlock()
+		return false
+	}
+	t.data[k] = v
+	t.mu.Unlock()
+	return true
+}
+
+// readLeak forgets the read side on the early return.
+func (t *table) readLeak(k string) int {
+	t.rw.RLock() // want `rlock\(t\.rw\) is not released on the return`
+	if t.data == nil {
+		return 0
+	}
+	v := t.data[k]
+	t.rw.RUnlock()
+	return v
+}
+
+// writeThenRead uses both lock classes correctly: no finding.
+func (t *table) writeThenRead(k string, v int) int {
+	t.rw.Lock()
+	t.data[k] = v
+	t.rw.Unlock()
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.data[k]
+}

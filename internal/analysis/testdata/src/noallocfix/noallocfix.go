@@ -1,0 +1,70 @@
+// Package noallocfix seeds allocation shapes inside //smol:noalloc
+// functions next to the reuse idioms the analyzer must accept.
+package noallocfix
+
+import "fmt"
+
+type ring struct {
+	buf    []byte
+	sink   interface{}
+	logits []float32
+}
+
+// allocEveryCall is a warm path doing everything wrong.
+//
+//smol:noalloc
+func (r *ring) allocEveryCall(n int) []byte {
+	scratch := make([]byte, n)    // want `make allocates`
+	extra := new(ring)            // want `new allocates`
+	_ = append(r.buf, scratch...) // want `append into a non-reused slice allocates`
+	fn := func() int { return n } // want `closure allocation`
+	_ = fn()
+	_ = extra
+	fmt.Println(n) // want `fmt\.Println allocates`
+	return scratch
+}
+
+// sliceLiteral builds a fresh slice per call.
+//
+//smol:noalloc
+func sliceLiteral(a, b float32) []float32 {
+	return []float32{a, b} // want `slice literal allocates`
+}
+
+// boxesValue converts a struct value to an interface per call.
+//
+//smol:noalloc
+func (r *ring) boxesValue(g struct{ x, y int }) {
+	r.sink = g // want `interface boxing of a struct`
+}
+
+// selfAppend reuses its backing array — the sanctioned growth probe: no
+// finding.
+//
+//smol:noalloc
+func (r *ring) selfAppend() {
+	if len(r.buf) == cap(r.buf) {
+		r.buf = append(r.buf, 0)[:len(r.buf)]
+	}
+	r.buf = append(r.buf, 42)
+}
+
+// coldGuarded allocates only on annotated cold lines: no finding.
+//
+//smol:noalloc
+func (r *ring) coldGuarded(n int) {
+	if cap(r.logits) < n {
+		r.logits = make([]float32, n) //smol:coldpath grow on shape change
+	}
+	for i := range r.logits[:n] {
+		r.logits[i] = 0
+	}
+}
+
+// pointerBox stores a pointer into an interface — pointer-shaped values
+// box without allocating: no finding.
+//
+//smol:noalloc
+func (r *ring) pointerBox() {
+	r.sink = r
+}

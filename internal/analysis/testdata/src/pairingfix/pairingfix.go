@@ -1,0 +1,126 @@
+// Package pairingfix seeds the defect classes the pairing analyzer must
+// catch — pool leaks, arena leaks, semaphore leaks, unannotated
+// ownership escapes — next to the balanced shapes it must accept.
+package pairingfix
+
+import (
+	"errors"
+
+	"smol/internal/engine"
+)
+
+type server struct {
+	pool    *engine.TensorPool
+	arena   *engine.PinnedArena
+	execSem chan struct{}
+	stash   interface{}
+}
+
+// leakOnError drops the pooled buffer when the prep step fails.
+func (s *server) leakOnError(fail bool) error {
+	buf := s.pool.Get() // want `TensorPool\(s\.pool\) is not released on the return`
+	if fail {
+		return errors.New("prep failed")
+	}
+	s.pool.Put(buf)
+	return nil
+}
+
+// balancedOnError releases on both paths: no finding.
+func (s *server) balancedOnError(fail bool) error {
+	buf := s.pool.Get()
+	if fail {
+		s.pool.Put(buf)
+		return errors.New("prep failed")
+	}
+	s.pool.Put(buf)
+	return nil
+}
+
+// deferRelease covers every exit, panics included: no finding.
+func (s *server) deferRelease(fail bool) error {
+	buf := s.pool.Get()
+	defer s.pool.Put(buf)
+	if fail {
+		return errors.New("prep failed")
+	}
+	return nil
+}
+
+// arenaLeak acquires staging memory and forgets it on the early return.
+func (s *server) arenaLeak(n int) []float32 {
+	staging := s.arena.Acquire() // want `PinnedArena\(s\.arena\) is not released on the return`
+	if n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	copy(out, staging)
+	s.arena.Release(staging)
+	return out
+}
+
+// conditionalMatched acquires and releases under correlated conditions
+// (the runStream shape): no finding.
+func (s *server) conditionalMatched(disable bool, n int) int {
+	var staging []float32
+	if disable {
+		staging = make([]float32, n)
+	} else {
+		staging = s.arena.Acquire()
+	}
+	total := 0
+	for _, b := range staging {
+		total += int(b)
+	}
+	if !disable {
+		s.arena.Release(staging)
+	}
+	return total
+}
+
+// semLeakOnPanicPath takes an execution token but only returns it on the
+// happy path; the panicking branch leaks a slot forever.
+func (s *server) semLeakOnPanicPath(poisoned bool) {
+	s.execSem <- struct{}{} // want `sem\(s\.execSem\) is not released on the panic`
+	if poisoned {
+		panic("poisoned batch")
+	}
+	<-s.execSem
+}
+
+// semDeferredClosure returns the token from a deferred closure, the
+// runtime's own idiom: no finding.
+func (s *server) semDeferredClosure(poisoned bool) {
+	s.execSem <- struct{}{}
+	defer func() { <-s.execSem }()
+	if poisoned {
+		panic("poisoned batch")
+	}
+}
+
+// escapeWithoutOwns stores the pooled buffer into a struct field without
+// declaring the transfer.
+func (s *server) escapeWithoutOwns() {
+	buf := s.pool.Get()
+	s.stash = buf // want `escapes .*escapeWithoutOwns.*//smol:owns`
+}
+
+// escapeWithOwns declares the transfer: no finding.
+//
+//smol:owns
+func (s *server) escapeWithOwns() {
+	buf := s.pool.Get()
+	s.stash = buf
+}
+
+// loopLeak re-acquires every iteration and releases only after the loop.
+func (s *server) loopLeak(rounds int) {
+	var last []float32
+	for i := 0; i < rounds; i++ {
+		staging := s.arena.Acquire() // want `not released before the end of the loop body`
+		last = staging
+	}
+	if last != nil {
+		s.arena.Release(last)
+	}
+}

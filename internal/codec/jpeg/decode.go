@@ -137,6 +137,8 @@ type Decoder struct {
 
 // Parse reads the stream's headers through SOS and returns the image
 // dimensions. It must precede Decode and invalidates any previous state.
+//
+//smol:noalloc
 func (r *Decoder) Parse(data []byte) (w, h int, err error) {
 	r.d.reset(data)
 	if err := r.d.parseSegments(false); err != nil {
@@ -162,8 +164,11 @@ func (r *Decoder) MCUSize() int {
 // called repeatedly with different options without re-parsing. The returned
 // stats pointer aliases the Decoder and is valid until the next Decode or
 // Parse call.
+//
+//smol:noalloc
 func (r *Decoder) Decode(opts DecodeOptions) (*img.Image, img.Rect, *DecodeStats, error) {
 	if r.d.scanStart == 0 {
+		//smol:coldpath API misuse
 		return nil, img.Rect{}, nil, errors.New("jpeg: Decode before successful Parse")
 	}
 	r.d.stats = DecodeStats{}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"smol/internal/analysis/alloctest"
 	"smol/internal/img"
 )
 
@@ -283,9 +284,8 @@ func TestDecoderWarmPathAllocates0(t *testing.T) {
 			dst = out
 		}
 		warm() // size the scratch
-		if allocs := testing.AllocsPerRun(20, warm); allocs > 0 {
-			t.Errorf("scale %d: warm decode allocates %.1f objects/op, want 0", scale, allocs)
-		}
+		alloctest.Run(t, "smol/internal/codec/jpeg.Decoder.Decode", 0, warm,
+			"smol/internal/codec/jpeg.Decoder.Parse")
 	}
 }
 

@@ -493,9 +493,12 @@ var ErrEndOfStream = errors.New("vid: end of stream")
 
 // inflate decompresses one frame record into the decoder's reused payload
 // buffer, resetting the resident DEFLATE reader instead of allocating one.
+//
+//smol:noalloc
 func (d *Decoder) inflate(compressed []byte) ([]byte, error) {
 	d.payloadSrc.Reset(compressed)
 	if d.inflater == nil {
+		//smol:coldpath first frame builds the resident DEFLATE reader
 		d.inflater = flate.NewReader(&d.payloadSrc)
 	} else if err := d.inflater.(flate.Resetter).Reset(&d.payloadSrc, nil); err != nil {
 		return nil, err
@@ -533,17 +536,21 @@ func (d *Decoder) reconFrame() *frame {
 // (deblocked, unless disabled) frame. The previous reference frame is
 // recycled as the next reconstruction target: decodeIntra and decodeInter
 // rewrite every sample of every plane, so recycled contents never leak.
+//
+//smol:noalloc
 func (d *Decoder) decodeNext() (*frame, error) {
 	if d.idx >= d.n {
 		return nil, ErrEndOfStream
 	}
 	if d.pos+5 > len(d.data) {
+		//smol:coldpath malformed stream
 		return nil, errors.New("vid: truncated frame header")
 	}
 	ftype := d.data[d.pos]
 	plen := int(binary.BigEndian.Uint32(d.data[d.pos+1:]))
 	d.pos += 5
 	if d.pos+plen > len(d.data) {
+		//smol:coldpath malformed stream
 		return nil, errors.New("vid: truncated frame payload")
 	}
 	compressed := d.data[d.pos : d.pos+plen]
@@ -551,6 +558,7 @@ func (d *Decoder) decodeNext() (*frame, error) {
 	d.stats.CompressedBytes += plen
 	payload, err := d.inflate(compressed)
 	if err != nil {
+		//smol:coldpath malformed stream
 		return nil, fmt.Errorf("vid: frame %d: %w", d.idx, err)
 	}
 	recon := d.reconFrame()
@@ -558,20 +566,24 @@ func (d *Decoder) decodeNext() (*frame, error) {
 	case 'I':
 		if err := decodeIntra(payload, recon, d.quant, &d.stats); err != nil {
 			d.spare = recon
+			//smol:coldpath malformed stream
 			return nil, fmt.Errorf("vid: frame %d: %w", d.idx, err)
 		}
 		d.stats.IntraMBs += (d.padW / mbSize) * (d.padH / mbSize)
 	case 'P':
 		if d.ref == nil {
 			d.spare = recon
+			//smol:coldpath malformed stream
 			return nil, errors.New("vid: P-frame without reference")
 		}
 		if err := decodeInter(payload, d.ref, recon, d.quant, &d.stats); err != nil {
 			d.spare = recon
+			//smol:coldpath malformed stream
 			return nil, fmt.Errorf("vid: frame %d: %w", d.idx, err)
 		}
 	default:
 		d.spare = recon
+		//smol:coldpath malformed stream
 		return nil, fmt.Errorf("vid: unknown frame type %q", ftype)
 	}
 	if !d.opts.DisableDeblock {
@@ -595,6 +607,8 @@ func (d *Decoder) Next() (*img.Image, error) {
 // the stream dimensions and allocated otherwise (nil is always valid). A
 // warm decoder cycling destinations through a pool decodes without
 // per-frame allocations.
+//
+//smol:noalloc
 func (d *Decoder) NextInto(dst *img.Image) (*img.Image, error) {
 	recon, err := d.decodeNext()
 	if err != nil {
@@ -608,6 +622,8 @@ func (d *Decoder) NextInto(dst *img.Image) (*img.Image, error) {
 // they do not classify, saving the color conversion (the only part of
 // decode a sampled stream can actually omit — motion compensation needs
 // every reference).
+//
+//smol:noalloc
 func (d *Decoder) Skip() error {
 	_, err := d.decodeNext()
 	return err

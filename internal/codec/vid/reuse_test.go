@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"smol/internal/analysis/alloctest"
 	"smol/internal/img"
 )
 
@@ -122,7 +123,9 @@ func TestDecoderSkipEquivalence(t *testing.T) {
 // destination images must decode P-frames with at most the payload-growth
 // allocations of its first frames — steady state is allocation-free.
 func TestDecoderWarmPathAllocates(t *testing.T) {
-	enc := testClip(t, 60, 64, 48)
+	// alloctest.Run decodes 100+ measured frames on top of the warm-up, so
+	// the clip must outlast both phases.
+	enc := testClip(t, 120, 64, 48)
 	dec, err := NewDecoder(enc, DecodeOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -134,18 +137,32 @@ func TestDecoderWarmPathAllocates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	allocs := testing.AllocsPerRun(20, func() {
+	// The flate reader's Reset keeps its window; tolerate at most one
+	// stray allocation per frame for dictionary bookkeeping.
+	alloctest.Run(t, "smol/internal/codec/vid.Decoder.NextInto", 1, func() {
 		m, err := dec.NextInto(dst)
 		if err != nil {
 			t.Fatal(err)
 		}
 		dst = m
-	})
-	// The flate reader's Reset keeps its window; tolerate at most one
-	// stray allocation per frame for dictionary bookkeeping.
-	if allocs > 1 {
-		t.Fatalf("warm video decode allocates %.1f objects/frame, want <= 1", allocs)
+	}, "smol/internal/codec/vid.Decoder.decodeNext", "smol/internal/codec/vid.Decoder.inflate")
+
+	// Skip shares the decode core but omits the RGB conversion; a warm
+	// skip must stay equally allocation-free.
+	skipDec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
+	for i := 0; i < 10; i++ {
+		if err := skipDec.Skip(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alloctest.Run(t, "smol/internal/codec/vid.Decoder.Skip", 1, func() {
+		if err := skipDec.Skip(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestProbe: the header peek reports the stream geometry without decoding.

@@ -352,7 +352,11 @@ func (p *Pipeline) Close() {
 }
 
 // newBuf fetches a sample buffer of one shape class, honouring the
-// memory-reuse toggle.
+// memory-reuse toggle. The caller owns the buffer and must hand it back
+// through recycle on every path.
+//
+//smol:owns
+//smol:acquire tensorbuf
 func (p *Pipeline) newBuf(class int) *tensor.Tensor {
 	if p.cfg.Opts.DisableMemReuse {
 		s := p.classes[class].shape
@@ -363,6 +367,8 @@ func (p *Pipeline) newBuf(class int) *tensor.Tensor {
 
 // recycle returns a sample buffer to its class pool (no-op when reuse is
 // off).
+//
+//smol:release tensorbuf
 func (p *Pipeline) recycle(class int, buf *tensor.Tensor) {
 	if !p.cfg.Opts.DisableMemReuse {
 		p.pools[class].Put(buf)
@@ -406,7 +412,10 @@ func (p *Pipeline) runWorker(id int) {
 
 // prepOne preprocesses one submitted job and enqueues it for batching.
 // Failures are confined to the job's request: the pipeline keeps serving
-// other requests.
+// other requests. A successfully enqueued item carries its buffer's
+// ownership to the class stream, which recycles it after batch assembly.
+//
+//smol:owns
 func (p *Pipeline) prepOne(ws *WorkerState, t task) {
 	req := t.req
 	if req.abandoned() {

@@ -247,23 +247,27 @@ func (p *InferencePlan) footprint(n, h, w int) (regElems, colElems int) {
 	return regElems, colElems
 }
 
-// getArena fetches a recycled arena sized for an (n, h, w) batch.
+// getArena fetches a recycled arena sized for an (n, h, w) batch. The
+// caller owns the arena and must Put it back once the forward finishes.
+//
+//smol:owns
+//smol:noalloc
 func (p *InferencePlan) getArena(n, h, w int) *inferArena {
 	ar, _ := p.arenas.Get().(*inferArena)
 	if ar == nil {
-		ar = &inferArena{}
+		ar = &inferArena{} //smol:coldpath first call on this P
 	}
 	regElems, colElems := p.footprint(n, h, w)
 	for i := range ar.regs {
 		if cap(ar.regs[i]) < regElems {
-			ar.regs[i] = make([]float32, regElems)
+			ar.regs[i] = make([]float32, regElems) //smol:coldpath grow on shape change
 		}
 	}
 	if cap(ar.col) < colElems {
-		ar.col = make([]float32, colElems)
+		ar.col = make([]float32, colElems) //smol:coldpath grow on shape change
 	}
 	if cap(ar.logits) < n*p.classes {
-		ar.logits = make([]float32, n*p.classes)
+		ar.logits = make([]float32, n*p.classes) //smol:coldpath grow on shape change
 	}
 	return ar
 }
@@ -272,8 +276,11 @@ func (p *InferencePlan) getArena(n, h, w int) *inferArena {
 // ar.logits[:N*classes]. Intermediate activations use the channel-major
 // CNHW layout (channel plane c of sample i starts at (c*N+i)*H*W), which
 // lets each conv be one contiguous batched GEMM.
+//
+//smol:noalloc
 func (p *InferencePlan) run(x *tensor.Tensor, ar *inferArena) {
 	if len(x.Shape) != 4 || x.Shape[1] != p.inC {
+		//smol:coldpath shape mismatch is a caller bug
 		panic(fmt.Sprintf("nn: InferencePlan input shape %v, want (N,%d,H,W)", x.Shape, p.inC))
 	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
@@ -358,9 +365,12 @@ func (p *InferencePlan) Predict(x *tensor.Tensor) []int {
 // PredictInto writes the argmax class per sample into preds (len N). A
 // warm call allocates nothing: activations, the im2col buffer, and the
 // logits scratch all come from the plan's recycled arenas.
+//
+//smol:noalloc
 func (p *InferencePlan) PredictInto(x *tensor.Tensor, preds []int) {
 	n := x.Shape[0]
 	if len(preds) != n {
+		//smol:coldpath length mismatch is a caller bug
 		panic(fmt.Sprintf("nn: PredictInto preds length %d, want %d", len(preds), n))
 	}
 	ar := p.getArena(n, x.Shape[2], x.Shape[3])

@@ -123,6 +123,8 @@ func GEMMRaw(m, k, n int, a, b, c []float32, ep Epilogue) {
 // gemmRange computes rows [i0,i1) x columns [j0,j1) of c = a @ b and
 // applies the epilogue to that region. It is the serial core; parallel
 // callers give each worker a disjoint region.
+//
+//smol:noalloc
 func gemmRange(m, k, n int, a, b, c []float32, i0, i1, j0, j1 int, ep Epilogue) {
 	for jc := j0; jc < j1; jc += gemmNC {
 		nc := j1 - jc
@@ -155,6 +157,8 @@ func gemmRange(m, k, n int, a, b, c []float32, i0, i1, j0, j1 int, ep Epilogue) 
 // c element is loaded and stored once per 4 multiply-adds while the
 // per-element accumulation order stays strictly ascending in p (results
 // remain bit-identical to MatMulInto).
+//
+//smol:noalloc
 func gemm4(k, n int, a, b, c []float32, i, jc, nc, pc, kc int, first bool) {
 	c0 := c[i*n+jc : i*n+jc+nc : i*n+jc+nc]
 	c1 := c[(i+1)*n+jc : (i+1)*n+jc+nc : (i+1)*n+jc+nc]
@@ -232,6 +236,8 @@ func gemm4(k, n int, a, b, c []float32, i, jc, nc, pc, kc int, first bool) {
 }
 
 // gemm1 is the single-row remainder kernel, k-unrolled like gemm4.
+//
+//smol:noalloc
 func gemm1(k, n int, a, b, c []float32, i, jc, nc, pc, kc int, first bool) {
 	crow := c[i*n+jc : i*n+jc+nc : i*n+jc+nc]
 	arow := a[i*k+pc : i*k+pc+kc]
@@ -279,6 +285,8 @@ func gemm1(k, n int, a, b, c []float32, i, jc, nc, pc, kc int, first bool) {
 // applyEpilogue applies bias / add / ReLU to rows [i0,i1) x columns
 // [jc,jc+nc) of c, immediately after those elements finish accumulating so
 // the tile is still cache-hot.
+//
+//smol:noalloc
 func applyEpilogue(n int, c []float32, i0, i1, jc, nc int, ep Epilogue) {
 	if ep.RowBias == nil && ep.Add == nil && !ep.ReLU {
 		return
@@ -328,6 +336,8 @@ func applyEpilogue(n int, c []float32, i0, i1, jc, nc int, ep Epilogue) {
 // C*H*W, chanStride = H*W; the compiled path's channel-major CNHW
 // activations use sampleStride = H*W, chanStride = n*H*W.
 // col is the raw destination, at least (C*kh*kw) * (n*outH*outW) long.
+//
+//smol:noalloc
 func Im2ColBatch(src []float32, n, c, h, w, sampleStride, chanStride, kh, kw, stride, pad int, col []float32) (outH, outW int) {
 	outH = (h+2*pad-kh)/stride + 1
 	outW = (w+2*pad-kw)/stride + 1

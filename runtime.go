@@ -455,67 +455,79 @@ type ingestState struct {
 // (the request's resident decoder owns the sequential I/P stream), so the
 // worker runs only the residual chain and recycles the frame buffer.
 func (r *Runtime) prepFunc() engine.PrepFunc {
-	return func(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
-		cr, ok := job.Tag.(*classifyReq)
-		if !ok {
-			return fmt.Errorf("smol: job %d carries no request state", job.Index)
+	return r.prepJob
+}
+
+// prepJob is the body of the engine preprocessing callback. The warm
+// path — cached ingest plan, reused decoder output, pooled frame buffers
+// — performs no per-image allocations; only plan compilation, scratch
+// warm-up, and error construction may allocate.
+//
+//smol:noalloc
+func (r *Runtime) prepJob(ws *engine.WorkerState, job engine.Job, out *tensor.Tensor) error {
+	cr, ok := job.Tag.(*classifyReq)
+	if !ok {
+		//smol:coldpath malformed job
+		return fmt.Errorf("smol: job %d carries no request state", job.Index)
+	}
+	res := cr.entry.InputRes
+	st, _ := ws.Scratch.(*ingestState)
+	if st == nil {
+		//smol:coldpath per-worker scratch warm-up
+		st = &ingestState{ex: preproc.NewExecutor()}
+		ws.Scratch = st
+	}
+	if cr.frames != nil {
+		m := cr.frames[job.Index]
+		if m == nil {
+			//smol:coldpath malformed job
+			return fmt.Errorf("smol: video job %d carries no decoded frame", job.Index)
 		}
-		res := cr.entry.InputRes
-		st, _ := ws.Scratch.(*ingestState)
-		if st == nil {
-			st = &ingestState{ex: preproc.NewExecutor()}
-			ws.Scratch = st
-		}
-		if cr.frames != nil {
-			m := cr.frames[job.Index]
-			if m == nil {
-				return fmt.Errorf("smol: video job %d carries no decoded frame", job.Index)
-			}
-			ip, err := r.ingestFor(m.W, m.H, 0, CodecVideo, res)
-			if err != nil {
-				return err
-			}
-			err = st.ex.Execute(ip.resid, m, out)
-			if cr.framePool != nil {
-				cr.frames[job.Index] = nil
-				cr.framePool.Put(m)
-			}
+		ip, err := r.ingestFor(m.W, m.H, 0, CodecVideo, res)
+		if err != nil {
 			return err
 		}
-		in := cr.inputs[job.Index]
-		switch in.Codec {
-		case CodecPNG:
-			m, err := spng.Decode(in.Data)
-			if err != nil {
-				return err
-			}
-			ip, err := r.ingestFor(m.W, m.H, 0, CodecPNG, res)
-			if err != nil {
-				return err
-			}
-			return st.ex.Execute(ip.resid, m, out)
-		case CodecJPEG:
-			w, h, err := st.dec.Parse(in.Data)
-			if err != nil {
-				return err
-			}
-			ip, err := r.ingestFor(w, h, st.dec.MCUSize(), CodecJPEG, res)
-			if err != nil {
-				return err
-			}
-			m, _, _, err := st.dec.Decode(jpeg.DecodeOptions{
-				ROI:   ip.roi,
-				Scale: ip.scale,
-				Dst:   st.buf,
-			})
-			if err != nil {
-				return err
-			}
-			st.buf = m
-			return st.ex.Execute(ip.resid, m, out)
-		default:
-			return fmt.Errorf("smol: job %d: unsupported codec %v in still-image request", job.Index, in.Codec)
+		err = st.ex.Execute(ip.resid, m, out)
+		if cr.framePool != nil {
+			cr.frames[job.Index] = nil
+			cr.framePool.Put(m)
 		}
+		return err
+	}
+	in := cr.inputs[job.Index]
+	switch in.Codec {
+	case CodecPNG:
+		m, err := spng.Decode(in.Data)
+		if err != nil {
+			return err
+		}
+		ip, err := r.ingestFor(m.W, m.H, 0, CodecPNG, res)
+		if err != nil {
+			return err
+		}
+		return st.ex.Execute(ip.resid, m, out)
+	case CodecJPEG:
+		w, h, err := st.dec.Parse(in.Data)
+		if err != nil {
+			return err
+		}
+		ip, err := r.ingestFor(w, h, st.dec.MCUSize(), CodecJPEG, res)
+		if err != nil {
+			return err
+		}
+		m, _, _, err := st.dec.Decode(jpeg.DecodeOptions{
+			ROI:   ip.roi,
+			Scale: ip.scale,
+			Dst:   st.buf,
+		})
+		if err != nil {
+			return err
+		}
+		st.buf = m
+		return st.ex.Execute(ip.resid, m, out)
+	default:
+		//smol:coldpath malformed job
+		return fmt.Errorf("smol: job %d: unsupported codec %v in still-image request", job.Index, in.Codec)
 	}
 }
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the repo's own static-analysis suite (cmd/smol-vet) over the whole
+# module, including the //smol:noalloc alloc-test coverage check. CI runs
+# this as a required job; run it locally before sending a PR.
+#
+#   scripts/vet.sh             # vet-style findings, nonzero exit if any
+#   scripts/vet.sh -json       # machine-readable findings
+#
+# The analyzers and the annotation vocabulary they enforce:
+#
+#   pairing      Get/Put on engine.TensorPool and sync.Pool,
+#                Acquire/Release on engine.PinnedArena, and send/recv on
+#                *Sem worker-semaphore channels must balance on every
+#                return and panic path. Deferred releases count. A value
+#                that escapes (stored, sent, returned) needs //smol:owns
+#                on the function to mark the ownership transfer. Custom
+#                wrapper pairs are declared with //smol:acquire <class>
+#                and //smol:release <class>.
+#   noalloc      Functions marked //smol:noalloc are rejected on any
+#                syntactic allocation: make/new, composite literals,
+#                growing append, closures, fmt.*/errors.New, interface
+#                boxing. A cold path (error construction, one-time
+#                warm-up) is exempted line-by-line with //smol:coldpath.
+#   ctxdrop      Exported methods taking a context.Context must use it:
+#                bare channel ops outside a select watching ctx.Done()
+#                and context.Background()/TODO() calls are flagged.
+#   lockbalance  sync.Mutex/RWMutex Lock/Unlock and RLock/RUnlock must
+#                balance on every path, same rules as pairing.
+#   coverage     (-check-coverage) every //smol:noalloc function must be
+#                named by an alloctest.Run call in some _test.go file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/smol-vet -check-coverage "$@" ./...

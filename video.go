@@ -343,6 +343,10 @@ type videoSource struct {
 	sample int // next sample slot to fill
 }
 
+// Next hands the decoded frame to the request (cr.frames slot); the prep
+// worker recycles it into framePool after preprocessing.
+//
+//smol:owns
 func (s *videoSource) Next() (engine.Job, bool, error) {
 	for {
 		if err := s.ctx.Err(); err != nil {
@@ -361,6 +365,11 @@ func (s *videoSource) Next() (engine.Job, bool, error) {
 		dst, _ := s.cr.framePool.Get().(*img.Image)
 		m, err := s.dec.NextInto(dst)
 		if err != nil {
+			// Put the pooled frame back before failing: a decode error must
+			// not bleed a buffer out of the pool per failed request.
+			if dst != nil {
+				s.cr.framePool.Put(dst)
+			}
 			return engine.Job{}, false, err
 		}
 		i := s.sample
