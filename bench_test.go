@@ -455,8 +455,54 @@ func BenchmarkResNetForwardCompiled(b *testing.B) {
 	}
 }
 
-// BenchmarkGEMM measures the blocked kernel on square problems; the
-// custom metric reports achieved multiply-add throughput.
+// BenchmarkResNetForwardInt8 is the quantized counterpart of
+// BenchmarkResNetForwardCompiled: same variants, same batch-8 input,
+// executed through nn.Quantize's int8 plan (calibrated on the benchmark
+// input itself — only geometry and arithmetic width matter for speed). The
+// ratio between the two is the int8-tier speedup tracked in
+// BENCH_infer.json.
+func BenchmarkResNetForwardInt8(b *testing.B) {
+	for _, variant := range nn.Variants() {
+		b.Run(variant, func(b *testing.B) {
+			cfg, err := nn.VariantConfig(variant, 10, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := nn.NewResNet(rand.New(rand.NewSource(1)), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := nn.Compile(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := tensor.New(8, 3, 32, 32)
+			rng := rand.New(rand.NewSource(2))
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()
+			}
+			cal, err := plan.Calibrate([]*tensor.Tensor{x})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qp, err := nn.Quantize(plan, cal)
+			if err != nil {
+				b.Fatal(err)
+			}
+			preds := make([]int, 8)
+			qp.PredictInto(x, preds) // warm the arena pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qp.PredictInto(x, preds)
+			}
+		})
+	}
+}
+
+// BenchmarkGEMM measures the blocked f32 kernel on square problems; the
+// custom metric reports achieved multiply-add throughput in GMAC/s so the
+// perf trajectory captures throughput, not just ns/op.
 func BenchmarkGEMM(b *testing.B) {
 	for _, size := range []int{64, 256, 1024} {
 		b.Run(fmt.Sprint(size), func(b *testing.B) {
@@ -473,7 +519,42 @@ func BenchmarkGEMM(b *testing.B) {
 				tensor.GEMM(a, bm, c)
 			}
 			macs := float64(size) * float64(size) * float64(size)
-			b.ReportMetric(macs*float64(b.N)/b.Elapsed().Seconds()/1e6, "MMAC/s")
+			b.ReportMetric(macs*float64(b.N)/b.Elapsed().Seconds()/1e9, "GMAC/s")
+		})
+	}
+}
+
+// BenchmarkGEMMInt8 is the quantized counterpart of BenchmarkGEMM: same
+// square problems through the int8 dual-MAC kernel with the full
+// requantize/bias/ReLU epilogue. The GMAC/s ratio between the two is the
+// raw int8 speedup tracked in BENCH_infer.json.
+func BenchmarkGEMMInt8(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := make([]int16, size*size)
+			bm := make([]int8, size*size)
+			for i := range a {
+				a[i] = int16(rng.Intn(255) - 127)
+				bm[i] = int8(rng.Intn(255) - 127)
+			}
+			acc := make([]int32, size*size)
+			dst := make([]int8, size*size)
+			ep := tensor.EpilogueInt8{
+				RowScale: make([]float32, size),
+				RowBias:  make([]float32, size),
+				ReLU:     true,
+				OutScale: 0.05,
+			}
+			for i := range ep.RowScale {
+				ep.RowScale[i] = 0.002
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.GEMMInt8(size, size, size, a, bm, acc, dst, ep)
+			}
+			macs := float64(size) * float64(size) * float64(size)
+			b.ReportMetric(macs*float64(b.N)/b.Elapsed().Seconds()/1e9, "GMAC/s")
 		})
 	}
 }

@@ -17,11 +17,14 @@
 //	smol-query -type classify -dataset bike-bird -serve -requests 4
 //
 // Planner mode (trains a multi-entry model zoo and lets the serving
-// planner jointly pick model variant, input resolution, decode scale, and
-// preprocessing chain per request from an accuracy floor; -explain prints
-// the chosen plan and its predicted vs. measured throughput):
+// planner jointly pick model variant, input resolution, decode scale,
+// numeric precision, and preprocessing chain per request from an accuracy
+// floor; each zoo entry gains a quantized int8 twin unless -noint8 is set,
+// and -explain prints the chosen plan — precision included — next to its
+// predicted vs. measured throughput):
 //
 //	smol-query -type classify -dataset bike-bird -serve -zoo -minacc 0.8 -explain
+//	smol-query -type classify -dataset bike-bird -serve -zoo -noint8 -explain
 //
 // Video serving mode (classifies an SVID file — e.g. one written by
 // smol-datagen -videos — through the warm engine; the video planner picks
@@ -58,6 +61,8 @@ func main() {
 	roiDecode := flag.Bool("roidecode", false, "partially decode only the central crop region (Algorithm 1)")
 	scaleDecode := flag.Bool("scaledecode", true, "let the ingest planner decode JPEGs at reduced resolution (1/2, 1/4, 1/8) when cheapest")
 	zoo := flag.Bool("zoo", false, "train a multi-entry model zoo and serve through the joint accuracy/throughput planner (-serve mode)")
+	int8Flag := flag.Bool("int8", true, "quantize every zoo entry to an int8 twin (zoo mode); the planner routes to the fast tier when the accuracy floor allows")
+	noInt8 := flag.Bool("noint8", false, "disable the int8 inference tier (overrides -int8)")
 	minAcc := flag.Float64("minacc", 0, "accuracy floor for the serving planner (0 = max throughput)")
 	explain := flag.Bool("explain", false, "print the planner's chosen plan per request (variant, input res, decode scale, preproc chain, predicted vs measured throughput)")
 	video := flag.String("video", "", "classify an SVID video file through the warm serving engine")
@@ -65,14 +70,15 @@ func main() {
 	stride := flag.Int("stride", 1, "classify every Nth frame of -video (skipped frames are decoded, not preprocessed)")
 	flag.Parse()
 
+	useInt8 := *int8Flag && !*noInt8
 	switch *qtype {
 	case "classify":
 		if *video != "" {
 			videoClassify(*video, *lowres, *dataset, *stride, *execPar, *compiled, *roiDecode, *scaleDecode,
-				*zoo, *minAcc, *explain)
+				*zoo, useInt8, *minAcc, *explain)
 		} else if *serve {
 			serveClassify(*dataset, *requests, *execPar, *compiled, *roiDecode, *scaleDecode,
-				*zoo, *minAcc, *explain)
+				*zoo, useInt8, *minAcc, *explain)
 		} else {
 			classify(*dataset, *roiDecode, *scaleDecode)
 		}
@@ -135,7 +141,7 @@ func classify(name string, roiDecode, scaleDecode bool) {
 // serving runtime from cfg — the setup shared by the -serve and -video
 // modes, so runtime flags (-execpar, -compiled, -roidecode, -scaledecode)
 // behave identically in both.
-func trainServingRuntime(dataset string, useZoo bool, cfg smol.RuntimeConfig) (*smol.Runtime, data.DatasetSpec, *data.Dataset) {
+func trainServingRuntime(dataset string, useZoo, useInt8 bool, cfg smol.RuntimeConfig) (*smol.Runtime, data.DatasetSpec, *data.Dataset) {
 	spec, err := data.ImageDataset(dataset)
 	if err != nil {
 		log.Fatal(err)
@@ -150,14 +156,19 @@ func trainServingRuntime(dataset string, useZoo bool, cfg smol.RuntimeConfig) (*
 	var rt *smol.Runtime
 	start := time.Now()
 	if useZoo {
-		fmt.Println("training model zoo (resnet-b, resnet-a, resnet-a@half)...")
-		zoo, err := smol.TrainZoo(train, spec.NumClasses, smol.ZooTrainOptions{Epochs: 3, Seed: 1})
+		if useInt8 {
+			fmt.Println("training model zoo (resnet-b, resnet-a, resnet-a@half) with int8 twins...")
+		} else {
+			fmt.Println("training model zoo (resnet-b, resnet-a, resnet-a@half)...")
+		}
+		zoo, err := smol.TrainZoo(train, spec.NumClasses, smol.ZooTrainOptions{Epochs: 3, Seed: 1, Int8: useInt8})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("trained in %s\n", time.Since(start).Round(time.Second))
 		for _, e := range zoo.Entries() {
-			fmt.Printf("  zoo entry %-14s validation accuracy %.3f\n", e.Name(), e.Accuracy)
+			fmt.Printf("  zoo entry %-19s [%s] validation accuracy %.3f\n",
+				e.Name(), e.PrecisionLabel(), e.Accuracy)
 		}
 		rt, err = smol.NewZooRuntime(zoo, cfg)
 		if err != nil {
@@ -186,11 +197,11 @@ func trainServingRuntime(dataset string, useZoo bool, cfg smol.RuntimeConfig) (*
 // useZoo a multi-entry model zoo is trained instead and each request is
 // routed by the serving planner from the minAcc accuracy floor.
 func serveClassify(name string, requests, execPar int, compiled, roiDecode, scaleDecode,
-	useZoo bool, minAcc float64, explain bool) {
+	useZoo, useInt8 bool, minAcc float64, explain bool) {
 	if requests < 1 {
 		requests = 1
 	}
-	rt, _, ds := trainServingRuntime(name, useZoo, smol.RuntimeConfig{
+	rt, _, ds := trainServingRuntime(name, useZoo, useInt8, smol.RuntimeConfig{
 		BatchSize:    32,
 		QoS:          smol.QoS{MinAccuracy: minAcc},
 		ExecParallel: execPar, DisableCompiled: !compiled,
@@ -249,7 +260,7 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 			res.Stats.MeanLatency.Round(time.Microsecond))
 		if explain {
 			p := res.Plan
-			fmt.Printf("  plan: entry %s (val acc %.3f) on %s\n", p.Entry, p.Accuracy, p.InputFormat)
+			fmt.Printf("  plan: entry %s [%s] (val acc %.3f) on %s\n", p.Entry, p.Precision, p.Accuracy, p.InputFormat)
 			fmt.Printf("  plan: decode 1/%d, preproc %s\n", p.DecodeScale, p.Preproc)
 			fmt.Printf("  plan: predicted %.0f im/s (latency %.0fus worst-case), measured %.0f im/s\n",
 				p.PredictedThroughput, p.PredictedLatencyUS, res.Stats.Throughput)
@@ -268,7 +279,7 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 // supplies one), the zoo entry, and the preprocessing chain for the -minacc
 // target.
 func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled, roiDecode, scaleDecode,
-	useZoo bool, minAcc float64, explain bool) {
+	useZoo, useInt8 bool, minAcc float64, explain bool) {
 	streamData, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -289,7 +300,7 @@ func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled,
 			fmt.Printf("low-res rendition %s: %dx%d\n", lowPath, li.W, li.H)
 		}
 	}
-	rt, _, _ := trainServingRuntime(dataset, useZoo, smol.RuntimeConfig{
+	rt, _, _ := trainServingRuntime(dataset, useZoo, useInt8, smol.RuntimeConfig{
 		BatchSize:    32,
 		QoS:          smol.QoS{MinAccuracy: minAcc},
 		ExecParallel: execPar, DisableCompiled: !compiled,

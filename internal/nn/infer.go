@@ -277,15 +277,22 @@ func (p *InferencePlan) getArena(n, h, w int) *inferArena {
 // CNHW layout (channel plane c of sample i starts at (c*N+i)*H*W), which
 // lets each conv be one contiguous batched GEMM.
 //
+// When stats is non-nil (len 1+len(ops)) the pass additionally records
+// max-abs activation ranges — stats[0] for the input tensor, stats[1+i]
+// for op i's output register — which Calibrate folds into int8 scales.
+//
 //smol:noalloc
-func (p *InferencePlan) run(x *tensor.Tensor, ar *inferArena) {
+func (p *InferencePlan) run(x *tensor.Tensor, ar *inferArena, stats []float32) {
 	if len(x.Shape) != 4 || x.Shape[1] != p.inC {
 		//smol:coldpath shape mismatch is a caller bug
 		panic(fmt.Sprintf("nn: InferencePlan input shape %v, want (N,%d,H,W)", x.Shape, p.inC))
 	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	if stats != nil {
+		stats[0] = maxAbs32(x.Data[:n*p.inC*h*w])
+	}
 	var geoms [3]regGeom
-	for _, op := range p.ops {
+	for idx, op := range p.ops {
 		switch op.kind {
 		case opConv:
 			g := inGeom(op, &geoms, p.inC, h, w)
@@ -308,6 +315,9 @@ func (p *InferencePlan) run(x *tensor.Tensor, ar *inferArena) {
 				ep.Add = ar.regs[op.add][:op.outC*total]
 			}
 			tensor.GEMMRaw(op.outC, rows, total, op.w, col, ar.regs[op.dst][:op.outC*total], ep)
+			if stats != nil {
+				stats[1+idx] = maxAbs32(ar.regs[op.dst][:op.outC*total])
+			}
 			geoms[op.dst] = regGeom{c: op.outC, h: outH, w: outW}
 		case opAvgPool:
 			g := geoms[op.src]
@@ -349,7 +359,7 @@ func (p *InferencePlan) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n := x.Shape[0]
 	out := tensor.New(n, p.classes)
 	ar := p.getArena(n, x.Shape[2], x.Shape[3])
-	p.run(x, ar)
+	p.run(x, ar, nil)
 	copy(out.Data, ar.logits[:n*p.classes])
 	p.arenas.Put(ar)
 	return out
@@ -374,7 +384,7 @@ func (p *InferencePlan) PredictInto(x *tensor.Tensor, preds []int) {
 		panic(fmt.Sprintf("nn: PredictInto preds length %d, want %d", len(preds), n))
 	}
 	ar := p.getArena(n, x.Shape[2], x.Shape[3])
-	p.run(x, ar)
+	p.run(x, ar, nil)
 	k := p.classes
 	for i := 0; i < n; i++ {
 		row := ar.logits[i*k : (i+1)*k]

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"smol/internal/tensor"
@@ -432,7 +433,7 @@ func TestSaveLoadModelMeta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotMeta != meta {
+	if !reflect.DeepEqual(gotMeta, meta) {
 		t.Fatalf("metadata %+v, want %+v", gotMeta, meta)
 	}
 	x := tensor.New(1, 3, 16, 16)
@@ -446,7 +447,7 @@ func TestSaveLoadModelMeta(t *testing.T) {
 	if _, gotMeta, _, err = LoadModelMeta(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if gotMeta != (ModelMeta{}) {
+	if !reflect.DeepEqual(gotMeta, ModelMeta{}) {
 		t.Fatalf("plain save produced metadata %+v", gotMeta)
 	}
 }

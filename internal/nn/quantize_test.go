@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"smol/internal/analysis/alloctest"
+	"smol/internal/tensor"
+)
+
+// quantizedVariant builds a randomized variant model, calibrates it on a
+// handful of random batches, and returns both precisions of the plan.
+func quantizedVariant(t *testing.T, variant string, seed int64) (*InferencePlan, *QuantizedPlan) {
+	t.Helper()
+	_, plan, _ := compiledVariant(t, variant, seed)
+	rng := rand.New(rand.NewSource(seed + 1000))
+	var calibSet []*tensor.Tensor
+	for i := 0; i < 4; i++ {
+		x := tensor.New(8, 3, 16, 16)
+		fillRand(rng, x)
+		calibSet = append(calibSet, x)
+	}
+	cal, err := plan.Calibrate(calibSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := Quantize(plan, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, qp
+}
+
+// TestQuantizedDriftBound: for every variant and batch size, int8 logits
+// track the f32 plan within a small fraction of the logit range, and the
+// two argmax decisions agree on the vast majority of samples. This is the
+// compiled-vs-reference equivalence suite acting as the drift oracle.
+func TestQuantizedDriftBound(t *testing.T) {
+	for vi, variant := range Variants() {
+		for _, batch := range []int{1, 8, 32} {
+			t.Run(fmt.Sprintf("%s/batch%d", variant, batch), func(t *testing.T) {
+				plan, qp := quantizedVariant(t, variant, int64(300+vi))
+				rng := rand.New(rand.NewSource(int64(batch)))
+				x := tensor.New(batch, 3, 16, 16)
+				fillRand(rng, x)
+
+				ref := plan.Forward(x)
+				got := qp.Forward(x)
+				if !tensor.SameShape(ref, got) {
+					t.Fatalf("logits shape %v, want %v", got.Shape, ref.Shape)
+				}
+				span := float64(maxAbs32(ref.Data))
+				var maxErr float64
+				for i := range ref.Data {
+					if e := math.Abs(float64(ref.Data[i] - got.Data[i])); e > maxErr {
+						maxErr = e
+					}
+				}
+				// Per-tensor activation scales on a random net keep drift in
+				// the few-percent range; 10% of the logit span is the alarm
+				// threshold for a broken scale chain, not a quality target.
+				if tol := 0.1*span + 0.05; maxErr > tol {
+					t.Fatalf("max logit drift %.4f exceeds %.4f (span %.4f)", maxErr, tol, span)
+				}
+
+				refPred := plan.Predict(x)
+				gotPred := qp.Predict(x)
+				agree := 0
+				for i := range refPred {
+					if refPred[i] == gotPred[i] {
+						agree++
+					}
+				}
+				if agree*10 < len(refPred)*8 {
+					t.Fatalf("argmax agreement %d/%d below 80%%", agree, len(refPred))
+				}
+			})
+		}
+	}
+}
+
+// TestQuantizedDeterministicConcurrent runs one quantized plan from 8
+// goroutines; int32 accumulation is exact, so every result must be
+// identical to the serial answer. Under -race this also proves reentrancy.
+func TestQuantizedDeterministicConcurrent(t *testing.T) {
+	_, qp := quantizedVariant(t, VariantB, 42)
+	const goroutines = 8
+	inputs := make([]*tensor.Tensor, goroutines)
+	want := make([][]int, goroutines)
+	for g := range inputs {
+		rng := rand.New(rand.NewSource(int64(g)))
+		inputs[g] = tensor.New(4, 3, 16, 16)
+		fillRand(rng, inputs[g])
+		want[g] = qp.Predict(inputs[g])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				got := qp.Predict(inputs[g])
+				for i := range got {
+					if got[i] != want[g][i] {
+						errs <- fmt.Errorf("goroutine %d iter %d sample %d: %d != %d",
+							g, iter, i, got[i], want[g][i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizeZeroWeightChannel: an all-zero output channel must not
+// produce a zero or infinite weight scale; its outputs stay exactly zero
+// and the rest of the network is unaffected.
+func TestQuantizeZeroWeightChannel(t *testing.T) {
+	m, plan, _ := compiledVariant(t, VariantA, 55)
+	// Zero the first conv's first output channel in the source model and
+	// recompile so the folded plan carries the zero row.
+	conv := m.Layers[0].(*Conv2D)
+	ckk := conv.InC * conv.K * conv.K
+	for i := 0; i < ckk; i++ {
+		conv.W.Data[i] = 0
+	}
+	conv.B.Data[0] = 0
+	if bn, ok := m.Layers[1].(*BatchNorm2D); ok {
+		bn.RunMean.Data[0] = 0
+		bn.Beta.Data[0] = 0
+	}
+	plan, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(56))
+	x := tensor.New(4, 3, 16, 16)
+	fillRand(rng, x)
+	cal, err := plan.Calibrate([]*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := Quantize(plan, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range qp.ops {
+		for _, s := range op.rowScale {
+			if math.IsNaN(float64(s)) || math.IsInf(float64(s), 0) || s < 0 {
+				t.Fatalf("non-finite row scale %v", s)
+			}
+		}
+	}
+	out := qp.Forward(x)
+	for i, v := range out.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("logit %d is %v", i, v)
+		}
+	}
+}
+
+// TestQuantizeCalibrationMismatch: a calibration from a different plan
+// shape is rejected instead of silently mis-scaling.
+func TestQuantizeCalibrationMismatch(t *testing.T) {
+	_, plan, _ := compiledVariant(t, VariantA, 77)
+	if _, err := Quantize(plan, QuantCalibration{InputScale: 1}); err == nil {
+		t.Fatal("Quantize accepted a calibration with no activation scales")
+	}
+	cal := QuantCalibration{InputScale: 0, ActScales: make([]float32, len(plan.ops))}
+	if _, err := Quantize(plan, cal); err == nil {
+		t.Fatal("Quantize accepted a non-positive input scale")
+	}
+}
+
+// TestQuantizedRoundTrip: rebuilding a quantized plan from the same f32
+// model and persisted calibration reproduces logits bit-identically (the
+// property zoo serialization relies on).
+func TestQuantizedRoundTrip(t *testing.T) {
+	_, plan, _ := compiledVariant(t, VariantA, 88)
+	rng := rand.New(rand.NewSource(89))
+	x := tensor.New(8, 3, 16, 16)
+	fillRand(rng, x)
+	cal, err := plan.Calibrate([]*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp1, err := Quantize(plan, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp2, err := Quantize(plan, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := qp1.Forward(x), qp2.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("logit %d differs across rebuilds: %v != %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestQuantizedWarmForwardAllocs: once warm, the int8 PredictInto runs out
+// of the recycled byte arena. With GOMAXPROCS pinned to 1 GEMMInt8 stays
+// serial, so one warm forward transitively exercises every annotated int8
+// kernel below it.
+func TestQuantizedWarmForwardAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and sync.Pool drops puts under -race")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	_, qp := quantizedVariant(t, VariantA, 7)
+	x := tensor.New(8, 3, 16, 16)
+	fillRand(rand.New(rand.NewSource(1)), x)
+	preds := make([]int, 8)
+	qp.PredictInto(x, preds) // warm the arena pool
+	alloctest.Run(t, "smol/internal/nn.QuantizedPlan.PredictInto", 0.5, func() {
+		qp.PredictInto(x, preds)
+	},
+		"smol/internal/nn.QuantizedPlan.run",
+		"smol/internal/nn.QuantizedPlan.getArena",
+		"smol/internal/tensor.gemmInt8Range",
+		"smol/internal/tensor.gemmInt8Block",
+		"smol/internal/tensor.gemmInt8OddK",
+		"smol/internal/tensor.requantizeInt8",
+		"smol/internal/tensor.roundClampInt8",
+		"smol/internal/tensor.QuantizeInt8",
+		"smol/internal/tensor.Im2ColBatchInt8")
+}

@@ -55,6 +55,13 @@ type ModelMeta struct {
 	// Accuracy is the measured validation accuracy in [0, 1]; zero means
 	// unmeasured.
 	Accuracy float64
+	// Precision tags the numeric tier this entry serves at: "" or "fp32"
+	// for full precision, "int8" for a quantized plan.
+	Precision string
+	// Calib holds the activation scales of an int8 entry. Weight scales are
+	// recomputed deterministically from the f32 weights, so this is all the
+	// state needed to rebuild the QuantizedPlan bit-identically on load.
+	Calib QuantCalibration
 }
 
 // savedModel is the gob wire format. Meta was added after the first release;

@@ -1,0 +1,360 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Quantized int8 GEMM with a fused saturating requantize epilogue. This is
+// the execution kernel of the quantized inference tier: conv layers lowered
+// to int8 im2col run one a @ b product per layer with int8 x int8 -> int32
+// accumulation, then each finished column tile is dequantized, biased,
+// residual-added, ReLU'd, and requantized back to int8 while still cache-hot.
+//
+// The a operand (quantized weights) is stored widened to int16 so the AVX2
+// microkernel can broadcast adjacent weight pairs as one dword and dual-MAC
+// them against sign-extended b lanes with VPMADDWD; values stay in int8
+// range. Accumulation is exact integer arithmetic, so results are identical
+// regardless of blocking, worker count, or whether the assembly kernel is
+// active — the drift suite compares the two kernels bit-for-bit.
+
+const (
+	// int8MR is the register-tile height of the assembly microkernel.
+	int8MR = 4
+	// int8NR is the register-tile width of the assembly microkernel: 16
+	// int32 accumulators per row live in two ymm registers.
+	int8NR = 16
+	// int8NC is the column-tile width: the k x int8NC panel of b stays
+	// cache-resident while every row quad streams through it, and the
+	// finished int8MR x int8NC accumulator region is requantized hot.
+	int8NC = 256
+	// int8SerialMACs mirrors gemmSerialMACs: below this many multiply-adds
+	// spawning goroutines costs more than it saves.
+	int8SerialMACs = 1 << 16
+)
+
+// EpilogueInt8 describes the fused requantization tail applied to every
+// int32 accumulator element: v = float32(acc)*RowScale[i] + RowBias[i] +
+// float32(Add[i,j])*AddScale, then ReLU when requested, then dst[i,j] =
+// clamp(round(v/OutScale), -127, 127). Nil fields are skipped.
+type EpilogueInt8 struct {
+	// RowScale dequantizes row i's accumulator back to real units:
+	// inputScale * weightScale[i] for a per-output-channel quantized conv.
+	// Required, len m.
+	RowScale []float32
+	// RowBias is a per-row f32 constant added after dequantization (len m).
+	RowBias []float32
+	// Add is an elementwise int8 addend with dst's layout (len m*n), e.g. a
+	// residual shortcut register; AddScale dequantizes it.
+	Add      []int8
+	AddScale float32
+	// ReLU clamps negatives to zero before requantization.
+	ReLU bool
+	// OutScale requantizes the epilogue result into dst. Must be > 0.
+	OutScale float32
+}
+
+// GEMMInt8 computes dst = requantize(a @ b) for a (m x k) int8-range
+// weights widened to int16, b (k x n) int8, accumulating exactly in the
+// caller-provided int32 scratch acc (len >= m*n, fully overwritten) and
+// writing the requantized result into dst (len >= m*n). Large problems are
+// split across goroutines exactly like GEMMRaw: row panels when m is tall
+// enough, column panels for the batched-im2col shape (few output channels,
+// very many columns).
+func GEMMInt8(m, k, n int, a []int16, b []int8, acc []int32, dst []int8, ep EpilogueInt8) {
+	if len(a) < m*k || len(b) < k*n || len(acc) < m*n || len(dst) < m*n {
+		panic("tensor: GEMMInt8 operand length mismatch")
+	}
+	if len(ep.RowScale) != m {
+		panic("tensor: GEMMInt8 RowScale length mismatch")
+	}
+	if ep.RowBias != nil && len(ep.RowBias) != m {
+		panic("tensor: GEMMInt8 RowBias length mismatch")
+	}
+	if ep.Add != nil && len(ep.Add) != m*n {
+		panic("tensor: GEMMInt8 Add length mismatch")
+	}
+	if !(ep.OutScale > 0) {
+		panic("tensor: GEMMInt8 OutScale must be positive")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || m*k*n < int8SerialMACs {
+		gemmInt8Range(m, k, n, a, b, acc, dst, 0, m, 0, n, ep)
+		return
+	}
+	var wg sync.WaitGroup
+	if rows := (m + workers - 1) / workers; rows >= int8MR {
+		rows = (rows + int8MR - 1) / int8MR * int8MR
+		for i0 := 0; i0 < m; i0 += rows {
+			i1 := i0 + rows
+			if i1 > m {
+				i1 = m
+			}
+			wg.Add(1)
+			go func(i0, i1 int) {
+				defer wg.Done()
+				gemmInt8Range(m, k, n, a, b, acc, dst, i0, i1, 0, n, ep)
+			}(i0, i1)
+		}
+	} else {
+		cols := (n + workers - 1) / workers
+		if cols < 64 {
+			cols = 64
+		}
+		for j0 := 0; j0 < n; j0 += cols {
+			j1 := j0 + cols
+			if j1 > n {
+				j1 = n
+			}
+			wg.Add(1)
+			go func(j0, j1 int) {
+				defer wg.Done()
+				gemmInt8Range(m, k, n, a, b, acc, dst, 0, m, j0, j1, ep)
+			}(j0, j1)
+		}
+	}
+	wg.Wait()
+}
+
+// gemmInt8Range accumulates rows [i0,i1) x columns [j0,j1) of a @ b into
+// acc and requantizes that region into dst, one column tile at a time. It
+// is the serial core; parallel callers give each worker a disjoint region.
+//
+//smol:noalloc
+func gemmInt8Range(m, k, n int, a []int16, b []int8, acc []int32, dst []int8, i0, i1, j0, j1 int, ep EpilogueInt8) {
+	for jc := j0; jc < j1; jc += int8NC {
+		nc := j1 - jc
+		if nc > int8NC {
+			nc = int8NC
+		}
+		i := i0
+		if gemmInt8AsmActive && k >= 2 {
+			pairs := k / 2
+			for ; i+int8MR <= i1; i += int8MR {
+				jb := jc
+				for ; jb+int8NR <= jc+nc; jb += int8NR {
+					gemmInt8Tile4x16(&a[i*k], &b[jb], &acc[i*n+jb], pairs, k, n)
+				}
+				if k%2 != 0 {
+					gemmInt8OddK(k, n, a, b, acc, i, i+int8MR, jc, jb)
+				}
+				if jb < jc+nc {
+					gemmInt8Block(k, n, a, b, acc, i, i+int8MR, jb, jc+nc)
+				}
+			}
+		}
+		if i < i1 {
+			gemmInt8Block(k, n, a, b, acc, i, i1, jc, jc+nc)
+		}
+		requantizeInt8(n, acc, dst, i0, i1, jc, nc, ep)
+	}
+}
+
+// gemmInt8Block is the portable accumulation kernel: it computes rows
+// [iA,iB) x columns [jA,jB) of acc = a @ b from scratch. It carries the
+// full workload on non-AVX2 hosts and the row/column remainders next to
+// the assembly tiles elsewhere.
+//
+//smol:noalloc
+func gemmInt8Block(k, n int, a []int16, b []int8, acc []int32, iA, iB, jA, jB int) {
+	for i := iA; i < iB; i++ {
+		arow := a[i*k : i*k+k]
+		crow := acc[i*n+jA : i*n+jA+(jB-jA) : i*n+jA+(jB-jA)]
+		for j := range crow {
+			crow[j] = 0
+		}
+		p := 0
+		for ; p+1 < k; p += 2 {
+			av0, av1 := int32(arow[p]), int32(arow[p+1])
+			if av0 == 0 && av1 == 0 {
+				continue
+			}
+			b0 := b[p*n+jA : p*n+jA+(jB-jA) : p*n+jA+(jB-jA)]
+			b1 := b[(p+1)*n+jA:][:len(b0)]
+			r := crow[:len(b0)]
+			for j := range b0 {
+				r[j] += av0*int32(b0[j]) + av1*int32(b1[j])
+			}
+		}
+		for ; p < k; p++ {
+			av := int32(arow[p])
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n+jA : p*n+jA+(jB-jA)]
+			r := crow[:len(brow)]
+			for j := range brow {
+				r[j] += av * int32(brow[j])
+			}
+		}
+	}
+}
+
+// gemmInt8OddK adds the final k-1 term the pair-stepping assembly kernel
+// leaves off when k is odd, for rows [iA,iB) x columns [jA,jB).
+//
+//smol:noalloc
+func gemmInt8OddK(k, n int, a []int16, b []int8, acc []int32, iA, iB, jA, jB int) {
+	p := k - 1
+	brow := b[p*n+jA : p*n+jA+(jB-jA)]
+	for i := iA; i < iB; i++ {
+		av := int32(a[i*k+p])
+		if av == 0 {
+			continue
+		}
+		crow := acc[i*n+jA : i*n+jA+(jB-jA)]
+		for j := range brow {
+			crow[j] += av * int32(brow[j])
+		}
+	}
+}
+
+// requantizeInt8 lowers the finished int32 accumulator region rows [i0,i1)
+// x columns [jc,jc+nc) into dst: dequantize, bias, residual add, ReLU,
+// round-to-nearest (half away from zero), saturate to +-127.
+//
+//smol:noalloc
+func requantizeInt8(n int, acc []int32, dst []int8, i0, i1, jc, nc int, ep EpilogueInt8) {
+	inv := 1 / ep.OutScale
+	for i := i0; i < i1; i++ {
+		row := acc[i*n+jc : i*n+jc+nc : i*n+jc+nc]
+		out := dst[i*n+jc:][:len(row)]
+		scale := ep.RowScale[i]
+		var bias float32
+		if ep.RowBias != nil {
+			bias = ep.RowBias[i]
+		}
+		switch {
+		case ep.Add != nil && ep.ReLU:
+			add := ep.Add[i*n+jc:][:len(row)]
+			for j := range row {
+				v := float32(row[j])*scale + bias + float32(add[j])*ep.AddScale
+				if v < 0 {
+					v = 0
+				}
+				out[j] = roundClampInt8(v * inv)
+			}
+		case ep.Add != nil:
+			add := ep.Add[i*n+jc:][:len(row)]
+			for j := range row {
+				v := float32(row[j])*scale + bias + float32(add[j])*ep.AddScale
+				out[j] = roundClampInt8(v * inv)
+			}
+		case ep.ReLU:
+			for j := range row {
+				v := float32(row[j])*scale + bias
+				if v < 0 {
+					v = 0
+				}
+				out[j] = roundClampInt8(v * inv)
+			}
+		default:
+			for j := range row {
+				out[j] = roundClampInt8((float32(row[j])*scale + bias) * inv)
+			}
+		}
+	}
+}
+
+// roundClampInt8 rounds to the nearest integer (half away from zero) and
+// saturates to the symmetric int8 range [-127, 127].
+//
+//smol:noalloc
+func roundClampInt8(v float32) int8 {
+	if v >= 0 {
+		v += 0.5
+		if v >= 127 {
+			return 127
+		}
+		return int8(v)
+	}
+	v -= 0.5
+	if v <= -127 {
+		return -127
+	}
+	return int8(v)
+}
+
+// QuantizeInt8 quantizes src into dst: dst[i] = clamp(round(src[i] *
+// invScale), -127, 127). invScale is the reciprocal of the tensor's
+// quantization scale.
+//
+//smol:noalloc
+func QuantizeInt8(src []float32, dst []int8, invScale float32) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = roundClampInt8(v * invScale)
+	}
+}
+
+// Im2ColBatchInt8 is Im2ColBatch over int8 activations: it unfolds a batch
+// of n quantized images into one (C*kh*kw) x (n*outH*outW) column matrix so
+// a conv layer lowers to a single GEMMInt8. Layout and stride semantics are
+// identical to Im2ColBatch (zero padding quantizes to zero exactly under
+// symmetric scales, so padding commutes with quantization).
+//
+//smol:noalloc
+func Im2ColBatchInt8(src []int8, n, c, h, w, sampleStride, chanStride, kh, kw, stride, pad int, col []int8) (outH, outW int) {
+	outH = (h+2*pad-kh)/stride + 1
+	outW = (w+2*pad-kw)/stride + 1
+	ohow := outH * outW
+	total := n * ohow
+	rows := c * kh * kw
+	if len(col) < rows*total {
+		panic("tensor: Im2ColBatchInt8 output buffer too small")
+	}
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			plane := src[i*sampleStride+ci*chanStride : i*sampleStride+ci*chanStride+h*w]
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					row := ((ci*kh+ky)*kw+kx)*total + i*ohow
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride + ky - pad
+						dst := col[row+oy*outW : row+oy*outW+outW]
+						if iy < 0 || iy >= h {
+							for ox := range dst {
+								dst[ox] = 0
+							}
+							continue
+						}
+						inRow := plane[iy*w : iy*w+w]
+						if stride == 1 {
+							ox0 := pad - kx
+							if ox0 < 0 {
+								ox0 = 0
+							} else if ox0 > outW {
+								ox0 = outW
+							}
+							ox1 := w + pad - kx
+							if ox1 > outW {
+								ox1 = outW
+							} else if ox1 < ox0 {
+								ox1 = ox0
+							}
+							for ox := 0; ox < ox0; ox++ {
+								dst[ox] = 0
+							}
+							if ox1 > ox0 {
+								copy(dst[ox0:ox1], inRow[ox0+kx-pad:])
+							}
+							for ox := ox1; ox < outW; ox++ {
+								dst[ox] = 0
+							}
+							continue
+						}
+						for ox := 0; ox < outW; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								dst[ox] = 0
+							} else {
+								dst[ox] = inRow[ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return outH, outW
+}

@@ -1,0 +1,48 @@
+//go:build amd64
+
+package tensor
+
+// gemmInt8AsmActive gates the AVX2 microkernel. It is a variable (not a
+// constant) so the equivalence tests can force the portable kernel and
+// compare the two paths bit-for-bit.
+var gemmInt8AsmActive = cpuSupportsAVX2()
+
+// gemmInt8Tile4x16 accumulates a full-k 4-row x 16-column int32 tile:
+//
+//	acc[r*n+j] = sum over p < 2*pairs of a[r*aStride+p] * b[p*n+j]
+//
+// for r < 4, j < 16. a holds int8-range weights widened to int16 (row
+// stride aStride elements); b is int8 row-major with row stride n; the
+// tile of acc is overwritten. k is consumed two rows of b at a time via
+// VPMADDWD, so the caller passes pairs = k/2 and adds any odd trailing
+// term itself.
+//
+//go:noescape
+func gemmInt8Tile4x16(a *int16, b *int8, acc *int32, pairs, aStride, n int)
+
+// cpuid executes CPUID for the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the set of processor states the OS has enabled.
+func xgetbv0() uint64
+
+// cpuSupportsAVX2 reports whether both the CPU and the OS support AVX2:
+// leaf-1 OSXSAVE+AVX, XCR0 XMM+YMM state enabled, leaf-7 AVX2.
+func cpuSupportsAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	const xmmYmm = 0x6
+	if xgetbv0()&xmmYmm != xmmYmm {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}

@@ -1,0 +1,135 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmInt8Tile4x16(a *int16, b *int8, acc *int32, pairs, aStride, n int)
+//
+// AVX2 int8 GEMM microkernel: a full-k 4x16 int32 tile. Per k-pair it
+// sign-extends two 16-byte rows of b to int16 (VPMOVSXBW), interleaves them
+// per 128-bit lane (VPUNPCKLWD/VPUNPCKHWD) so each dword holds the
+// (b[p][j], b[p+1][j]) pair, broadcasts each a row's adjacent weight pair
+// (one dword of the widened int16 weights, VPBROADCASTD), and dual-MACs
+// with VPMADDWD: pairwise int16 products summed into int32 lanes. The
+// interleave leaves columns permuted {0-3,8-11}/{4-7,12-15} across the two
+// accumulators per row; VPERM2I128 undoes that at store time.
+//
+// Products are bounded by 127*127 and k by a few thousand, so the int32
+// accumulators cannot overflow (max |k * 2 * 16129| << 2^31).
+TEXT ·gemmInt8Tile4x16(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), BX
+	MOVQ acc+16(FP), DI
+	MOVQ pairs+24(FP), CX
+	MOVQ aStride+32(FP), R8
+	MOVQ n+40(FP), DX
+
+	// Row pointers into a (stride in bytes = 2*aStride).
+	SHLQ $1, R8
+	LEAQ (SI)(R8*1), R9
+	LEAQ (SI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+
+	// Eight accumulators: Y8/Y9 row 0, ... Y14/Y15 row 3.
+	VPXOR Y8, Y8, Y8
+	VPXOR Y9, Y9, Y9
+	VPXOR Y10, Y10, Y10
+	VPXOR Y11, Y11, Y11
+	VPXOR Y12, Y12, Y12
+	VPXOR Y13, Y13, Y13
+	VPXOR Y14, Y14, Y14
+	VPXOR Y15, Y15, Y15
+
+pairloop:
+	// Y0 = b row p, Y1 = b row p+1, widened to int16.
+	VPMOVSXBW (BX), Y0
+	VPMOVSXBW (BX)(DX*1), Y1
+	LEAQ (BX)(DX*2), BX
+
+	// Interleave into (b[p][j], b[p+1][j]) dword pairs per 128-bit lane:
+	// Y2 = columns {0-3, 8-11}, Y3 = columns {4-7, 12-15}.
+	VPUNPCKLWD Y1, Y0, Y2
+	VPUNPCKHWD Y1, Y0, Y3
+
+	// Row 0: broadcast (a[p], a[p+1]) and dual-MAC.
+	VPBROADCASTD (SI), Y4
+	VPMADDWD     Y2, Y4, Y5
+	VPADDD       Y5, Y8, Y8
+	VPMADDWD     Y3, Y4, Y5
+	VPADDD       Y5, Y9, Y9
+
+	// Row 1.
+	VPBROADCASTD (R9), Y4
+	VPMADDWD     Y2, Y4, Y5
+	VPADDD       Y5, Y10, Y10
+	VPMADDWD     Y3, Y4, Y5
+	VPADDD       Y5, Y11, Y11
+
+	// Row 2.
+	VPBROADCASTD (R10), Y4
+	VPMADDWD     Y2, Y4, Y5
+	VPADDD       Y5, Y12, Y12
+	VPMADDWD     Y3, Y4, Y5
+	VPADDD       Y5, Y13, Y13
+
+	// Row 3.
+	VPBROADCASTD (R11), Y4
+	VPMADDWD     Y2, Y4, Y5
+	VPADDD       Y5, Y14, Y14
+	VPMADDWD     Y3, Y4, Y5
+	VPADDD       Y5, Y15, Y15
+
+	ADDQ $4, SI
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JNZ  pairloop
+
+	// Un-permute ({0-3,8-11},{4-7,12-15}) -> ({0-7},{8-15}) and store.
+	SHLQ $2, DX // acc row stride in bytes
+
+	VPERM2I128 $0x20, Y9, Y8, Y0
+	VPERM2I128 $0x31, Y9, Y8, Y1
+	VMOVDQU    Y0, (DI)
+	VMOVDQU    Y1, 32(DI)
+	ADDQ       DX, DI
+
+	VPERM2I128 $0x20, Y11, Y10, Y0
+	VPERM2I128 $0x31, Y11, Y10, Y1
+	VMOVDQU    Y0, (DI)
+	VMOVDQU    Y1, 32(DI)
+	ADDQ       DX, DI
+
+	VPERM2I128 $0x20, Y13, Y12, Y0
+	VPERM2I128 $0x31, Y13, Y12, Y1
+	VMOVDQU    Y0, (DI)
+	VMOVDQU    Y1, 32(DI)
+	ADDQ       DX, DI
+
+	VPERM2I128 $0x20, Y15, Y14, Y0
+	VPERM2I128 $0x31, Y15, Y14, Y1
+	VMOVDQU    Y0, (DI)
+	VMOVDQU    Y1, 32(DI)
+
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL  leaf+0(FP), AX
+	MOVL  sub+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL    CX, CX
+	XGETBV
+	SHLQ    $32, DX
+	ORQ     DX, AX
+	MOVQ    AX, ret+0(FP)
+	RET

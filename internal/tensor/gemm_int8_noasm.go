@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// gemmInt8AsmActive is always false without the AVX2 microkernel; the
+// portable gemmInt8Block carries the whole workload. A variable (not a
+// constant) so the cross-kernel equivalence test compiles everywhere.
+var gemmInt8AsmActive = false
+
+// gemmInt8Tile4x16 is never reached when gemmInt8AsmActive is false.
+func gemmInt8Tile4x16(a *int16, b *int8, acc *int32, pairs, aStride, n int) {
+	panic("tensor: gemmInt8Tile4x16 called without assembly support")
+}

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refGEMMInt8 is the obvious triple loop plus the documented epilogue,
+// used as the oracle for the blocked/assembly kernels.
+func refGEMMInt8(m, k, n int, a []int16, b []int8, ep EpilogueInt8) []int8 {
+	out := make([]int8, m*n)
+	inv := 1 / ep.OutScale
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += int32(a[i*k+p]) * int32(b[p*n+j])
+			}
+			v := float32(acc) * ep.RowScale[i]
+			if ep.RowBias != nil {
+				v += ep.RowBias[i]
+			}
+			if ep.Add != nil {
+				v += float32(ep.Add[i*n+j]) * ep.AddScale
+			}
+			if ep.ReLU && v < 0 {
+				v = 0
+			}
+			out[i*n+j] = roundClampInt8(v * inv)
+		}
+	}
+	return out
+}
+
+func randInt8s(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = int8(rng.Intn(255) - 127)
+	}
+	return s
+}
+
+// TestGEMMInt8MatchesReference sweeps shapes that exercise every remainder
+// path (rows < 4, columns < 16, odd k, multi-tile columns) and every
+// epilogue variant against the triple-loop oracle.
+func TestGEMMInt8MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 3, 17}, {3, 5, 15}, {4, 2, 16}, {4, 3, 16},
+		{5, 7, 33}, {8, 16, 64}, {7, 27, 70}, {16, 9, 300}, {12, 32, 257},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for variant := 0; variant < 4; variant++ {
+			t.Run(fmt.Sprintf("m%dk%dn%d/ep%d", m, k, n, variant), func(t *testing.T) {
+				a := make([]int16, m*k)
+				for i := range a {
+					a[i] = int16(rng.Intn(255) - 127)
+				}
+				bm := randInt8s(rng, k*n)
+				ep := EpilogueInt8{
+					RowScale: make([]float32, m),
+					OutScale: 0.07,
+					ReLU:     variant&1 != 0,
+				}
+				for i := range ep.RowScale {
+					ep.RowScale[i] = 0.001 + rng.Float32()*0.01
+				}
+				if variant&2 != 0 {
+					ep.RowBias = make([]float32, m)
+					for i := range ep.RowBias {
+						ep.RowBias[i] = rng.Float32() - 0.5
+					}
+					ep.Add = randInt8s(rng, m*n)
+					ep.AddScale = 0.05
+				}
+				want := refGEMMInt8(m, k, n, a, bm, ep)
+				acc := make([]int32, m*n)
+				dst := make([]int8, m*n)
+				GEMMInt8(m, k, n, a, bm, acc, dst, ep)
+				for i := range want {
+					if dst[i] != want[i] {
+						t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGEMMInt8AsmMatchesPortable forces the portable kernel and checks the
+// assembly path produces bit-identical output (exact integer accumulation
+// makes the two paths indistinguishable). A no-op on hosts without the
+// assembly kernel.
+func TestGEMMInt8AsmMatchesPortable(t *testing.T) {
+	if !gemmInt8AsmActive {
+		t.Skip("assembly kernel not active on this host")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range [][3]int{{4, 2, 16}, {8, 33, 48}, {9, 27, 1000}, {5, 64, 17}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]int16, m*k)
+		for i := range a {
+			a[i] = int16(rng.Intn(255) - 127)
+		}
+		bm := randInt8s(rng, k*n)
+		ep := EpilogueInt8{RowScale: make([]float32, m), OutScale: 0.03, ReLU: true}
+		for i := range ep.RowScale {
+			ep.RowScale[i] = 0.002
+		}
+		acc := make([]int32, m*n)
+		asmDst := make([]int8, m*n)
+		GEMMInt8(m, k, n, a, bm, acc, asmDst, ep)
+
+		gemmInt8AsmActive = false
+		goDst := make([]int8, m*n)
+		GEMMInt8(m, k, n, a, bm, acc, goDst, ep)
+		gemmInt8AsmActive = true
+
+		for i := range goDst {
+			if asmDst[i] != goDst[i] {
+				t.Fatalf("shape %v: asm dst[%d] = %d, portable %d", sh, i, asmDst[i], goDst[i])
+			}
+		}
+	}
+}
+
+// TestGEMMInt8Saturation: accumulators far outside int8 range clamp to
+// +-127 instead of wrapping.
+func TestGEMMInt8Saturation(t *testing.T) {
+	const m, k, n = 2, 8, 16
+	a := make([]int16, m*k)
+	b := make([]int8, k*n)
+	for j := range b {
+		b[j] = 127
+	}
+	// Row 0 accumulates 8*127*127 (far above 127), row 1 its negation.
+	for i := 0; i < k; i++ {
+		a[i] = 127
+		a[k+i] = -127
+	}
+	ep := EpilogueInt8{RowScale: []float32{1, 1}, OutScale: 1}
+	acc := make([]int32, m*n)
+	dst := make([]int8, m*n)
+	GEMMInt8(m, k, n, a, b, acc, dst, ep)
+	for i := 0; i < m*n; i++ {
+		var want int8
+		if acc[i] > 127 {
+			want = 127
+		} else if acc[i] < -127 {
+			want = -127
+		} else {
+			want = int8(acc[i])
+		}
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %d, want saturated %d (acc %d)", i, dst[i], want, acc[i])
+		}
+	}
+}
+
+// TestRoundClampInt8 pins the rounding rule: nearest, half away from zero,
+// saturating at the symmetric +-127.
+func TestRoundClampInt8(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want int8
+	}{
+		{0, 0}, {0.4, 0}, {0.5, 1}, {-0.4, 0}, {-0.5, -1},
+		{126.4, 126}, {126.5, 127}, {127.2, 127}, {1e9, 127},
+		{-126.5, -127}, {-127.9, -127}, {-1e9, -127},
+	}
+	for _, c := range cases {
+		if got := roundClampInt8(c.in); got != c.want {
+			t.Errorf("roundClampInt8(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestIm2ColBatchInt8MatchesFloat: on integer-valued inputs the int8 and
+// f32 unfoldings agree element-for-element, for both NCHW and CNHW stride
+// conventions and for strided, padded kernels.
+func TestIm2ColBatchInt8MatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, c, h, w = 2, 3, 7, 6
+	src8 := randInt8s(rng, n*c*h*w)
+	src32 := make([]float32, len(src8))
+	for i, v := range src8 {
+		src32[i] = float32(v)
+	}
+	for _, cfg := range []struct {
+		kh, kw, stride, pad      int
+		sampleStride, chanStride int
+		name                     string
+	}{
+		{3, 3, 1, 1, c * h * w, h * w, "nchw-s1"},
+		{3, 3, 2, 1, c * h * w, h * w, "nchw-s2"},
+		{2, 2, 2, 0, h * w, n * h * w, "cnhw-s2"},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			outH := (h+2*cfg.pad-cfg.kh)/cfg.stride + 1
+			outW := (w+2*cfg.pad-cfg.kw)/cfg.stride + 1
+			size := c * cfg.kh * cfg.kw * n * outH * outW
+			col8 := make([]int8, size)
+			col32 := make([]float32, size)
+			oh8, ow8 := Im2ColBatchInt8(src8, n, c, h, w, cfg.sampleStride, cfg.chanStride, cfg.kh, cfg.kw, cfg.stride, cfg.pad, col8)
+			oh32, ow32 := Im2ColBatch(src32, n, c, h, w, cfg.sampleStride, cfg.chanStride, cfg.kh, cfg.kw, cfg.stride, cfg.pad, col32)
+			if oh8 != oh32 || ow8 != ow32 {
+				t.Fatalf("geometry (%d,%d) != (%d,%d)", oh8, ow8, oh32, ow32)
+			}
+			for i := range col8 {
+				if float32(col8[i]) != col32[i] {
+					t.Fatalf("col[%d] = %d, want %v", i, col8[i], col32[i])
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizeInt8 pins quantization of an f32 tensor: round to nearest,
+// saturate, exact zeros stay zero.
+func TestQuantizeInt8(t *testing.T) {
+	src := []float32{0, 0.5, -0.5, 1, -1, 2, 100}
+	dst := make([]int8, len(src))
+	QuantizeInt8(src, dst, 127) // scale 1/127: full range maps to +-127
+	want := []int8{0, 64, -64, 127, -127, 127, 127}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}

@@ -36,11 +36,15 @@ type QoS struct {
 // justified the choice. smol-query -explain prints it next to the measured
 // throughput.
 type ServePlan struct {
-	// Entry is the chosen zoo entry ("variant@res").
+	// Entry is the chosen zoo entry ("variant@res", "variant@res/int8").
 	Entry string
 	// Variant and InputRes split Entry into its parts.
 	Variant  string
 	InputRes int
+	// Precision is the numeric tier the request runs at: PrecisionFP32 or
+	// PrecisionInt8. Strict accuracy floors keep bit-identical f32; floors
+	// below an int8 twin's measured accuracy get the fast tier.
+	Precision string
 	// Accuracy is the effective accuracy the planner's QoS floor was
 	// checked against: the entry's measured validation accuracy, minus
 	// any decode-fidelity penalties on video plans (deblocking disabled,
@@ -73,8 +77,12 @@ type ServePlan struct {
 }
 
 func (p ServePlan) String() string {
-	return fmt.Sprintf("%s on %s: decode 1/%d, %s, predicted %.0f im/s (acc %.3f)",
-		p.Entry, p.InputFormat, p.DecodeScale, p.Preproc, p.PredictedThroughput, p.Accuracy)
+	prec := p.Precision
+	if prec == "" {
+		prec = PrecisionFP32
+	}
+	return fmt.Sprintf("%s [%s] on %s: decode 1/%d, %s, predicted %.0f im/s (acc %.3f)",
+		p.Entry, prec, p.InputFormat, p.DecodeScale, p.Preproc, p.PredictedThroughput, p.Accuracy)
 }
 
 // selKey memoizes planner decisions per (input class, QoS) pair.
@@ -118,7 +126,8 @@ func (r *Runtime) planFor(inputs []MediaInput, qos QoS) (*rtEntry, ServePlan, er
 			return nil, ServePlan{}, fmt.Errorf("smol: no zoo entry meets accuracy floor %v", qos.MinAccuracy)
 		}
 		return best, ServePlan{Entry: best.name, Variant: best.Variant,
-			InputRes: best.InputRes, Accuracy: best.Accuracy, DecodeScale: 1}, nil
+			InputRes: best.InputRes, Precision: best.PrecisionLabel(),
+			Accuracy: best.Accuracy, DecodeScale: 1}, nil
 	}
 	if inputs[0].Codec == CodecVideo {
 		return nil, ServePlan{}, fmt.Errorf("smol: video streams are served by ClassifyVideo/EstimateMean, not Classify")
@@ -222,6 +231,7 @@ func (r *Runtime) selectPlan(key selKey) (selection, error) {
 			Entry:               ent.name,
 			Variant:             ent.Variant,
 			InputRes:            ent.InputRes,
+			Precision:           ent.PrecisionLabel(),
 			Accuracy:            ent.Accuracy,
 			InputFormat:         format.Name,
 			DecodeScale:         best.Plan.Preproc.DecodeScale(),
@@ -322,7 +332,9 @@ func (r *Runtime) measureExecUS(ent *rtEntry) float64 {
 	preds := make([]int, n)
 	run := func() time.Duration {
 		start := time.Now()
-		if ent.plan != nil {
+		if ent.qplan != nil {
+			ent.qplan.PredictInto(x, preds)
+		} else if ent.plan != nil {
 			ent.plan.PredictInto(x, preds)
 		} else {
 			ent.execMu.Lock()

@@ -54,6 +54,10 @@ type RuntimeConfig struct {
 	// DisableCompiled forces the reference Model.Forward execution path
 	// even when the model compiles, for A/B comparison and tests.
 	DisableCompiled bool
+	// DisableInt8 drops quantized zoo entries at construction, so the
+	// planner only ever routes to full-precision plans (A/B comparison and
+	// strict bit-reproducibility deployments).
+	DisableInt8 bool
 	// VideoDeblockPenalty is the validation-accuracy penalty the video
 	// planner assumes when it serves a stream with the in-loop deblocking
 	// filter disabled (the reduced-fidelity decode of §6.4): a candidate
@@ -124,6 +128,11 @@ type rtEntry struct {
 	// reentrant; nil when compilation was disabled or the model shape is
 	// unsupported.
 	plan *nn.InferencePlan
+	// qplan is the quantized int8 execution path, set only on int8 zoo
+	// entries: the f32 plan lowered through the entry's persisted
+	// activation calibration. Like plan it is immutable and reentrant, and
+	// it takes precedence over plan when both exist.
+	qplan *nn.QuantizedPlan
 	// The reference model's layers cache per-forward state, so the
 	// fallback path serializes behind execMu (one mutable compute resource
 	// per entry); engine streams still overlap batch assembly with it.
@@ -179,8 +188,11 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 		videoSels: make(map[videoSelKey]videoSelection),
 	}
 	r.ingest.init(maxPlans)
-	for i, e := range zoo.Entries() {
-		ent := &rtEntry{ZooEntry: e, name: e.Name(), class: i}
+	for _, e := range zoo.Entries() {
+		if e.Int8() && cfg.DisableInt8 {
+			continue
+		}
+		ent := &rtEntry{ZooEntry: e, name: e.Name(), class: len(r.entries)}
 		if !cfg.DisableCompiled {
 			// Compilation fails only for layer shapes the plan vocabulary
 			// does not cover; those models fall back to the serialized
@@ -189,8 +201,25 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 				ent.plan = plan
 			}
 		}
+		if e.Int8() {
+			// An int8 entry has no reference fallback: it exists only as a
+			// quantized plan, rebuilt bit-identically from the f32 weights
+			// and the persisted activation scales. Failing to build it is a
+			// configuration error, not a silent downgrade to f32.
+			if ent.plan == nil {
+				return nil, fmt.Errorf("smol: int8 zoo entry %s needs the compiled path (model does not compile or DisableCompiled is set)", ent.name)
+			}
+			qp, err := nn.Quantize(ent.plan, e.Calib)
+			if err != nil {
+				return nil, fmt.Errorf("smol: quantizing zoo entry %s: %w", ent.name, err)
+			}
+			ent.qplan = qp
+		}
 		r.entries = append(r.entries, ent)
 		r.byName[ent.name] = ent
+	}
+	if len(r.entries) == 0 {
+		return nil, fmt.Errorf("smol: zoo has no servable entries (all int8 with DisableInt8 set)")
 	}
 	par := cfg.ExecParallel
 	if par <= 0 {
@@ -201,10 +230,11 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 }
 
 // Compiled reports whether every zoo entry executes through a compiled
-// inference plan (parallel) rather than the serialized reference model.
+// inference plan (parallel, f32 or int8) rather than the serialized
+// reference model.
 func (r *Runtime) Compiled() bool {
 	for _, ent := range r.entries {
-		if ent.plan == nil {
+		if ent.plan == nil && ent.qplan == nil {
 			return false
 		}
 	}
@@ -549,7 +579,7 @@ func (r *Runtime) execFunc() engine.BatchFunc {
 		}
 		ent := first.entry
 		var out []int
-		if ent.plan != nil {
+		if ent.plan != nil || ent.qplan != nil {
 			n := batch.Shape[0]
 			pooled, _ := ent.preds.Get().(*[]int)
 			if pooled == nil || cap(*pooled) < n {
@@ -565,7 +595,11 @@ func (r *Runtime) execFunc() engine.BatchFunc {
 			func() {
 				r.execSem <- struct{}{}
 				defer func() { <-r.execSem }()
-				ent.plan.PredictInto(batch, out)
+				if ent.qplan != nil {
+					ent.qplan.PredictInto(batch, out)
+				} else {
+					ent.plan.PredictInto(batch, out)
+				}
 			}()
 		} else {
 			ent.execMu.Lock()

@@ -3,7 +3,8 @@
 # the perf trajectory is tracked in-repo:
 #
 #   - BENCH_infer.json: inference path (reference vs compiled forward,
-#     GEMM, streaming engine).
+#     the quantized int8 forward, f32 and int8 GEMM GMAC/s, streaming
+#     engine).
 #   - BENCH_preproc.json: ingest path (full vs DCT-domain scaled JPEG
 #     decode on 1920x1080, the compiled ingest prep hot path, and
 #     end-to-end serve-mode im/s).
@@ -25,7 +26,7 @@ OUT="${OUT:-BENCH_infer.json}"
 OUT_PREPROC="${OUT_PREPROC:-BENCH_preproc.json}"
 OUT_SERVE="${OUT_SERVE:-BENCH_serve.json}"
 OUT_VIDEO="${OUT_VIDEO:-BENCH_video.json}"
-INFER_FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkGEMM|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
+INFER_FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkResNetForwardInt8|BenchmarkGEMM|BenchmarkGEMMInt8|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
 PREPROC_FILTER='BenchmarkDecodeScaledHD|BenchmarkIngestHD|BenchmarkServeIngestHD'
 SERVE_FILTER='BenchmarkServePlannerHD'
 VIDEO_FILTER='BenchmarkVideoServe|BenchmarkEstimateMeanSavings|BenchmarkDecoderResident'

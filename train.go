@@ -8,6 +8,7 @@ import (
 	"smol/internal/data"
 	"smol/internal/img"
 	"smol/internal/nn"
+	"smol/internal/tensor"
 )
 
 // Classifier couples a trained model with the metadata needed to run it.
@@ -117,6 +118,11 @@ type ZooTrainOptions struct {
 	ValFraction float64
 	// LowResAware applies the augmented training of §5.3 to every entry.
 	LowResAware bool
+	// Int8 additionally quantizes every trained entry to the int8 tier
+	// (see QuantizeZoo): each entry gains a "/int8" twin calibrated on the
+	// held-out split and carrying its own measured accuracy, so relaxed
+	// QoS floors can route to the fast tier while strict floors keep f32.
+	Int8 bool
 	// Seed fixes initialization and shuffling (entry i trains with Seed+i).
 	Seed int64
 }
@@ -173,7 +179,102 @@ func TrainZoo(images []LabeledImage, numClasses int, opts ZooTrainOptions) (*Zoo
 			return nil, err
 		}
 	}
+	if opts.Int8 {
+		if err := QuantizeZoo(z, val); err != nil {
+			return nil, err
+		}
+	}
 	return z, nil
+}
+
+// QuantizeZoo appends an int8 twin for every full-precision entry in the
+// zoo: each entry's compiled plan is calibrated by streaming the held-out
+// images through it, lowered to the per-channel int8 tier, and scored on
+// the same held-out split — so the planner trades the tier's real measured
+// accuracy, not an assumed one, against its throughput. The twin's
+// accuracy is additionally capped strictly below its parent's: the cost
+// model breaks throughput ties by accuracy, so a QoS floor set exactly at
+// the f32 accuracy must never legally route to int8. Entries that do not
+// compile or quantize are skipped (reference-path models have no int8
+// tier); entries already quantized are left alone.
+func QuantizeZoo(z *Zoo, heldOut []LabeledImage) error {
+	if z == nil || z.Len() == 0 {
+		return fmt.Errorf("smol: cannot quantize an empty zoo")
+	}
+	if len(heldOut) == 0 {
+		return fmt.Errorf("smol: QuantizeZoo needs held-out images for calibration and scoring")
+	}
+	for _, e := range z.Entries() {
+		if e.Int8() {
+			continue
+		}
+		plan, err := nn.Compile(e.Model)
+		if err != nil {
+			continue
+		}
+		batches, labels := labeledBatches(resizeLabeled(heldOut, e.InputRes), 32)
+		cal, err := plan.Calibrate(batches)
+		if err != nil {
+			return fmt.Errorf("smol: calibrating %s: %w", e.Name(), err)
+		}
+		qp, err := nn.Quantize(plan, cal)
+		if err != nil {
+			continue
+		}
+		correct, total := 0, 0
+		for bi, b := range batches {
+			for i, p := range qp.Predict(b) {
+				if p == labels[bi][i] {
+					correct++
+				}
+				total++
+			}
+		}
+		acc := float64(correct) / float64(total)
+		if e.Accuracy > 0 && acc > e.Accuracy-accuracyTieMargin {
+			acc = e.Accuracy - accuracyTieMargin
+		}
+		if acc < 0 {
+			acc = 0
+		}
+		if err := z.Add(ZooEntry{
+			Variant: e.Variant, InputRes: e.InputRes, Accuracy: acc,
+			Model: e.Model, Config: e.Config,
+			Precision: PrecisionInt8, Calib: cal,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accuracyTieMargin keeps an int8 twin's accuracy strictly below its f32
+// parent's, so exact-floor QoS targets stay bit-identical full precision.
+const accuracyTieMargin = 1e-6
+
+// labeledBatches lowers labelled same-size images into batched input
+// tensors (the same pixel scaling training used) plus per-batch labels.
+func labeledBatches(images []LabeledImage, batchSize int) ([]*tensor.Tensor, [][]int) {
+	var batches []*tensor.Tensor
+	var labels [][]int
+	for start := 0; start < len(images); start += batchSize {
+		end := start + batchSize
+		if end > len(images) {
+			end = len(images)
+		}
+		n := end - start
+		h, w := images[start].Image.H, images[start].Image.W
+		batch := tensor.New(n, 3, h, w)
+		lab := make([]int, n)
+		for bi := 0; bi < n; bi++ {
+			s := data.ToSample(images[start+bi].Image, images[start+bi].Label)
+			copy(batch.Data[bi*3*h*w:(bi+1)*3*h*w], s.X.Data)
+			lab[bi] = s.Label
+		}
+		batches = append(batches, batch)
+		labels = append(labels, lab)
+	}
+	return batches, labels
 }
 
 // resizeLabeled resizes a labelled set to a square resolution, passing the

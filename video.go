@@ -306,9 +306,10 @@ func (r *Runtime) selectVideoPlan(infos []vid.Info, qos QoS, stride int, mode De
 			entry:  c.ent,
 			choice: c.choice,
 			plan: ServePlan{
-				Entry:    c.ent.name,
-				Variant:  c.ent.Variant,
-				InputRes: c.ent.InputRes,
+				Entry:     c.ent.name,
+				Variant:   c.ent.Variant,
+				InputRes:  c.ent.InputRes,
+				Precision: c.ent.PrecisionLabel(),
 				// The effective accuracy the QoS floor was checked
 				// against: the entry's measured accuracy minus any
 				// deblock-off / undersized-rendition fidelity penalties.

@@ -9,6 +9,13 @@ import (
 	"smol/internal/nn"
 )
 
+// Precision tags for zoo entries. The empty string means full precision
+// (pre-int8 zoos and hand-built entries keep working unchanged).
+const (
+	PrecisionFP32 = "fp32"
+	PrecisionInt8 = "int8"
+)
+
 // ZooEntry is one trained (variant, input resolution) model in a zoo,
 // together with its measured validation accuracy. The serving planner
 // trades that accuracy against the entry's measured execution cost, so an
@@ -21,15 +28,43 @@ type ZooEntry struct {
 	// InputRes is the square input resolution this entry runs at.
 	InputRes int
 	// Accuracy is the validation accuracy measured after training, in [0,1].
+	// For int8 entries this is the quantized plan's own measured held-out
+	// accuracy (capped strictly below the parent f32 entry's, so an exact
+	// accuracy floor on the f32 number never legally selects the int8 tier).
 	Accuracy float64
-	// Model holds the trained weights.
+	// Model holds the trained weights. Int8 entries keep the f32 weights
+	// too: per-channel weight scales are recomputed deterministically from
+	// them at load, so only activation scales need persisting.
 	Model *nn.Model
 	// Config is the architecture description (needed to serialize).
 	Config nn.ResNetConfig
+	// Precision is "" or PrecisionFP32 for full precision, PrecisionInt8
+	// for a quantized entry.
+	Precision string
+	// Calib holds an int8 entry's activation scales (unused otherwise).
+	Calib nn.QuantCalibration
 }
 
-// Name identifies the entry inside its zoo: "variant@res".
-func (e ZooEntry) Name() string { return fmt.Sprintf("%s@%d", e.Variant, e.InputRes) }
+// Int8 reports whether the entry serves through the quantized plan.
+func (e ZooEntry) Int8() bool { return e.Precision == PrecisionInt8 }
+
+// PrecisionLabel returns the entry's precision tag, with the legacy empty
+// value normalized to PrecisionFP32.
+func (e ZooEntry) PrecisionLabel() string {
+	if e.Int8() {
+		return PrecisionInt8
+	}
+	return PrecisionFP32
+}
+
+// Name identifies the entry inside its zoo: "variant@res", with a "/int8"
+// suffix on quantized entries so both precisions of one model coexist.
+func (e ZooEntry) Name() string {
+	if e.Int8() {
+		return fmt.Sprintf("%s@%d/int8", e.Variant, e.InputRes)
+	}
+	return fmt.Sprintf("%s@%d", e.Variant, e.InputRes)
+}
 
 // Zoo is a registry of trained model entries a serving planner chooses
 // among: the same task served by several (variant, input resolution)
@@ -53,6 +88,9 @@ func (z *Zoo) Add(e ZooEntry) error {
 	}
 	if e.Accuracy < 0 || e.Accuracy > 1 {
 		return fmt.Errorf("smol: zoo entry %s accuracy %v outside [0,1]", e.Name(), e.Accuracy)
+	}
+	if e.Int8() && (len(e.Calib.ActScales) == 0 || e.Calib.InputScale <= 0) {
+		return fmt.Errorf("smol: int8 zoo entry %s has no activation calibration", e.Name())
 	}
 	for _, ex := range z.entries {
 		if ex.Name() == e.Name() {
@@ -108,7 +146,10 @@ func (z *Zoo) Save(w io.Writer) error {
 	var sz savedZoo
 	for _, e := range z.entries {
 		var buf bytes.Buffer
-		meta := nn.ModelMeta{Variant: e.Variant, Accuracy: e.Accuracy}
+		meta := nn.ModelMeta{
+			Variant: e.Variant, Accuracy: e.Accuracy,
+			Precision: e.Precision, Calib: e.Calib,
+		}
 		if err := nn.SaveModelMeta(&buf, e.Config, meta, e.Model); err != nil {
 			return fmt.Errorf("smol: saving zoo entry %s: %w", e.Name(), err)
 		}
@@ -136,6 +177,7 @@ func LoadZoo(r io.Reader) (*Zoo, error) {
 		if err := z.Add(ZooEntry{
 			Variant: variant, InputRes: cfg.InputRes, Accuracy: meta.Accuracy,
 			Model: m, Config: cfg,
+			Precision: meta.Precision, Calib: meta.Calib,
 		}); err != nil {
 			return nil, err
 		}
