@@ -33,6 +33,15 @@
 //
 //	smol-query -video out/video/taipei-full.vid -stride 5 -explain
 //	smol-query -video taipei-full.vid -lowres taipei-low.vid -zoo -minacc 0.8 -explain
+//
+// Store-backed video serving (-store ingests the video into an indexed
+// media store first, then serves from it: sampling seeks straight to the
+// GOPs containing the sampled frames and fans them across a decoder pool
+// instead of decoding the whole stream; -noseek forces the sequential
+// full-decode path for an A/B comparison):
+//
+//	smol-query -video taipei-full.vid -store /tmp/mediastore -stride 100 -explain
+//	smol-query -video taipei-full.vid -store /tmp/mediastore -stride 100 -noseek
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -68,14 +78,16 @@ func main() {
 	video := flag.String("video", "", "classify an SVID video file through the warm serving engine")
 	lowres := flag.String("lowres", "", "optional natively-stored low-resolution rendition of -video the planner may route to")
 	stride := flag.Int("stride", 1, "classify every Nth frame of -video (skipped frames are decoded, not preprocessed)")
+	storeDir := flag.String("store", "", "ingest -video into the indexed media store at this directory and serve store-backed (GOP-seek sampling)")
+	noSeek := flag.Bool("noseek", false, "disable GOP-seek sampling (sequential full decode, the A/B baseline)")
 	flag.Parse()
 
 	useInt8 := *int8Flag && !*noInt8
 	switch *qtype {
 	case "classify":
 		if *video != "" {
-			videoClassify(*video, *lowres, *dataset, *stride, *execPar, *compiled, *roiDecode, *scaleDecode,
-				*zoo, useInt8, *minAcc, *explain)
+			videoClassify(*video, *lowres, *storeDir, *dataset, *stride, *execPar, *compiled, *roiDecode, *scaleDecode,
+				*zoo, useInt8, *noSeek, *minAcc, *explain)
 		} else if *serve {
 			serveClassify(*dataset, *requests, *execPar, *compiled, *roiDecode, *scaleDecode,
 				*zoo, useInt8, *minAcc, *explain)
@@ -277,9 +289,12 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 // sampled frames through the media-generic pipeline, letting the video
 // planner jointly pick deblocking, the stored rendition (when -lowres
 // supplies one), the zoo entry, and the preprocessing chain for the -minacc
-// target.
-func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled, roiDecode, scaleDecode,
-	useZoo, useInt8 bool, minAcc float64, explain bool) {
+// target. With storeDir the video is first ingested into the indexed media
+// store there and served store-backed: the persisted GOP index lets
+// sampling seek straight to the sampled GOPs and fan them across a decoder
+// pool (noSeek forces the sequential baseline for comparison).
+func videoClassify(path, lowPath, storeDir, dataset string, stride, execPar int, compiled, roiDecode, scaleDecode,
+	useZoo, useInt8, noSeek bool, minAcc float64, explain bool) {
 	streamData, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -305,6 +320,7 @@ func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled,
 		QoS:          smol.QoS{MinAccuracy: minAcc},
 		ExecParallel: execPar, DisableCompiled: !compiled,
 		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
+		DisableGOPSeek: noSeek,
 	})
 
 	srv, err := rt.Serve()
@@ -312,14 +328,44 @@ func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled,
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	wall := time.Now()
-	res, err := srv.ClassifyVideo(context.Background(), streamData, smol.VideoOpts{
-		Stride:   stride,
-		QoS:      smol.QoS{MinAccuracy: minAcc},
-		Variants: variants,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var res smol.VideoResult
+	var wall time.Time
+	if storeDir != "" {
+		ms, err := smol.OpenMediaStore(storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		name := storeName(path)
+		sv, ok := ms.Video(name)
+		if !ok {
+			ingest := time.Now()
+			if sv, err = ms.IngestVideo(name, streamData, smol.IngestOptions{}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("ingested %q into %s in %s (GOP index persisted)\n",
+				name, storeDir, time.Since(ingest).Round(time.Millisecond))
+		} else {
+			fmt.Printf("serving %q already ingested in %s\n", name, storeDir)
+		}
+		wall = time.Now()
+		res, err = srv.ClassifyVideoStored(context.Background(), sv, smol.VideoOpts{
+			Stride: stride,
+			QoS:    smol.QoS{MinAccuracy: minAcc},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		wall = time.Now()
+		res, err = srv.ClassifyVideo(context.Background(), streamData, smol.VideoOpts{
+			Stride:   stride,
+			QoS:      smol.QoS{MinAccuracy: minAcc},
+			Variants: variants,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	elapsed := time.Since(wall)
 	hist := map[int]int{}
@@ -330,6 +376,8 @@ func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled,
 		len(res.Predictions), stride, elapsed.Round(time.Millisecond),
 		float64(len(res.Predictions))/elapsed.Seconds(),
 		float64(res.Decode.FramesDecoded)/elapsed.Seconds())
+	fmt.Printf("decode: %d frames decoded, %d bypassed via %d GOP seeks\n",
+		res.Decode.FramesDecoded, res.Decode.FramesBypassed, res.Decode.GOPSeeks)
 	fmt.Printf("prediction histogram: %v\n", hist)
 	if explain {
 		p := res.Plan
@@ -339,6 +387,28 @@ func videoClassify(path, lowPath, dataset string, stride, execPar int, compiled,
 		fmt.Printf("  decode: %d IDCT blocks, %d deblocked edges, %d inter / %d skipped MBs\n",
 			res.Decode.BlocksIDCT, res.Decode.DeblockedEdges, res.Decode.InterMBs, res.Decode.SkippedMBs)
 	}
+}
+
+// storeName derives a media-store name from a file path: the base name
+// without extension, non-name characters replaced so it satisfies the
+// store's [a-zA-Z0-9_-] rule.
+func storeName(path string) string {
+	base := filepath.Base(path)
+	if ext := filepath.Ext(base); ext != "" {
+		base = base[:len(base)-len(ext)]
+	}
+	out := []byte(base)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 {
+		return "video"
+	}
+	return string(out)
 }
 
 func aggregate(name string, errTarget float64) {

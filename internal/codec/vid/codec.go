@@ -413,6 +413,13 @@ type Decoder struct {
 	// frame is fully rewritten by decodeIntra/decodeInter, so the previous
 	// reference can ping-pong back in once it stops being predicted from.
 	spare *frame
+	// parked holds the reference frame a SeekGOP releases: the next GOP's
+	// I-frame needs no reference, but the frame's storage is kept so a
+	// seeking decoder stays allocation-free (see reconFrame).
+	parked *frame
+	// index is the per-GOP byte-offset table, built lazily by GOPIndex or
+	// injected by SetGOPIndex from a store sidecar.
+	index []GOPEntry
 	// inflater and payloadSrc are the resettable DEFLATE state; payload is
 	// the reused inflated-frame buffer.
 	inflater   io.ReadCloser
@@ -522,11 +529,16 @@ func (d *Decoder) inflate(compressed []byte) ([]byte, error) {
 }
 
 // reconFrame returns the reconstruction target for the next frame,
-// recycling the spare when one is resident.
+// recycling the spare (or a seek-parked reference) when one is resident.
 func (d *Decoder) reconFrame() *frame {
 	if d.spare != nil {
 		f := d.spare
 		d.spare = nil
+		return f
+	}
+	if d.parked != nil {
+		f := d.parked
+		d.parked = nil
 		return f
 	}
 	return newFrame(d.padW, d.padH)

@@ -10,10 +10,9 @@ import (
 	"smol/internal/img"
 )
 
-// testClip renders n frames with real motion so P-frames exercise motion
-// compensation, skip mode, and residual coding.
-func testClip(t testing.TB, n, w, h int) []byte {
-	t.Helper()
+// renderTestFrames renders n frames with real motion so P-frames exercise
+// motion compensation, skip mode, and residual coding.
+func renderTestFrames(n, w, h int) []*img.Image {
 	rng := rand.New(rand.NewSource(11))
 	frames := make([]*img.Image, n)
 	for f := range frames {
@@ -36,11 +35,23 @@ func testClip(t testing.TB, n, w, h int) []byte {
 		}
 		frames[f] = m
 	}
-	enc, err := Encode(frames, EncodeOptions{Quality: 70, GOP: 5})
+	return frames
+}
+
+// testClipGOP encodes a rendered clip with an explicit I-frame interval.
+func testClipGOP(t testing.TB, n, w, h, gop int) []byte {
+	t.Helper()
+	enc, err := Encode(renderTestFrames(n, w, h), EncodeOptions{Quality: 70, GOP: gop})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return enc
+}
+
+// testClip encodes a rendered clip with the default test GOP of 5.
+func testClip(t testing.TB, n, w, h int) []byte {
+	t.Helper()
+	return testClipGOP(t, n, w, h, 5)
 }
 
 // TestDecoderReuseEquivalence: a resident decoder recycling its reference

@@ -1,0 +1,196 @@
+package vid
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// GOPEntry locates one group of pictures inside an encoded stream: the byte
+// offset of its I-frame record, the stream position of that frame, and how
+// many frames the group holds. The codec is closed-loop and an I-frame
+// carries no references, so every GOP is an independent decode unit — a
+// decoder dropped at Offset with empty reference state reconstructs the
+// group bit-identically to a sequential decode.
+type GOPEntry struct {
+	// Offset is the byte offset of the I-frame record header ([type][len])
+	// from the start of the stream.
+	Offset int64
+	// FirstFrame is the stream index of the GOP's I-frame.
+	FirstFrame int
+	// Frames is the number of frames in the group (the last group may be
+	// shorter than the stream's nominal GOP interval).
+	Frames int
+	// W, H are the decoded (visible) frame dimensions. Every GOP of a
+	// stream shares the header geometry; they are recorded per entry so a
+	// persisted index is self-describing.
+	W, H int
+}
+
+// IndexGOPs scans a stream's record headers and returns its GOP table. The
+// scan reads five bytes per frame (type + payload length) and never
+// inflates or decodes a payload, so indexing is O(frames) pointer hops —
+// cheap enough to run at ingest and persist beside the stream.
+func IndexGOPs(data []byte) ([]GOPEntry, error) {
+	d, err := NewDecoder(data, DecodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return scanGOPs(d)
+}
+
+// scanGOPs walks the record headers of a freshly positioned decoder.
+func scanGOPs(d *Decoder) ([]GOPEntry, error) {
+	index := make([]GOPEntry, 0, (d.n+maxInt(d.gop, 1)-1)/maxInt(d.gop, 1))
+	pos := 4 + 18
+	for i := 0; i < d.n; i++ {
+		if pos+5 > len(d.data) {
+			return nil, fmt.Errorf("vid: truncated frame header at frame %d", i)
+		}
+		ftype := d.data[pos]
+		plen := int(binary.BigEndian.Uint32(d.data[pos+1:]))
+		switch ftype {
+		case 'I':
+			index = append(index, GOPEntry{
+				Offset: int64(pos), FirstFrame: i, W: d.w, H: d.h,
+			})
+		case 'P':
+			if len(index) == 0 {
+				return nil, fmt.Errorf("vid: frame %d is a P-frame before any I-frame", i)
+			}
+		default:
+			return nil, fmt.Errorf("vid: unknown frame type %q at frame %d", ftype, i)
+		}
+		index[len(index)-1].Frames++
+		pos += 5 + plen
+		if pos > len(d.data) {
+			return nil, fmt.Errorf("vid: truncated frame payload at frame %d", i)
+		}
+	}
+	return index, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SetGOPIndex installs a previously computed GOP table (e.g. one persisted
+// by a media store at ingest), saving the header scan. The table must
+// describe exactly this stream.
+func (d *Decoder) SetGOPIndex(index []GOPEntry) error {
+	total := 0
+	for i, e := range index {
+		if e.Offset < 4+18 || e.Offset >= int64(len(d.data)) {
+			return fmt.Errorf("vid: GOP %d offset %d outside stream", i, e.Offset)
+		}
+		if e.FirstFrame != total || e.Frames <= 0 {
+			return fmt.Errorf("vid: GOP %d covers frames [%d,%d) but the table reaches %d", i, e.FirstFrame, e.FirstFrame+e.Frames, total)
+		}
+		total += e.Frames
+	}
+	if total != d.n {
+		return fmt.Errorf("vid: GOP index covers %d frames, stream has %d", total, d.n)
+	}
+	d.index = index
+	return nil
+}
+
+// GOPIndex returns the stream's GOP table, scanning the record headers on
+// first use (SetGOPIndex skips the scan). The returned slice is shared; do
+// not mutate it.
+func (d *Decoder) GOPIndex() ([]GOPEntry, error) {
+	if d.index == nil {
+		index, err := scanGOPs(d)
+		if err != nil {
+			return nil, err
+		}
+		d.index = index
+	}
+	return d.index, nil
+}
+
+// SeekGOP repositions the decoder at the start of GOP g: the next decoded
+// frame is that group's I-frame. The reference frame is released (parked
+// for recycling — an I-frame needs none), so the decode that follows is
+// bit-identical to a sequential decode arriving at the same frame. Frames
+// jumped over are counted in DecodeStats.FramesBypassed; they are never
+// inflated or motion-compensated.
+//
+//smol:noalloc
+func (d *Decoder) SeekGOP(g int) error {
+	index, err := d.GOPIndex()
+	if err != nil {
+		return err
+	}
+	if g < 0 || g >= len(index) {
+		//smol:coldpath caller error
+		return fmt.Errorf("vid: GOP %d out of range [0,%d)", g, len(index))
+	}
+	e := index[g]
+	if e.FirstFrame > d.idx {
+		d.stats.FramesBypassed += e.FirstFrame - d.idx
+	}
+	d.pos = int(e.Offset)
+	d.idx = e.FirstFrame
+	if d.ref != nil {
+		// Park the released reference rather than dropping it: reconFrame
+		// recycles it, keeping a seeking decoder allocation-free.
+		if d.spare == nil {
+			d.spare = d.ref
+		} else {
+			d.parked = d.ref
+		}
+		d.ref = nil
+	}
+	d.stats.GOPSeeks++
+	return nil
+}
+
+// SeekFrame positions the decoder so the next decoded frame is frame n,
+// using the cheapest legal route: if n lies in the current GOP at or ahead
+// of the decoder position, the intervening frames are reference material
+// and are skip-decoded; otherwise the decoder jumps straight to n's GOP
+// (bypassing every record in between) and skip-decodes only within the
+// group. Backward seeks never replay the stream prefix.
+//
+//smol:noalloc
+func (d *Decoder) SeekFrame(n int) error {
+	if n < 0 || n >= d.n {
+		//smol:coldpath caller error
+		return fmt.Errorf("vid: frame %d out of range [0,%d)", n, d.n)
+	}
+	index, err := d.GOPIndex()
+	if err != nil {
+		return err
+	}
+	// Binary search for the GOP containing n: the greatest g with
+	// FirstFrame <= n.
+	lo, hi := 0, len(index)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if index[mid].FirstFrame <= n {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	e := index[lo]
+	if d.idx > n || d.idx < e.FirstFrame || (d.ref == nil && d.idx != e.FirstFrame) {
+		// Behind the target's I-frame, past the target, or mid-GOP without a
+		// reference (a prior seek landed here and nothing was decoded yet):
+		// jump to the containing GOP.
+		if err := d.SeekGOP(lo); err != nil {
+			return err
+		}
+	}
+	// The remaining frames are n's reference chain; decode them without RGB
+	// conversion.
+	for d.idx < n {
+		if err := d.Skip(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package vid
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"smol/internal/analysis/alloctest"
+	"smol/internal/img"
+)
+
+// TestIndexGOPs: the header-only scan must recover exactly the GOP
+// structure the encoder emitted, across regular streams, a last partial
+// GOP, all-intra (GOP=1) streams, and streams shorter than one GOP.
+func TestIndexGOPs(t *testing.T) {
+	cases := []struct {
+		name        string
+		frames, gop int
+	}{
+		{"regular", 12, 4},
+		{"last-partial", 13, 5},
+		{"all-intra", 6, 1},
+		{"single-gop", 4, 30},
+		{"one-frame", 1, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := testClipGOP(t, tc.frames, 48, 32, tc.gop)
+			index, err := IndexGOPs(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantGroups := (tc.frames + tc.gop - 1) / tc.gop
+			if len(index) != wantGroups {
+				t.Fatalf("%d GOPs indexed, want %d", len(index), wantGroups)
+			}
+			total := 0
+			for g, e := range index {
+				if e.FirstFrame != g*tc.gop {
+					t.Fatalf("GOP %d starts at frame %d, want %d", g, e.FirstFrame, g*tc.gop)
+				}
+				if e.W != 48 || e.H != 32 {
+					t.Fatalf("GOP %d dims %dx%d, want 48x32", g, e.W, e.H)
+				}
+				if enc[e.Offset] != 'I' {
+					t.Fatalf("GOP %d offset %d points at %q, want an I-frame record", g, e.Offset, enc[e.Offset])
+				}
+				total += e.Frames
+			}
+			if total != tc.frames {
+				t.Fatalf("index covers %d frames, stream has %d", total, tc.frames)
+			}
+			last := index[len(index)-1]
+			if want := tc.frames - (wantGroups-1)*tc.gop; last.Frames != want {
+				t.Fatalf("last GOP holds %d frames, want %d", last.Frames, want)
+			}
+		})
+	}
+	if _, err := IndexGOPs([]byte("not a video")); err == nil {
+		t.Fatal("indexing garbage should error")
+	}
+}
+
+// TestSeekGOPDecodeEquivalence: dropping a decoder at any GOP boundary and
+// decoding the whole group must be bit-identical to a sequential decode of
+// the stream — the GOP is an independent decode unit. Covers every GOP of a
+// last-partial stream plus the GOP=1 and single-GOP extremes, with the
+// deblocking filter both on and off.
+func TestSeekGOPDecodeEquivalence(t *testing.T) {
+	cases := []struct {
+		name        string
+		frames, gop int
+	}{
+		{"last-partial", 13, 5},
+		{"all-intra", 6, 1},
+		{"single-gop", 4, 30},
+	}
+	for _, tc := range cases {
+		for _, deblock := range []bool{true, false} {
+			opts := DecodeOptions{DisableDeblock: !deblock}
+			enc := testClipGOP(t, tc.frames, 64, 48, tc.gop)
+			all, err := DecodeAll(enc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			index, err := IndexGOPs(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g, e := range index {
+				dec, err := NewDecoder(enc, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := dec.SeekGOP(g); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < e.Frames; i++ {
+					got, err := dec.Next()
+					if err != nil {
+						t.Fatalf("%s deblock=%v GOP %d frame %d: %v", tc.name, deblock, g, i, err)
+					}
+					if !bytes.Equal(got.Pix, all[e.FirstFrame+i].Pix) {
+						t.Fatalf("%s deblock=%v: GOP %d frame %d diverges from sequential decode", tc.name, deblock, g, i)
+					}
+				}
+				if stats := dec.Stats(); stats.FramesBypassed != e.FirstFrame || stats.GOPSeeks != 1 {
+					t.Fatalf("GOP %d stats %+v: want %d bypassed, 1 seek", g, stats, e.FirstFrame)
+				}
+			}
+		}
+	}
+}
+
+// TestSeekFrameEquivalence: random access through SeekFrame — forward,
+// backward, within-GOP, cross-GOP, and repeated positions — must hand back
+// frames bit-identical to a sequential decode, while never decoding frames
+// outside each target's reference chain.
+func TestSeekFrameEquivalence(t *testing.T) {
+	const frames, gop = 23, 5
+	enc := testClipGOP(t, frames, 64, 48, gop)
+	all, err := DecodeAll(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward cross-GOP, backward, same frame again, within-GOP forward,
+	// the last frame of the last (partial) GOP, then frame 0.
+	targets := []int{0, 12, 3, 3, 4, 22, 0, 21, 10}
+	decoded := 0
+	for _, n := range targets {
+		if err := dec.SeekFrame(n); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Pix, all[n].Pix) {
+			t.Fatalf("frame %d via SeekFrame diverges from sequential decode", n)
+		}
+		// Each access decodes at most the target's in-GOP reference chain.
+		chain := n%gop + 1
+		decoded += chain
+	}
+	stats := dec.Stats()
+	if stats.FramesDecoded > decoded {
+		t.Fatalf("%d frames decoded, reference chains only need %d", stats.FramesDecoded, decoded)
+	}
+	if stats.GOPSeeks == 0 || stats.FramesBypassed == 0 {
+		t.Fatalf("random access reported no seek work: %+v", stats)
+	}
+	if err := dec.SeekFrame(frames); err == nil {
+		t.Fatal("seeking past the end should error")
+	}
+	if err := dec.SeekFrame(-1); err == nil {
+		t.Fatal("seeking to a negative frame should error")
+	}
+}
+
+// TestSeekFrameStrideMatchesSkip: sampling every stride-th frame through
+// SeekFrame must match the Skip-based sequential sampler bit-for-bit while
+// bypassing the GOPs no sample lands in.
+func TestSeekFrameStrideMatchesSkip(t *testing.T) {
+	const frames, gop, stride = 61, 4, 12
+	enc := testClipGOP(t, frames, 64, 48, gop)
+	skipDec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seekDec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < frames; n += stride {
+		for skipped := n - stride + 1; skipped < n; skipped++ {
+			if skipped >= 0 {
+				if err := skipDec.Skip(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want, err := skipDec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seekDec.SeekFrame(n); err != nil {
+			t.Fatal(err)
+		}
+		got, err := seekDec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Pix, want.Pix) {
+			t.Fatalf("frame %d: seek sampling diverges from skip sampling", n)
+		}
+	}
+	seq := skipDec.Stats().FramesDecoded
+	seek := seekDec.Stats().FramesDecoded
+	if seek >= seq {
+		t.Fatalf("seek sampling decoded %d frames, skip sampling %d — seek saved nothing", seek, seq)
+	}
+	// Every frame up to the last sample is either decoded or bypassed.
+	last := ((frames - 1) / stride) * stride
+	if got := seek + seekDec.Stats().FramesBypassed; got != last+1 {
+		t.Fatalf("decoded+bypassed = %d, want %d", got, last+1)
+	}
+}
+
+// TestSetGOPIndex: an injected (persisted) index must behave exactly like a
+// scanned one, and malformed tables are rejected.
+func TestSetGOPIndex(t *testing.T) {
+	enc := testClipGOP(t, 11, 48, 32, 4)
+	index, err := IndexGOPs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := DecodeAll(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.SetGOPIndex(index); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.SeekFrame(9); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, all[9].Pix) {
+		t.Fatal("injected index produced a divergent frame")
+	}
+
+	bad := append([]GOPEntry(nil), index...)
+	bad[1].FirstFrame++
+	dec2, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec2.SetGOPIndex(bad); err == nil {
+		t.Fatal("a gapped GOP table should be rejected")
+	}
+	if err := dec2.SetGOPIndex(index[:1]); err == nil {
+		t.Fatal("a short GOP table should be rejected")
+	}
+}
+
+// TestSeekWarmPathAllocates: a warm decoder sampling via SeekFrame — the
+// store-backed hot path — must stay allocation-free: the parked reference
+// frame recycles through reconFrame, and the lazily built index is reused.
+func TestSeekWarmPathAllocates(t *testing.T) {
+	// alloctest measures 100+ runs after warm-up; with one seek+decode per
+	// run cycling through the clip, a long clip keeps positions varied.
+	enc := testClipGOP(t, 120, 64, 48, 6)
+	dec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst *img.Image
+	n := 0
+	step := func() {
+		if err := dec.SeekFrame(n); err != nil {
+			t.Fatal(err)
+		}
+		m, err := dec.NextInto(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = m
+		n = (n + 37) % 120
+	}
+	// Warm: build the index, the frame pair, the DEFLATE reader.
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	// As with NextInto, tolerate at most one stray allocation per run for
+	// flate Reset bookkeeping.
+	alloctest.Run(t, "smol/internal/codec/vid.Decoder.SeekFrame", 1, step,
+		"smol/internal/codec/vid.Decoder.SeekGOP")
+}
+
+// TestSeekAfterEndOfStream: a decoder that ran off the end must be
+// reusable: seeking back repositions it without a rebuild.
+func TestSeekAfterEndOfStream(t *testing.T) {
+	enc := testClipGOP(t, 9, 48, 32, 3)
+	dec, err := NewDecoder(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := dec.Next(); err != nil {
+			if !errors.Is(err, ErrEndOfStream) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if err := dec.SeekFrame(4); err != nil {
+		t.Fatal(err)
+	}
+	all, err := DecodeAll(enc, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, all[4].Pix) {
+		t.Fatal("seek after end-of-stream produced a divergent frame")
+	}
+}

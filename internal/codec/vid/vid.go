@@ -60,6 +60,25 @@ type DecodeStats struct {
 	InterMBs        int
 	IntraMBs        int
 	CompressedBytes int
+	// GOPSeeks counts SeekGOP jumps: each one repositions the decoder at an
+	// I-frame byte offset without touching the records in between.
+	GOPSeeks int
+	// FramesBypassed counts frames never inflated or motion-compensated
+	// because a seek jumped over them — the work a Skip loop would have paid.
+	FramesBypassed int
+}
+
+// Add accumulates other into s (aggregating per-worker decoder stats).
+func (s *DecodeStats) Add(other DecodeStats) {
+	s.FramesDecoded += other.FramesDecoded
+	s.BlocksIDCT += other.BlocksIDCT
+	s.DeblockedEdges += other.DeblockedEdges
+	s.SkippedMBs += other.SkippedMBs
+	s.InterMBs += other.InterMBs
+	s.IntraMBs += other.IntraMBs
+	s.CompressedBytes += other.CompressedBytes
+	s.GOPSeeks += other.GOPSeeks
+	s.FramesBypassed += other.FramesBypassed
 }
 
 // quantFor maps quality to the flat quantizer step used for all

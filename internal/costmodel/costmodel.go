@@ -51,6 +51,11 @@ type Format struct {
 	// decode cost is multiplied by it; zero or one means every decoded
 	// frame is sampled.
 	FramesPerSample int
+	// GOPSeek marks a video stream with a per-GOP byte-offset index
+	// (FormatVideoH264 only): stride-sampled decode seeks straight to each
+	// sampled frame's GOP, so the per-sample cost is capped at one GOP
+	// prefix instead of growing with FramesPerSample.
+	GOPSeek bool
 }
 
 // DNNChoice pairs a network with the input resolution it will run at and
@@ -125,18 +130,17 @@ type StageCosts struct {
 func Costs(p Plan, env Env) (StageCosts, error) {
 	var c StageCosts
 	c.DecodeUS = hw.DecodeCostUS(hw.DecodeSpec{
-		Format:      p.Format.Kind,
-		W:           p.Format.W,
-		H:           p.Format.H,
-		Quality:     p.Format.Quality,
-		ROIFraction: p.Format.ROIFraction,
-		Scale:       p.Format.DecodeScale,
-		NoDeblock:   p.Format.NoDeblock,
-		GOP:         p.Format.GOP,
+		Format:          p.Format.Kind,
+		W:               p.Format.W,
+		H:               p.Format.H,
+		Quality:         p.Format.Quality,
+		ROIFraction:     p.Format.ROIFraction,
+		Scale:           p.Format.DecodeScale,
+		NoDeblock:       p.Format.NoDeblock,
+		GOP:             p.Format.GOP,
+		FramesPerSample: p.Format.FramesPerSample,
+		GOPSeek:         p.Format.GOPSeek,
 	})
-	if p.Format.FramesPerSample > 1 {
-		c.DecodeUS *= float64(p.Format.FramesPerSample)
-	}
 	opCosts := preproc.OpCosts(p.Preproc, p.PreprocSpec)
 	split := len(opCosts) - p.AccelOps
 	if split < 0 {

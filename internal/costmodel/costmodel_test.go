@@ -608,4 +608,22 @@ func TestVideoFormatCosts(t *testing.T) {
 	if cv.CPUPostUS != c1.CPUPostUS {
 		t.Fatal("video scale leaked into post-decode CPU cost")
 	}
+	// An indexed (GOP-seek) stream caps the strided decode cost at one GOP
+	// prefix instead of the whole stride span.
+	wide := strided
+	wide.FramesPerSample = 100
+	cwide, err := Costs(mkPlan(wide), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seek := wide
+	seek.GOPSeek = true
+	cseek, err := Costs(mkPlan(seek), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cseek.DecodeUS >= cwide.DecodeUS/5 {
+		t.Fatalf("GOP-seek stride-100 decode cost %v not well below sequential stride-100 cost %v",
+			cseek.DecodeUS, cwide.DecodeUS)
+	}
 }

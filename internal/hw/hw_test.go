@@ -476,6 +476,50 @@ func TestVideoDecodeCostGOP(t *testing.T) {
 	}
 }
 
+func TestVideoDecodeCostGOPSeek(t *testing.T) {
+	base := DecodeSpec{Format: FormatVideoH264, W: 640, H: 360, GOP: 30}
+	// Without a stride there is nothing to seek over: the flag is a no-op.
+	seek := base
+	seek.GOPSeek = true
+	if DecodeCostUS(seek) != DecodeCostUS(base) {
+		t.Fatal("GOPSeek must not change the per-frame cost at stride 1")
+	}
+	// At a stride past the GOP, seek cost is capped at one GOP prefix while
+	// sequential cost keeps growing linearly with the stride.
+	prevSeek := 0.0
+	for i, fps := range []int{30, 100, 300, 1000} {
+		seq := base
+		seq.FramesPerSample = fps
+		sk := seq
+		sk.GOPSeek = true
+		cSeq, cSeek := DecodeCostUS(seq), DecodeCostUS(sk)
+		if cSeek >= cSeq {
+			t.Fatalf("stride %d: seek cost %v not below sequential %v", fps, cSeek, cSeq)
+		}
+		if i > 0 && cSeek != prevSeek {
+			t.Fatalf("stride %d: seek cost %v changed with stride (prev %v) — must be O(sampled GOPs)", fps, cSeek, prevSeek)
+		}
+		prevSeek = cSeek
+	}
+	// Below one GOP prefix of work, seeking cannot beat the stride span:
+	// the model takes the cheaper of the two.
+	small := base
+	small.FramesPerSample = 2
+	smallSeek := small
+	smallSeek.GOPSeek = true
+	if DecodeCostUS(smallSeek) > DecodeCostUS(small) {
+		t.Fatal("seek cost must never exceed the sequential stride span")
+	}
+	// The deblock discount reaches the seek term too.
+	nd := seek
+	nd.FramesPerSample = 300
+	ndOff := nd
+	ndOff.NoDeblock = true
+	if DecodeCostUS(ndOff) >= DecodeCostUS(nd) {
+		t.Fatal("NoDeblock must discount the seek-capped cost")
+	}
+}
+
 func TestCalibrationVideoScale(t *testing.T) {
 	var nilCal *Calibration
 	if s := nilCal.VideoCPUScale(); s != 1 {

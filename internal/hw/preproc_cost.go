@@ -87,6 +87,17 @@ type DecodeSpec struct {
 	// per-frame cost amortizes one expensive intra frame over GOP-1
 	// cheaper motion-compensated frames; zero keeps the generic average.
 	GOP int
+	// FramesPerSample amortizes stride-sampled video: producing one output
+	// requires decoding this many frames, because motion-compensated frames
+	// need their references even when they are not consumed. Zero or one
+	// means every decoded frame is consumed.
+	FramesPerSample int
+	// GOPSeek marks a video stream served through a per-GOP byte-offset
+	// index: the decoder jumps straight to a sampled frame's GOP instead of
+	// decoding the whole stride span, capping the per-sample cost at one
+	// I-frame plus (on average) half a GOP of P-frames regardless of
+	// stride. Only meaningful with FramesPerSample > 1.
+	GOPSeek bool
 }
 
 // DecodeCostUS returns the modeled decode cost in CPU-microseconds on one
@@ -120,15 +131,7 @@ func DecodeCostUS(s DecodeSpec) float64 {
 		nsPerPx = pngNsPerPixel
 		partialDiscount = 0.95
 	case FormatVideoH264:
-		nsPerPx = h264NsPerPixel
-		if s.GOP >= 1 {
-			g := float64(s.GOP)
-			nsPerPx = h264IntraNsPerPixel/g + h264NsPerPixel*(g-1)/g
-		}
-		if s.NoDeblock {
-			nsPerPx *= 0.85
-		}
-		partialDiscount = 0 // no partial decoding for our video streams
+		return videoDecodeCostUS(s, px)
 	default:
 		panic("hw: unknown format")
 	}
@@ -138,6 +141,38 @@ func DecodeCostUS(s DecodeSpec) float64 {
 	}
 	saved := full * (1 - frac) * partialDiscount
 	return full - saved
+}
+
+// videoDecodeCostUS models the per-sample video decode cost: the
+// GOP-amortized per-frame mix scaled by the stride span, capped — when a
+// per-GOP byte-offset index lets the decoder seek — by the cost of decoding
+// one sampled GOP prefix (the I-frame plus on average half the group's
+// P-frames). The cap is what makes stride-sampling O(sampled GOPs): past
+// stride ≈ GOP/2 the seek path's cost stops growing with stride entirely.
+func videoDecodeCostUS(s DecodeSpec, px float64) float64 {
+	intraNs, interNs := h264IntraNsPerPixel, h264NsPerPixel
+	if s.NoDeblock {
+		intraNs *= 0.85
+		interNs *= 0.85
+	}
+	frameNs := interNs
+	if s.GOP >= 1 {
+		g := float64(s.GOP)
+		frameNs = intraNs/g + interNs*(g-1)/g
+	}
+	fps := float64(s.FramesPerSample)
+	if fps < 1 {
+		fps = 1
+	}
+	cost := px * frameNs * fps / 1000
+	if s.GOPSeek && s.GOP >= 1 && fps > 1 {
+		g := float64(s.GOP)
+		seek := px * (intraNs + interNs*(g-1)/2) / 1000
+		if seek < cost {
+			cost = seek
+		}
+	}
+	return cost
 }
 
 // cpuOpsPerUS converts the preproc package's arithmetic-op counts into

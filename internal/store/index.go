@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"smol/internal/codec/vid"
+)
+
+// Sidecar index format (<name>.idx), all integers big-endian:
+//
+//	magic "SIDX" | u16 version | u16 stream count
+//	per stream:
+//	  u32 W | u32 H | u32 frames | u16 GOP | u8 quality | u32 GOP count
+//	  per GOP: u64 byte offset | u32 first frame | u32 frame count
+//	u32 CRC-32 (IEEE) of everything above
+//
+// The sidecar is the ingest-time product that makes store-backed sampling
+// O(sampled): a decoder handed the table seeks straight to a sampled GOP's
+// I-frame byte offset instead of walking the stream. Stream 0 is the
+// primary; streams 1..n-1 are the materialized renditions in file order.
+
+var sidecarMagic = [4]byte{'S', 'I', 'D', 'X'}
+
+const sidecarVersion = 1
+
+// encodeSidecar serializes the per-stream GOP tables.
+func encodeSidecar(streams []Stream) []byte {
+	buf := append([]byte(nil), sidecarMagic[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, sidecarVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(streams)))
+	for _, st := range streams {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(st.Info.W))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(st.Info.H))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(st.Info.Frames))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(st.Info.GOP))
+		buf = append(buf, byte(st.Info.Quality))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Index)))
+		for _, e := range st.Index {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(e.Offset))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(e.FirstFrame))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(e.Frames))
+		}
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeSidecar parses and checksums a sidecar, returning the per-stream
+// metadata with nil Data (the caller pairs streams with their files).
+func decodeSidecar(data []byte) ([]Stream, error) {
+	if len(data) < 4+2+2+4 {
+		return nil, fmt.Errorf("store: sidecar truncated (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("store: sidecar checksum mismatch")
+	}
+	if string(body[:4]) != string(sidecarMagic[:]) {
+		return nil, fmt.Errorf("store: bad sidecar magic")
+	}
+	if v := binary.BigEndian.Uint16(body[4:]); v != sidecarVersion {
+		return nil, fmt.Errorf("store: unsupported sidecar version %d", v)
+	}
+	count := int(binary.BigEndian.Uint16(body[6:]))
+	pos := 8
+	need := func(n int) error {
+		if pos+n > len(body) {
+			return fmt.Errorf("store: sidecar truncated at byte %d", pos)
+		}
+		return nil
+	}
+	streams := make([]Stream, 0, count)
+	for s := 0; s < count; s++ {
+		if err := need(4 + 4 + 4 + 2 + 1 + 4); err != nil {
+			return nil, err
+		}
+		info := vid.Info{
+			W:       int(binary.BigEndian.Uint32(body[pos:])),
+			H:       int(binary.BigEndian.Uint32(body[pos+4:])),
+			Frames:  int(binary.BigEndian.Uint32(body[pos+8:])),
+			GOP:     int(binary.BigEndian.Uint16(body[pos+12:])),
+			Quality: int(body[pos+14]),
+		}
+		gops := int(binary.BigEndian.Uint32(body[pos+15:]))
+		pos += 19
+		if err := need(gops * 16); err != nil {
+			return nil, err
+		}
+		index := make([]vid.GOPEntry, gops)
+		for g := range index {
+			index[g] = vid.GOPEntry{
+				Offset:     int64(binary.BigEndian.Uint64(body[pos:])),
+				FirstFrame: int(binary.BigEndian.Uint32(body[pos+8:])),
+				Frames:     int(binary.BigEndian.Uint32(body[pos+12:])),
+				W:          info.W,
+				H:          info.H,
+			}
+			pos += 16
+		}
+		streams = append(streams, Stream{Info: info, Index: index})
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("store: %d trailing sidecar bytes", len(body)-pos)
+	}
+	return streams, nil
+}

@@ -1,0 +1,253 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smol/internal/codec/vid"
+	"smol/internal/img"
+)
+
+// storeClip encodes a small moving-gradient clip.
+func storeClip(t testing.TB, frames, w, h, gop int) []byte {
+	t.Helper()
+	imgs := make([]*img.Image, frames)
+	for f := range imgs {
+		m := img.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				m.Set(x, y, uint8(40+x+f*3), uint8(70+y), uint8(90+((x+y+f)&31)))
+			}
+		}
+		imgs[f] = m
+	}
+	enc, err := vid.Encode(imgs, vid.EncodeOptions{Quality: 70, GOP: gop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestIngestRoundTrip: an ingested video must come back byte-identical
+// with a valid GOP table — both from the live store and from a fresh Open
+// of the same directory — and renditions must share the primary's timeline.
+func TestIngestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := storeClip(t, 13, 96, 64, 5)
+	// 48 duplicated, 64 matches the source short edge, 512 oversized:
+	// only 48 and 32 materialize.
+	v, err := s.Ingest("clip", clip, IngestOptions{RenditionShortEdges: []int{32, 48, 64, 512, 48}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Primary.Data, clip) {
+		t.Fatal("primary stream not stored byte-identical")
+	}
+	if len(v.Renditions) != 2 {
+		t.Fatalf("%d renditions, want 2 (oversized and duplicate edges skipped)", len(v.Renditions))
+	}
+	for i, r := range v.Renditions {
+		if r.Info.Frames != 13 || r.Info.GOP != 5 {
+			t.Fatalf("rendition %d timeline %+v does not match the primary", i, r.Info)
+		}
+		if min(r.Info.W, r.Info.H) >= min(96, 64) {
+			t.Fatalf("rendition %d is not smaller than the source", i)
+		}
+		if len(r.Index) != 3 {
+			t.Fatalf("rendition %d has %d GOPs, want 3", i, len(r.Index))
+		}
+	}
+	if got := len(v.Primary.Index); got != 3 {
+		t.Fatalf("primary has %d GOPs indexed, want 3", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok := re.Video("clip")
+	if !ok {
+		t.Fatal("reopened store lost the video")
+	}
+	if !bytes.Equal(got.Primary.Data, clip) {
+		t.Fatal("reloaded primary differs from the ingested bytes")
+	}
+	if len(got.Renditions) != 2 {
+		t.Fatalf("reloaded store has %d renditions, want 2", len(got.Renditions))
+	}
+	for i, st := range got.Streams() {
+		want := v.Streams()[i]
+		if !bytes.Equal(st.Data, want.Data) || st.Info != want.Info {
+			t.Fatalf("stream %d changed across reopen", i)
+		}
+		for g := range st.Index {
+			if st.Index[g] != want.Index[g] {
+				t.Fatalf("stream %d GOP %d index changed across reopen", i, g)
+			}
+		}
+		// The persisted index must actually drive a decoder.
+		dec, err := vid.NewDecoder(st.Data, vid.DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.SetGOPIndex(st.Index); err != nil {
+			t.Fatalf("stream %d: persisted index rejected: %v", i, err)
+		}
+		if err := dec.SeekFrame(st.Info.Frames - 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALRecovery: files of a video that began ingest but never committed —
+// and layout files with no journal entry at all — must be removed on Open,
+// leaving committed videos untouched.
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := storeClip(t, 6, 48, 32, 3)
+	if _, err := s.Ingest("good", clip, IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-ingest: Begin journaled, files half-written,
+	// no Commit.
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appendWAL(wal, opBegin, "partial"); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	s.Close()
+	for _, f := range []string{"partial.svid", "partial.idx", "partial.r0.svid", "stray.svid"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated file must survive recovery.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok := re.Video("good"); !ok {
+		t.Fatal("recovery lost the committed video")
+	}
+	if re.Len() != 1 {
+		t.Fatalf("recovered store holds %d videos, want 1", re.Len())
+	}
+	for _, f := range []string{"partial.svid", "partial.idx", "partial.r0.svid", "stray.svid"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived recovery", f)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("recovery removed an unrelated file")
+	}
+	got, _ := re.Video("good")
+	if !bytes.Equal(got.Primary.Data, clip) {
+		t.Fatal("committed video corrupted by recovery")
+	}
+}
+
+// TestTornWALTail: a crash mid-append leaves a torn record; the journal
+// scan must trust everything before it and discard the tail.
+func TestTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("good", storeClip(t, 4, 48, 32, 2), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write([]byte{opBegin, 0, 9, 'h', 'a'}); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok := re.Video("good"); !ok {
+		t.Fatal("torn journal tail lost the committed video")
+	}
+}
+
+// TestSidecarCorruption: a committed video whose sidecar fails its
+// checksum must fail Open loudly rather than serve a wrong index.
+func TestSidecarCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("clip", storeClip(t, 4, 48, 32, 2), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, "clip.idx")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt sidecar")
+	}
+}
+
+// TestIngestValidation: names outside the safe alphabet, duplicate names,
+// and non-SVID payloads are rejected before anything touches disk.
+func TestIngestValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	clip := storeClip(t, 4, 48, 32, 2)
+	for _, name := range []string{"", "a/b", "a.b", "..", "x y"} {
+		if _, err := s.Ingest(name, clip, IngestOptions{}); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+	if _, err := s.Ingest("ok", []byte("not a video"), IngestOptions{}); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+	if _, err := s.Ingest("ok", clip, IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("ok", clip, IngestOptions{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	goruntime "runtime"
 	"sync"
 
 	"smol/internal/codec/jpeg"
@@ -58,6 +59,17 @@ type RuntimeConfig struct {
 	// planner only ever routes to full-precision plans (A/B comparison and
 	// strict bit-reproducibility deployments).
 	DisableInt8 bool
+	// DisableGOPSeek forces sequential full-stream decode for video
+	// sampling: every frame up to the last sample is decoded (skipped
+	// frames still pay motion compensation), as if no GOP index existed.
+	// It is the A/B switch and the equivalence oracle for the GOP-seek
+	// paths, mirroring DisableScaledDecode on the JPEG side.
+	DisableGOPSeek bool
+	// VideoDecodeWorkers bounds the per-request pool of resident decoders
+	// that store-backed video sampling fans disjoint GOPs across (0 =
+	// min(GOMAXPROCS, 4)). Sampled frames still enter the shared engine in
+	// frame order regardless of the pool size.
+	VideoDecodeWorkers int
 	// VideoDeblockPenalty is the validation-accuracy penalty the video
 	// planner assumes when it serves a stream with the in-loop deblocking
 	// filter disabled (the reduced-fidelity decode of §6.4): a candidate
@@ -227,6 +239,21 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 	}
 	r.execSem = make(chan struct{}, par)
 	return r, nil
+}
+
+// videoDecodeWorkers resolves RuntimeConfig.VideoDecodeWorkers.
+func (r *Runtime) videoDecodeWorkers() int {
+	if r.cfg.VideoDecodeWorkers > 0 {
+		return r.cfg.VideoDecodeWorkers
+	}
+	n := goruntime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Compiled reports whether every zoo entry executes through a compiled

@@ -29,7 +29,7 @@ OUT_VIDEO="${OUT_VIDEO:-BENCH_video.json}"
 INFER_FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkResNetForwardInt8|BenchmarkGEMM|BenchmarkGEMMInt8|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
 PREPROC_FILTER='BenchmarkDecodeScaledHD|BenchmarkIngestHD|BenchmarkServeIngestHD'
 SERVE_FILTER='BenchmarkServePlannerHD'
-VIDEO_FILTER='BenchmarkVideoServe|BenchmarkEstimateMeanSavings|BenchmarkDecoderResident'
+VIDEO_FILTER='BenchmarkVideoServe|BenchmarkEstimateMeanSavings|BenchmarkDecoderResident|BenchmarkStoreSampling'
 
 # collect <filter> <out-file> <packages...>: run the benchmarks and write
 # a {benchmark: ns/op} JSON summary.

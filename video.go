@@ -106,6 +106,9 @@ type AggregateResult struct {
 	Frames int
 	// Plan describes the chosen target entry and decode fidelity.
 	Plan ServePlan
+	// Decode aggregates the decoder work across the cheap full pass and
+	// the sampled target pass (all decoders the query opened).
+	Decode VideoDecodeStats
 }
 
 // videoUndersizePenalty is the accuracy charge for serving from a stored
@@ -144,6 +147,10 @@ type videoSelKey struct {
 	qos     QoS
 	stride  int
 	mode    DeblockMode
+	// seek marks plans costed for GOP-indexed sampling: the decode term is
+	// capped at one GOP prefix per sample instead of the whole stride span,
+	// which can shift the entry/rendition trade-off.
+	seek bool
 }
 
 // videoSelection is one memoized video planner decision.
@@ -161,17 +168,8 @@ type videoSelection struct {
 // video counterpart of selectPlan, with two extra decode-fidelity
 // dimensions: the natively-stored resolution variant and the deblocking
 // toggle (§6.4). Decisions are memoized per input class and QoS.
-func (r *Runtime) planVideo(streams [][]byte, qos QoS, stride int, mode DeblockMode) (*rtEntry, videoChoice, ServePlan, error) {
-	if stride < 1 {
-		stride = 1
-	}
-	if qos == (QoS{}) {
-		// An unset target inherits the runtime default, matching the
-		// still-image Classify contract.
-		qos = r.cfg.QoS
-	}
+func (r *Runtime) planVideo(streams [][]byte, qos QoS, stride int, mode DeblockMode, seek bool) (*rtEntry, videoChoice, ServePlan, error) {
 	infos := make([]vid.Info, len(streams))
-	sig := ""
 	for i, s := range streams {
 		info, err := vid.Probe(s)
 		if err != nil {
@@ -183,16 +181,34 @@ func (r *Runtime) planVideo(streams [][]byte, qos QoS, stride int, mode DeblockM
 				i, info.Frames, infos[0].Frames)
 		}
 		infos[i] = info
+	}
+	return r.planVideoInfos(infos, qos, stride, mode, seek)
+}
+
+// planVideoInfos is the plan search over already-probed stream headers —
+// the entry point for store-backed requests, whose geometry was probed once
+// at ingest.
+func (r *Runtime) planVideoInfos(infos []vid.Info, qos QoS, stride int, mode DeblockMode, seek bool) (*rtEntry, videoChoice, ServePlan, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	if qos == (QoS{}) {
+		// An unset target inherits the runtime default, matching the
+		// still-image Classify contract.
+		qos = r.cfg.QoS
+	}
+	sig := ""
+	for _, info := range infos {
 		sig += fmt.Sprintf("%dx%d/g%d;", info.W, info.H, info.GOP)
 	}
-	key := videoSelKey{streams: sig, qos: qos, stride: stride, mode: mode}
+	key := videoSelKey{streams: sig, qos: qos, stride: stride, mode: mode, seek: seek}
 	r.selMu.Lock()
 	sel, ok := r.videoSels[key]
 	r.selMu.Unlock()
 	if ok {
 		return sel.entry, sel.choice, sel.plan, nil
 	}
-	sel, err := r.selectVideoPlan(infos, qos, stride, mode)
+	sel, err := r.selectVideoPlan(infos, qos, stride, mode, seek)
 	if err != nil {
 		return nil, videoChoice{}, ServePlan{}, err
 	}
@@ -207,7 +223,7 @@ func (r *Runtime) planVideo(streams [][]byte, qos QoS, stride int, mode DeblockM
 
 // selectVideoPlan runs the candidate enumeration and calibrated selection
 // for one memoized video planning class.
-func (r *Runtime) selectVideoPlan(infos []vid.Info, qos QoS, stride int, mode DeblockMode) (videoSelection, error) {
+func (r *Runtime) selectVideoPlan(infos []vid.Info, qos QoS, stride int, mode DeblockMode, seek bool) (videoSelection, error) {
 	env := costmodel.DefaultEnv()
 	env.VCPUs = r.workerCount()
 	env.BatchSize = r.batchSize()
@@ -272,6 +288,7 @@ func (r *Runtime) selectVideoPlan(infos []vid.Info, qos QoS, stride int, mode De
 							NoDeblock:       !deblock,
 							GOP:             info.GOP,
 							FramesPerSample: stride,
+							GOPSeek:         seek,
 						},
 						Preproc: pplan, PreprocSpec: spec,
 					},
@@ -340,6 +357,11 @@ type videoSource struct {
 	cr     *classifyReq
 	stride int
 	class  int
+	// seek routes skipped spans through SeekFrame instead of per-frame
+	// Skip: whole GOPs between samples are bypassed via the GOP index
+	// (never entered, not even for motion compensation) and only the
+	// intra-GOP prefix of each sample is reconstructed.
+	seek   bool
 	frame  int // next stream frame to decode
 	sample int // next sample slot to fill
 }
@@ -356,7 +378,13 @@ func (s *videoSource) Next() (engine.Job, bool, error) {
 		if s.sample >= len(s.cr.preds) {
 			return engine.Job{}, false, nil
 		}
-		if s.frame%s.stride != 0 {
+		if s.seek {
+			target := s.sample * s.stride
+			if err := s.dec.SeekFrame(target); err != nil {
+				return engine.Job{}, false, err
+			}
+			s.frame = target
+		} else if s.frame%s.stride != 0 {
 			if err := s.dec.Skip(); err != nil {
 				return engine.Job{}, false, err
 			}
@@ -394,7 +422,8 @@ func (s *Server) ClassifyVideo(ctx context.Context, stream []byte, opts VideoOpt
 		stride = 1
 	}
 	streams := append([][]byte{stream}, opts.Variants...)
-	ent, choice, plan, err := s.rt.planVideo(streams, opts.QoS, stride, opts.Deblock)
+	seek := !s.rt.cfg.DisableGOPSeek
+	ent, choice, plan, err := s.rt.planVideo(streams, opts.QoS, stride, opts.Deblock, seek)
 	if err != nil {
 		return VideoResult{}, err
 	}
@@ -402,6 +431,15 @@ func (s *Server) ClassifyVideo(ctx context.Context, stream []byte, opts VideoOpt
 	if err != nil {
 		return VideoResult{}, err
 	}
+	return s.classifySequential(ctx, dec, ent, plan, stride, seek)
+}
+
+// classifySequential runs one resident decoder through the warm engine —
+// the serving core shared by raw-stream requests and the store-backed
+// single-decoder fallback. With seek set the source jumps straight to each
+// sample's containing GOP via the decoder's GOP index; otherwise it skips
+// frame by frame (the sequential equivalence oracle).
+func (s *Server) classifySequential(ctx context.Context, dec *vid.Decoder, ent *rtEntry, plan ServePlan, stride int, seek bool) (VideoResult, error) {
 	n := (dec.NumFrames() + stride - 1) / stride
 	cr := &classifyReq{
 		frames:    make([]*img.Image, n),
@@ -409,7 +447,7 @@ func (s *Server) ClassifyVideo(ctx context.Context, stream []byte, opts VideoOpt
 		preds:     make([]int, n),
 		entry:     ent,
 	}
-	src := &videoSource{ctx: ctx, dec: dec, cr: cr, stride: stride, class: ent.class}
+	src := &videoSource{ctx: ctx, dec: dec, cr: cr, stride: stride, class: ent.class, seek: seek}
 	stats, err := s.pipe.Process(ctx, src)
 	if err != nil {
 		return VideoResult{}, err
@@ -456,12 +494,26 @@ func (s *Server) EstimateMean(ctx context.Context, stream []byte, opts Aggregate
 		return AggregateResult{}, fmt.Errorf("smol: aggregation error target must be positive")
 	}
 	streams := append([][]byte{stream}, opts.Variants...)
-	ent, choice, plan, err := s.rt.planVideo(streams, opts.QoS, 1, opts.Deblock)
+	seek := !s.rt.cfg.DisableGOPSeek
+	ent, choice, plan, err := s.rt.planVideo(streams, opts.QoS, 1, opts.Deblock, seek)
 	if err != nil {
 		return AggregateResult{}, err
 	}
 	decOpts := vid.DecodeOptions{DisableDeblock: !choice.deblock}
-	dec, err := vid.NewDecoder(streams[choice.stream], decOpts)
+	// Raw []byte streams have no persisted index; the seeker builds one
+	// lazily on first seek. Frames may still be retained up to the budget —
+	// only store-backed queries drop retention entirely.
+	return s.estimateMeanStream(ctx, streams[choice.stream], nil, decOpts, ent, plan, opts, seek, true)
+}
+
+// estimateMeanStream is the aggregation core shared by raw-stream and
+// store-backed queries. index, when non-nil, is a persisted GOP index
+// injected into every decoder the query opens. retainOK gates the
+// decoded-RGB retention budget: store-backed queries pass false (satellite
+// of the GOP-seek work — random access via the index is cheap, so holding
+// the whole clip resident buys nothing and costs aggRetainBytes of memory).
+func (s *Server) estimateMeanStream(ctx context.Context, data []byte, index []vid.GOPEntry, decOpts vid.DecodeOptions, ent *rtEntry, plan ServePlan, opts AggregateOpts, seek, retainOK bool) (AggregateResult, error) {
+	dec, err := vid.NewDecoder(data, decOpts)
 	if err != nil {
 		return AggregateResult{}, err
 	}
@@ -470,9 +522,9 @@ func (s *Server) EstimateMean(ctx context.Context, stream []byte, opts Aggregate
 	// them resident for the sampled target invocations; past it the pass
 	// recycles one output image and the oracle re-decodes on demand
 	// instead, keeping memory bounded regardless of stream length or frame
-	// size (the codec has no seeking — a sequential re-decode is the
-	// honest random-access cost).
-	retain := dec.NumFrames()*dec.Width()*dec.Height()*3 <= aggRetainBytes
+	// size (with GOP seek the re-decode is O(GOP) per sample, without it a
+	// sequential re-decode is the honest random-access cost).
+	retain := retainOK && dec.NumFrames()*dec.Width()*dec.Height()*3 <= aggRetainBytes
 	var frames []*img.Image
 	if retain {
 		frames = make([]*img.Image, 0, dec.NumFrames())
@@ -504,7 +556,7 @@ func (s *Server) EstimateMean(ctx context.Context, stream []byte, opts Aggregate
 	if len(specPreds) == 0 {
 		return AggregateResult{}, fmt.Errorf("smol: video stream has no frames")
 	}
-	seeker := &frameSeeker{data: streams[choice.stream], opts: decOpts}
+	seeker := &frameSeeker{data: data, opts: decOpts, index: index, seek: seek}
 	// The expensive sampled pass: the chosen zoo entry through the warm
 	// engine. blazeit's Oracle interface cannot fail, so the first error
 	// latches and short-circuits the remaining invocations.
@@ -541,12 +593,15 @@ func (s *Server) EstimateMean(ctx context.Context, stream []byte, opts Aggregate
 	if oracleErr != nil {
 		return AggregateResult{}, oracleErr
 	}
+	dstats := dec.Stats()
+	dstats.Add(seeker.stats())
 	return AggregateResult{
 		Estimate:          res.Estimate,
 		HalfWidth:         res.HalfWidth,
 		TargetInvocations: res.Samples,
 		Frames:            len(specPreds),
 		Plan:              plan,
+		Decode:            dstats,
 	}, nil
 }
 
@@ -556,41 +611,73 @@ func (s *Server) EstimateMean(ctx context.Context, stream []byte, opts Aggregate
 // can force the re-decode path on short clips.
 var aggRetainBytes = 256 << 20
 
-// frameSeeker provides random access to a seek-less video stream for the
-// sampled target pass: requests at or past the current position decode
-// forward (Skip elides RGB conversion for the frames in between); requests
-// behind it restart the decoder. One output image is recycled — the caller
-// consumes each frame synchronously before asking for the next.
+// frameSeeker provides random access to a video stream for the sampled
+// target pass. With seek set, one resident decoder jumps to each request
+// through its GOP index (injected from a store sidecar, or lazily scanned
+// on first use) — backward requests included, so the decoder is never
+// rebuilt. Without it, requests at or past the current position decode
+// forward (Skip elides RGB conversion for the frames in between) and
+// requests behind it restart the decoder. One output image is recycled —
+// the caller consumes each frame synchronously before asking for the next.
 type frameSeeker struct {
-	data []byte
-	opts vid.DecodeOptions
-	dec  *vid.Decoder
-	pos  int // index of the next frame the decoder will produce
-	dst  *img.Image
+	data  []byte
+	opts  vid.DecodeOptions
+	index []vid.GOPEntry
+	seek  bool
+	dec   *vid.Decoder
+	pos   int // index of the next frame the decoder will produce
+	dst   *img.Image
+	acc   vid.DecodeStats // work of decoders already discarded by restarts
 }
 
 func (s *frameSeeker) frameAt(ctx context.Context, f int) (*img.Image, error) {
-	if s.dec == nil || f < s.pos {
+	if s.dec == nil || (!s.seek && f < s.pos) {
+		if s.dec != nil {
+			s.acc.Add(s.dec.Stats())
+		}
 		dec, err := vid.NewDecoder(s.data, s.opts)
 		if err != nil {
 			return nil, err
 		}
+		if s.index != nil {
+			if err := dec.SetGOPIndex(s.index); err != nil {
+				return nil, err
+			}
+		}
 		s.dec, s.pos = dec, 0
 	}
-	for s.pos < f {
+	if s.seek {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := s.dec.Skip(); err != nil {
+		if err := s.dec.SeekFrame(f); err != nil {
 			return nil, err
 		}
-		s.pos++
+	} else {
+		for s.pos < f {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := s.dec.Skip(); err != nil {
+				return nil, err
+			}
+			s.pos++
+		}
 	}
 	m, err := s.dec.NextInto(s.dst)
 	if err != nil {
 		return nil, err
 	}
 	s.dst = m
-	s.pos++
+	s.pos = f + 1
 	return m, nil
+}
+
+// stats totals the seeker's decode work across every decoder it opened.
+func (s *frameSeeker) stats() vid.DecodeStats {
+	total := s.acc
+	if s.dec != nil {
+		total.Add(s.dec.Stats())
+	}
+	return total
 }

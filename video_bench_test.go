@@ -2,6 +2,7 @@ package smol
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -147,4 +148,56 @@ func BenchmarkEstimateMeanSavings(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(last.TargetInvocations), "target-invocations")
 	b.ReportMetric(float64(last.Frames-last.TargetInvocations), "invocations-saved")
+}
+
+// BenchmarkStoreSampling sweeps sampled classification over a store-backed
+// clip: the GOP-seek fan-out (default) against the sequential full-decode
+// path (DisableGOPSeek) at each stride. Seek decode work scales with the
+// sample count — at stride 100 the sequential path decodes ~301 frames per
+// request against the fan-out's handful, which is the >=10x the store
+// exists for. frames/s counts sampled frames classified per second, decode
+// included.
+func BenchmarkStoreSampling(b *testing.B) {
+	clip := benchClip(b, 360, 128, 20)
+	ms, err := OpenMediaStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ms.Close()
+	v, err := ms.IngestVideo("clip", clip, IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"seek", false}, {"sequential", true}} {
+		rt, err := NewZooRuntime(benchVideoZoo(b), RuntimeConfig{BatchSize: 8, DisableGOPSeek: mode.disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := rt.Serve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, stride := range []int{10, 100} {
+			opts := VideoOpts{Stride: stride, Deblock: DeblockOn}
+			b.Run(fmt.Sprintf("stride-%d/%s", stride, mode.name), func(b *testing.B) {
+				res, err := srv.ClassifyVideoStored(ctx, v, opts) // warm pools + plan caches
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames := len(res.Predictions)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := srv.ClassifyVideoStored(ctx, v, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N*frames)/b.Elapsed().Seconds(), "frames/s")
+			})
+		}
+		srv.Close()
+	}
 }

@@ -1,0 +1,302 @@
+package smol
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"smol/internal/analysis/alloctest"
+	"smol/internal/codec/vid"
+	"smol/internal/img"
+)
+
+// openTestStore ingests one clip into a fresh store and returns its handle.
+func openTestStore(t *testing.T, enc []byte, opts IngestOptions) (*MediaStore, *StoredVideo) {
+	t.Helper()
+	ms, err := OpenMediaStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	v, err := ms.IngestVideo("clip", enc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms, v
+}
+
+// TestClassifyVideoStoredMatchesSequential is the store-path acceptance
+// equivalence: the parallel per-GOP fan-out must predict bit-identically to
+// the sequential full-decode oracle (DisableGOPSeek over the same stored
+// stream) at every stride, including strides that cross GOP boundaries
+// mid-group and strides aligned to the GOP interval.
+func TestClassifyVideoStoredMatchesSequential(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	frames, _ := renderClassVideo(t, 53, 48)
+	const gop = 6
+	enc := encodeClassVideo(t, frames, 85, gop)
+	_, v := openTestStore(t, enc, IngestOptions{})
+	ctx := context.Background()
+
+	run := func(disable bool, workers, stride int) VideoResult {
+		t.Helper()
+		rt, err := NewRuntime(clf.Model, RuntimeConfig{
+			InputRes: 16, BatchSize: 8, Workers: 2,
+			DisableGOPSeek: disable, VideoDecodeWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := rt.Serve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		res, err := srv.ClassifyVideoStored(ctx, v, VideoOpts{Stride: stride, Deblock: DeblockOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, stride := range []int{1, 4, gop, 7, 13, 2 * gop, 60} {
+		seq := run(true, 0, stride)
+		for _, workers := range []int{1, 3} {
+			par := run(false, workers, stride)
+			if len(par.Predictions) != len(seq.Predictions) {
+				t.Fatalf("stride %d workers %d: %d predictions vs sequential %d",
+					stride, workers, len(par.Predictions), len(seq.Predictions))
+			}
+			for i := range par.Predictions {
+				if par.Predictions[i] != seq.Predictions[i] {
+					t.Fatalf("stride %d workers %d sample %d (frame %d): parallel predicted %d, sequential %d",
+						stride, workers, i, par.FrameIndices[i], par.Predictions[i], seq.Predictions[i])
+				}
+			}
+			// Every sample costs at most its intra-GOP prefix; nothing
+			// outside the sampled GOPs is ever decoded.
+			span := (len(seq.Predictions)-1)*stride + 1
+			if got := par.Decode.FramesDecoded + par.Decode.FramesBypassed; got < len(par.Predictions) || par.Decode.FramesDecoded > span {
+				t.Fatalf("stride %d workers %d: decoded %d bypassed %d over a %d-frame span",
+					stride, workers, par.Decode.FramesDecoded, par.Decode.FramesBypassed, span)
+			}
+			if stride%gop == 0 && par.Decode.FramesDecoded != len(par.Predictions) {
+				// GOP-aligned samples land on I-frames: one decode each.
+				t.Fatalf("stride %d workers %d: decoded %d frames for %d GOP-aligned samples",
+					stride, workers, par.Decode.FramesDecoded, len(par.Predictions))
+			}
+		}
+	}
+}
+
+// TestClassifyVideoStoredRenditions: the planner must route a store-backed
+// request to an ingested low-resolution rendition exactly as it would to a
+// request-supplied variant, under a relaxed accuracy floor.
+func TestClassifyVideoStoredRenditions(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	frames, _ := renderClassVideo(t, 24, 96)
+	enc := encodeClassVideo(t, frames, 85, 6)
+	_, v := openTestStore(t, enc, IngestOptions{RenditionShortEdges: []int{48}})
+	if got := len(v.Renditions()); got != 1 {
+		t.Fatalf("%d renditions, want 1", got)
+	}
+	rt, err := NewRuntime(clf.Model, RuntimeConfig{InputRes: 16, BatchSize: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := srv.ClassifyVideoStored(context.Background(), v, VideoOpts{Stride: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Stream != 1 {
+		t.Fatalf("relaxed-floor plan served stream %d, want the 48px rendition (1)", res.Plan.Stream)
+	}
+	if len(res.Predictions) != 6 {
+		t.Fatalf("%d predictions, want 6", len(res.Predictions))
+	}
+}
+
+// TestClassifyVideoStoredConcurrent hammers one stored video from several
+// goroutines (run under -race): requests share the runtime's planner memo
+// and engine but each owns its decoder pool, so answers must stay
+// deterministic.
+func TestClassifyVideoStoredConcurrent(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	frames, _ := renderClassVideo(t, 36, 48)
+	enc := encodeClassVideo(t, frames, 85, 5)
+	_, v := openTestStore(t, enc, IngestOptions{})
+	rt, err := NewRuntime(clf.Model, RuntimeConfig{InputRes: 16, BatchSize: 8, Workers: 2, VideoDecodeWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	want, err := srv.ClassifyVideoStored(ctx, v, VideoOpts{Stride: 3, Deblock: DeblockOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	preds := make([][]int, callers)
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			res, err := srv.ClassifyVideoStored(ctx, v, VideoOpts{Stride: 3, Deblock: DeblockOn})
+			errs[c], preds[c] = err, res.Predictions
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatal(errs[c])
+		}
+		for i := range want.Predictions {
+			if preds[c][i] != want.Predictions[i] {
+				t.Fatalf("caller %d sample %d: predicted %d, want %d", c, i, preds[c][i], want.Predictions[i])
+			}
+		}
+	}
+}
+
+// TestEstimateMeanStoredMatchesRaw: the store-backed aggregation must give
+// the exact same estimate as the raw-stream query over the primary stream —
+// and it must do so without retaining decoded frames, seeking each sampled
+// frame through the persisted index instead.
+func TestEstimateMeanStoredMatchesRaw(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	frames, _ := renderClassVideo(t, 48, 48)
+	enc := encodeClassVideo(t, frames, 85, 8)
+	_, v := openTestStore(t, enc, IngestOptions{})
+	rt, err := NewRuntime(clf.Model, RuntimeConfig{InputRes: 16, BatchSize: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rt.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	raw, err := srv.EstimateMean(ctx, enc, AggregateOpts{ErrTarget: 1e-9, Deblock: DeblockOn, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := srv.EstimateMeanStored(ctx, v, AggregateOpts{ErrTarget: 1e-9, Deblock: DeblockOn, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stored.Estimate-raw.Estimate) > 1e-12 || stored.TargetInvocations != raw.TargetInvocations {
+		t.Fatalf("stored query answered %.6f (%d invocations), raw %.6f (%d)",
+			stored.Estimate, stored.TargetInvocations, raw.Estimate, raw.TargetInvocations)
+	}
+	// The raw exhaustive query retained the whole short clip and decoded it
+	// once; the stored query re-decodes each sample via the index, so its
+	// decode counter must exceed one full pass yet never replay the prefix
+	// (every re-decode is bounded by one GOP).
+	if stored.Decode.FramesDecoded <= raw.Decode.FramesDecoded {
+		t.Fatalf("stored query decoded %d frames, raw retained path %d — retention not dropped?",
+			stored.Decode.FramesDecoded, raw.Decode.FramesDecoded)
+	}
+	if stored.Decode.GOPSeeks == 0 {
+		t.Fatal("stored sampled pass never used the GOP index")
+	}
+	if _, err := srv.EstimateMeanStored(ctx, v, AggregateOpts{}); err == nil {
+		t.Fatal("zero error target should error")
+	}
+}
+
+// TestGOPTasksPartition: the fan-out planner must partition the sampled
+// frames into per-GOP groups with contiguous slots, never splitting or
+// reordering a group.
+func TestGOPTasksPartition(t *testing.T) {
+	index := []vid.GOPEntry{
+		{FirstFrame: 0, Frames: 5},
+		{FirstFrame: 5, Frames: 5},
+		{FirstFrame: 10, Frames: 5},
+		{FirstFrame: 15, Frames: 2},
+	}
+	for _, stride := range []int{1, 2, 3, 5, 7, 16, 17, 40} {
+		tasks := gopTasks(index, 17, stride)
+		slot := 0
+		prevFrame := -1
+		for _, task := range tasks {
+			if task.firstSlot != slot {
+				t.Fatalf("stride %d: task starts at slot %d, want %d", stride, task.firstSlot, slot)
+			}
+			if len(task.frames) == 0 {
+				t.Fatalf("stride %d: empty task", stride)
+			}
+			g := -1
+			for _, f := range task.frames {
+				if f <= prevFrame || f%stride != 0 {
+					t.Fatalf("stride %d: frame %d out of order or off-stride", stride, f)
+				}
+				prevFrame = f
+				fg := f / 5
+				if fg > 3 {
+					fg = 3
+				}
+				if g == -1 {
+					g = fg
+				} else if fg != g {
+					t.Fatalf("stride %d: task mixes GOPs %d and %d", stride, g, fg)
+				}
+				slot++
+			}
+		}
+		if wantSlots := (17 + stride - 1) / stride; slot != wantSlots {
+			t.Fatalf("stride %d: tasks cover %d samples, want %d", stride, slot, wantSlots)
+		}
+	}
+}
+
+// TestGOPWorkerWarmPathAllocates pins the decode fan-out's warm path: a
+// worker re-running tasks over a warm decoder and frame pool must not
+// allocate per frame.
+func TestGOPWorkerWarmPathAllocates(t *testing.T) {
+	frames, _ := renderClassVideo(t, 30, 32)
+	enc := encodeClassVideo(t, frames, 85, 5)
+	dec, err := vid.NewDecoder(enc, vid.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := vid.IndexGOPs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.SetGOPIndex(index); err != nil {
+		t.Fatal(err)
+	}
+	cr := &classifyReq{frames: make([]*img.Image, 6), framePool: &sync.Pool{}}
+	w := &gopWorker{dec: dec, cr: cr}
+	tasks := gopTasks(index, 30, 5)
+	ti := 0
+	step := func() {
+		task := tasks[ti%len(tasks)]
+		if err := w.decodeTask(task); err != nil {
+			t.Fatal(err)
+		}
+		for i := range task.frames {
+			slot := task.firstSlot + i
+			cr.framePool.Put(cr.frames[slot])
+			cr.frames[slot] = nil
+		}
+		ti++
+	}
+	step() // warm the decoder, pool, and flate reader
+	alloctest.Run(t, "smol.gopWorker.decodeTask", 1, step)
+}

@@ -87,9 +87,75 @@ func TestClassifyVideoMatchesOfflineDecode(t *testing.T) {
 		}
 	}
 	// The resident decoder stops after the last sampled frame: frames past
-	// it are never needed as references.
-	if wantDecoded := (wantN-1)*stride + 1; res.Decode.FramesDecoded != wantDecoded {
-		t.Fatalf("decoder reports %d frames decoded, want %d", res.Decode.FramesDecoded, wantDecoded)
+	// it are never needed as references. With GOP seek (the default) whole
+	// groups between samples are bypassed outright, so decoded + bypassed
+	// must exactly tile the prefix up to the last sample, and the decoded
+	// share can only shrink.
+	span := (wantN-1)*stride + 1
+	if got := res.Decode.FramesDecoded + res.Decode.FramesBypassed; got != span {
+		t.Fatalf("decoded %d + bypassed %d = %d frames, want the sampled prefix %d",
+			res.Decode.FramesDecoded, res.Decode.FramesBypassed, got, span)
+	}
+	if res.Decode.FramesDecoded > span {
+		t.Fatalf("decoder reports %d frames decoded, more than the sampled prefix %d", res.Decode.FramesDecoded, span)
+	}
+}
+
+// TestClassifyVideoSeekMatchesSequential is the raw-stream A/B: the
+// GOP-seek serving path (default) and the sequential full-decode path
+// (DisableGOPSeek, the equivalence oracle) must emit bit-identical
+// predictions while the seek path decodes strictly fewer frames whenever a
+// stride jumps over whole GOPs.
+func TestClassifyVideoSeekMatchesSequential(t *testing.T) {
+	clf, _ := trainTinyClassifier(t)
+	frames, _ := renderClassVideo(t, 47, 48)
+	enc := encodeClassVideo(t, frames, 85, 5)
+	ctx := context.Background()
+
+	run := func(disable bool, stride int) VideoResult {
+		t.Helper()
+		rt, err := NewRuntime(clf.Model, RuntimeConfig{InputRes: 16, BatchSize: 8, Workers: 2, DisableGOPSeek: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := rt.Serve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		res, err := srv.ClassifyVideo(ctx, enc, VideoOpts{Stride: stride, Deblock: DeblockOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, stride := range []int{1, 3, 5, 11, 20} {
+		seek := run(false, stride)
+		seq := run(true, stride)
+		if len(seek.Predictions) != len(seq.Predictions) {
+			t.Fatalf("stride %d: %d seek predictions vs %d sequential", stride, len(seek.Predictions), len(seq.Predictions))
+		}
+		for i := range seek.Predictions {
+			if seek.Predictions[i] != seq.Predictions[i] {
+				t.Fatalf("stride %d sample %d: seek predicted %d, sequential %d",
+					stride, i, seek.Predictions[i], seq.Predictions[i])
+			}
+		}
+		span := (len(seq.Predictions)-1)*stride + 1
+		if seq.Decode.FramesDecoded != span || seq.Decode.FramesBypassed != 0 {
+			t.Fatalf("stride %d: sequential path decoded %d (bypassed %d), want %d (0)",
+				stride, seq.Decode.FramesDecoded, seq.Decode.FramesBypassed, span)
+		}
+		if got := seek.Decode.FramesDecoded + seek.Decode.FramesBypassed; got != span {
+			t.Fatalf("stride %d: seek path decoded %d + bypassed %d != span %d",
+				stride, seek.Decode.FramesDecoded, seek.Decode.FramesBypassed, span)
+		}
+		if stride > 5 && seek.Decode.FramesDecoded >= seq.Decode.FramesDecoded {
+			// Strides beyond the GOP interval must jump over whole groups.
+			t.Fatalf("stride %d: seek path decoded %d frames, sequential %d — no savings",
+				stride, seek.Decode.FramesDecoded, seq.Decode.FramesDecoded)
+		}
 	}
 }
 

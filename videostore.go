@@ -1,0 +1,379 @@
+package smol
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"smol/internal/codec/vid"
+	"smol/internal/engine"
+	"smol/internal/img"
+	"smol/internal/store"
+)
+
+// IngestOptions re-exports the media store's ingest configuration
+// (rendition short edges and encoder quality).
+type IngestOptions = store.IngestOptions
+
+// MediaStore is the durable, indexed home for video streams the serving
+// stack samples from. Ingest writes each stream exactly once, scans and
+// persists its GOP table in a sidecar, and optionally materializes
+// low-resolution renditions (the planner prices them through
+// ServePlan.Stream, exactly like request-supplied Variants). Ingest is
+// crash-safe: a write-ahead journal brackets every ingest, and Open
+// removes the files of any ingest that did not reach its commit record.
+//
+// The payoff is at query time: store-backed requests skip the per-request
+// header probe and index scan, and sampling seeks straight to the GOPs
+// containing the sampled frames — decode work scales with the sample
+// count, not the stream length.
+type MediaStore struct {
+	st *store.Store
+}
+
+// OpenMediaStore opens (creating if needed) the media store rooted at dir,
+// recovering from any interrupted ingest.
+func OpenMediaStore(dir string) (*MediaStore, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &MediaStore{st: st}, nil
+}
+
+// Close releases the store's journal handle. Open StoredVideo handles
+// remain usable — their bytes are resident.
+func (ms *MediaStore) Close() error { return ms.st.Close() }
+
+// Dir returns the store's root directory.
+func (ms *MediaStore) Dir() string { return ms.st.Dir() }
+
+// IngestVideo durably adds an SVID stream under name: the stream and its
+// renditions are written once, each with its GOP index persisted alongside.
+func (ms *MediaStore) IngestVideo(name string, stream []byte, opts IngestOptions) (*StoredVideo, error) {
+	v, err := ms.st.Ingest(name, stream, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &StoredVideo{v: v}, nil
+}
+
+// Video looks up an ingested video by name.
+func (ms *MediaStore) Video(name string) (*StoredVideo, bool) {
+	v, ok := ms.st.Video(name)
+	if !ok {
+		return nil, false
+	}
+	return &StoredVideo{v: v}, true
+}
+
+// Names lists the ingested videos in sorted order.
+func (ms *MediaStore) Names() []string { return ms.st.Names() }
+
+// Len reports how many videos the store holds.
+func (ms *MediaStore) Len() int { return ms.st.Len() }
+
+// StoredVideo is a handle to one ingested video: the primary stream plus
+// the renditions materialized at ingest, each carrying its persisted GOP
+// index. Serve it with Server.ClassifyVideoStored or
+// Server.EstimateMeanStored.
+type StoredVideo struct {
+	v *store.Video
+}
+
+// Name returns the video's store name.
+func (v *StoredVideo) Name() string { return v.v.Name }
+
+// Info returns the primary stream's probed geometry.
+func (v *StoredVideo) Info() VideoInfo { return v.v.Primary.Info }
+
+// Renditions returns the geometry of each materialized low-resolution
+// rendition, in ServePlan.Stream order (Stream n > 0 = Renditions()[n-1]).
+func (v *StoredVideo) Renditions() []VideoInfo {
+	out := make([]VideoInfo, len(v.v.Renditions))
+	for i, r := range v.v.Renditions {
+		out[i] = r.Info
+	}
+	return out
+}
+
+// ClassifyVideoStored serves a sampled-classification request from the
+// media store. The planner chooses jointly across the zoo and the video's
+// ingested renditions (opts.Variants is ignored — a stored video's
+// renditions ARE its variants); the chosen stream is then sampled through
+// its persisted GOP index: the request plans its sample positions up
+// front, groups them by containing GOP, and fans disjoint GOPs across a
+// bounded pool of resident decoders (RuntimeConfig.VideoDecodeWorkers).
+// Each GOP is an independent decode unit, so the workers reconstruct
+// bit-identically to a sequential decode, and the frames still enter the
+// shared warm engine in frame order. With RuntimeConfig.DisableGOPSeek the
+// request falls back to the single-decoder sequential path over the same
+// chosen stream — the equivalence oracle for this fan-out.
+func (s *Server) ClassifyVideoStored(ctx context.Context, v *StoredVideo, opts VideoOpts) (VideoResult, error) {
+	if v == nil || v.v == nil {
+		return VideoResult{}, fmt.Errorf("smol: nil stored video")
+	}
+	stride := opts.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	streams := v.v.Streams()
+	infos := make([]vid.Info, len(streams))
+	for i, str := range streams {
+		infos[i] = str.Info
+	}
+	seek := !s.rt.cfg.DisableGOPSeek
+	ent, choice, plan, err := s.rt.planVideoInfos(infos, opts.QoS, stride, opts.Deblock, seek)
+	if err != nil {
+		return VideoResult{}, err
+	}
+	chosen := streams[choice.stream]
+	decOpts := vid.DecodeOptions{DisableDeblock: !choice.deblock}
+	if !seek {
+		dec, err := vid.NewDecoder(chosen.Data, decOpts)
+		if err != nil {
+			return VideoResult{}, err
+		}
+		return s.classifySequential(ctx, dec, ent, plan, stride, false)
+	}
+	return s.classifyParallelGOP(ctx, chosen, ent, plan, stride, decOpts)
+}
+
+// EstimateMeanStored answers an aggregation query from the media store.
+// It is EstimateMean with the store's levers applied: the planner chooses
+// among the ingested renditions (opts.Variants is ignored), every decoder
+// the query opens is armed with the persisted GOP index, and the sampled
+// target pass never retains decoded frames — random access through the
+// index costs one GOP prefix per sample, so holding the whole clip
+// resident (EstimateMean's aggRetainBytes budget) buys nothing.
+func (s *Server) EstimateMeanStored(ctx context.Context, v *StoredVideo, opts AggregateOpts) (AggregateResult, error) {
+	if v == nil || v.v == nil {
+		return AggregateResult{}, fmt.Errorf("smol: nil stored video")
+	}
+	if opts.ErrTarget <= 0 {
+		return AggregateResult{}, fmt.Errorf("smol: aggregation error target must be positive")
+	}
+	streams := v.v.Streams()
+	infos := make([]vid.Info, len(streams))
+	for i, str := range streams {
+		infos[i] = str.Info
+	}
+	seek := !s.rt.cfg.DisableGOPSeek
+	ent, choice, plan, err := s.rt.planVideoInfos(infos, opts.QoS, 1, opts.Deblock, seek)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	chosen := streams[choice.stream]
+	decOpts := vid.DecodeOptions{DisableDeblock: !choice.deblock}
+	return s.estimateMeanStream(ctx, chosen.Data, chosen.Index, decOpts, ent, plan, opts, seek, false)
+}
+
+// gopTask is one unit of decode fan-out: the consecutive sampled frames
+// that fall inside a single GOP, bound for slots firstSlot onward of the
+// request. done closes when the owning worker has filled every slot (or
+// recorded err), which is the happens-before edge the consumer relies on
+// to read cr.frames race-free.
+type gopTask struct {
+	frames    []int // sampled frame indices, ascending, within one GOP
+	firstSlot int   // request slot of frames[0]
+	done      chan struct{}
+	err       error
+}
+
+// gopTasks plans a request's sample positions (every stride-th frame) and
+// groups them by containing GOP — the unit two decoders can work on
+// independently. index must cover frames [0, nFrames) contiguously (the
+// store guarantees this at ingest).
+func gopTasks(index []vid.GOPEntry, nFrames, stride int) []*gopTask {
+	var tasks []*gopTask
+	g, slot, curGOP := 0, 0, -1
+	for f := 0; f < nFrames; f += stride {
+		for index[g].FirstFrame+index[g].Frames <= f {
+			g++
+		}
+		if g != curGOP {
+			tasks = append(tasks, &gopTask{firstSlot: slot, done: make(chan struct{})})
+			curGOP = g
+		}
+		t := tasks[len(tasks)-1]
+		t.frames = append(t.frames, f)
+		slot++
+	}
+	return tasks
+}
+
+// gopWorker is one resident decoder of the fan-out pool. Its decoder is
+// armed with the stream's persisted GOP index, so every task starts with a
+// direct seek — no worker ever decodes a frame outside the GOPs it is
+// assigned.
+type gopWorker struct {
+	dec *vid.Decoder
+	cr  *classifyReq
+}
+
+// decodeTask seeks to each sampled frame of one GOP and decodes it into a
+// pooled image, publishing it in the task's request slots. Ownership of
+// each image transfers to the request (the prep worker recycles it into
+// framePool after preprocessing), and a warm worker allocates nothing —
+// frames and decoder state all recycle.
+//
+//smol:owns
+//smol:noalloc
+func (w *gopWorker) decodeTask(t *gopTask) error {
+	for i, f := range t.frames {
+		if err := w.dec.SeekFrame(f); err != nil {
+			return err
+		}
+		dst, _ := w.cr.framePool.Get().(*img.Image)
+		m, err := w.dec.NextInto(dst)
+		if err != nil {
+			//smol:coldpath decode failure returns the pooled frame
+			if dst != nil {
+				w.cr.framePool.Put(dst)
+			}
+			return err
+		}
+		w.cr.frames[t.firstSlot+i] = m
+	}
+	return nil
+}
+
+// orderedGOPSource feeds the engine from the fan-out pool while preserving
+// frame order: tasks arrive on ordered in dispatch order, and the source
+// blocks on each task's done channel before emitting its jobs — decode
+// parallelism across GOPs, strict sample order into the shared batcher.
+type orderedGOPSource struct {
+	ctx     context.Context
+	cr      *classifyReq
+	class   int
+	ordered <-chan *gopTask
+	cur     *gopTask
+	curIdx  int
+}
+
+// Next emits the next sampled frame's job once its GOP's worker has
+// decoded it.
+func (s *orderedGOPSource) Next() (engine.Job, bool, error) {
+	for s.cur == nil || s.curIdx >= len(s.cur.frames) {
+		select {
+		case t, ok := <-s.ordered:
+			if !ok {
+				return engine.Job{}, false, nil
+			}
+			s.cur, s.curIdx = t, 0
+		case <-s.ctx.Done():
+			return engine.Job{}, false, s.ctx.Err()
+		}
+		select {
+		case <-s.cur.done:
+		case <-s.ctx.Done():
+			return engine.Job{}, false, s.ctx.Err()
+		}
+		if s.cur.err != nil {
+			return engine.Job{}, false, s.cur.err
+		}
+	}
+	i := s.cur.firstSlot + s.curIdx
+	s.curIdx++
+	return engine.Job{Index: i, Tag: s.cr, Class: s.class}, true, nil
+}
+
+// classifyParallelGOP is the store-backed sampling core: plan the sample
+// positions, group them by GOP, fan the groups across a bounded pool of
+// resident decoders, and stream the decoded frames into the warm engine in
+// frame order. The feeder sends each task to the ordered queue before the
+// work queue, so the ordered channel's buffer (one slot per worker) bounds
+// how many decoded-but-unconsumed GOPs exist — backpressure from the
+// engine paces the decode pool just as it paces the sequential path.
+func (s *Server) classifyParallelGOP(ctx context.Context, str store.Stream, ent *rtEntry, plan ServePlan, stride int, decOpts vid.DecodeOptions) (VideoResult, error) {
+	nFrames := str.Info.Frames
+	n := (nFrames + stride - 1) / stride
+	cr := &classifyReq{
+		frames:    make([]*img.Image, n),
+		framePool: &sync.Pool{},
+		preds:     make([]int, n),
+		entry:     ent,
+	}
+	tasks := gopTasks(str.Index, nFrames, stride)
+	workers := s.rt.videoDecodeWorkers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	pool := make([]*gopWorker, workers)
+	for i := range pool {
+		dec, err := vid.NewDecoder(str.Data, decOpts)
+		if err != nil {
+			return VideoResult{}, err
+		}
+		if err := dec.SetGOPIndex(str.Index); err != nil {
+			return VideoResult{}, err
+		}
+		pool[i] = &gopWorker{dec: dec, cr: cr}
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	taskCh := make(chan *gopTask)
+	ordered := make(chan *gopTask, maxI(workers, 1))
+	go func() {
+		defer close(taskCh)
+		defer close(ordered)
+		for _, t := range tasks {
+			select {
+			case ordered <- t:
+			case <-ictx.Done():
+				return
+			}
+			select {
+			case taskCh <- t:
+			case <-ictx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(len(pool))
+	for _, w := range pool {
+		go func(w *gopWorker) {
+			defer wg.Done()
+			for t := range taskCh {
+				if err := ictx.Err(); err != nil {
+					t.err = err
+				} else {
+					t.err = w.decodeTask(t)
+				}
+				close(t.done)
+			}
+		}(w)
+	}
+
+	src := &orderedGOPSource{ctx: ictx, cr: cr, class: ent.class, ordered: ordered}
+	stats, err := s.pipe.Process(ictx, src)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		return VideoResult{}, err
+	}
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = i * stride
+	}
+	var dstats vid.DecodeStats
+	for _, w := range pool {
+		dstats.Add(w.dec.Stats())
+	}
+	return VideoResult{
+		FrameIndices: indices,
+		Predictions:  cr.preds,
+		Plan:         plan,
+		Stats:        stats,
+		Decode:       dstats,
+	}, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
