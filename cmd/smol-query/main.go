@@ -42,6 +42,16 @@
 //
 //	smol-query -video taipei-full.vid -store /tmp/mediastore -stride 100 -explain
 //	smol-query -video taipei-full.vid -store /tmp/mediastore -stride 100 -noseek
+//
+// Selection queries (-select runs a BlazeIt-style LIMIT query over an
+// ingested video: a cheap proxy scores every frame — from the persisted
+// score sidecar when one exists — and only the top-ranked candidates are
+// verified through the full model, seeking just the GOPs they live in and
+// stopping at -limit confirmations; -explain prints the cascade plan and
+// the proxy/oracle invocation and GOP-touch counters):
+//
+//	smol-query -video taipei-full.vid -store /tmp/mediastore -select -class 1 -limit 10 -explain
+//	smol-query -video taipei-full.vid -store /tmp/mediastore -select -class 1 -minconf 0.6 -limit 5
 package main
 
 import (
@@ -80,12 +90,36 @@ func main() {
 	stride := flag.Int("stride", 1, "classify every Nth frame of -video (skipped frames are decoded, not preprocessed)")
 	storeDir := flag.String("store", "", "ingest -video into the indexed media store at this directory and serve store-backed (GOP-seek sampling)")
 	noSeek := flag.Bool("noseek", false, "disable GOP-seek sampling (sequential full decode, the A/B baseline)")
+	selectQ := flag.Bool("select", false, "run a LIMIT selection query over -video through the proxy cascade (requires -store)")
+	selClass := flag.Int("class", 1, "predicted class a frame must have to match the -select query")
+	selMinConf := flag.Float64("minconf", 0, "proxy confidence floor in [0,1]: -select candidates scoring below it are excluded without verification")
+	selLimit := flag.Int("limit", 10, "max frames the -select query returns (0 = all matches)")
+	noCascade := flag.Bool("nocascade", false, "disable the proxy cascade: -select verifies every sampled frame (the A/B baseline)")
 	flag.Parse()
+
+	// The video, serving, and selection modes partition the flag surface;
+	// reject contradictory combinations up front with a usage error instead
+	// of silently ignoring flags.
+	switch {
+	case *serve && *video != "":
+		log.Fatalf("smol-query: -serve and -video are mutually exclusive (-video always serves through a warm engine); drop one")
+	case *storeDir != "" && *video == "":
+		log.Fatalf("smol-query: -store requires -video (the media store ingests and serves video streams)")
+	case *lowres != "" && *video == "":
+		log.Fatalf("smol-query: -lowres requires -video (it supplies a low-resolution rendition of that stream)")
+	case *selectQ && *video == "":
+		log.Fatalf("smol-query: -select requires -video (selection queries run over a video stream)")
+	case *selectQ && *storeDir == "":
+		log.Fatalf("smol-query: -select requires -store (the cascade's score sidecar and GOP pushdown live in the media store)")
+	}
 
 	useInt8 := *int8Flag && !*noInt8
 	switch *qtype {
 	case "classify":
-		if *video != "" {
+		if *selectQ {
+			videoSelect(*video, *storeDir, *dataset, *selClass, *selLimit, *stride, *execPar,
+				*compiled, *zoo, useInt8, *noSeek, *noCascade, *selMinConf, *minAcc, *explain)
+		} else if *video != "" {
 			videoClassify(*video, *lowres, *storeDir, *dataset, *stride, *execPar, *compiled, *roiDecode, *scaleDecode,
 				*zoo, useInt8, *noSeek, *minAcc, *explain)
 		} else if *serve {
@@ -386,6 +420,88 @@ func videoClassify(path, lowPath, storeDir, dataset string, stride, execPar int,
 		fmt.Printf("  plan: predicted %.0f im/s (latency %.0fus worst-case)\n", p.PredictedThroughput, p.PredictedLatencyUS)
 		fmt.Printf("  decode: %d IDCT blocks, %d deblocked edges, %d inter / %d skipped MBs\n",
 			res.Decode.BlocksIDCT, res.Decode.DeblockedEdges, res.Decode.InterMBs, res.Decode.SkippedMBs)
+	}
+}
+
+// videoSelect answers a LIMIT selection query over an ingested video: the
+// planner pairs a cheap proxy (blob counter or a fast zoo entry) with the
+// verification plan, the proxy scores every frame (from the persisted
+// score sidecar when the video was already queried or ingested with
+// scores), and only the highest-confidence candidates are verified through
+// the warm engine — seeking just the GOPs they live in and stopping at
+// limit confirmations. noCascade verifies every sampled frame instead, the
+// equivalence baseline.
+func videoSelect(path, storeDir, dataset string, class, limit, stride, execPar int,
+	compiled, useZoo, useInt8, noSeek, noCascade bool, minConf, minAcc float64, explain bool) {
+	streamData, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := smol.ProbeVideo(streamData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("video %s: %d frames at %dx%d, GOP %d\n", path, info.Frames, info.W, info.H, info.GOP)
+	rt, _, _ := trainServingRuntime(dataset, useZoo, useInt8, smol.RuntimeConfig{
+		BatchSize:    32,
+		QoS:          smol.QoS{MinAccuracy: minAcc},
+		ExecParallel: execPar, DisableCompiled: !compiled,
+		DisableGOPSeek:      noSeek,
+		DisableProxyCascade: noCascade,
+	})
+	srv, err := rt.Serve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ms, err := smol.OpenMediaStore(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ms.Close()
+	name := storeName(path)
+	sv, ok := ms.Video(name)
+	if !ok {
+		ingest := time.Now()
+		if sv, err = ms.IngestVideo(name, streamData, smol.IngestOptions{ProxyScores: true}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %q into %s in %s (GOP index + proxy scores persisted)\n",
+			name, storeDir, time.Since(ingest).Round(time.Millisecond))
+	} else {
+		fmt.Printf("serving %q already ingested in %s\n", name, storeDir)
+	}
+
+	wall := time.Now()
+	res, err := srv.SelectVideo(context.Background(), sv, smol.SelectOpts{
+		Class: class, MinConf: minConf, Limit: limit, Stride: stride,
+		QoS: smol.QoS{MinAccuracy: minAcc},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(wall)
+
+	fmt.Printf("select class=%d minconf=%g limit=%d: %d frames in %s\n",
+		class, minConf, limit, len(res.Frames), elapsed.Round(time.Millisecond))
+	for i, f := range res.Frames {
+		fmt.Printf("  frame %6d  proxy confidence %.3f\n", f, res.Scores[i])
+		if i == 9 && len(res.Frames) > 10 {
+			fmt.Printf("  ... %d more\n", len(res.Frames)-10)
+			break
+		}
+	}
+	cachedNote := ""
+	if res.ScoresCached {
+		cachedNote = " (score sidecar hit)"
+	}
+	fmt.Printf("cascade: %d proxy invocations%s, %d oracle invocations, %d/%d GOPs touched\n",
+		res.ProxyInvocations, cachedNote, res.OracleInvocations, res.GOPsTouched, res.GOPsTotal)
+	if explain {
+		fmt.Printf("  plan: %s\n", res.Plan)
+		fmt.Printf("  decode: %d frames decoded, %d bypassed via %d GOP seeks\n",
+			res.Decode.FramesDecoded, res.Decode.FramesBypassed, res.Decode.GOPSeeks)
 	}
 }
 

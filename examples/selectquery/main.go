@@ -1,0 +1,159 @@
+// Selectquery: BlazeIt-style LIMIT queries through the proxy cascade. A
+// synthetic surveillance clip — most frames empty, a few carrying a bright
+// object — is ingested into a MediaStore with its blob-proxy score sidecar
+// materialized, then queried with Server.SelectVideo: "find K frames the
+// model says contain the object, proxy confidence at least MinConf". The
+// cascade ranks candidates by persisted proxy score and verifies only the
+// top of the ranking through the full model, seeking just the GOPs those
+// candidates live in; the example runs the same query with
+// RuntimeConfig.DisableProxyCascade (verify every sampled frame, the
+// equivalence oracle) and prints both sets of counters: identical frames,
+// a fraction of the full-model invocations and decoded GOPs.
+//
+// It also runs the cascade query twice to show the score sidecar at work:
+// the second (and every later) query answers the proxy stage from the
+// persisted table with zero proxy invocations.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"smol"
+)
+
+const (
+	frameRes  = 64
+	numFrames = 300
+	gop       = 15
+	inputRes  = 16
+	limit     = 10
+	class     = 1 // "object present"
+)
+
+// renderFrame draws a dark frame; object frames add one bright blob the
+// blob-counter proxy scores 1 and empty frames score 0, so a 0.9
+// confidence floor on class 1 prunes every empty frame at the proxy stage.
+func renderFrame(rng *rand.Rand, object bool) *smol.Image {
+	m := smol.NewImage(frameRes, frameRes)
+	for y := 0; y < frameRes; y++ {
+		for x := 0; x < frameRes; x++ {
+			m.Set(x, y, uint8(36+rng.Intn(8)), uint8(36+rng.Intn(8)), uint8(56+rng.Intn(8)))
+		}
+	}
+	if object {
+		r := frameRes / 10
+		cx := frameRes/4 + rng.Intn(frameRes/2)
+		cy := frameRes/4 + rng.Intn(frameRes/2)
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if x, y := cx+dx, cy+dy; x >= 0 && x < frameRes && y >= 0 && y < frameRes {
+					m.Set(x, y, 240, 240, uint8(190+rng.Intn(20)))
+				}
+			}
+		}
+	}
+	return m
+}
+
+func main() {
+	log.SetFlags(0)
+	// The clip: an object appears in every 10th frame (10% selectivity).
+	rng := rand.New(rand.NewSource(9))
+	frames := make([]*smol.Image, numFrames)
+	matches := 0
+	for f := range frames {
+		object := f%10 == 0
+		if object {
+			matches++
+		}
+		frames[f] = renderFrame(rng, object)
+	}
+	enc, err := smol.EncodeVideo(frames, 80, gop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clip: %d frames at %dpx, GOP %d, %d object frames (%dKB encoded)\n",
+		numFrames, frameRes, gop, matches, len(enc)/1024)
+
+	// Train a presence detector on independently rendered small frames.
+	var train []smol.LabeledImage
+	for i := 0; i < 192; i++ {
+		c := i % 2
+		train = append(train, smol.LabeledImage{Image: renderFrame(rng, c == 1), Label: c})
+	}
+	fmt.Println("training the presence classifier...")
+	clf, err := smol.TrainClassifier(train, 2, smol.TrainOptions{Epochs: 5, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest once, with the blob-proxy score sidecar materialized: every
+	// later selection query starts from persisted per-frame scores and
+	// per-GOP score bounds.
+	dir, err := os.MkdirTemp("", "selectquery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := smol.OpenMediaStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	v, err := store.IngestVideo("cam", enc, smol.IngestOptions{ProxyScores: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %q: GOP index + proxy score sidecar persisted\n\n", v.Name())
+
+	ctx := context.Background()
+	opts := smol.SelectOpts{Class: class, MinConf: 0.9, Limit: limit, Deblock: smol.DeblockOn}
+	run := func(label string, disableCascade bool) smol.SelectResult {
+		rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{
+			InputRes: inputRes, BatchSize: 16, DisableProxyCascade: disableCascade,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := rt.Serve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		wall := time.Now()
+		res, err := srv.SelectVideo(ctx, v, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cached := ""
+		if res.ScoresCached {
+			cached = " (sidecar)"
+		}
+		fmt.Printf("%-10s %d frames in %-8s  proxy %3d%s  oracle %3d  GOPs %2d/%d\n",
+			label, len(res.Frames), time.Since(wall).Round(time.Millisecond),
+			res.ProxyInvocations, cached, res.OracleInvocations, res.GOPsTouched, res.GOPsTotal)
+		return res
+	}
+
+	fmt.Printf("SELECT ... WHERE class=%d AND confidence>=%.1f LIMIT %d:\n", class, opts.MinConf, limit)
+	cascade := run("cascade:", false)
+	fullscan := run("full scan:", true)
+	if len(cascade.Frames) != len(fullscan.Frames) {
+		log.Fatalf("cascade found %d frames, full scan %d — paths diverged", len(cascade.Frames), len(fullscan.Frames))
+	}
+	for i := range cascade.Frames {
+		if cascade.Frames[i] != fullscan.Frames[i] {
+			log.Fatalf("result %d: cascade frame %d, full scan %d — paths diverged",
+				i, cascade.Frames[i], fullscan.Frames[i])
+		}
+	}
+	fmt.Printf("\nframe sets identical; cascade spent %.1fx fewer full-model invocations\n",
+		float64(fullscan.OracleInvocations)/float64(cascade.OracleInvocations))
+	fmt.Printf("matches: %v\n", cascade.Frames)
+	fmt.Printf("plan: %s\n", cascade.Plan)
+}

@@ -1,0 +1,74 @@
+// Proxy scoring for selection (LIMIT) queries: a cheap model assigns every
+// frame a raw score, the raw scores are mapped to per-class confidences, and
+// only the highest-confidence candidates are verified by the expensive
+// target model. Raw scores are class-independent so one persisted score
+// table serves every class and stride; per-GOP min/max summaries of the raw
+// scores give a sound upper bound on any frame's class confidence inside
+// the GOP, which is what lets a selection query skip whole GOPs without
+// touching their frames (store-level predicate pushdown).
+package blazeit
+
+import (
+	"math"
+	"sort"
+
+	"smol/internal/img"
+)
+
+// BlobProxyName names the BlobCounter proxy in persisted score tables.
+// Zoo-entry proxies are named by their entry name ("variant@res[/int8]").
+const BlobProxyName = "blob"
+
+// Score returns the counter's raw proxy score for a frame: the blob count
+// as a float. Under the counting-zoo convention (class index == objects per
+// frame) the raw score doubles as a class prediction, which is what makes
+// the counter a usable selection proxy and aggregation control variate.
+func (b BlobCounter) Score(m *img.Image) float64 {
+	return float64(b.Count(m))
+}
+
+// ClassScore maps a raw proxy score to a confidence in (0, 1] that the
+// frame shows the given class: 1 at an exact hit, decaying with the
+// distance between the raw score and the class index.
+func ClassScore(raw float64, class int) float64 {
+	return 1 / (1 + math.Abs(raw-float64(class)))
+}
+
+// ClassScoreBound returns an upper bound on ClassScore(raw, class) over any
+// raw score in [min, max]. ClassScore is unimodal in raw with its peak at
+// the class index, so the bound is 1 when the class lies inside the range
+// and the score of the nearest endpoint otherwise. A GOP whose bound falls
+// below the query's confidence floor cannot contain a candidate and is
+// never decoded.
+func ClassScoreBound(min, max float64, class int) float64 {
+	c := float64(class)
+	switch {
+	case c < min:
+		return ClassScore(min, class)
+	case c > max:
+		return ClassScore(max, class)
+	default:
+		return 1
+	}
+}
+
+// Candidate is one frame surviving the proxy confidence floor.
+type Candidate struct {
+	// Frame is the frame index in the stream.
+	Frame int
+	// Score is the frame's class confidence from the proxy.
+	Score float64
+}
+
+// RankCandidates orders candidates for verification: score descending,
+// frame ascending on ties. The order is total (frame indices are unique),
+// so the cascade and the full-scan oracle verify in exactly the same
+// sequence and an early-terminating top-K is deterministic.
+func RankCandidates(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Frame < cands[j].Frame
+	})
+}

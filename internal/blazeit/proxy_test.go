@@ -1,0 +1,100 @@
+package blazeit
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestClassScoreShape: the class score must peak at raw == class, fall off
+// monotonically with distance, and stay in (0, 1].
+func TestClassScoreShape(t *testing.T) {
+	if got := ClassScore(3, 3); got != 1 {
+		t.Fatalf("exact match scores %g, want 1", got)
+	}
+	for _, class := range []int{0, 1, 5} {
+		prev := ClassScore(float64(class), class)
+		for d := 0.5; d < 8; d += 0.5 {
+			lo := ClassScore(float64(class)-d, class)
+			hi := ClassScore(float64(class)+d, class)
+			if lo != hi {
+				t.Fatalf("class %d: asymmetric at distance %g: %g vs %g", class, d, lo, hi)
+			}
+			if hi >= prev || hi <= 0 || hi > 1 {
+				t.Fatalf("class %d distance %g: score %g not decreasing in (0, 1]", class, d, hi)
+			}
+			prev = hi
+		}
+	}
+}
+
+// TestClassScoreBoundSound: the GOP bound must dominate the score of every
+// raw value inside [min, max] — the soundness condition GOP pruning rests
+// on — and be exactly attained at the nearest endpoint (or 1 when the
+// class sits inside the range).
+func TestClassScoreBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := rng.Float64()*10-2, rng.Float64()*10-2
+		lo, hi := min(a, b), max(a, b)
+		class := rng.Intn(8)
+		bound := ClassScoreBound(lo, hi, class)
+		if c := float64(class); c >= lo && c <= hi && bound != 1 {
+			t.Fatalf("class %d inside [%g, %g] bounds %g, want 1", class, lo, hi, bound)
+		}
+		for i := 0; i <= 64; i++ {
+			raw := min(max(lo+(hi-lo)*float64(i)/64, lo), hi)
+			if sc := ClassScore(raw, class); sc > bound {
+				t.Fatalf("raw %g in [%g, %g] scores %g above bound %g for class %d",
+					raw, lo, hi, sc, bound, class)
+			}
+		}
+		// Outside the range the bound is the nearest endpoint's score — it
+		// must be attainable, not just an over-estimate.
+		if bound != 1 && bound != ClassScore(lo, class) && bound != ClassScore(hi, class) {
+			t.Fatalf("bound %g for class %d over [%g, %g] attained nowhere", bound, class, lo, hi)
+		}
+	}
+}
+
+// TestRankCandidatesDeterministic: ranking is a total order — descending
+// score, ties broken by ascending frame — so any permutation of the same
+// candidates ranks identically.
+func TestRankCandidatesDeterministic(t *testing.T) {
+	base := []Candidate{
+		{Frame: 30, Score: 0.5}, {Frame: 10, Score: 0.5}, {Frame: 20, Score: 0.9},
+		{Frame: 5, Score: 0.1}, {Frame: 40, Score: 0.9}, {Frame: 0, Score: 0.5},
+	}
+	want := append([]Candidate(nil), base...)
+	RankCandidates(want)
+	if want[0].Frame != 20 || want[1].Frame != 40 {
+		t.Fatalf("top of ranking = %v, want frames 20, 40", want[:2])
+	}
+	for i := 1; i < len(want); i++ {
+		if want[i].Score > want[i-1].Score {
+			t.Fatalf("rank %d score %g above rank %d score %g", i, want[i].Score, i-1, want[i-1].Score)
+		}
+		if want[i].Score == want[i-1].Score && want[i].Frame < want[i-1].Frame {
+			t.Fatalf("tie at score %g breaks frame order: %d before %d", want[i].Score, want[i-1].Frame, want[i].Frame)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		got := append([]Candidate(nil), base...)
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		RankCandidates(got)
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].Score != got[j].Score {
+				return got[i].Score > got[j].Score
+			}
+			return got[i].Frame < got[j].Frame
+		}) {
+			t.Fatalf("trial %d: ranking not in canonical order: %v", trial, got)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: permutation ranked differently at %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

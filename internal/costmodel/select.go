@@ -1,0 +1,55 @@
+package costmodel
+
+// Selection (LIMIT) query cost: a proxy pass over every candidate frame
+// followed by expensive verification of the frames the proxy could not rule
+// out. The planner evaluates SelectCostUS once per (proxy, proxy rendition)
+// candidate against the verification plan the QoS search already chose, so
+// the proxy choice is costed jointly with the rendition it reads and the
+// entry that verifies behind it.
+
+// selectVerifyOvershoot models how many candidates an early-terminating
+// cascade verifies per confirmed frame: batching plus proxy false positives
+// mean the scan does not stop at exactly Limit frames.
+const selectVerifyOvershoot = 2.0
+
+// SelectSpec describes one candidate selection plan.
+type SelectSpec struct {
+	// Frames is the number of sampled frames the proxy must score.
+	Frames int
+	// ProxyUS is the per-frame proxy cost (decode + scoring) in us. Zero
+	// when a persisted score table makes the proxy pass free.
+	ProxyUS float64
+	// VerifyUS is the per-candidate verification cost (GOP seek + decode +
+	// preproc + execution) in us.
+	VerifyUS float64
+	// Selectivity is the prior fraction of frames expected to survive the
+	// proxy confidence floor; <= 0 or > 1 means no pruning prior.
+	Selectivity float64
+	// Limit is the query's K; 0 verifies every surviving candidate.
+	Limit int
+}
+
+// ExpectedVerifications estimates how many frames reach the expensive
+// verification stage: the surviving candidates, capped by the early
+// termination budget when the query has a LIMIT.
+func ExpectedVerifications(s SelectSpec) float64 {
+	sel := s.Selectivity
+	if sel <= 0 || sel > 1 {
+		sel = 1
+	}
+	cand := float64(s.Frames) * sel
+	if s.Limit > 0 {
+		if budget := float64(s.Limit) * selectVerifyOvershoot; budget < cand {
+			return budget
+		}
+	}
+	return cand
+}
+
+// SelectCostUS returns the modeled cost of one selection query in
+// vCPU-microseconds: the full proxy pass plus the expected verification
+// work. With cached scores (ProxyUS = 0) the cost collapses to the
+// verification term — the repeat-query fast path.
+func SelectCostUS(s SelectSpec) float64 {
+	return float64(s.Frames)*s.ProxyUS + ExpectedVerifications(s)*s.VerifyUS
+}

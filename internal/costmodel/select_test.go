@@ -1,0 +1,55 @@
+package costmodel
+
+import "testing"
+
+// TestExpectedVerifications: the verification estimate must track the
+// selectivity prior, cap at the LIMIT's early-termination budget, and
+// degrade to "verify everything" without a prior.
+func TestExpectedVerifications(t *testing.T) {
+	base := SelectSpec{Frames: 1000, Selectivity: 0.1, Limit: 10}
+	if got := ExpectedVerifications(base); got != 20 {
+		t.Fatalf("capped estimate %g, want Limit x overshoot = 20", got)
+	}
+	// A large LIMIT stops capping: all surviving candidates verify.
+	big := base
+	big.Limit = 500
+	if got := ExpectedVerifications(big); got != 100 {
+		t.Fatalf("uncapped estimate %g, want Frames x selectivity = 100", got)
+	}
+	// No LIMIT, no prior: every frame verifies.
+	all := SelectSpec{Frames: 1000}
+	if got := ExpectedVerifications(all); got != 1000 {
+		t.Fatalf("no-prior estimate %g, want 1000", got)
+	}
+	for _, sel := range []float64{0, -1, 1.5} {
+		s := SelectSpec{Frames: 100, Selectivity: sel}
+		if got := ExpectedVerifications(s); got != 100 {
+			t.Fatalf("selectivity %g: estimate %g, want the no-prior 100", sel, got)
+		}
+	}
+}
+
+// TestSelectCostOrdering pins the planner-facing inequalities: a cached
+// proxy dominates the same live proxy, a cheaper proxy wins at equal
+// verification cost, and the modeled cascade undercuts a full scan
+// (everything verified) whenever verification dwarfs the proxy.
+func TestSelectCostOrdering(t *testing.T) {
+	live := SelectSpec{Frames: 1000, ProxyUS: 50, VerifyUS: 5000, Selectivity: 0.1, Limit: 10}
+	cached := live
+	cached.ProxyUS = 0
+	if c, l := SelectCostUS(cached), SelectCostUS(live); c >= l {
+		t.Fatalf("cached proxy costs %g, live %g — cache does not dominate", c, l)
+	}
+	if got, want := SelectCostUS(cached), ExpectedVerifications(cached)*cached.VerifyUS; got != want {
+		t.Fatalf("cached cost %g, want pure verification term %g", got, want)
+	}
+	cheap := live
+	cheap.ProxyUS = 10
+	if SelectCostUS(cheap) >= SelectCostUS(live) {
+		t.Fatal("cheaper proxy does not lower the joint cost")
+	}
+	fullScan := SelectSpec{Frames: 1000, ProxyUS: live.ProxyUS, VerifyUS: live.VerifyUS}
+	if c, f := SelectCostUS(live), SelectCostUS(fullScan); c >= f {
+		t.Fatalf("cascade costs %g, full scan %g — pushdown not modeled", c, f)
+	}
+}

@@ -193,3 +193,15 @@ const AccelOpsPerUS = 40000.0
 
 // AccelPostprocCostUS converts arithmetic ops into accelerator-microseconds.
 func AccelPostprocCostUS(arithOps float64) float64 { return arithOps / AccelOpsPerUS }
+
+// blobProxyNsPerPixel is the per-pixel cost of the blob-counter selection
+// proxy (luma threshold + 4-connected flood fill): a few branchy passes
+// over the frame, cheaper than any DNN but pricier per pixel than SIMD
+// resize kernels.
+const blobProxyNsPerPixel = 6.0
+
+// BlobProxyCostUS returns the vCPU-microsecond cost of scoring one w x h
+// frame with the blob-counter proxy (decode not included).
+func BlobProxyCostUS(w, h int) float64 {
+	return float64(w*h) * blobProxyNsPerPixel / 1000
+}

@@ -1,0 +1,323 @@
+// Proxy score sidecar: per-stream, per-proxy raw frame scores with per-GOP
+// min/max summaries, persisted as "<name>.scr" next to the video's streams.
+//
+// Unlike the GOP index, score tables are pure acceleration state — they are
+// regenerated from the streams by one live proxy pass — so they live outside
+// the WAL protocol: PutScores rewrites the sidecar in place, and a torn or
+// corrupted sidecar is simply ignored at load (queries fall back to live
+// scoring and re-persist). Scores are stored as raw float64 bits so a
+// persisted score is bit-identical to the live computation that produced it.
+//
+// Framing (all integers big-endian, trailing CRC-32 IEEE over the body):
+//
+//	"SSCR" | u16 version | u16 tables
+//	per table:
+//	  u16 stream | u16 len(proxy) | proxy | u32 frames | frames x f64
+//	  u32 gops | gops x (f64 min, f64 max)
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"smol/internal/blazeit"
+	"smol/internal/codec/vid"
+	"smol/internal/img"
+)
+
+// ScoreTable holds one proxy's raw score for every frame of one stream,
+// plus per-GOP min/max summaries aligned with the stream's GOP index — the
+// structure selection queries prune GOPs with before touching any bytes.
+type ScoreTable struct {
+	// Stream indexes the video's Streams() slice.
+	Stream int
+	// Proxy names the scoring model (blazeit.BlobProxyName or a zoo entry
+	// name).
+	Proxy string
+	// Frames holds the raw score per frame.
+	Frames []float64
+	// GOPMin and GOPMax summarize each GOP's raw score range, aligned with
+	// the stream's Index.
+	GOPMin []float64
+	GOPMax []float64
+}
+
+type scoreKey struct {
+	stream int
+	proxy  string
+}
+
+// Scores returns the persisted score table for one stream and proxy of an
+// ingested video, if present.
+func (s *Store) Scores(video string, stream int, proxy string) (*ScoreTable, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[video]
+	if !ok {
+		return nil, false
+	}
+	t, ok := v.scores[scoreKey{stream, proxy}]
+	return t, ok
+}
+
+// PutScores materializes a proxy's per-frame raw scores for one stream of
+// an ingested video: the per-GOP summaries are derived from the stream's
+// GOP index, the table replaces any previous one for the same (stream,
+// proxy), and the video's whole score sidecar is rewritten and fsynced.
+// Persisting is idempotent — repeat queries over the same proxy overwrite
+// the table with identical bytes.
+func (s *Store) PutScores(video string, stream int, proxy string, frames []float64) (*ScoreTable, error) {
+	if proxy == "" || len(proxy) > 255 {
+		return nil, fmt.Errorf("store: invalid proxy name %q", proxy)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[video]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown video %q", video)
+	}
+	streams := v.Streams()
+	if stream < 0 || stream >= len(streams) {
+		return nil, fmt.Errorf("store: video %q has no stream %d", video, stream)
+	}
+	t, err := buildScoreTable(stream, proxy, frames, streams[stream])
+	if err != nil {
+		return nil, err
+	}
+	if v.scores == nil {
+		v.scores = make(map[scoreKey]*ScoreTable)
+	}
+	v.scores[scoreKey{stream, proxy}] = t
+	if err := writeFileSync(filepath.Join(s.dir, video+".scr"), encodeScores(v.scores)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// buildScoreTable validates the score vector against the stream and derives
+// the per-GOP summaries from its GOP index.
+func buildScoreTable(stream int, proxy string, frames []float64, st Stream) (*ScoreTable, error) {
+	if len(frames) != st.Info.Frames {
+		return nil, fmt.Errorf("store: %d scores for a %d-frame stream", len(frames), st.Info.Frames)
+	}
+	t := &ScoreTable{
+		Stream: stream,
+		Proxy:  proxy,
+		Frames: append([]float64(nil), frames...),
+		GOPMin: make([]float64, len(st.Index)),
+		GOPMax: make([]float64, len(st.Index)),
+	}
+	for g, e := range st.Index {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for f := e.FirstFrame; f < e.FirstFrame+e.Frames; f++ {
+			if frames[f] < lo {
+				lo = frames[f]
+			}
+			if frames[f] > hi {
+				hi = frames[f]
+			}
+		}
+		t.GOPMin[g], t.GOPMax[g] = lo, hi
+	}
+	return t, nil
+}
+
+// BlobScores runs the canonical blob-proxy pass over a stream: a sequential
+// full-fidelity decode (deblocking on) with frame reuse, one raw score per
+// frame, plus the decode work it cost. Ingest-time materialization and live
+// query-time scoring both run exactly this, so persisted and recomputed
+// scores are bit-identical.
+func BlobScores(st Stream) ([]float64, vid.DecodeStats, error) {
+	dec, err := vid.NewDecoder(st.Data, vid.DecodeOptions{})
+	if err != nil {
+		return nil, vid.DecodeStats{}, err
+	}
+	counter := blazeit.DefaultCounter(st.Info.W)
+	scores := make([]float64, 0, st.Info.Frames)
+	var dst *img.Image
+	for {
+		m, err := dec.NextInto(dst)
+		if err == vid.ErrEndOfStream {
+			break
+		}
+		if err != nil {
+			return nil, vid.DecodeStats{}, err
+		}
+		scores = append(scores, counter.Score(m))
+		dst = m
+	}
+	return scores, dec.Stats(), nil
+}
+
+const (
+	scoresVersion = 1
+)
+
+var scoresMagic = [4]byte{'S', 'S', 'C', 'R'}
+
+// encodeScores serializes a video's score tables in deterministic (stream,
+// proxy) order with a trailing checksum.
+func encodeScores(tables map[scoreKey]*ScoreTable) []byte {
+	keys := make([]scoreKey, 0, len(tables))
+	for k := range tables {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].stream != keys[j].stream {
+			return keys[i].stream < keys[j].stream
+		}
+		return keys[i].proxy < keys[j].proxy
+	})
+	buf := append([]byte(nil), scoresMagic[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, scoresVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(keys)))
+	for _, k := range keys {
+		t := tables[k]
+		buf = binary.BigEndian.AppendUint16(buf, uint16(t.Stream))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Proxy)))
+		buf = append(buf, t.Proxy...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Frames)))
+		for _, v := range t.Frames {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.GOPMin)))
+		for g := range t.GOPMin {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(t.GOPMin[g]))
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(t.GOPMax[g]))
+		}
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeScores parses a score sidecar, verifying framing and checksum.
+func decodeScores(data []byte) ([]*ScoreTable, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("store: score sidecar truncated")
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("store: score sidecar checksum mismatch")
+	}
+	pos := 0
+	need := func(n int) error {
+		if pos+n > len(body) {
+			return fmt.Errorf("store: score sidecar truncated")
+		}
+		return nil
+	}
+	if err := need(8); err != nil {
+		return nil, err
+	}
+	if [4]byte(body[:4]) != scoresMagic {
+		return nil, fmt.Errorf("store: bad score sidecar magic")
+	}
+	if v := binary.BigEndian.Uint16(body[4:]); v != scoresVersion {
+		return nil, fmt.Errorf("store: unsupported score sidecar version %d", v)
+	}
+	count := int(binary.BigEndian.Uint16(body[6:]))
+	pos = 8
+	tables := make([]*ScoreTable, 0, count)
+	for i := 0; i < count; i++ {
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		t := &ScoreTable{Stream: int(binary.BigEndian.Uint16(body[pos:]))}
+		plen := int(binary.BigEndian.Uint16(body[pos+2:]))
+		pos += 4
+		if err := need(plen + 4); err != nil {
+			return nil, err
+		}
+		t.Proxy = string(body[pos : pos+plen])
+		pos += plen
+		nf := int(binary.BigEndian.Uint32(body[pos:]))
+		pos += 4
+		if err := need(8*nf + 4); err != nil {
+			return nil, err
+		}
+		t.Frames = make([]float64, nf)
+		for f := range t.Frames {
+			t.Frames[f] = math.Float64frombits(binary.BigEndian.Uint64(body[pos:]))
+			pos += 8
+		}
+		ng := int(binary.BigEndian.Uint32(body[pos:]))
+		pos += 4
+		if err := need(16 * ng); err != nil {
+			return nil, err
+		}
+		t.GOPMin = make([]float64, ng)
+		t.GOPMax = make([]float64, ng)
+		for g := 0; g < ng; g++ {
+			t.GOPMin[g] = math.Float64frombits(binary.BigEndian.Uint64(body[pos:]))
+			t.GOPMax[g] = math.Float64frombits(binary.BigEndian.Uint64(body[pos+8:]))
+			pos += 16
+		}
+		tables = append(tables, t)
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("store: score sidecar has %d trailing bytes", len(body)-pos)
+	}
+	return tables, nil
+}
+
+// loadScores attaches a video's persisted score tables, if any. Scores are
+// regenerable acceleration state, so every failure mode — missing file,
+// torn write, checksum mismatch, tables that no longer match the streams —
+// degrades to "no cached scores" rather than failing the video load.
+func loadScores(dir string, v *Video) {
+	data, err := os.ReadFile(filepath.Join(dir, v.Name+".scr"))
+	if err != nil {
+		return
+	}
+	tables, err := decodeScores(data)
+	if err != nil {
+		return
+	}
+	streams := v.Streams()
+	for _, t := range tables {
+		if t.Stream < 0 || t.Stream >= len(streams) {
+			continue
+		}
+		st := streams[t.Stream]
+		if len(t.Frames) != st.Info.Frames || len(t.GOPMin) != len(st.Index) {
+			continue
+		}
+		if v.scores == nil {
+			v.scores = make(map[scoreKey]*ScoreTable)
+		}
+		v.scores[scoreKey{t.Stream, t.Proxy}] = t
+	}
+}
+
+// ScoreRef names one persisted score table.
+type ScoreRef struct {
+	Stream int
+	Proxy  string
+}
+
+// ScoredProxies lists the score tables persisted for a video, in
+// deterministic (stream, proxy) order — what the selection planner keys
+// its cached-proxy arithmetic on.
+func (s *Store) ScoredProxies(video string) []ScoreRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[video]
+	if !ok {
+		return nil
+	}
+	refs := make([]ScoreRef, 0, len(v.scores))
+	for k := range v.scores {
+		refs = append(refs, ScoreRef{Stream: k.stream, Proxy: k.proxy})
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Stream != refs[j].Stream {
+			return refs[i].Stream < refs[j].Stream
+		}
+		return refs[i].Proxy < refs[j].Proxy
+	})
+	return refs
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smol/internal/blazeit"
+)
+
+// TestScoresPutGetReopen: a persisted score table must come back
+// bit-identical — from the live store and from a fresh Open — with per-GOP
+// summaries derived from the stream's GOP index.
+func TestScoresPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := storeClip(t, 13, 96, 64, 5)
+	v, err := s.Ingest("clip", clip, IngestOptions{RenditionShortEdges: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, v.Primary.Info.Frames)
+	for i := range scores {
+		scores[i] = float64((i*7)%5) + 0.25
+	}
+	if _, err := s.PutScores("clip", 0, "blob", scores[:3]); err == nil {
+		t.Fatal("short score vector accepted")
+	}
+	if _, err := s.PutScores("clip", 5, "blob", scores); err == nil {
+		t.Fatal("out-of-range stream accepted")
+	}
+	if _, err := s.PutScores("nope", 0, "blob", scores); err == nil {
+		t.Fatal("unknown video accepted")
+	}
+	if _, err := s.PutScores("clip", 0, "", scores); err == nil {
+		t.Fatal("empty proxy name accepted")
+	}
+	tab, err := s.PutScores("clip", 0, "blob", scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.GOPMin) != len(v.Primary.Index) {
+		t.Fatalf("%d GOP summaries for %d GOPs", len(tab.GOPMin), len(v.Primary.Index))
+	}
+	for g, e := range v.Primary.Index {
+		lo, hi := scores[e.FirstFrame], scores[e.FirstFrame]
+		for f := e.FirstFrame; f < e.FirstFrame+e.Frames; f++ {
+			lo, hi = min(lo, scores[f]), max(hi, scores[f])
+		}
+		if tab.GOPMin[g] != lo || tab.GOPMax[g] != hi {
+			t.Fatalf("GOP %d summary [%g, %g], want [%g, %g]", g, tab.GOPMin[g], tab.GOPMax[g], lo, hi)
+		}
+	}
+	refs := s.ScoredProxies("clip")
+	if len(refs) != 1 || refs[0] != (ScoreRef{Stream: 0, Proxy: "blob"}) {
+		t.Fatalf("ScoredProxies = %v", refs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok := re.Scores("clip", 0, "blob")
+	if !ok {
+		t.Fatal("reopened store lost the score table")
+	}
+	for i := range scores {
+		if got.Frames[i] != scores[i] {
+			t.Fatalf("frame %d score changed across reopen: %g != %g", i, got.Frames[i], scores[i])
+		}
+	}
+	for g := range tab.GOPMin {
+		if got.GOPMin[g] != tab.GOPMin[g] || got.GOPMax[g] != tab.GOPMax[g] {
+			t.Fatalf("GOP %d summary changed across reopen", g)
+		}
+	}
+}
+
+// TestScoreSidecarCorruption: score tables are regenerable acceleration
+// state, so — unlike the GOP index — a corrupt score sidecar must degrade
+// to "no cached scores" instead of failing the store open.
+func TestScoreSidecarCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := storeClip(t, 6, 48, 32, 3)
+	v, err := s.Ingest("clip", clip, IngestOptions{ProxyScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Scores("clip", 0, blazeit.BlobProxyName); !ok {
+		t.Fatal("ProxyScores ingest did not materialize a score table")
+	}
+	s.Close()
+	path := filepath.Join(dir, "clip.scr")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt score sidecar failed the open: %v", err)
+	}
+	defer re.Close()
+	if _, ok := re.Scores("clip", 0, blazeit.BlobProxyName); ok {
+		t.Fatal("corrupt score sidecar served a table")
+	}
+	if got := re.ScoredProxies("clip"); len(got) != 0 {
+		t.Fatalf("corrupt sidecar still lists proxies: %v", got)
+	}
+	// The video itself must be unharmed, and re-persisting must recover.
+	got, ok := re.Video("clip")
+	if !ok {
+		t.Fatal("video lost alongside its score sidecar")
+	}
+	fresh, _, err := BlobScores(got.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.PutScores("clip", 0, blazeit.BlobProxyName, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Scores("clip", 0, blazeit.BlobProxyName); !ok {
+		t.Fatal("re-persisted score table missing")
+	}
+	_ = v
+}
+
+// TestIngestProxyScores: opt-in ingest-time materialization must produce
+// one blob table per stream, bit-identical to a live BlobScores pass, and
+// persist across reopen.
+func TestIngestProxyScores(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := storeClip(t, 10, 96, 64, 4)
+	v, err := s.Ingest("clip", clip, IngestOptions{ProxyScores: true, RenditionShortEdges: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := v.Streams()
+	if len(streams) != 2 {
+		t.Fatalf("%d streams, want primary + 1 rendition", len(streams))
+	}
+	s.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for si, st := range streams {
+		tab, ok := re.Scores("clip", si, blazeit.BlobProxyName)
+		if !ok {
+			t.Fatalf("stream %d has no persisted blob scores", si)
+		}
+		live, _, err := BlobScores(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Frames) != len(live) {
+			t.Fatalf("stream %d: %d persisted scores, %d live", si, len(tab.Frames), len(live))
+		}
+		for f := range live {
+			if tab.Frames[f] != live[f] {
+				t.Fatalf("stream %d frame %d: persisted %g != live %g", si, f, tab.Frames[f], live[f])
+			}
+		}
+	}
+}
+
+// TestScoreSidecarOrphanRemoval: a stray .scr with no journaled video must
+// be swept on Open like any other layout orphan.
+func TestScoreSidecarOrphanRemoval(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("good", storeClip(t, 4, 48, 32, 2), IngestOptions{ProxyScores: true}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, "stray.scr"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := os.Stat(filepath.Join(dir, "stray.scr")); !os.IsNotExist(err) {
+		t.Fatal("orphan .scr survived recovery")
+	}
+	if _, ok := re.Scores("good", 0, blazeit.BlobProxyName); !ok {
+		t.Fatal("recovery dropped a committed video's score sidecar")
+	}
+}

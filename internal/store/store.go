@@ -11,6 +11,7 @@
 //	<name>.svid    the primary stream, byte-for-byte as ingested
 //	<name>.r<i>.svid  rendition i, re-encoded at ingest
 //	<name>.idx     sidecar: per-stream geometry + GOP tables (see index.go)
+//	<name>.scr     sidecar: proxy score tables, optional (see scores.go)
 //
 // Crash safety follows the classic WAL protocol: a Begin record is fsynced
 // before any data file is written and a Commit record is fsynced after all
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"sync"
 
+	"smol/internal/blazeit"
 	"smol/internal/codec/vid"
 	"smol/internal/img"
 )
@@ -48,6 +50,11 @@ type Video struct {
 	Name       string
 	Primary    Stream
 	Renditions []Stream
+
+	// scores holds the video's proxy score tables, keyed by (stream,
+	// proxy). Accessed through Store.Scores/PutScores under the store
+	// mutex; may be nil when nothing has been scored.
+	scores map[scoreKey]*ScoreTable
 }
 
 // Streams returns the primary followed by the renditions — the order
@@ -68,6 +75,12 @@ type IngestOptions struct {
 	// RenditionQuality is the encoder quality for renditions (0 = the
 	// source stream's quality).
 	RenditionQuality int
+	// ProxyScores materializes blob-proxy score tables for every stream at
+	// ingest (one extra sequential decode per stream), so the first
+	// selection or aggregation query over the video skips its proxy pass.
+	// Off by default: queries that need scores compute and persist them
+	// lazily on first use.
+	ProxyScores bool
 }
 
 // Store is an open media store. All methods are safe for concurrent use.
@@ -182,6 +195,20 @@ func (s *Store) Ingest(name string, data []byte, opts IngestOptions) (*Video, er
 			return nil, fmt.Errorf("store: rendering %q renditions: %w", name, err)
 		}
 	}
+	if opts.ProxyScores {
+		v.scores = make(map[scoreKey]*ScoreTable)
+		for i, st := range v.Streams() {
+			raw, _, err := BlobScores(st)
+			if err != nil {
+				return nil, fmt.Errorf("store: scoring %q stream %d: %w", name, i, err)
+			}
+			t, err := buildScoreTable(i, blazeit.BlobProxyName, raw, st)
+			if err != nil {
+				return nil, fmt.Errorf("store: scoring %q stream %d: %w", name, i, err)
+			}
+			v.scores[scoreKey{i, blazeit.BlobProxyName}] = t
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -200,6 +227,9 @@ func (s *Store) Ingest(name string, data []byte, opts IngestOptions) (*Video, er
 	}
 	for i, r := range v.Renditions {
 		files[fmt.Sprintf("%s.r%d.svid", name, i)] = r.Data
+	}
+	if len(v.scores) > 0 {
+		files[name+".scr"] = encodeScores(v.scores)
 	}
 	for fname, content := range files {
 		if err := writeFileSync(filepath.Join(s.dir, fname), content); err != nil {
@@ -319,7 +349,9 @@ func loadVideo(dir, name string) (*Video, error) {
 		}
 		streams[i].Data = data
 	}
-	return &Video{Name: name, Primary: streams[0], Renditions: streams[1:]}, nil
+	v := &Video{Name: name, Primary: streams[0], Renditions: streams[1:]}
+	loadScores(dir, v)
+	return v, nil
 }
 
 // WAL record framing: op byte, u16 name length, name, CRC-32 of the
@@ -405,14 +437,17 @@ func removeOrphans(dir string, committed map[string]bool) error {
 }
 
 // videoBase maps a store-layout file name back to its video name:
-// "<name>.svid", "<name>.idx", or "<name>.r<i>.svid". Files outside the
-// layout are left alone.
+// "<name>.svid", "<name>.idx", "<name>.scr", or "<name>.r<i>.svid". Files
+// outside the layout are left alone.
 func videoBase(fname string) (string, bool) {
 	base, found := strings.CutSuffix(fname, ".svid")
 	if !found {
 		base, found = strings.CutSuffix(fname, ".idx")
 		if !found {
-			return "", false
+			base, found = strings.CutSuffix(fname, ".scr")
+			if !found {
+				return "", false
+			}
 		}
 		return base, validateName(base) == nil
 	}

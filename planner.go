@@ -2,9 +2,13 @@ package smol
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
+	"smol/internal/blazeit"
 	"smol/internal/codec/jpeg"
 	"smol/internal/codec/spng"
 	"smol/internal/codec/vid"
@@ -462,4 +466,240 @@ func (r *Runtime) measureVideoScale() float64 {
 		return 1
 	}
 	return clampScale(best.Seconds() * 1e6 / modeled)
+}
+
+// Selection-query planning: the verification side reuses the video plan
+// search (zoo entry x rendition x deblock under the QoS constraint), then
+// every proxy candidate — the blob counter or a qualifying zoo entry, on
+// every stored rendition — is costed against that verification plan with
+// costmodel.SelectCostUS. A persisted score table zeroes a candidate's
+// proxy-pass term, which is how repeat queries converge on the cached
+// proxy. Decisions are memoized like video plans, with the set of cached
+// tables part of the key (the first query's lazy persist changes the
+// arithmetic for the second).
+
+// streamProxy identifies one proxy candidate: a scoring model over one
+// stored stream.
+type streamProxy struct {
+	stream int
+	proxy  string
+}
+
+// selectSelKey memoizes selection planner decisions.
+type selectSelKey struct {
+	streams string
+	qos     QoS
+	stride  int
+	mode    DeblockMode
+	limit   int
+	// conf marks queries with a proxy confidence floor: the planner
+	// assumes floor-gated queries prune (selectSelectivityPrior) while
+	// floorless queries verify every sampled frame.
+	conf bool
+	// cached lists the (stream, proxy) score tables persisted for the
+	// video at planning time.
+	cached string
+}
+
+// selectSelection is one memoized selection planner decision.
+type selectSelection struct {
+	entry    *rtEntry
+	choice   videoChoice
+	proxyEnt *rtEntry // nil = blob-counter proxy
+	plan     SelectPlan
+}
+
+// selectSelectivityPrior is the fraction of frames the planner expects to
+// survive a nonzero proxy confidence floor. It only shapes predicted cost
+// (and through it the proxy choice); execution always verifies the frames
+// that actually survive.
+const selectSelectivityPrior = 0.1
+
+// planSelect plans one selection query over already-probed stream headers:
+// verification entry/rendition/fidelity from the video plan search, proxy
+// choice from the joint SelectCostUS ranking. cached names the score
+// tables already persisted for this video.
+func (r *Runtime) planSelect(infos []vid.Info, qos QoS, stride int, mode DeblockMode, limit int, minConf float64, cached map[streamProxy]bool) (selectSelection, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	if qos == (QoS{}) {
+		qos = r.cfg.QoS
+	}
+	sig := ""
+	for _, info := range infos {
+		sig += fmt.Sprintf("%dx%d/g%d/f%d;", info.W, info.H, info.GOP, info.Frames)
+	}
+	cachedKeys := make([]string, 0, len(cached))
+	for sp := range cached {
+		cachedKeys = append(cachedKeys, fmt.Sprintf("%d:%s", sp.stream, sp.proxy))
+	}
+	sort.Strings(cachedKeys)
+	key := selectSelKey{
+		streams: sig,
+		qos:     qos,
+		stride:  stride,
+		mode:    mode,
+		limit:   limit,
+		conf:    minConf > 0,
+		cached:  strings.Join(cachedKeys, ","),
+	}
+	r.selMu.Lock()
+	sel, ok := r.selectSels[key]
+	r.selMu.Unlock()
+	if ok {
+		return sel, nil
+	}
+	sel, err := r.selectSelectPlan(infos, qos, stride, mode, limit, minConf, cached)
+	if err != nil {
+		return selectSelection{}, err
+	}
+	r.selMu.Lock()
+	if len(r.selectSels) >= maxCachedSelections {
+		r.selectSels = make(map[selectSelKey]selectSelection)
+	}
+	r.selectSels[key] = sel
+	r.selMu.Unlock()
+	return sel, nil
+}
+
+// selectSelectPlan runs the candidate enumeration for one memoized
+// selection planning class.
+func (r *Runtime) selectSelectPlan(infos []vid.Info, qos QoS, stride int, mode DeblockMode, limit int, minConf float64, cached map[streamProxy]bool) (selectSelection, error) {
+	// Verification plan: the same joint search every video request runs,
+	// so the cascade and the DisableProxyCascade full-scan oracle verify
+	// with an identical entry, rendition, and decode fidelity.
+	seek := !r.cfg.DisableGOPSeek
+	ent, choice, vplan, err := r.planVideoInfos(infos, qos, stride, mode, seek)
+	if err != nil {
+		return selectSelection{}, err
+	}
+	env := costmodel.DefaultEnv()
+	env.VCPUs = r.workerCount()
+	env.BatchSize = r.batchSize()
+	env.Calibration = r.videoCalibrate()
+
+	verifyCosts, err := r.selectStageCosts(ent, infos[choice.stream], choice.stream, !choice.deblock, true, env)
+	if err != nil {
+		return selectSelection{}, err
+	}
+	verifyUS := verifyCosts.DecodeUS + verifyCosts.CPUPostUS + verifyCosts.AccelPostUS + verifyCosts.ExecUS
+
+	selectivity := 1.0
+	if minConf > 0 {
+		selectivity = selectSelectivityPrior
+	}
+	cpuScale, videoScale := 1.0, 1.0
+	if env.Calibration != nil {
+		cpuScale = env.Calibration.CPUScale()
+		videoScale = env.Calibration.VideoCPUScale()
+	}
+
+	best := selectSelection{}
+	bestCost := math.Inf(1)
+	consider := func(sp streamProxy, proxyEnt *rtEntry, proxyUS float64) {
+		if cached[sp] {
+			// A persisted score table makes the whole proxy pass free.
+			proxyUS = 0
+		}
+		spec := costmodel.SelectSpec{
+			Frames:      infos[sp.stream].Frames,
+			ProxyUS:     proxyUS,
+			VerifyUS:    verifyUS,
+			Selectivity: selectivity,
+			Limit:       limit,
+		}
+		cost := costmodel.SelectCostUS(spec)
+		if cost >= bestCost {
+			return
+		}
+		bestCost = cost
+		best = selectSelection{
+			entry:    ent,
+			choice:   choice,
+			proxyEnt: proxyEnt,
+			plan: SelectPlan{
+				Proxy:                  sp.proxy,
+				ProxyStream:            sp.stream,
+				ProxyCached:            cached[sp],
+				Verify:                 vplan,
+				PredictedVerifications: costmodel.ExpectedVerifications(spec),
+				PredictedCostUS:        cost,
+			},
+		}
+	}
+	for si, info := range infos {
+		// The blob counter: a sequential full-fidelity decode plus the
+		// flood-fill pass, per frame.
+		decodeUS := hw.DecodeCostUS(hw.DecodeSpec{
+			Format:  hw.FormatVideoH264,
+			W:       info.W,
+			H:       info.H,
+			Quality: info.Quality,
+			GOP:     info.GOP,
+		}) * videoScale
+		blobUS := decodeUS + hw.BlobProxyCostUS(info.W, info.H)*cpuScale
+		consider(streamProxy{si, blazeit.BlobProxyName}, nil, blobUS)
+
+		// Zoo-entry proxies: any entry whose execution is strictly cheaper
+		// than the verification entry's qualifies (a proxy that costs as
+		// much as its oracle prunes nothing worth having). Int8 twins win
+		// here on exec cost, matching the cascade intent: cheap quantized
+		// scoring, full-precision verification.
+		for _, pe := range r.entries {
+			costs, err := r.selectStageCosts(pe, info, si, false, false, env)
+			if err != nil {
+				continue
+			}
+			if costs.ExecUS >= verifyCosts.ExecUS {
+				continue
+			}
+			proxyUS := costs.DecodeUS + costs.CPUPostUS + costs.AccelPostUS + costs.ExecUS
+			consider(streamProxy{si, pe.name}, pe, proxyUS)
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return selectSelection{}, fmt.Errorf("smol: no selection plan found")
+	}
+	return best, nil
+}
+
+// selectStageCosts prices one (entry, stream) pairing per frame: decode at
+// the stream's geometry, the jointly optimized preprocessing chain, and
+// the calibrated execution cost. GOP-seek plans cap the decode term at one
+// GOP prefix per sample (verification); sequential plans pay the full
+// per-frame decode (proxy pass).
+func (r *Runtime) selectStageCosts(ent *rtEntry, info vid.Info, stream int, noDeblock, gopSeek bool, env costmodel.Env) (costmodel.StageCosts, error) {
+	spec := preproc.ServeSpec(info.W, info.H, ent.InputRes, r.cfg.Mean, r.cfg.Std, nil)
+	pplan, err := preproc.Optimize(spec)
+	if err != nil {
+		return costmodel.StageCosts{}, err
+	}
+	fps := 1
+	if gopSeek {
+		// Verification seeks: a sampled frame costs its GOP prefix. The
+		// cost model caps the FramesPerSample term under GOPSeek, so pass
+		// the GOP interval as the span.
+		fps = info.GOP
+		if fps < 1 {
+			fps = 1
+		}
+	}
+	return costmodel.Costs(costmodel.Plan{
+		DNN: costmodel.DNNChoice{Name: ent.name, InputRes: ent.InputRes, Accuracy: ent.Accuracy},
+		Format: costmodel.Format{
+			Name:            fmt.Sprintf("svid#%d %dx%d", stream, info.W, info.H),
+			Kind:            hw.FormatVideoH264,
+			W:               info.W,
+			H:               info.H,
+			NoDeblock:       noDeblock,
+			GOP:             info.GOP,
+			FramesPerSample: fps,
+			GOPSeek:         gopSeek,
+		},
+		Preproc: pplan, PreprocSpec: spec,
+	}, env)
 }

@@ -65,6 +65,18 @@ type RuntimeConfig struct {
 	// It is the A/B switch and the equivalence oracle for the GOP-seek
 	// paths, mirroring DisableScaledDecode on the JPEG side.
 	DisableGOPSeek bool
+	// DisableProxyCascade forces SelectVideo to verify every sampled frame
+	// with the chosen zoo entry instead of running the two-stage proxy
+	// cascade: no proxy pass, no GOP pruning, no early termination. It is
+	// the A/B switch and the equivalence oracle for selection queries —
+	// the cascade must return the same frame set at a fraction of the
+	// decode and inference work.
+	DisableProxyCascade bool
+	// SelectVerifyBatch is how many ranked candidates SelectVideo verifies
+	// per engine submission before re-checking the early-termination
+	// condition (0 = 16). Smaller batches stop closer to exactly Limit
+	// confirmations; larger batches amortize pipeline overhead.
+	SelectVerifyBatch int
 	// VideoDecodeWorkers bounds the per-request pool of resident decoders
 	// that store-backed video sampling fans disjoint GOPs across (0 =
 	// min(GOMAXPROCS, 4)). Sampled frames still enter the shared engine in
@@ -123,6 +135,7 @@ type Runtime struct {
 	selMu      sync.Mutex
 	sels       map[selKey]selection
 	videoSels  map[videoSelKey]videoSelection
+	selectSels map[selectSelKey]selectSelection
 }
 
 // rtEntry is one zoo entry lowered for serving: its compiled inference
@@ -194,10 +207,11 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 		maxPlans = 1024
 	}
 	r := &Runtime{
-		cfg:       cfg,
-		byName:    make(map[string]*rtEntry),
-		sels:      make(map[selKey]selection),
-		videoSels: make(map[videoSelKey]videoSelection),
+		cfg:        cfg,
+		byName:     make(map[string]*rtEntry),
+		sels:       make(map[selKey]selection),
+		videoSels:  make(map[videoSelKey]videoSelection),
+		selectSels: make(map[selectSelKey]selectSelection),
 	}
 	r.ingest.init(maxPlans)
 	for _, e := range zoo.Entries() {
@@ -239,6 +253,14 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 	}
 	r.execSem = make(chan struct{}, par)
 	return r, nil
+}
+
+// selectVerifyBatch resolves RuntimeConfig.SelectVerifyBatch.
+func (r *Runtime) selectVerifyBatch() int {
+	if r.cfg.SelectVerifyBatch > 0 {
+		return r.cfg.SelectVerifyBatch
+	}
+	return 16
 }
 
 // videoDecodeWorkers resolves RuntimeConfig.VideoDecodeWorkers.

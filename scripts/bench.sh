@@ -14,6 +14,9 @@
 #   - BENCH_video.json: video serving (frames/s over deblock on/off x
 #     native res variants x accuracy floors, the resident decoder, and
 #     EstimateMean's target-invocation savings vs exhaustive).
+#   - BENCH_select.json: LIMIT selection queries (the proxy cascade vs
+#     the verify-every-frame full scan across proxy selectivity and K;
+#     the cascade/fullscan ratio is the predicate-pushdown win).
 #
 #   scripts/bench.sh                # 1s per benchmark, writes all files
 #   BENCHTIME=300ms scripts/bench.sh
@@ -26,10 +29,12 @@ OUT="${OUT:-BENCH_infer.json}"
 OUT_PREPROC="${OUT_PREPROC:-BENCH_preproc.json}"
 OUT_SERVE="${OUT_SERVE:-BENCH_serve.json}"
 OUT_VIDEO="${OUT_VIDEO:-BENCH_video.json}"
+OUT_SELECT="${OUT_SELECT:-BENCH_select.json}"
 INFER_FILTER='BenchmarkResNetForward|BenchmarkResNetForwardCompiled|BenchmarkResNetForwardInt8|BenchmarkGEMM|BenchmarkGEMMInt8|BenchmarkEngineStreamingWarm|BenchmarkEngineStreamingConcurrent'
 PREPROC_FILTER='BenchmarkDecodeScaledHD|BenchmarkIngestHD|BenchmarkServeIngestHD'
 SERVE_FILTER='BenchmarkServePlannerHD'
 VIDEO_FILTER='BenchmarkVideoServe|BenchmarkEstimateMeanSavings|BenchmarkDecoderResident|BenchmarkStoreSampling'
+SELECT_FILTER='BenchmarkSelectLimit'
 
 # collect <filter> <out-file> <packages...>: run the benchmarks and write
 # a {benchmark: ns/op} JSON summary.
@@ -64,3 +69,4 @@ collect "$INFER_FILTER" "$OUT" .
 collect "$PREPROC_FILTER" "$OUT_PREPROC" ./internal/codec/jpeg/ .
 collect "$SERVE_FILTER" "$OUT_SERVE" .
 collect "$VIDEO_FILTER" "$OUT_VIDEO" ./internal/codec/vid/ .
+collect "$SELECT_FILTER" "$OUT_SELECT" .

@@ -1,0 +1,148 @@
+package smol
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// renderBlobImage draws a dark frame, optionally with one bright blob the
+// blob-counter proxy (and a trained presence classifier) can spot. Blob
+// geometry scales with resolution so the same scene works for 16px
+// training images and 64px video frames.
+func renderBlobImage(rng *rand.Rand, res int, blob bool) *Image {
+	m := NewImage(res, res)
+	for y := 0; y < res; y++ {
+		for x := 0; x < res; x++ {
+			m.Set(x, y, uint8(36+rng.Intn(8)), uint8(36+rng.Intn(8)), uint8(56+rng.Intn(8)))
+		}
+	}
+	if blob {
+		r := res / 10
+		if r < 1 {
+			r = 1
+		}
+		cx := res/4 + rng.Intn(res/2)
+		cy := res/4 + rng.Intn(res/2)
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x, y := cx+dx, cy+dy
+				if x >= 0 && x < res && y >= 0 && y < res {
+					m.Set(x, y, 240, 240, uint8(190+rng.Intn(20)))
+				}
+			}
+		}
+	}
+	return m
+}
+
+// benchSelectClassifier trains (once) a presence detector: class 1 = one
+// bright blob, class 0 = empty frame. Training is deterministic, so the
+// model is shared across every selection benchmark case.
+var (
+	benchSelOnce sync.Once
+	benchSelClf  *Classifier
+	benchSelErr  error
+)
+
+func benchSelectClassifier(b *testing.B) *Classifier {
+	b.Helper()
+	benchSelOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		var train []LabeledImage
+		for i := 0; i < 192; i++ {
+			c := i % 2
+			train = append(train, LabeledImage{Image: renderBlobImage(rng, 16, c == 1), Label: c})
+		}
+		benchSelClf, benchSelErr = TrainClassifier(train, 2, TrainOptions{Epochs: 5, Seed: 3})
+	})
+	if benchSelErr != nil {
+		b.Fatal(benchSelErr)
+	}
+	return benchSelClf
+}
+
+// benchSelectClip encodes a 300-frame counting clip where selPct percent
+// of the frames carry exactly one blob (raw proxy score 1) and the rest
+// are empty (score 0) — so a 0.9 confidence floor on class 1 prunes every
+// empty frame at the proxy stage.
+func benchSelectClip(b *testing.B, selPct int) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	const n, res = 300, 64
+	frames := make([]*Image, n)
+	for f := range frames {
+		frames[f] = renderBlobImage(rng, res, f%(100/selPct) == 0)
+	}
+	enc, err := EncodeVideo(frames, 80, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc
+}
+
+// BenchmarkSelectLimit measures the proxy cascade against the
+// verify-every-frame full scan (DisableProxyCascade) on LIMIT selection
+// queries, across proxy selectivity (1% and 10% of 300 frames match) and
+// K. Scores are materialized at ingest, so both paths read the sidecar;
+// the cascade's advantage is pure predicate pushdown — it verifies roughly
+// one batch of top-ranked candidates instead of all 300 samples, and seeks
+// only the GOPs those candidates live in. oracle-invocations is the
+// full-model count the paper's cascades exist to minimize.
+func BenchmarkSelectLimit(b *testing.B) {
+	clf := benchSelectClassifier(b)
+	ms, err := OpenMediaStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ms.Close()
+	clips := map[int]*StoredVideo{}
+	for _, selPct := range []int{1, 10} {
+		v, err := ms.IngestVideo(fmt.Sprintf("clip-%d", selPct), benchSelectClip(b, selPct),
+			IngestOptions{ProxyScores: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clips[selPct] = v
+	}
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cascade", false}, {"fullscan", true}} {
+		rt, err := NewRuntime(clf.Model, RuntimeConfig{
+			InputRes: 16, BatchSize: 8, Workers: 2, DisableProxyCascade: mode.disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := rt.Serve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, selPct := range []int{1, 10} {
+			for _, k := range []int{1, 10} {
+				opts := SelectOpts{Class: 1, MinConf: 0.9, Limit: k, Deblock: DeblockOn}
+				b.Run(fmt.Sprintf("sel-%d/K-%d/%s", selPct, k, mode.name), func(b *testing.B) {
+					res, err := srv.SelectVideo(ctx, clips[selPct], opts) // warm pools + plan caches
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if res, err = srv.SelectVideo(ctx, clips[selPct], opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(res.OracleInvocations), "oracle-invocations")
+					b.ReportMetric(float64(res.GOPsTouched), "gops-touched")
+					b.ReportMetric(float64(len(res.Frames)), "frames-found")
+				})
+			}
+		}
+		srv.Close()
+	}
+}

@@ -25,6 +25,11 @@ import (
 // forward fails, every request with a sample in that batch fails, while
 // the server itself keeps serving later requests.
 //
+// Beyond classification, a Server answers whole-video queries over the
+// media store: ClassifyVideoStored and EstimateMeanStored sample through
+// the GOP index, and SelectVideo runs LIMIT selection queries through a
+// two-stage proxy cascade with store-level predicate pushdown.
+//
 // Create a Server with Runtime.Serve and release it with Close.
 type Server struct {
 	rt   *Runtime

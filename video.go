@@ -104,6 +104,11 @@ type AggregateResult struct {
 	// Frames is the stream's total frame count (the cheap proxy ran on
 	// every one).
 	Frames int
+	// ProxyCached reports that the cheap pass was skipped entirely: a
+	// persisted proxy score table (see MediaStore ingest and SelectVideo)
+	// supplied the specialized model's per-frame predictions, so the query
+	// decoded only the sampled target frames.
+	ProxyCached bool
 	// Plan describes the chosen target entry and decode fidelity.
 	Plan ServePlan
 	// Decode aggregates the decoder work across the cheap full pass and
@@ -503,7 +508,7 @@ func (s *Server) EstimateMean(ctx context.Context, stream []byte, opts Aggregate
 	// Raw []byte streams have no persisted index; the seeker builds one
 	// lazily on first seek. Frames may still be retained up to the budget —
 	// only store-backed queries drop retention entirely.
-	return s.estimateMeanStream(ctx, streams[choice.stream], nil, decOpts, ent, plan, opts, seek, true)
+	return s.estimateMeanStream(ctx, streams[choice.stream], nil, decOpts, ent, plan, opts, seek, true, nil)
 }
 
 // estimateMeanStream is the aggregation core shared by raw-stream and
@@ -512,46 +517,59 @@ func (s *Server) EstimateMean(ctx context.Context, stream []byte, opts Aggregate
 // decoded-RGB retention budget: store-backed queries pass false (satellite
 // of the GOP-seek work — random access via the index is cheap, so holding
 // the whole clip resident buys nothing and costs aggRetainBytes of memory).
-func (s *Server) estimateMeanStream(ctx context.Context, data []byte, index []vid.GOPEntry, decOpts vid.DecodeOptions, ent *rtEntry, plan ServePlan, opts AggregateOpts, seek, retainOK bool) (AggregateResult, error) {
-	dec, err := vid.NewDecoder(data, decOpts)
-	if err != nil {
-		return AggregateResult{}, err
-	}
-	// The cheap full pass: decode every frame once and run the specialized
-	// model. Streams whose decoded frames fit the retention budget keep
-	// them resident for the sampled target invocations; past it the pass
-	// recycles one output image and the oracle re-decodes on demand
-	// instead, keeping memory bounded regardless of stream length or frame
-	// size (with GOP seek the re-decode is O(GOP) per sample, without it a
-	// sequential re-decode is the honest random-access cost).
-	retain := retainOK && dec.NumFrames()*dec.Width()*dec.Height()*3 <= aggRetainBytes
-	var frames []*img.Image
-	if retain {
-		frames = make([]*img.Image, 0, dec.NumFrames())
-	}
+// cachedSpec, when non-nil, is the specialized model's per-frame prediction
+// from a persisted proxy score table; the cheap decode-everything pass is
+// skipped entirely and the query's decode work is the sampled target pass
+// alone (the scores are only passed in when they are bit-identical to what
+// the pass would compute: the blob proxy at the chosen stream's fidelity).
+func (s *Server) estimateMeanStream(ctx context.Context, data []byte, index []vid.GOPEntry, decOpts vid.DecodeOptions, ent *rtEntry, plan ServePlan, opts AggregateOpts, seek, retainOK bool, cachedSpec []float64) (AggregateResult, error) {
 	var specPreds []float64
-	var counter blazeit.BlobCounter
-	var dst *img.Image
-	for {
-		if err := ctx.Err(); err != nil {
-			return AggregateResult{}, err
-		}
-		m, err := dec.NextInto(dst)
-		if err == vid.ErrEndOfStream {
-			break
-		}
+	var frames []*img.Image
+	var dstats vid.DecodeStats
+	retain := false
+	if cachedSpec != nil {
+		specPreds = cachedSpec
+	} else {
+		dec, err := vid.NewDecoder(data, decOpts)
 		if err != nil {
 			return AggregateResult{}, err
 		}
-		if len(specPreds) == 0 {
-			counter = blazeit.DefaultCounter(m.W)
-		}
-		specPreds = append(specPreds, float64(counter.Count(m)))
+		// The cheap full pass: decode every frame once and run the
+		// specialized model. Streams whose decoded frames fit the retention
+		// budget keep them resident for the sampled target invocations;
+		// past it the pass recycles one output image and the oracle
+		// re-decodes on demand instead, keeping memory bounded regardless
+		// of stream length or frame size (with GOP seek the re-decode is
+		// O(GOP) per sample, without it a sequential re-decode is the
+		// honest random-access cost).
+		retain = retainOK && dec.NumFrames()*dec.Width()*dec.Height()*3 <= aggRetainBytes
 		if retain {
-			frames = append(frames, m)
-		} else {
-			dst = m
+			frames = make([]*img.Image, 0, dec.NumFrames())
 		}
+		var counter blazeit.BlobCounter
+		var dst *img.Image
+		for {
+			if err := ctx.Err(); err != nil {
+				return AggregateResult{}, err
+			}
+			m, err := dec.NextInto(dst)
+			if err == vid.ErrEndOfStream {
+				break
+			}
+			if err != nil {
+				return AggregateResult{}, err
+			}
+			if len(specPreds) == 0 {
+				counter = blazeit.DefaultCounter(m.W)
+			}
+			specPreds = append(specPreds, float64(counter.Count(m)))
+			if retain {
+				frames = append(frames, m)
+			} else {
+				dst = m
+			}
+		}
+		dstats = dec.Stats()
 	}
 	if len(specPreds) == 0 {
 		return AggregateResult{}, fmt.Errorf("smol: video stream has no frames")
@@ -593,13 +611,13 @@ func (s *Server) estimateMeanStream(ctx context.Context, data []byte, index []vi
 	if oracleErr != nil {
 		return AggregateResult{}, oracleErr
 	}
-	dstats := dec.Stats()
 	dstats.Add(seeker.stats())
 	return AggregateResult{
 		Estimate:          res.Estimate,
 		HalfWidth:         res.HalfWidth,
 		TargetInvocations: res.Samples,
 		Frames:            len(specPreds),
+		ProxyCached:       cachedSpec != nil,
 		Plan:              plan,
 		Decode:            dstats,
 	}, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"smol/internal/blazeit"
 	"smol/internal/codec/vid"
 	"smol/internal/engine"
 	"smol/internal/img"
@@ -55,7 +56,7 @@ func (ms *MediaStore) IngestVideo(name string, stream []byte, opts IngestOptions
 	if err != nil {
 		return nil, err
 	}
-	return &StoredVideo{v: v}, nil
+	return &StoredVideo{st: ms.st, v: v}, nil
 }
 
 // Video looks up an ingested video by name.
@@ -64,7 +65,7 @@ func (ms *MediaStore) Video(name string) (*StoredVideo, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &StoredVideo{v: v}, true
+	return &StoredVideo{st: ms.st, v: v}, true
 }
 
 // Names lists the ingested videos in sorted order.
@@ -75,10 +76,13 @@ func (ms *MediaStore) Len() int { return ms.st.Len() }
 
 // StoredVideo is a handle to one ingested video: the primary stream plus
 // the renditions materialized at ingest, each carrying its persisted GOP
-// index. Serve it with Server.ClassifyVideoStored or
+// index. Serve it with Server.ClassifyVideoStored, Server.SelectVideo, or
 // Server.EstimateMeanStored.
 type StoredVideo struct {
-	v *store.Video
+	// st is the owning store: queries read persisted proxy score tables
+	// through it and lazily persist the tables they compute.
+	st *store.Store
+	v  *store.Video
 }
 
 // Name returns the video's store name.
@@ -165,7 +169,19 @@ func (s *Server) EstimateMeanStored(ctx context.Context, v *StoredVideo, opts Ag
 	}
 	chosen := streams[choice.stream]
 	decOpts := vid.DecodeOptions{DisableDeblock: !choice.deblock}
-	return s.estimateMeanStream(ctx, chosen.Data, chosen.Index, decOpts, ent, plan, opts, seek, false)
+	// A persisted blob score table for the chosen stream replaces the cheap
+	// full pass outright: the persisted raw scores are bit-identical to
+	// what the pass would compute (same counter, same full-fidelity
+	// decode), so the estimator sees the same control variate while the
+	// query decodes only its sampled target frames. Reduced-fidelity plans
+	// keep the live pass — cached scores were computed with deblocking on.
+	var cachedSpec []float64
+	if choice.deblock && v.st != nil {
+		if t, ok := v.st.Scores(v.v.Name, choice.stream, blazeit.BlobProxyName); ok {
+			cachedSpec = t.Frames
+		}
+	}
+	return s.estimateMeanStream(ctx, chosen.Data, chosen.Index, decOpts, ent, plan, opts, seek, false, cachedSpec)
 }
 
 // gopTask is one unit of decode fan-out: the consecutive sampled frames
