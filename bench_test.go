@@ -500,10 +500,39 @@ func BenchmarkResNetForwardInt8(b *testing.B) {
 	}
 }
 
-// BenchmarkGEMM measures the blocked f32 kernel on square problems; the
-// custom metric reports achieved multiply-add throughput in GMAC/s so the
-// perf trajectory captures throughput, not just ns/op.
+// BenchmarkGEMM measures the blocked f32 kernel on square problems — the
+// AVX2 microkernel where the hardware has it (see BenchmarkGEMMPortable
+// for the scalar tier); the custom metric reports achieved multiply-add
+// throughput in GMAC/s so the perf trajectory captures throughput, not
+// just ns/op.
 func BenchmarkGEMM(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := tensor.New(size, size)
+			bm := tensor.New(size, size)
+			c := tensor.New(size, size)
+			for i := range a.Data {
+				a.Data[i] = rng.Float32()
+				bm.Data[i] = rng.Float32()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.GEMM(a, bm, c)
+			}
+			macs := float64(size) * float64(size) * float64(size)
+			b.ReportMetric(macs*float64(b.N)/b.Elapsed().Seconds()/1e9, "GMAC/s")
+		})
+	}
+}
+
+// BenchmarkGEMMPortable is BenchmarkGEMM with the AVX2 f32 tier disabled:
+// the scalar kernel's GMAC/s alongside the SIMD number quantifies the
+// speedup BENCH_infer.json tracks, and — because the tiers are
+// bit-identical — the ratio is pure throughput, not an accuracy trade.
+func BenchmarkGEMMPortable(b *testing.B) {
+	prev := tensor.SetF32SIMD(false)
+	defer tensor.SetF32SIMD(prev)
 	for _, size := range []int{64, 256, 1024} {
 		b.Run(fmt.Sprint(size), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))

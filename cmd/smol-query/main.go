@@ -20,11 +20,14 @@
 // planner jointly pick model variant, input resolution, decode scale,
 // numeric precision, and preprocessing chain per request from an accuracy
 // floor; each zoo entry gains a quantized int8 twin unless -noint8 is set,
-// and -explain prints the chosen plan — precision included — next to its
-// predicted vs. measured throughput):
+// and -explain prints the chosen plan — precision and the active GEMM
+// kernel (avx2/portable) included — next to its predicted vs. measured
+// throughput. -nosimd forces the portable f32 kernel, which is
+// bit-identical to the AVX2 tier, so it changes throughput only):
 //
 //	smol-query -type classify -dataset bike-bird -serve -zoo -minacc 0.8 -explain
 //	smol-query -type classify -dataset bike-bird -serve -zoo -noint8 -explain
+//	smol-query -type classify -dataset bike-bird -serve -zoo -nosimd -explain
 //
 // Video serving mode (classifies an SVID file — e.g. one written by
 // smol-datagen -videos — through the warm engine; the video planner picks
@@ -83,6 +86,7 @@ func main() {
 	zoo := flag.Bool("zoo", false, "train a multi-entry model zoo and serve through the joint accuracy/throughput planner (-serve mode)")
 	int8Flag := flag.Bool("int8", true, "quantize every zoo entry to an int8 twin (zoo mode); the planner routes to the fast tier when the accuracy floor allows")
 	noInt8 := flag.Bool("noint8", false, "disable the int8 inference tier (overrides -int8)")
+	noSIMD := flag.Bool("nosimd", false, "force the portable f32 GEMM kernel instead of AVX2 (bit-identical results; the scalar-tier A/B oracle, mirroring -noint8)")
 	minAcc := flag.Float64("minacc", 0, "accuracy floor for the serving planner (0 = max throughput)")
 	explain := flag.Bool("explain", false, "print the planner's chosen plan per request (variant, input res, decode scale, preproc chain, predicted vs measured throughput)")
 	video := flag.String("video", "", "classify an SVID video file through the warm serving engine")
@@ -118,15 +122,15 @@ func main() {
 	case "classify":
 		if *selectQ {
 			videoSelect(*video, *storeDir, *dataset, *selClass, *selLimit, *stride, *execPar,
-				*compiled, *zoo, useInt8, *noSeek, *noCascade, *selMinConf, *minAcc, *explain)
+				*compiled, *zoo, useInt8, *noSIMD, *noSeek, *noCascade, *selMinConf, *minAcc, *explain)
 		} else if *video != "" {
 			videoClassify(*video, *lowres, *storeDir, *dataset, *stride, *execPar, *compiled, *roiDecode, *scaleDecode,
-				*zoo, useInt8, *noSeek, *minAcc, *explain)
+				*zoo, useInt8, *noSIMD, *noSeek, *minAcc, *explain)
 		} else if *serve {
 			serveClassify(*dataset, *requests, *execPar, *compiled, *roiDecode, *scaleDecode,
-				*zoo, useInt8, *minAcc, *explain)
+				*zoo, useInt8, *noSIMD, *minAcc, *explain)
 		} else {
-			classify(*dataset, *roiDecode, *scaleDecode)
+			classify(*dataset, *roiDecode, *scaleDecode, *noSIMD)
 		}
 	case "aggregate":
 		aggregate(*dataset, *errTarget)
@@ -135,7 +139,7 @@ func main() {
 	}
 }
 
-func classify(name string, roiDecode, scaleDecode bool) {
+func classify(name string, roiDecode, scaleDecode, noSIMD bool) {
 	spec, err := data.ImageDataset(name)
 	if err != nil {
 		log.Fatal(err)
@@ -163,6 +167,7 @@ func classify(name string, roiDecode, scaleDecode bool) {
 	rt, err := smol.NewRuntime(clf.Model, smol.RuntimeConfig{
 		InputRes: spec.FullRes, BatchSize: 32,
 		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
+		DisableSIMD: noSIMD,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -243,7 +248,7 @@ func trainServingRuntime(dataset string, useZoo, useInt8 bool, cfg smol.RuntimeC
 // useZoo a multi-entry model zoo is trained instead and each request is
 // routed by the serving planner from the minAcc accuracy floor.
 func serveClassify(name string, requests, execPar int, compiled, roiDecode, scaleDecode,
-	useZoo, useInt8 bool, minAcc float64, explain bool) {
+	useZoo, useInt8, noSIMD bool, minAcc float64, explain bool) {
 	if requests < 1 {
 		requests = 1
 	}
@@ -252,6 +257,7 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 		QoS:          smol.QoS{MinAccuracy: minAcc},
 		ExecParallel: execPar, DisableCompiled: !compiled,
 		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
+		DisableSIMD: noSIMD,
 	})
 
 	inputs := make([]smol.EncodedImage, len(ds.Test))
@@ -306,7 +312,7 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 			res.Stats.MeanLatency.Round(time.Microsecond))
 		if explain {
 			p := res.Plan
-			fmt.Printf("  plan: entry %s [%s] (val acc %.3f) on %s\n", p.Entry, p.Precision, p.Accuracy, p.InputFormat)
+			fmt.Printf("  plan: entry %s [%s/%s] (val acc %.3f) on %s\n", p.Entry, p.Precision, p.Kernel, p.Accuracy, p.InputFormat)
 			fmt.Printf("  plan: decode 1/%d, preproc %s\n", p.DecodeScale, p.Preproc)
 			fmt.Printf("  plan: predicted %.0f im/s (latency %.0fus worst-case), measured %.0f im/s\n",
 				p.PredictedThroughput, p.PredictedLatencyUS, res.Stats.Throughput)
@@ -328,7 +334,7 @@ func serveClassify(name string, requests, execPar int, compiled, roiDecode, scal
 // sampling seek straight to the sampled GOPs and fan them across a decoder
 // pool (noSeek forces the sequential baseline for comparison).
 func videoClassify(path, lowPath, storeDir, dataset string, stride, execPar int, compiled, roiDecode, scaleDecode,
-	useZoo, useInt8, noSeek bool, minAcc float64, explain bool) {
+	useZoo, useInt8, noSIMD, noSeek bool, minAcc float64, explain bool) {
 	streamData, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -354,7 +360,7 @@ func videoClassify(path, lowPath, storeDir, dataset string, stride, execPar int,
 		QoS:          smol.QoS{MinAccuracy: minAcc},
 		ExecParallel: execPar, DisableCompiled: !compiled,
 		ROIDecode: roiDecode, DisableScaledDecode: !scaleDecode,
-		DisableGOPSeek: noSeek,
+		DisableGOPSeek: noSeek, DisableSIMD: noSIMD,
 	})
 
 	srv, err := rt.Serve()
@@ -432,7 +438,7 @@ func videoClassify(path, lowPath, storeDir, dataset string, stride, execPar int,
 // limit confirmations. noCascade verifies every sampled frame instead, the
 // equivalence baseline.
 func videoSelect(path, storeDir, dataset string, class, limit, stride, execPar int,
-	compiled, useZoo, useInt8, noSeek, noCascade bool, minConf, minAcc float64, explain bool) {
+	compiled, useZoo, useInt8, noSIMD, noSeek, noCascade bool, minConf, minAcc float64, explain bool) {
 	streamData, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -448,6 +454,7 @@ func videoSelect(path, storeDir, dataset string, class, limit, stride, execPar i
 		ExecParallel: execPar, DisableCompiled: !compiled,
 		DisableGOPSeek:      noSeek,
 		DisableProxyCascade: noCascade,
+		DisableSIMD:         noSIMD,
 	})
 	srv, err := rt.Serve()
 	if err != nil {

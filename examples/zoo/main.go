@@ -79,7 +79,11 @@ func main() {
 
 	// 3. Sweep accuracy floors through the planner. A strict floor pins
 	// the most accurate entry; relaxing it frees the planner to route to
-	// cheaper entries for more throughput.
+	// cheaper entries for more throughput. Note the strict floor is no
+	// longer the slow lane: its f32 forwards run the AVX2 GEMM tier (~7x
+	// the portable kernel, bit-identical results — the plan line prints
+	// the active kernel), so guaranteed-exact serving inherits most of the
+	// relaxed tier's hardware speed.
 	best, _ := zoo.Best()
 	floors := []float64{best.Accuracy, best.Accuracy - 0.1, 0}
 	if _, err := srv.Classify(context.Background(), inputs[:4]); err != nil { // warm the pools

@@ -1,0 +1,32 @@
+// Package cpu is the single CPU-feature detection point for the SIMD
+// kernels in internal/tensor. Detection runs once at init on amd64 (CPUID
+// leaf 7 for AVX2, gated on OSXSAVE + XGETBV so the OS actually preserves
+// the YMM state across context switches); every other architecture — and
+// any build with the noasm tag — reports no vector support and the
+// portable kernels carry the whole workload.
+//
+// One override knob: setting the SMOL_NOSIMD environment variable (to any
+// non-empty value) disables every vector kernel at process start, turning
+// the whole binary into its own portable-equivalence oracle without a
+// rebuild. Finer-grained toggles (per-tier, per-runtime) live with their
+// kernels — see tensor.SetF32SIMD and RuntimeConfig.DisableSIMD.
+package cpu
+
+import "os"
+
+// hasAVX2 is set by the amd64 detection init; it stays false on other
+// architectures and under the noasm build tag.
+var hasAVX2 bool
+
+// simdDisabled is the process-wide kill switch, read once from
+// SMOL_NOSIMD at init.
+var simdDisabled = os.Getenv("SMOL_NOSIMD") != ""
+
+// AVX2 reports whether AVX2 kernels may be dispatched: the CPU and OS
+// support them and SMOL_NOSIMD did not veto them.
+func AVX2() bool { return hasAVX2 && !simdDisabled }
+
+// AVX2Supported reports raw CPU+OS support, ignoring the SMOL_NOSIMD
+// override. Kernels that keep their own runtime toggle (so an oracle can
+// flip back and forth) key their capability on this.
+func AVX2Supported() bool { return hasAVX2 }

@@ -1,0 +1,32 @@
+//go:build amd64 && !noasm
+
+package cpu
+
+func init() { hasAVX2 = detectAVX2() }
+
+// cpuid executes CPUID for the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the set of processor states the OS has enabled.
+func xgetbv0() uint64
+
+// detectAVX2 reports whether both the CPU and the OS support AVX2:
+// leaf-1 OSXSAVE+AVX, XCR0 XMM+YMM state enabled, leaf-7 AVX2.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	const xmmYmm = 0x6
+	if xgetbv0()&xmmYmm != xmmYmm {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}

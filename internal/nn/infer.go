@@ -46,6 +46,10 @@ type planOp struct {
 	// (out x in) for opLinear. bias is the folded bias (len outC / out).
 	w    []float32
 	bias []float32
+	// wp is w pre-packed at compile time into the GEMM microkernel's
+	// MR-interleaved row-panel layout (opConv only), so the per-call
+	// forward never re-packs the constant operand.
+	wp *tensor.PackedA
 	// relu fuses a ReLU into the epilogue.
 	relu bool
 
@@ -200,7 +204,8 @@ func foldConv(c *Conv2D, bn *BatchNorm2D, relu bool, src, dst, add int) planOp {
 		}
 	}
 	return planOp{kind: opConv, inC: c.InC, outC: c.OutC, k: c.K, stride: c.Stride,
-		pad: c.Pad, w: w, bias: bias, relu: relu, src: src, dst: dst, add: add}
+		pad: c.Pad, w: w, wp: tensor.PackA(c.OutC, ckk, w), bias: bias, relu: relu,
+		src: src, dst: dst, add: add}
 }
 
 // regGeom is the runtime geometry of one activation register. Geometry is
@@ -314,7 +319,7 @@ func (p *InferencePlan) run(x *tensor.Tensor, ar *inferArena, stats []float32) {
 			if op.add >= 0 {
 				ep.Add = ar.regs[op.add][:op.outC*total]
 			}
-			tensor.GEMMRaw(op.outC, rows, total, op.w, col, ar.regs[op.dst][:op.outC*total], ep)
+			tensor.GEMMPackedRaw(op.wp, total, col, ar.regs[op.dst][:op.outC*total], ep)
 			if stats != nil {
 				stats[1+idx] = maxAbs32(ar.regs[op.dst][:op.outC*total])
 			}

@@ -175,6 +175,9 @@ func TestCompiledWarmForwardAllocs(t *testing.T) {
 		"smol/internal/tensor.gemm4",
 		"smol/internal/tensor.gemm1",
 		"smol/internal/tensor.applyEpilogue",
+		"smol/internal/tensor.gemmF32RangeAVX2",
+		"smol/internal/tensor.packB16",
+		"smol/internal/tensor.applyEpilogueAVX2",
 		"smol/internal/tensor.Im2ColBatch")
 }
 

@@ -73,15 +73,32 @@ func GEMMRaw(m, k, n int, a, b, c []float32, ep Epilogue) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GEMMRaw operand length mismatch")
 	}
+	checkEpilogue(m, n, ep)
+	if gemmF32Asm.Load() && m >= gemmMR && k > 0 && n >= gemmF32NR {
+		gemmRawAVX2(m, k, n, a, b, c, ep)
+		return
+	}
+	gemmParallel(m, k, n, nil, a, b, c, ep)
+}
+
+// checkEpilogue validates the epilogue operands against the output shape.
+func checkEpilogue(m, n int, ep Epilogue) {
 	if ep.RowBias != nil && len(ep.RowBias) != m {
-		panic("tensor: GEMMRaw RowBias length mismatch")
+		panic("tensor: GEMM RowBias length mismatch")
 	}
 	if ep.Add != nil && len(ep.Add) != m*n {
-		panic("tensor: GEMMRaw Add length mismatch")
+		panic("tensor: GEMM Add length mismatch")
 	}
+}
+
+// gemmParallel splits the output across workers and runs each disjoint
+// region through gemmDispatch — the SIMD range when panels holds the
+// MR-interleaved a quads, the portable range otherwise. Row panels round
+// to gemmMR, so every worker's i0 stays quad-aligned for the panel layout.
+func gemmParallel(m, k, n int, panels, a, b, c []float32, ep Epilogue) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers <= 1 || m*k*n < gemmSerialMACs {
-		gemmRange(m, k, n, a, b, c, 0, m, 0, n, ep)
+		gemmDispatch(m, k, n, panels, a, b, c, 0, m, 0, n, ep)
 		return
 	}
 	var wg sync.WaitGroup
@@ -96,7 +113,7 @@ func GEMMRaw(m, k, n int, a, b, c []float32, ep Epilogue) {
 			wg.Add(1)
 			go func(i0, i1 int) {
 				defer wg.Done()
-				gemmRange(m, k, n, a, b, c, i0, i1, 0, n, ep)
+				gemmDispatch(m, k, n, panels, a, b, c, i0, i1, 0, n, ep)
 			}(i0, i1)
 		}
 	} else {
@@ -113,7 +130,7 @@ func GEMMRaw(m, k, n int, a, b, c []float32, ep Epilogue) {
 			wg.Add(1)
 			go func(j0, j1 int) {
 				defer wg.Done()
-				gemmRange(m, k, n, a, b, c, 0, m, j0, j1, ep)
+				gemmDispatch(m, k, n, panels, a, b, c, 0, m, j0, j1, ep)
 			}(j0, j1)
 		}
 	}

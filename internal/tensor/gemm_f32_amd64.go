@@ -1,0 +1,26 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+import "smol/internal/cpu"
+
+func init() { gemmF32Asm.Store(cpu.AVX2()) }
+
+// f32SIMDSupported reports whether this build carries the AVX2 f32
+// microkernel and the hardware can run it (ignoring runtime toggles, so
+// weight panels are still packed while the kernel is temporarily disabled
+// for an oracle comparison).
+func f32SIMDSupported() bool { return cpu.AVX2Supported() }
+
+// gemmF32Tile4x16 computes a 4x16 f32 tile of c from an MR-interleaved a
+// panel and a packed 16-column b panel; see gemm_f32_amd64.s for the
+// layout and the bit-identity contract (no FMA, ascending k).
+//
+//go:noescape
+func gemmF32Tile4x16(a, b, c *float32, kc, cStride, first int)
+
+// epilogueF32Row applies c[j] = relu?(c[j] + bias + add[j]) over octets*8
+// contiguous elements of one row. flags bit 0 = ReLU, bit 1 = add present.
+//
+//go:noescape
+func epilogueF32Row(c, add *float32, bias float32, octets, flags int)

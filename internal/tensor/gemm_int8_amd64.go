@@ -1,11 +1,13 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package tensor
+
+import "smol/internal/cpu"
 
 // gemmInt8AsmActive gates the AVX2 microkernel. It is a variable (not a
 // constant) so the equivalence tests can force the portable kernel and
 // compare the two paths bit-for-bit.
-var gemmInt8AsmActive = cpuSupportsAVX2()
+var gemmInt8AsmActive = cpu.AVX2()
 
 // gemmInt8Tile4x16 accumulates a full-k 4-row x 16-column int32 tile:
 //
@@ -19,30 +21,3 @@ var gemmInt8AsmActive = cpuSupportsAVX2()
 //
 //go:noescape
 func gemmInt8Tile4x16(a *int16, b *int8, acc *int32, pairs, aStride, n int)
-
-// cpuid executes CPUID for the given leaf and subleaf.
-func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
-
-// xgetbv0 reads XCR0, the set of processor states the OS has enabled.
-func xgetbv0() uint64
-
-// cpuSupportsAVX2 reports whether both the CPU and the OS support AVX2:
-// leaf-1 OSXSAVE+AVX, XCR0 XMM+YMM state enabled, leaf-7 AVX2.
-func cpuSupportsAVX2() bool {
-	maxID, _, _, _ := cpuid(0, 0)
-	if maxID < 7 {
-		return false
-	}
-	_, _, ecx1, _ := cpuid(1, 0)
-	const osxsave = 1 << 27
-	const avx = 1 << 28
-	if ecx1&osxsave == 0 || ecx1&avx == 0 {
-		return false
-	}
-	const xmmYmm = 0x6
-	if xgetbv0()&xmmYmm != xmmYmm {
-		return false
-	}
-	_, ebx7, _, _ := cpuid(7, 0)
-	return ebx7&(1<<5) != 0
-}

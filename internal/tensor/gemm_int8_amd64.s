@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 #include "textflag.h"
 
@@ -112,24 +112,4 @@ pairloop:
 	VMOVDQU    Y1, 32(DI)
 
 	VZEROUPPER
-	RET
-
-// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
-TEXT ·cpuid(SB), NOSPLIT, $0-24
-	MOVL  leaf+0(FP), AX
-	MOVL  sub+4(FP), CX
-	CPUID
-	MOVL  AX, eax+8(FP)
-	MOVL  BX, ebx+12(FP)
-	MOVL  CX, ecx+16(FP)
-	MOVL  DX, edx+20(FP)
-	RET
-
-// func xgetbv0() uint64
-TEXT ·xgetbv0(SB), NOSPLIT, $0-8
-	XORL    CX, CX
-	XGETBV
-	SHLQ    $32, DX
-	ORQ     DX, AX
-	MOVQ    AX, ret+0(FP)
 	RET

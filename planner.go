@@ -49,6 +49,12 @@ type ServePlan struct {
 	// PrecisionInt8. Strict accuracy floors keep bit-identical f32; floors
 	// below an int8 twin's measured accuracy get the fast tier.
 	Precision string
+	// Kernel names the GEMM kernel tier the plan's forwards execute on
+	// ("avx2" or "portable", tensor.Kernel*); "reference" marks entries
+	// that did not compile and run the serialized reference path. The f32
+	// tiers are bit-identical, so Kernel never affects results — it is
+	// -explain visibility into what the hardware actually runs.
+	Kernel string
 	// Accuracy is the effective accuracy the planner's QoS floor was
 	// checked against: the entry's measured validation accuracy, minus
 	// any decode-fidelity penalties on video plans (deblocking disabled,
@@ -85,8 +91,27 @@ func (p ServePlan) String() string {
 	if prec == "" {
 		prec = PrecisionFP32
 	}
+	tier := prec
+	if p.Kernel != "" {
+		tier += "/" + p.Kernel
+	}
 	return fmt.Sprintf("%s [%s] on %s: decode 1/%d, %s, predicted %.0f im/s (acc %.3f)",
-		p.Entry, prec, p.InputFormat, p.DecodeScale, p.Preproc, p.PredictedThroughput, p.Accuracy)
+		p.Entry, tier, p.InputFormat, p.DecodeScale, p.Preproc, p.PredictedThroughput, p.Accuracy)
+}
+
+// kernelFor names the GEMM kernel tier an entry's forwards run on: the
+// int8 kernel for quantized plans, the active f32 kernel for compiled f32
+// plans, and "reference" for the uncompiled serialized path (scalar tensor
+// ops, no GEMM dispatch).
+func (r *Runtime) kernelFor(ent *rtEntry) string {
+	switch {
+	case ent.qplan != nil:
+		return tensor.Int8KernelName()
+	case ent.plan != nil:
+		return tensor.F32KernelName()
+	default:
+		return "reference"
+	}
 }
 
 // selKey memoizes planner decisions per (input class, QoS) pair.
@@ -131,7 +156,7 @@ func (r *Runtime) planFor(inputs []MediaInput, qos QoS) (*rtEntry, ServePlan, er
 		}
 		return best, ServePlan{Entry: best.name, Variant: best.Variant,
 			InputRes: best.InputRes, Precision: best.PrecisionLabel(),
-			Accuracy: best.Accuracy, DecodeScale: 1}, nil
+			Kernel: r.kernelFor(best), Accuracy: best.Accuracy, DecodeScale: 1}, nil
 	}
 	if inputs[0].Codec == CodecVideo {
 		return nil, ServePlan{}, fmt.Errorf("smol: video streams are served by ClassifyVideo/EstimateMean, not Classify")
@@ -236,6 +261,7 @@ func (r *Runtime) selectPlan(key selKey) (selection, error) {
 			Variant:             ent.Variant,
 			InputRes:            ent.InputRes,
 			Precision:           ent.PrecisionLabel(),
+			Kernel:              r.kernelFor(ent),
 			Accuracy:            ent.Accuracy,
 			InputFormat:         format.Name,
 			DecodeScale:         best.Plan.Preproc.DecodeScale(),
@@ -291,7 +317,10 @@ func (r *Runtime) batchSize() int {
 // paper's static testbed profiles.
 func (r *Runtime) calibrate() *hw.Calibration {
 	r.calOnce.Do(func() {
-		cal := &hw.Calibration{ExecUS: make(map[string]float64, len(r.entries))}
+		cal := &hw.Calibration{
+			ExecUS: make(map[string]float64, len(r.entries)),
+			Kernel: tensor.F32KernelName(),
+		}
 		for _, ent := range r.entries {
 			cal.ExecUS[ent.name] = r.measureExecUS(ent)
 		}

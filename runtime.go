@@ -59,6 +59,12 @@ type RuntimeConfig struct {
 	// planner only ever routes to full-precision plans (A/B comparison and
 	// strict bit-reproducibility deployments).
 	DisableInt8 bool
+	// DisableSIMD routes f32 GEMMs to the portable scalar kernel instead
+	// of the AVX2 microkernel. The two are bit-identical, so this is purely
+	// an oracle/debug knob (equivalence checks, profiling the scalar tier)
+	// — results never change, only throughput. The kernel toggle is
+	// process-wide: the last-constructed runtime's setting wins.
+	DisableSIMD bool
 	// DisableGOPSeek forces sequential full-stream decode for video
 	// sampling: every frame up to the last sample is decoded (skipped
 	// frames still pay motion compensation), as if no GOP index existed.
@@ -206,6 +212,9 @@ func NewZooRuntime(zoo *Zoo, cfg RuntimeConfig) (*Runtime, error) {
 	if maxPlans <= 0 {
 		maxPlans = 1024
 	}
+	// Bit-identical tiers make the process-wide flip safe: in-flight GEMMs
+	// on other runtimes keep their results, only their speed tier moves.
+	tensor.SetF32SIMD(!cfg.DisableSIMD)
 	r := &Runtime{
 		cfg:        cfg,
 		byName:     make(map[string]*rtEntry),

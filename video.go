@@ -332,6 +332,7 @@ func (r *Runtime) selectVideoPlan(infos []vid.Info, qos QoS, stride int, mode De
 				Variant:   c.ent.Variant,
 				InputRes:  c.ent.InputRes,
 				Precision: c.ent.PrecisionLabel(),
+				Kernel:    r.kernelFor(c.ent),
 				// The effective accuracy the QoS floor was checked
 				// against: the entry's measured accuracy minus any
 				// deblock-off / undersized-rendition fidelity penalties.
